@@ -1,0 +1,168 @@
+//! Criterion micro-benchmarks over the hot paths of every substrate:
+//! crypto primitives, wire codecs, schedulability analyses, TT synthesis,
+//! DSL parsing and fabric simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynplat_comm::fabric::{Fabric, MessageSend};
+use dynplat_comm::wire::SomeIpHeader;
+use dynplat_common::time::{SimDuration, SimTime};
+use dynplat_common::{AppId, BusId, EcuId, MessageId, MethodId, ServiceId, TaskId};
+use dynplat_hw::ecu::{EcuClass, EcuSpec};
+use dynplat_hw::topology::{BusKind, BusSpec, HwTopology};
+use dynplat_model::dsl::parse_model;
+use dynplat_net::can::{CanAnalysis, CanMessageSpec};
+use dynplat_net::TrafficClass;
+use dynplat_sched::rta;
+use dynplat_sched::task::{TaskSet, TaskSpec};
+use dynplat_sched::tt;
+use dynplat_security::package::{KeyRegistry, SignedPackage, UpdatePackage, Version};
+use dynplat_security::sha256::{hmac_sha256, sha256};
+use dynplat_security::sign::KeyPair;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    for size in [64usize, 1024, 16384] {
+        let data = vec![0xA5u8; size];
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| sha256(black_box(d)))
+        });
+    }
+    let key = [7u8; 32];
+    let msg = vec![1u8; 256];
+    group.bench_function("hmac_sha256_256B", |b| {
+        b.iter(|| hmac_sha256(black_box(&key), black_box(&msg)))
+    });
+    let kp = KeyPair::from_seed(b"bench");
+    let payload = vec![9u8; 1024];
+    group.bench_function("sign_1KiB", |b| b.iter(|| kp.sign(black_box(&payload))));
+    let sig = kp.sign(&payload);
+    group.bench_function("verify_1KiB", |b| {
+        b.iter(|| kp.public().verify(black_box(&payload), black_box(&sig)))
+    });
+    let package = UpdatePackage::new(AppId(1), Version::new(1, 0, 0), 1, vec![0; 4096]);
+    let signed = SignedPackage::create(&package, &kp);
+    let mut registry = KeyRegistry::new();
+    registry.trust(kp.public());
+    group.bench_function("verify_signed_package_4KiB", |b| {
+        b.iter(|| signed.verify(black_box(&registry)).expect("verifies"))
+    });
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let header = SomeIpHeader::request(ServiceId(0x1234), MethodId(0x21), 3, 4);
+    let payload = vec![0u8; 256];
+    group.bench_function("someip_encode_256B", |b| {
+        b.iter(|| header.encode(black_box(&payload)))
+    });
+    let wire = header.encode(&payload);
+    group.bench_function("someip_decode_256B", |b| {
+        b.iter(|| SomeIpHeader::decode(black_box(&wire)).expect("decodes"))
+    });
+    group.finish();
+}
+
+fn task_set(n: u32) -> TaskSet {
+    (0..n)
+        .map(|i| {
+            TaskSpec::periodic(
+                TaskId(i),
+                format!("t{i}"),
+                SimDuration::from_millis(5 * (u64::from(i % 6) + 1)),
+                SimDuration::from_micros(200),
+            )
+            .with_priority(i)
+        })
+        .collect()
+}
+
+fn bench_sched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched");
+    for n in [10u32, 40] {
+        let set = task_set(n);
+        group.bench_with_input(BenchmarkId::new("rta", n), &set, |b, s| {
+            b.iter(|| rta::response_times(black_box(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("tt_synthesis", n), &set, |b, s| {
+            b.iter(|| tt::synthesize(black_box(s)).expect("synthesizes"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_can_analysis(c: &mut Criterion) {
+    let specs: Vec<CanMessageSpec> = (0..30)
+        .map(|i| {
+            CanMessageSpec::periodic(
+                MessageId(i),
+                8,
+                SimDuration::from_millis(10 * (u64::from(i) + 1)),
+            )
+        })
+        .collect();
+    let analysis = CanAnalysis::new(500_000, specs);
+    c.bench_function("can_wcrt_30_messages", |b| {
+        b.iter(|| analysis.response_times())
+    });
+}
+
+fn bench_dsl(c: &mut Criterion) {
+    let text = r#"
+system {
+  hardware {
+    ecu "a" { id 0 class domain }
+    ecu "b" { id 1 class high }
+    bus "e" { id 0 ethernet 100000000 attach [0 1] }
+  }
+  interface "s" {
+    id 1 owner 1 version 1
+    event "e" { id 1 payload {x: f64, y: [u32; 8]} latency 10ms critical }
+    method "m" { id 2 request {a: u32} response bool }
+  }
+  application "p" { id 1 deterministic asil C provides [1] period 10ms work 2 memory 512 }
+  application "c" { id 2 non-deterministic asil QM consumes [1 event 1] period 50ms work 1 memory 256 }
+  deployment { app 1 on 0  app 2 on any [0 1] }
+}
+"#;
+    c.bench_function("dsl_parse", |b| b.iter(|| parse_model(black_box(text)).expect("parses")));
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let topo = HwTopology::from_parts(
+        [
+            EcuSpec::of_class(EcuId(0), "a", EcuClass::Domain),
+            EcuSpec::of_class(EcuId(1), "b", EcuClass::Domain),
+        ],
+        [BusSpec::new(BusId(0), "e", BusKind::ethernet_100m(), [EcuId(0), EcuId(1)])],
+    )
+    .expect("valid");
+    c.bench_function("fabric_500_messages", |b| {
+        b.iter(|| {
+            let mut fabric = Fabric::new(topo.clone());
+            let sends: Vec<MessageSend> = (0..500)
+                .map(|i| MessageSend {
+                    id: i,
+                    time: SimTime::from_micros(i * 20),
+                    src: EcuId(0),
+                    dst: EcuId(1),
+                    payload: 256,
+                    class: TrafficClass::BestEffort,
+                    priority: (i % 4) as u32,
+                })
+                .collect();
+            fabric.run(sends, |_| vec![])
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_wire,
+    bench_sched,
+    bench_can_analysis,
+    bench_dsl,
+    bench_fabric
+);
+criterion_main!(benches);

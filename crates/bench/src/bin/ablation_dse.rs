@@ -1,0 +1,79 @@
+//! Ablation: the two design choices inside the DSE annealer (DESIGN.md
+//! §4 "ablation benches for the design choices") — the greedy warm start
+//! and the stagnation restarts.
+//!
+//! Expected shape: without the greedy seed the annealer needs its restarts
+//! to escape infeasible plateaus and still lands above the seeded cost on
+//! tight budgets; with both disabled it is essentially a random walk.
+
+use dynplat_bench::{vehicle_functions, Table};
+use dynplat_common::{BusId, EcuId};
+use dynplat_dse::search::{simulated_annealing, DseConfig};
+use dynplat_hw::ecu::{EcuClass, EcuSpec};
+use dynplat_hw::topology::{BusKind, BusSpec, HwTopology};
+use dynplat_model::ir::{Deployment, MappingChoice, SystemModel};
+
+fn model(n_apps: u32, pool: u16) -> SystemModel {
+    let mut hardware = HwTopology::new();
+    let ids: Vec<EcuId> = (0..pool).map(EcuId).collect();
+    for &id in &ids {
+        hardware
+            .add_ecu(EcuSpec::of_class(id, format!("p{}", id.raw()), EcuClass::Domain))
+            .expect("fresh");
+    }
+    hardware
+        .add_bus(BusSpec::new(BusId(0), "bb", BusKind::ethernet_1g(), ids.clone()))
+        .expect("fresh");
+    let applications = vehicle_functions(n_apps);
+    let mut deployment = Deployment::default();
+    for app in &applications {
+        deployment.mapping.insert(app.id, MappingChoice::AnyOf(ids.clone()));
+    }
+    SystemModel { hardware, interfaces: vec![], applications, deployment }
+}
+
+fn main() {
+    let table = Table::new(
+        "Ablation — annealer design choices (40 apps, 6-ECU pool, mean of 5 seeds)",
+        &["iterations", "variant", "mean_cost", "feasible_runs"],
+    );
+    let m = model(40, 6);
+    for iterations in [200u32, 800, 2400] {
+        for (label, greedy_seed, restarts) in [
+            ("seed+restarts", true, true),
+            ("seed only", true, false),
+            ("restarts only", false, true),
+            ("neither", false, false),
+        ] {
+            let mut total_cost = 0u64;
+            let mut feasible = 0u32;
+            let seeds = 5u64;
+            for seed in 0..seeds {
+                let cfg = DseConfig {
+                    iterations,
+                    seed: 100 + seed,
+                    greedy_seed,
+                    restarts,
+                    ..Default::default()
+                };
+                let result = simulated_annealing(&m, &cfg);
+                let (_, obj) = result.best.expect("candidate exists");
+                if obj.is_feasible() {
+                    feasible += 1;
+                    total_cost += obj.used_cost;
+                }
+            }
+            let mean_cost = if feasible > 0 {
+                format!("{:.0}", total_cost as f64 / f64::from(feasible))
+            } else {
+                "-".to_owned()
+            };
+            table.row(&[
+                iterations.to_string(),
+                label.to_owned(),
+                mean_cost,
+                format!("{feasible}/{seeds}"),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! Typed service endpoints — the runtime face of the middleware.
+//!
+//! §5.2 of the paper points at the AUTOSAR Adaptive Platform, "where the
+//! RTE can link services and clients dynamically during runtime". This
+//! module is that runtime layer: a provider registers a [`ServiceSkeleton`]
+//! with typed methods and events; a consumer uses a [`ClientProxy`] to
+//! build authenticated-by-policy, typed requests. Everything crosses the
+//! boundary as SOME/IP datagrams ([`crate::wire`]) carrying canonical
+//! [`Value`] payloads, and every dispatch is gated by the deny-by-default
+//! [`AccessControlMatrix`] (§4.2).
+
+use crate::wire::{MessageType, ReturnCode, SomeIpHeader};
+use dynplat_common::codec::CodecError;
+use dynplat_common::ids::ServiceInstance;
+use dynplat_common::value::{DataType, Value};
+use dynplat_common::{AppId, EventGroupId, MethodId, ServiceId};
+use dynplat_security::authz::{AccessControlMatrix, Permission};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A method handler: takes the decoded request value, returns the response
+/// value (which must conform to the declared response type).
+pub type MethodHandler = Box<dyn FnMut(Value) -> Value>;
+
+struct MethodEntry {
+    request: DataType,
+    response: DataType,
+    handler: MethodHandler,
+}
+
+/// Errors raised when *building* endpoint traffic (wire-level failures are
+/// answered with SOME/IP error datagrams instead).
+#[derive(Clone, Debug, PartialEq)]
+pub enum EndpointError {
+    /// The proxy tried to encode a value that does not conform to the
+    /// declared type.
+    TypeMismatch {
+        /// The declared schema.
+        expected: String,
+    },
+    /// A datagram could not be decoded at all.
+    Malformed(CodecError),
+    /// The peer answered with an error return code.
+    Remote(ReturnCode),
+}
+
+impl fmt::Display for EndpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EndpointError::TypeMismatch { expected } => {
+                write!(f, "value does not conform to {expected}")
+            }
+            EndpointError::Malformed(e) => write!(f, "malformed datagram: {e}"),
+            EndpointError::Remote(code) => write!(f, "remote error: {code:?}"),
+        }
+    }
+}
+
+impl std::error::Error for EndpointError {}
+
+impl From<CodecError> for EndpointError {
+    fn from(e: CodecError) -> Self {
+        EndpointError::Malformed(e)
+    }
+}
+
+/// Provider-side endpoint: typed methods and events of one service
+/// instance, dispatching incoming request datagrams under access control.
+pub struct ServiceSkeleton {
+    instance: ServiceInstance,
+    interface_version: u8,
+    methods: BTreeMap<MethodId, MethodEntry>,
+    events: BTreeMap<EventGroupId, DataType>,
+    served: u64,
+    denied: u64,
+}
+
+impl fmt::Debug for ServiceSkeleton {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceSkeleton")
+            .field("instance", &self.instance)
+            .field("methods", &self.methods.len())
+            .field("events", &self.events.len())
+            .field("served", &self.served)
+            .field("denied", &self.denied)
+            .finish()
+    }
+}
+
+impl ServiceSkeleton {
+    /// Creates an empty skeleton for `instance`.
+    pub fn new(instance: ServiceInstance, interface_version: u8) -> Self {
+        ServiceSkeleton {
+            instance,
+            interface_version,
+            methods: BTreeMap::new(),
+            events: BTreeMap::new(),
+            served: 0,
+            denied: 0,
+        }
+    }
+
+    /// The served instance.
+    pub fn instance(&self) -> ServiceInstance {
+        self.instance
+    }
+
+    /// Registers a typed method with its handler (builder style).
+    pub fn method<F>(mut self, id: MethodId, request: DataType, response: DataType, handler: F) -> Self
+    where
+        F: FnMut(Value) -> Value + 'static,
+    {
+        self.methods
+            .insert(id, MethodEntry { request, response, handler: Box::new(handler) });
+        self
+    }
+
+    /// Registers a typed event group (builder style).
+    pub fn event(mut self, id: EventGroupId, payload: DataType) -> Self {
+        self.events.insert(id, payload);
+        self
+    }
+
+    /// Requests served successfully so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Requests denied by access control so far (audit counter).
+    pub fn denied(&self) -> u64 {
+        self.denied
+    }
+
+    /// Handles one incoming datagram from `client`, returning the response
+    /// datagram. Every failure mode maps to a SOME/IP error response:
+    ///
+    /// * wrong service id → `UnknownService`;
+    /// * unknown method → `UnknownMethod`;
+    /// * access denied (§4.2) → `NotReachable`;
+    /// * non-conforming payload or non-request type → `NotOk`.
+    ///
+    /// # Errors
+    ///
+    /// Only if the datagram is too corrupt to extract a header (no
+    /// addressable requester to answer).
+    pub fn handle(
+        &mut self,
+        client: AppId,
+        datagram: &[u8],
+        matrix: &AccessControlMatrix,
+    ) -> Result<Vec<u8>, EndpointError> {
+        let (header, payload) = SomeIpHeader::decode(datagram)?;
+        let respond = |code: ReturnCode, body: &[u8]| {
+            let mut h = header.to_response(code);
+            h.payload_len = body.len() as u32;
+            h.encode(body)
+        };
+        if header.service != self.instance.service {
+            return Ok(respond(ReturnCode::UnknownService, &[]));
+        }
+        if header.message_type != MessageType::Request {
+            return Ok(respond(ReturnCode::NotOk, &[]));
+        }
+        let Some(entry) = self.methods.get_mut(&header.method) else {
+            return Ok(respond(ReturnCode::UnknownMethod, &[]));
+        };
+        if !matrix
+            .check(client, self.instance.service, Permission::Call(header.method))
+            .is_granted()
+        {
+            self.denied += 1;
+            return Ok(respond(ReturnCode::NotReachable, &[]));
+        }
+        let Ok(request) = Value::decode(payload, &entry.request) else {
+            return Ok(respond(ReturnCode::NotOk, &[]));
+        };
+        let response = (entry.handler)(request);
+        if !response.conforms_to(&entry.response) {
+            // Provider bug: surface as NotOk rather than shipping garbage.
+            return Ok(respond(ReturnCode::NotOk, &[]));
+        }
+        self.served += 1;
+        let body = response.encode();
+        Ok(respond(ReturnCode::Ok, &body))
+    }
+
+    /// Builds a typed notification datagram for `event`.
+    ///
+    /// # Errors
+    ///
+    /// [`EndpointError::TypeMismatch`] if the payload does not conform, or
+    /// an error naming the unknown event.
+    pub fn notify(&self, event: EventGroupId, payload: &Value) -> Result<Vec<u8>, EndpointError> {
+        let Some(ty) = self.events.get(&event) else {
+            return Err(EndpointError::TypeMismatch { expected: format!("unknown event {event}") });
+        };
+        if !payload.conforms_to(ty) {
+            return Err(EndpointError::TypeMismatch { expected: ty.to_string() });
+        }
+        let mut header =
+            SomeIpHeader::notification(self.instance.service, MethodId(event.raw()));
+        header.interface_version = self.interface_version;
+        let body = payload.encode();
+        header.payload_len = body.len() as u32;
+        Ok(header.encode(&body))
+    }
+}
+
+/// Consumer-side endpoint: builds typed requests and decodes typed
+/// responses/notifications.
+#[derive(Debug)]
+pub struct ClientProxy {
+    app: AppId,
+    client_wire_id: u16,
+    session: u16,
+}
+
+impl ClientProxy {
+    /// Creates a proxy for application `app` using `client_wire_id` on the
+    /// wire.
+    pub fn new(app: AppId, client_wire_id: u16) -> Self {
+        ClientProxy { app, client_wire_id, session: 0 }
+    }
+
+    /// The application this proxy acts for.
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+
+    /// Builds a typed request datagram.
+    ///
+    /// # Errors
+    ///
+    /// [`EndpointError::TypeMismatch`] if `args` does not conform to
+    /// `request_type`.
+    pub fn request(
+        &mut self,
+        service: ServiceId,
+        method: MethodId,
+        request_type: &DataType,
+        args: &Value,
+    ) -> Result<Vec<u8>, EndpointError> {
+        if !args.conforms_to(request_type) {
+            return Err(EndpointError::TypeMismatch { expected: request_type.to_string() });
+        }
+        self.session = self.session.wrapping_add(1);
+        let mut header = SomeIpHeader::request(service, method, self.client_wire_id, self.session);
+        let body = args.encode();
+        header.payload_len = body.len() as u32;
+        Ok(header.encode(&body))
+    }
+
+    /// Decodes a typed response for the last request.
+    ///
+    /// # Errors
+    ///
+    /// [`EndpointError::Remote`] with the peer's return code on error
+    /// responses, [`EndpointError::Malformed`] on undecodable payloads.
+    pub fn parse_response(
+        &self,
+        datagram: &[u8],
+        response_type: &DataType,
+    ) -> Result<Value, EndpointError> {
+        let (header, payload) = SomeIpHeader::decode(datagram)?;
+        if header.return_code != ReturnCode::Ok || header.message_type != MessageType::Response {
+            return Err(EndpointError::Remote(header.return_code));
+        }
+        Ok(Value::decode(payload, response_type)?)
+    }
+
+    /// Decodes a typed notification.
+    ///
+    /// # Errors
+    ///
+    /// [`EndpointError::Malformed`] on type or codec mismatch.
+    pub fn parse_notification(
+        datagram: &[u8],
+        payload_type: &DataType,
+    ) -> Result<(EventGroupId, Value), EndpointError> {
+        let (header, payload) = SomeIpHeader::decode(datagram)?;
+        let value = Value::decode(payload, payload_type)?;
+        Ok((EventGroupId(header.method.raw()), value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speed_request_type() -> DataType {
+        DataType::record([("limit_kmh", DataType::U32)])
+    }
+
+    fn skeleton() -> ServiceSkeleton {
+        ServiceSkeleton::new(ServiceInstance::new(ServiceId(10), 0), 1)
+            .method(
+                MethodId(1),
+                speed_request_type(),
+                DataType::Bool,
+                |req| {
+                    let ok = req
+                        .field("limit_kmh")
+                        .and_then(Value::as_f64)
+                        .is_some_and(|v| v <= 250.0);
+                    Value::Bool(ok)
+                },
+            )
+            .event(EventGroupId(1), DataType::record([("speed_kmh", DataType::F64)]))
+    }
+
+    fn allowing_matrix() -> AccessControlMatrix {
+        let mut m = AccessControlMatrix::new();
+        m.grant(AppId(2), ServiceId(10), Permission::Call(MethodId(1)));
+        m
+    }
+
+    #[test]
+    fn typed_round_trip_through_the_skeleton() {
+        let mut skel = skeleton();
+        let matrix = allowing_matrix();
+        let mut proxy = ClientProxy::new(AppId(2), 7);
+        let args = Value::record([("limit_kmh", Value::U32(130))]);
+        let request = proxy
+            .request(ServiceId(10), MethodId(1), &speed_request_type(), &args)
+            .expect("conforms");
+        let response = skel.handle(AppId(2), &request, &matrix).expect("handled");
+        let value = proxy.parse_response(&response, &DataType::Bool).expect("ok");
+        assert_eq!(value, Value::Bool(true));
+        assert_eq!(skel.served(), 1);
+        assert_eq!(skel.denied(), 0);
+    }
+
+    #[test]
+    fn handler_logic_is_exercised() {
+        let mut skel = skeleton();
+        let matrix = allowing_matrix();
+        let mut proxy = ClientProxy::new(AppId(2), 7);
+        let args = Value::record([("limit_kmh", Value::U32(900))]); // > 250: refused
+        let request = proxy
+            .request(ServiceId(10), MethodId(1), &speed_request_type(), &args)
+            .expect("conforms");
+        let response = skel.handle(AppId(2), &request, &matrix).expect("handled");
+        let value = proxy.parse_response(&response, &DataType::Bool).expect("ok");
+        assert_eq!(value, Value::Bool(false));
+    }
+
+    #[test]
+    fn unauthorized_client_gets_not_reachable() {
+        let mut skel = skeleton();
+        let matrix = allowing_matrix();
+        let mut intruder = ClientProxy::new(AppId(66), 9);
+        let args = Value::record([("limit_kmh", Value::U32(50))]);
+        let request = intruder
+            .request(ServiceId(10), MethodId(1), &speed_request_type(), &args)
+            .expect("conforms");
+        let response = skel.handle(AppId(66), &request, &matrix).expect("handled");
+        let err = intruder.parse_response(&response, &DataType::Bool).unwrap_err();
+        assert_eq!(err, EndpointError::Remote(ReturnCode::NotReachable));
+        assert_eq!(skel.denied(), 1);
+        assert_eq!(skel.served(), 0);
+    }
+
+    #[test]
+    fn wrong_service_method_and_payload_map_to_codes() {
+        let mut skel = skeleton();
+        let matrix = allowing_matrix();
+        let mut proxy = ClientProxy::new(AppId(2), 7);
+
+        // Unknown service.
+        let req = proxy
+            .request(ServiceId(99), MethodId(1), &speed_request_type(),
+                &Value::record([("limit_kmh", Value::U32(1))]))
+            .expect("conforms");
+        let resp = skel.handle(AppId(2), &req, &matrix).expect("handled");
+        assert_eq!(
+            proxy.parse_response(&resp, &DataType::Bool).unwrap_err(),
+            EndpointError::Remote(ReturnCode::UnknownService)
+        );
+
+        // Unknown method.
+        let req = proxy
+            .request(ServiceId(10), MethodId(42), &speed_request_type(),
+                &Value::record([("limit_kmh", Value::U32(1))]))
+            .expect("conforms");
+        let resp = skel.handle(AppId(2), &req, &matrix).expect("handled");
+        assert_eq!(
+            proxy.parse_response(&resp, &DataType::Bool).unwrap_err(),
+            EndpointError::Remote(ReturnCode::UnknownMethod)
+        );
+
+        // Malformed payload: hand-craft a request with a bad body.
+        let mut header = SomeIpHeader::request(ServiceId(10), MethodId(1), 7, 3);
+        header.payload_len = 1;
+        let bad = header.encode(&[0xFF]);
+        let resp = skel.handle(AppId(2), &bad, &matrix).expect("handled");
+        assert_eq!(
+            proxy.parse_response(&resp, &DataType::Bool).unwrap_err(),
+            EndpointError::Remote(ReturnCode::NotOk)
+        );
+    }
+
+    #[test]
+    fn proxy_rejects_non_conforming_arguments_locally() {
+        let mut proxy = ClientProxy::new(AppId(2), 7);
+        let err = proxy
+            .request(ServiceId(10), MethodId(1), &speed_request_type(), &Value::U8(1))
+            .unwrap_err();
+        assert!(matches!(err, EndpointError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn typed_notifications_roundtrip() {
+        let skel = skeleton();
+        let payload = Value::record([("speed_kmh", Value::F64(88.0))]);
+        let datagram = skel.notify(EventGroupId(1), &payload).expect("conforms");
+        let (group, value) = ClientProxy::parse_notification(
+            &datagram,
+            &DataType::record([("speed_kmh", DataType::F64)]),
+        )
+        .expect("decodes");
+        assert_eq!(group, EventGroupId(1));
+        assert_eq!(value, payload);
+    }
+
+    #[test]
+    fn notify_rejects_bad_payloads_and_unknown_events() {
+        let skel = skeleton();
+        assert!(skel.notify(EventGroupId(1), &Value::U8(1)).is_err());
+        assert!(skel
+            .notify(EventGroupId(9), &Value::record([("speed_kmh", Value::F64(1.0))]))
+            .is_err());
+    }
+
+    #[test]
+    fn buggy_handler_response_is_contained() {
+        let mut skel = ServiceSkeleton::new(ServiceInstance::new(ServiceId(10), 0), 1)
+            .method(MethodId(1), DataType::Bool, DataType::Bool, |_| Value::U64(999));
+        let mut matrix = AccessControlMatrix::new();
+        matrix.grant(AppId(2), ServiceId(10), Permission::Call(MethodId(1)));
+        let mut proxy = ClientProxy::new(AppId(2), 1);
+        let req = proxy
+            .request(ServiceId(10), MethodId(1), &DataType::Bool, &Value::Bool(true))
+            .expect("conforms");
+        let resp = skel.handle(AppId(2), &req, &matrix).expect("handled");
+        assert_eq!(
+            proxy.parse_response(&resp, &DataType::Bool).unwrap_err(),
+            EndpointError::Remote(ReturnCode::NotOk)
+        );
+    }
+
+    #[test]
+    fn sessions_increment_per_request() {
+        let mut proxy = ClientProxy::new(AppId(2), 7);
+        let r1 = proxy
+            .request(ServiceId(10), MethodId(1), &DataType::Bool, &Value::Bool(true))
+            .expect("ok");
+        let r2 = proxy
+            .request(ServiceId(10), MethodId(1), &DataType::Bool, &Value::Bool(true))
+            .expect("ok");
+        let (h1, _) = SomeIpHeader::decode(&r1).expect("decodes");
+        let (h2, _) = SomeIpHeader::decode(&r2).expect("decodes");
+        assert_eq!(h2.session, h1.session + 1);
+    }
+}

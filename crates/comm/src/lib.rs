@@ -1,0 +1,39 @@
+//! Service-oriented middleware for the dynamic platform (§2.1, Fig. 3).
+//!
+//! "To achieve a more flexible communication, service-oriented or
+//! data-centric communication might be used. Potential candidates for this
+//! are SOME/IP and DDS." This crate implements a SOME/IP-inspired
+//! middleware from scratch:
+//!
+//! * [`wire`] — the on-wire message header (message id, length, request id,
+//!   message type, return code) with a validated binary codec;
+//! * [`sd`] — service discovery: offers with TTL, finds, subscriptions;
+//! * [`fabric`] — a multi-bus network fabric over `dynplat-net` arbiters
+//!   and the `dynplat-hw` topology: segmentation per medium, gateway
+//!   store-and-forward, delivery callbacks;
+//! * [`paradigm`] — the paper's three communication paradigms built on the
+//!   fabric: **Event** (publish/subscribe, producer owns the interface),
+//!   **Message** (request/response RPC, consumer owns the interface) and
+//!   **Stream** (continuous one-way data with inter-frame dependencies);
+//! * [`qos`] — the latency/jitter/bandwidth requirement attributes the
+//!   interface DSL attaches to each port;
+//! * [`endpoint`] — the typed runtime layer: service skeletons and client
+//!   proxies that link dynamically under access control, the Adaptive-RTE
+//!   behavior the paper's §5.2 points to.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod endpoint;
+pub mod fabric;
+pub mod paradigm;
+pub mod qos;
+pub mod sd;
+pub mod wire;
+
+pub use endpoint::{ClientProxy, EndpointError, ServiceSkeleton};
+pub use fabric::{BusPort, Fabric, MessageDelivery, MessageSend};
+pub use paradigm::{EventBus, RpcStats, StreamStats};
+pub use qos::QosSpec;
+pub use sd::{SdEntry, ServiceDirectory};
+pub use wire::{MessageType, ReturnCode, SomeIpHeader};

@@ -1,0 +1,449 @@
+//! The three communication paradigms of §2.1 (Fig. 3).
+//!
+//! * **Event** — one-way publish/subscribe: a producer owns the interface,
+//!   consumers subscribe to a topic, every publication fans out to all
+//!   current subscribers;
+//! * **Message** — two-way request/response (RPC): the consumer of the
+//!   message owns the interface ("offering the service"); essential for
+//!   command & control;
+//! * **Stream** — one-way continuous data where frame *n* depends on its
+//!   predecessors; a frame is *decodable* only once every earlier frame has
+//!   arrived, so the decodable latency is the running maximum of arrival
+//!   latencies.
+//!
+//! All three run over the same [`Fabric`], which is how E3 compares their
+//! behavior across CAN, Ethernet and TSN.
+
+use crate::fabric::{Fabric, MessageDelivery, MessageSend};
+use crate::sd::ServiceDirectory;
+use dynplat_common::ids::ServiceInstance;
+use dynplat_common::time::{SimDuration, SimTime};
+use dynplat_common::{EcuId, EventGroupId};
+use dynplat_net::TrafficClass;
+use std::collections::BTreeMap;
+
+/// A single publication request.
+#[derive(Clone, Debug)]
+pub struct Publication {
+    /// Publish time.
+    pub time: SimTime,
+    /// Publishing service instance.
+    pub instance: ServiceInstance,
+    /// Event group.
+    pub group: EventGroupId,
+    /// Host ECU of the producer.
+    pub src: EcuId,
+    /// Payload size (bytes).
+    pub payload: usize,
+    /// Traffic class.
+    pub class: TrafficClass,
+    /// Frame priority.
+    pub priority: u32,
+}
+
+/// Event-paradigm driver: fans publications out to the directory's live
+/// subscribers and reports per-delivery latency.
+#[derive(Debug)]
+pub struct EventBus<'a> {
+    fabric: &'a mut Fabric,
+    directory: &'a ServiceDirectory,
+}
+
+impl<'a> EventBus<'a> {
+    /// Creates a driver over a fabric and a (pre-populated) directory.
+    pub fn new(fabric: &'a mut Fabric, directory: &'a ServiceDirectory) -> Self {
+        EventBus { fabric, directory }
+    }
+
+    /// Runs a batch of publications; returns `(publication index,
+    /// subscriber host, delivery)` triples.
+    pub fn publish_all(
+        &mut self,
+        publications: &[Publication],
+    ) -> Vec<(usize, EcuId, MessageDelivery)> {
+        let mut sends = Vec::new();
+        let mut meta: BTreeMap<u64, (usize, EcuId)> = BTreeMap::new();
+        let mut next_id = 0u64;
+        for (idx, p) in publications.iter().enumerate() {
+            for sub in self.directory.subscribers(p.time, p.instance, p.group) {
+                let id = next_id;
+                next_id += 1;
+                meta.insert(id, (idx, sub.host));
+                sends.push(MessageSend {
+                    id,
+                    time: p.time,
+                    src: p.src,
+                    dst: sub.host,
+                    payload: p.payload,
+                    class: p.class,
+                    priority: p.priority,
+                });
+            }
+        }
+        let deliveries = self.fabric.run(sends, |_| vec![]);
+        deliveries
+            .into_iter()
+            .filter_map(|d| meta.get(&d.id).map(|&(idx, host)| (idx, host, d)))
+            .collect()
+    }
+}
+
+/// One RPC invocation.
+#[derive(Clone, Debug)]
+pub struct RpcCall {
+    /// Invocation time.
+    pub time: SimTime,
+    /// Client host.
+    pub client: EcuId,
+    /// Server host (the interface owner).
+    pub server: EcuId,
+    /// Request payload bytes.
+    pub request_payload: usize,
+    /// Response payload bytes.
+    pub response_payload: usize,
+    /// Server-side processing time.
+    pub processing: SimDuration,
+    /// Traffic class.
+    pub class: TrafficClass,
+    /// Frame priority.
+    pub priority: u32,
+}
+
+/// Result of one RPC: request latency, processing, response latency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RpcStats {
+    /// Index of the call in the input batch.
+    pub call: usize,
+    /// Client-observed round-trip time.
+    pub round_trip: SimDuration,
+    /// One-way request latency.
+    pub request_latency: SimDuration,
+    /// One-way response latency.
+    pub response_latency: SimDuration,
+}
+
+/// Runs a batch of RPC calls over the fabric (request delivery triggers the
+/// response injection) and reports round-trip statistics.
+pub fn run_rpc(fabric: &mut Fabric, calls: &[RpcCall]) -> Vec<RpcStats> {
+    // ids: request = 2k, response = 2k+1.
+    let sends: Vec<MessageSend> = calls
+        .iter()
+        .enumerate()
+        .map(|(k, c)| MessageSend {
+            id: 2 * k as u64,
+            time: c.time,
+            src: c.client,
+            dst: c.server,
+            payload: c.request_payload,
+            class: c.class,
+            priority: c.priority,
+        })
+        .collect();
+    let calls_owned: Vec<RpcCall> = calls.to_vec();
+    let deliveries = fabric.run(sends, move |d| {
+        if d.id % 2 == 0 {
+            let k = (d.id / 2) as usize;
+            let c = &calls_owned[k];
+            vec![MessageSend {
+                id: d.id + 1,
+                time: d.delivered + c.processing,
+                src: c.server,
+                dst: c.client,
+                payload: c.response_payload,
+                class: c.class,
+                priority: c.priority,
+            }]
+        } else {
+            vec![]
+        }
+    });
+    let by_id: BTreeMap<u64, &MessageDelivery> = deliveries.iter().map(|d| (d.id, d)).collect();
+    calls
+        .iter()
+        .enumerate()
+        .filter_map(|(k, _)| {
+            let req = by_id.get(&(2 * k as u64))?;
+            let resp = by_id.get(&(2 * k as u64 + 1))?;
+            Some(RpcStats {
+                call: k,
+                round_trip: resp.delivered.saturating_since(req.sent),
+                request_latency: req.latency(),
+                response_latency: resp.latency(),
+            })
+        })
+        .collect()
+}
+
+/// A continuous stream specification.
+#[derive(Clone, Debug)]
+pub struct StreamSpec {
+    /// First frame emission time.
+    pub start: SimTime,
+    /// Frames to send.
+    pub frames: usize,
+    /// Inter-frame interval at the source.
+    pub interval: SimDuration,
+    /// Bytes per frame.
+    pub frame_payload: usize,
+    /// Source ECU.
+    pub src: EcuId,
+    /// Sink ECU.
+    pub dst: EcuId,
+    /// Traffic class.
+    pub class: TrafficClass,
+    /// Frame priority.
+    pub priority: u32,
+}
+
+/// Aggregated stream results, honoring inter-frame dependencies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Frames delivered.
+    pub delivered: usize,
+    /// Frames sent.
+    pub sent: usize,
+    /// Mean raw arrival latency.
+    pub mean_latency: SimDuration,
+    /// Maximum *decodable* latency: frame n is decodable only when frames
+    /// 0..=n have all arrived.
+    pub max_decodable_latency: SimDuration,
+    /// Arrival jitter (max − min raw latency).
+    pub jitter: SimDuration,
+}
+
+/// Runs one stream over the fabric and aggregates dependency-aware
+/// statistics.
+pub fn run_stream(fabric: &mut Fabric, spec: &StreamSpec) -> StreamStats {
+    let sends: Vec<MessageSend> = (0..spec.frames)
+        .map(|n| MessageSend {
+            id: n as u64,
+            time: spec.start + spec.interval * n as u64,
+            src: spec.src,
+            dst: spec.dst,
+            payload: spec.frame_payload,
+            class: spec.class,
+            priority: spec.priority,
+        })
+        .collect();
+    let deliveries = fabric.run(sends, |_| vec![]);
+    let mut arrival: BTreeMap<u64, &MessageDelivery> =
+        deliveries.iter().map(|d| (d.id, d)).collect();
+    let mut lat_min = SimDuration::MAX;
+    let mut lat_max = SimDuration::ZERO;
+    let mut lat_sum = SimDuration::ZERO;
+    let mut delivered = 0usize;
+    let mut decodable_at = SimTime::ZERO;
+    let mut max_decodable = SimDuration::ZERO;
+    for n in 0..spec.frames {
+        let Some(d) = arrival.remove(&(n as u64)) else {
+            break; // dependency chain broken: later frames undecodable
+        };
+        delivered += 1;
+        let lat = d.latency();
+        lat_min = lat_min.min(lat);
+        lat_max = lat_max.max(lat);
+        lat_sum += lat;
+        decodable_at = decodable_at.max(d.delivered);
+        max_decodable = max_decodable.max(decodable_at.saturating_since(d.sent));
+    }
+    StreamStats {
+        delivered,
+        sent: spec.frames,
+        mean_latency: if delivered > 0 { lat_sum / delivered as u64 } else { SimDuration::ZERO },
+        max_decodable_latency: max_decodable,
+        jitter: if delivered > 0 { lat_max.saturating_sub(lat_min) } else { SimDuration::ZERO },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sd::SdEntry;
+    use dynplat_common::{AppId, BusId, ServiceId};
+    use dynplat_hw::ecu::{EcuClass, EcuSpec};
+    use dynplat_hw::topology::{BusKind, BusSpec, HwTopology};
+
+    fn topo() -> HwTopology {
+        HwTopology::from_parts(
+            [
+                EcuSpec::of_class(EcuId(0), "a", EcuClass::Domain),
+                EcuSpec::of_class(EcuId(1), "b", EcuClass::Domain),
+                EcuSpec::of_class(EcuId(2), "c", EcuClass::HighPerformance),
+            ],
+            [BusSpec::new(
+                BusId(0),
+                "eth0",
+                BusKind::ethernet_100m(),
+                [EcuId(0), EcuId(1), EcuId(2)],
+            )],
+        )
+        .unwrap()
+    }
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    #[test]
+    fn event_fans_out_to_all_subscribers() {
+        let mut fabric = Fabric::new(topo());
+        let mut dir = ServiceDirectory::new();
+        let instance = ServiceInstance::new(ServiceId(1), 0);
+        for (app, host) in [(10u32, 1u16), (11, 2)] {
+            dir.apply(
+                SimTime::ZERO,
+                &SdEntry::Subscribe {
+                    instance,
+                    group: EventGroupId(1),
+                    subscriber: AppId(app),
+                    host: EcuId(host),
+                    ttl: SimDuration::from_secs(10),
+                },
+            );
+        }
+        let mut bus = EventBus::new(&mut fabric, &dir);
+        let pubs = vec![Publication {
+            time: SimTime::ZERO,
+            instance,
+            group: EventGroupId(1),
+            src: EcuId(0),
+            payload: 100,
+            class: TrafficClass::BestEffort,
+            priority: 3,
+        }];
+        let results = bus.publish_all(&pubs);
+        assert_eq!(results.len(), 2);
+        let hosts: Vec<EcuId> = results.iter().map(|(_, h, _)| *h).collect();
+        assert!(hosts.contains(&EcuId(1)) && hosts.contains(&EcuId(2)));
+    }
+
+    #[test]
+    fn no_subscribers_means_no_traffic() {
+        let mut fabric = Fabric::new(topo());
+        let dir = ServiceDirectory::new();
+        let mut bus = EventBus::new(&mut fabric, &dir);
+        let pubs = vec![Publication {
+            time: SimTime::ZERO,
+            instance: ServiceInstance::new(ServiceId(1), 0),
+            group: EventGroupId(1),
+            src: EcuId(0),
+            payload: 100,
+            class: TrafficClass::BestEffort,
+            priority: 3,
+        }];
+        assert!(bus.publish_all(&pubs).is_empty());
+    }
+
+    #[test]
+    fn rpc_round_trip_includes_processing() {
+        let mut fabric = Fabric::new(topo());
+        let calls = vec![RpcCall {
+            time: SimTime::ZERO,
+            client: EcuId(0),
+            server: EcuId(2),
+            request_payload: 64,
+            response_payload: 256,
+            processing: us(500),
+            class: TrafficClass::BestEffort,
+            priority: 1,
+        }];
+        let stats = run_rpc(&mut fabric, &calls);
+        assert_eq!(stats.len(), 1);
+        let s = &stats[0];
+        assert!(s.round_trip >= s.request_latency + us(500) + s.response_latency);
+        assert!(s.round_trip < us(1000), "got {}", s.round_trip);
+    }
+
+    #[test]
+    fn rpc_batch_keeps_call_identity() {
+        let mut fabric = Fabric::new(topo());
+        let calls: Vec<RpcCall> = (0..5)
+            .map(|k| RpcCall {
+                time: SimTime::from_micros(k * 50),
+                client: EcuId(0),
+                server: EcuId(1),
+                request_payload: 64,
+                response_payload: 64,
+                processing: us(100),
+                class: TrafficClass::BestEffort,
+                priority: 1,
+            })
+            .collect();
+        let stats = run_rpc(&mut fabric, &calls);
+        assert_eq!(stats.len(), 5);
+        for (k, s) in stats.iter().enumerate() {
+            assert_eq!(s.call, k);
+        }
+    }
+
+    #[test]
+    fn stream_decodable_latency_dominates_raw() {
+        let mut fabric = Fabric::new(topo());
+        let spec = StreamSpec {
+            start: SimTime::ZERO,
+            frames: 50,
+            interval: us(200),
+            frame_payload: 1400,
+            src: EcuId(0),
+            dst: EcuId(2),
+            class: TrafficClass::Stream,
+            priority: 4,
+        };
+        let stats = run_stream(&mut fabric, &spec);
+        assert_eq!(stats.delivered, 50);
+        assert!(stats.max_decodable_latency >= stats.mean_latency);
+        assert!(stats.jitter <= stats.max_decodable_latency);
+    }
+
+    #[test]
+    fn congested_stream_has_higher_jitter_than_idle() {
+        let spec = StreamSpec {
+            start: SimTime::ZERO,
+            frames: 100,
+            interval: us(150),
+            frame_payload: 1400,
+            src: EcuId(0),
+            dst: EcuId(2),
+            class: TrafficClass::Stream,
+            priority: 4,
+        };
+        let mut idle_fabric = Fabric::new(topo());
+        let idle = run_stream(&mut idle_fabric, &spec);
+
+        // Saturating cross traffic with *higher* priority than the stream.
+        let mut busy_fabric = Fabric::new(topo());
+        let cross: Vec<MessageSend> = (0..300)
+            .map(|i| MessageSend {
+                id: 10_000 + i,
+                time: SimTime::from_micros(i * 40),
+                src: EcuId(1),
+                dst: EcuId(2),
+                payload: 1500,
+                class: TrafficClass::BestEffort,
+                priority: 0,
+            })
+            .collect();
+        // Run cross traffic and stream together: merge by injecting cross
+        // traffic through the callback of a dummy first message is clumsy;
+        // instead send cross traffic as part of one batch with the stream.
+        let mut sends: Vec<MessageSend> = (0..spec.frames)
+            .map(|n| MessageSend {
+                id: n as u64,
+                time: spec.start + spec.interval * n as u64,
+                src: spec.src,
+                dst: spec.dst,
+                payload: spec.frame_payload,
+                class: spec.class,
+                priority: spec.priority,
+            })
+            .collect();
+        sends.extend(cross);
+        let deliveries = busy_fabric.run(sends, |_| vec![]);
+        let stream_lats: Vec<SimDuration> = (0..spec.frames as u64)
+            .filter_map(|n| deliveries.iter().find(|d| d.id == n).map(|d| d.latency()))
+            .collect();
+        let busy_max = stream_lats.iter().copied().max().unwrap();
+        let busy_min = stream_lats.iter().copied().min().unwrap();
+        assert!(busy_max - busy_min > idle.jitter, "congestion should add jitter");
+    }
+}

@@ -1,0 +1,118 @@
+//! Deterministic randomness helpers.
+//!
+//! Every experiment in the workspace must be reproducible from a seed, so all
+//! stochastic components (workload generators, jitter models, simulated
+//! annealing) draw from [`seeded_rng`] or from streams split off a parent
+//! seed with [`split_seed`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a 64-bit seed.
+///
+/// # Examples
+///
+/// ```
+/// use rand::Rng;
+///
+/// let mut a = dynplat_common::rng::seeded_rng(7);
+/// let mut b = dynplat_common::rng::seeded_rng(7);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives an independent child seed from a parent seed and a stream label.
+///
+/// Uses the SplitMix64 finalizer, which decorrelates nearby inputs, so
+/// `split_seed(s, 0)` and `split_seed(s, 1)` yield unrelated streams.
+pub fn split_seed(parent: u64, stream: u64) -> u64 {
+    let mut z = parent ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples a truncated-normal duration multiplier in `[min, max]`.
+///
+/// Used by jitter models: a nominal duration is scaled by a factor around
+/// 1.0. Sampling is by rejection with a Box–Muller transform; falls back to
+/// the clamped mean after 64 rejections (pathological bounds).
+///
+/// # Panics
+///
+/// Panics if `min > max` or `sigma` is negative.
+pub fn truncated_normal_factor<R: Rng>(rng: &mut R, sigma: f64, min: f64, max: f64) -> f64 {
+    assert!(min <= max, "min must not exceed max");
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    if sigma == 0.0 {
+        return 1.0f64.clamp(min, max);
+    }
+    for _ in 0..64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let x = 1.0 + sigma * z;
+        if x >= min && x <= max {
+            return x;
+        }
+    }
+    1.0f64.clamp(min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_reproducible() {
+        let mut a = seeded_rng(123);
+        let mut b = seeded_rng(123);
+        for _ in 0..10 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded_rng(1);
+        let mut b = seeded_rng(2);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn split_seed_decorrelates_streams() {
+        let s = 42;
+        assert_ne!(split_seed(s, 0), split_seed(s, 1));
+        assert_ne!(split_seed(s, 0), split_seed(s + 1, 0));
+        // Deterministic.
+        assert_eq!(split_seed(s, 3), split_seed(s, 3));
+    }
+
+    #[test]
+    fn truncated_normal_stays_in_bounds() {
+        let mut rng = seeded_rng(9);
+        for _ in 0..1000 {
+            let x = truncated_normal_factor(&mut rng, 0.2, 0.5, 1.5);
+            assert!((0.5..=1.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let mut rng = seeded_rng(9);
+        assert_eq!(truncated_normal_factor(&mut rng, 0.0, 0.9, 1.1), 1.0);
+        assert_eq!(truncated_normal_factor(&mut rng, 0.0, 1.2, 1.4), 1.2);
+    }
+
+    #[test]
+    fn mean_is_near_one() {
+        let mut rng = seeded_rng(5);
+        let n = 5000;
+        let sum: f64 =
+            (0..n).map(|_| truncated_normal_factor(&mut rng, 0.1, 0.0, 2.0)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean} too far from 1.0");
+    }
+}

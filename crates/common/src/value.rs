@@ -1,0 +1,456 @@
+//! Complex typed data objects.
+//!
+//! §2.2 of the paper: *"The communication is no longer based on signals
+//! defined by bit offsets, but on complex objects, defined by complex data
+//! types."* This module provides the schema side ([`DataType`]) and the
+//! runtime side ([`Value`]) of those objects, plus a binary codec that the
+//! middleware uses for payload serialization.
+//!
+//! # Examples
+//!
+//! ```
+//! use dynplat_common::value::{DataType, Value};
+//!
+//! let ty = DataType::record([
+//!     ("speed_kmh", DataType::F64),
+//!     ("wheel_ticks", DataType::array(DataType::U32, 4)),
+//! ]);
+//! let v = Value::record([
+//!     ("speed_kmh", Value::F64(87.5)),
+//!     ("wheel_ticks", Value::array([Value::U32(1), Value::U32(2), Value::U32(3), Value::U32(4)])),
+//! ]);
+//! assert!(v.conforms_to(&ty));
+//! let bytes = v.encode();
+//! let back = Value::decode(&bytes, &ty)?;
+//! assert_eq!(back, v);
+//! # Ok::<(), dynplat_common::codec::CodecError>(())
+//! ```
+
+use crate::codec::{ByteReader, ByteWriter, CodecError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A self-describing interface data type.
+///
+/// These are the types interface DSL definitions are written in; the
+/// verification engine checks payload compatibility against them and the
+/// middleware sizes frames from [`DataType::encoded_size_bounds`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Boolean flag.
+    Bool,
+    /// Unsigned 8-bit integer.
+    U8,
+    /// Unsigned 16-bit integer.
+    U16,
+    /// Unsigned 32-bit integer.
+    U32,
+    /// Unsigned 64-bit integer.
+    U64,
+    /// Signed 64-bit integer.
+    I64,
+    /// IEEE-754 double.
+    F64,
+    /// UTF-8 string (length-prefixed on the wire).
+    Str,
+    /// Opaque byte blob (length-prefixed on the wire).
+    Blob,
+    /// Fixed-size homogeneous array.
+    Array(Box<DataType>, usize),
+    /// Named-field record (struct).
+    Record(Vec<(String, DataType)>),
+    /// Closed set of symbolic alternatives, encoded as a `u8` ordinal.
+    Enum(Vec<String>),
+}
+
+impl DataType {
+    /// Convenience constructor for [`DataType::Array`].
+    pub fn array(elem: DataType, len: usize) -> DataType {
+        DataType::Array(Box::new(elem), len)
+    }
+
+    /// Convenience constructor for [`DataType::Record`].
+    pub fn record<I, S>(fields: I) -> DataType
+    where
+        I: IntoIterator<Item = (S, DataType)>,
+        S: Into<String>,
+    {
+        DataType::Record(fields.into_iter().map(|(n, t)| (n.into(), t)).collect())
+    }
+
+    /// Convenience constructor for [`DataType::Enum`].
+    pub fn enumeration<I, S>(variants: I) -> DataType
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        DataType::Enum(variants.into_iter().map(Into::into).collect())
+    }
+
+    /// Minimum and maximum encoded size in bytes.
+    ///
+    /// Variable-size leaves ([`DataType::Str`], [`DataType::Blob`]) report a
+    /// 4-byte minimum (empty, just the prefix) and a conventional 1 KiB
+    /// maximum used for worst-case bandwidth estimation in the verification
+    /// engine.
+    pub fn encoded_size_bounds(&self) -> (usize, usize) {
+        match self {
+            DataType::Bool | DataType::U8 | DataType::Enum(_) => (1, 1),
+            DataType::U16 => (2, 2),
+            DataType::U32 => (4, 4),
+            DataType::U64 | DataType::I64 | DataType::F64 => (8, 8),
+            DataType::Str | DataType::Blob => (4, 4 + 1024),
+            DataType::Array(elem, len) => {
+                let (lo, hi) = elem.encoded_size_bounds();
+                (lo * len, hi * len)
+            }
+            DataType::Record(fields) => fields.iter().fold((0, 0), |(alo, ahi), (_, t)| {
+                let (lo, hi) = t.encoded_size_bounds();
+                (alo + lo, ahi + hi)
+            }),
+        }
+    }
+
+    /// A neutral default value conforming to this type.
+    pub fn default_value(&self) -> Value {
+        match self {
+            DataType::Bool => Value::Bool(false),
+            DataType::U8 => Value::U8(0),
+            DataType::U16 => Value::U16(0),
+            DataType::U32 => Value::U32(0),
+            DataType::U64 => Value::U64(0),
+            DataType::I64 => Value::I64(0),
+            DataType::F64 => Value::F64(0.0),
+            DataType::Str => Value::Str(String::new()),
+            DataType::Blob => Value::Blob(Vec::new()),
+            DataType::Array(elem, len) => {
+                Value::Array(std::iter::repeat_with(|| elem.default_value()).take(*len).collect())
+            }
+            DataType::Record(fields) => Value::Record(
+                fields.iter().map(|(n, t)| (n.clone(), t.default_value())).collect(),
+            ),
+            DataType::Enum(_) => Value::EnumOrdinal(0),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Bool => write!(f, "bool"),
+            DataType::U8 => write!(f, "u8"),
+            DataType::U16 => write!(f, "u16"),
+            DataType::U32 => write!(f, "u32"),
+            DataType::U64 => write!(f, "u64"),
+            DataType::I64 => write!(f, "i64"),
+            DataType::F64 => write!(f, "f64"),
+            DataType::Str => write!(f, "string"),
+            DataType::Blob => write!(f, "blob"),
+            DataType::Array(elem, len) => write!(f, "[{elem}; {len}]"),
+            DataType::Record(fields) => {
+                write!(f, "{{")?;
+                for (i, (name, ty)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{name}: {ty}")?;
+                }
+                write!(f, "}}")
+            }
+            DataType::Enum(variants) => {
+                write!(f, "enum(")?;
+                for (i, v) in variants.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A runtime value of some [`DataType`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned 8-bit.
+    U8(u8),
+    /// Unsigned 16-bit.
+    U16(u16),
+    /// Unsigned 32-bit.
+    U32(u32),
+    /// Unsigned 64-bit.
+    U64(u64),
+    /// Signed 64-bit.
+    I64(i64),
+    /// Double-precision float.
+    F64(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Opaque bytes.
+    Blob(Vec<u8>),
+    /// Fixed-size array.
+    Array(Vec<Value>),
+    /// Named-field record.
+    Record(Vec<(String, Value)>),
+    /// Ordinal into an enum's variant list.
+    EnumOrdinal(u8),
+}
+
+impl Value {
+    /// Convenience constructor for [`Value::Array`].
+    pub fn array<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        Value::Array(items.into_iter().collect())
+    }
+
+    /// Convenience constructor for [`Value::Record`].
+    pub fn record<I, S>(fields: I) -> Value
+    where
+        I: IntoIterator<Item = (S, Value)>,
+        S: Into<String>,
+    {
+        Value::Record(fields.into_iter().map(|(n, v)| (n.into(), v)).collect())
+    }
+
+    /// Structural conformance check against a schema.
+    pub fn conforms_to(&self, ty: &DataType) -> bool {
+        match (self, ty) {
+            (Value::Bool(_), DataType::Bool)
+            | (Value::U8(_), DataType::U8)
+            | (Value::U16(_), DataType::U16)
+            | (Value::U32(_), DataType::U32)
+            | (Value::U64(_), DataType::U64)
+            | (Value::I64(_), DataType::I64)
+            | (Value::F64(_), DataType::F64)
+            | (Value::Str(_), DataType::Str)
+            | (Value::Blob(_), DataType::Blob) => true,
+            (Value::Array(items), DataType::Array(elem, len)) => {
+                items.len() == *len && items.iter().all(|v| v.conforms_to(elem))
+            }
+            (Value::Record(vals), DataType::Record(fields)) => {
+                vals.len() == fields.len()
+                    && vals.iter().zip(fields).all(|((vn, v), (fn_, ft))| {
+                        vn == fn_ && v.conforms_to(ft)
+                    })
+            }
+            (Value::EnumOrdinal(ord), DataType::Enum(variants)) => {
+                (*ord as usize) < variants.len()
+            }
+            _ => false,
+        }
+    }
+
+    /// Encodes this value to its canonical big-endian wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.encode_into(&mut w);
+        w.into_vec()
+    }
+
+    /// Appends the canonical encoding of this value to `w`.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        match self {
+            Value::Bool(b) => w.put_u8(u8::from(*b)),
+            Value::U8(v) => w.put_u8(*v),
+            Value::U16(v) => w.put_u16(*v),
+            Value::U32(v) => w.put_u32(*v),
+            Value::U64(v) => w.put_u64(*v),
+            Value::I64(v) => w.put_i64(*v),
+            Value::F64(v) => w.put_f64(*v),
+            Value::Str(s) => w.put_string(s),
+            Value::Blob(b) => w.put_len_prefixed(b),
+            Value::Array(items) => {
+                for item in items {
+                    item.encode_into(w);
+                }
+            }
+            Value::Record(fields) => {
+                for (_, v) in fields {
+                    v.encode_into(w);
+                }
+            }
+            Value::EnumOrdinal(ord) => w.put_u8(*ord),
+        }
+    }
+
+    /// Decodes a value of schema `ty` from `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] if the input is truncated, has trailing
+    /// bytes, or contains an out-of-range enum ordinal.
+    pub fn decode(input: &[u8], ty: &DataType) -> Result<Value, CodecError> {
+        let mut r = ByteReader::new(input);
+        let v = Self::decode_from(&mut r, ty)?;
+        if !r.is_empty() {
+            return Err(CodecError::LengthOutOfRange { len: input.len(), max: r.position() });
+        }
+        Ok(v)
+    }
+
+    /// Decodes a value of schema `ty` from the reader, leaving any trailing
+    /// bytes unconsumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or invalid input.
+    pub fn decode_from(r: &mut ByteReader<'_>, ty: &DataType) -> Result<Value, CodecError> {
+        Ok(match ty {
+            DataType::Bool => Value::Bool(r.take_u8()? != 0),
+            DataType::U8 => Value::U8(r.take_u8()?),
+            DataType::U16 => Value::U16(r.take_u16()?),
+            DataType::U32 => Value::U32(r.take_u32()?),
+            DataType::U64 => Value::U64(r.take_u64()?),
+            DataType::I64 => Value::I64(r.take_i64()?),
+            DataType::F64 => Value::F64(r.take_f64()?),
+            DataType::Str => Value::Str(r.take_string()?),
+            DataType::Blob => Value::Blob(r.take_len_prefixed(1 << 24)?.to_vec()),
+            DataType::Array(elem, len) => {
+                let mut items = Vec::with_capacity(*len);
+                for _ in 0..*len {
+                    items.push(Self::decode_from(r, elem)?);
+                }
+                Value::Array(items)
+            }
+            DataType::Record(fields) => {
+                let mut vals = Vec::with_capacity(fields.len());
+                for (name, ft) in fields {
+                    vals.push((name.clone(), Self::decode_from(r, ft)?));
+                }
+                Value::Record(vals)
+            }
+            DataType::Enum(variants) => {
+                let ord = r.take_u8()?;
+                if (ord as usize) >= variants.len() {
+                    return Err(CodecError::InvalidValue {
+                        field: "enum ordinal",
+                        value: u64::from(ord),
+                    });
+                }
+                Value::EnumOrdinal(ord)
+            }
+        })
+    }
+
+    /// Looks up a field of a record value by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Record(fields) => fields.iter().find(|(n, _)| n == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Interprets this value as `f64` if it is any numeric leaf.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U8(v) => Some(f64::from(*v)),
+            Value::U16(v) => Some(f64::from(*v)),
+            Value::U32(v) => Some(f64::from(*v)),
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sensor_type() -> DataType {
+        DataType::record([
+            ("id", DataType::U16),
+            ("mode", DataType::enumeration(["off", "eco", "sport"])),
+            ("samples", DataType::array(DataType::F64, 3)),
+            ("label", DataType::Str),
+        ])
+    }
+
+    fn sensor_value() -> Value {
+        Value::record([
+            ("id", Value::U16(42)),
+            ("mode", Value::EnumOrdinal(2)),
+            (
+                "samples",
+                Value::array([Value::F64(1.0), Value::F64(-2.5), Value::F64(0.0)]),
+            ),
+            ("label", Value::Str("front-left".into())),
+        ])
+    }
+
+    #[test]
+    fn conformance_accepts_matching_value() {
+        assert!(sensor_value().conforms_to(&sensor_type()));
+    }
+
+    #[test]
+    fn conformance_rejects_wrong_arity_and_types() {
+        let ty = sensor_type();
+        assert!(!Value::U8(1).conforms_to(&ty));
+        let mut v = sensor_value();
+        if let Value::Record(fields) = &mut v {
+            fields.pop();
+        }
+        assert!(!v.conforms_to(&ty));
+        assert!(!Value::EnumOrdinal(3).conforms_to(&DataType::enumeration(["a", "b"])));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let ty = sensor_type();
+        let v = sensor_value();
+        let bytes = v.encode();
+        assert_eq!(Value::decode(&bytes, &ty).unwrap(), v);
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let mut bytes = Value::U8(1).encode();
+        bytes.push(0);
+        assert!(Value::decode(&bytes, &DataType::U8).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_enum_ordinal() {
+        let bytes = vec![9u8];
+        let err = Value::decode(&bytes, &DataType::enumeration(["x"])).unwrap_err();
+        assert!(matches!(err, CodecError::InvalidValue { .. }));
+    }
+
+    #[test]
+    fn size_bounds_compose() {
+        let ty = sensor_type();
+        let (lo, hi) = ty.encoded_size_bounds();
+        // u16 + enum + 3*f64 + string prefix = 2 + 1 + 24 + 4 = 31 minimum.
+        assert_eq!(lo, 31);
+        assert!(hi >= lo);
+        let v = sensor_type().default_value();
+        let n = v.encode().len();
+        assert!(n >= lo && n <= hi);
+    }
+
+    #[test]
+    fn default_value_conforms() {
+        let ty = sensor_type();
+        assert!(ty.default_value().conforms_to(&ty));
+    }
+
+    #[test]
+    fn field_lookup_and_numeric_view() {
+        let v = sensor_value();
+        assert_eq!(v.field("id").and_then(Value::as_f64), Some(42.0));
+        assert_eq!(v.field("missing"), None);
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_structured() {
+        let s = sensor_type().to_string();
+        assert!(s.contains("samples: [f64; 3]"));
+        assert!(s.contains("enum(off|eco|sport)"));
+    }
+}

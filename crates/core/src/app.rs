@@ -1,0 +1,187 @@
+//! Application manifests and lifecycle.
+
+use dynplat_common::time::SimDuration;
+use dynplat_common::{AppId, AppKind, Asil, ServiceId};
+use dynplat_model::ir::{AppModel, ConsumedPort};
+use dynplat_security::package::Version;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Everything the platform needs to know to host an application: the
+/// modeled behavior plus packaging metadata.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AppManifest {
+    /// The modeled application (tasks, resources, ports, ASIL).
+    pub model: AppModel,
+    /// Installed version.
+    pub version: Version,
+    /// SHA-256 of the installed image (ties the manifest to a verified
+    /// package).
+    pub image_digest: [u8; 32],
+}
+
+impl AppManifest {
+    /// Creates a manifest for a model at a version.
+    pub fn new(model: AppModel, version: Version, image_digest: [u8; 32]) -> Self {
+        AppManifest { model, version, image_digest }
+    }
+
+    /// The application id.
+    pub fn id(&self) -> AppId {
+        self.model.id
+    }
+
+    /// Deterministic or non-deterministic.
+    pub fn kind(&self) -> AppKind {
+        self.model.kind
+    }
+
+    /// Safety level.
+    pub fn asil(&self) -> Asil {
+        self.model.asil
+    }
+
+    /// Activation period.
+    pub fn period(&self) -> SimDuration {
+        self.model.period
+    }
+
+    /// Memory footprint in KiB.
+    pub fn memory_kib(&self) -> u32 {
+        self.model.memory_kib
+    }
+
+    /// Services provided.
+    pub fn provides(&self) -> &[ServiceId] {
+        &self.model.provides
+    }
+
+    /// Ports consumed.
+    pub fn consumes(&self) -> &[ConsumedPort] {
+        &self.model.consumes
+    }
+}
+
+/// Lifecycle of one application instance on a node.
+///
+/// ```text
+/// Installed -> Starting -> Running -> Stopping -> Stopped
+///                             |
+///                             +--> Updating (staged update in progress)
+///                             +--> Failed
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LifecycleState {
+    /// Package verified and unpacked; not scheduled yet.
+    Installed,
+    /// Resources admitted; initialization running.
+    Starting,
+    /// Actively scheduled and serving.
+    Running,
+    /// Participating in a staged update (§3.2) as old or new version.
+    Updating,
+    /// Shutdown requested; draining.
+    Stopping,
+    /// Fully stopped; resources released.
+    Stopped,
+    /// Terminated by the platform after a fault.
+    Failed,
+}
+
+impl LifecycleState {
+    /// `true` if a transition from `self` to `next` is legal.
+    pub fn can_transition_to(self, next: LifecycleState) -> bool {
+        use LifecycleState::*;
+        matches!(
+            (self, next),
+            (Installed, Starting)
+                | (Starting, Running)
+                | (Starting, Failed)
+                | (Running, Updating)
+                | (Running, Stopping)
+                | (Running, Failed)
+                | (Updating, Running)
+                | (Updating, Stopping)
+                | (Updating, Failed)
+                | (Stopping, Stopped)
+                | (Failed, Stopping)
+        )
+    }
+
+    /// `true` while the instance may serve traffic.
+    pub fn is_serving(self) -> bool {
+        matches!(self, LifecycleState::Running | LifecycleState::Updating)
+    }
+}
+
+impl fmt::Display for LifecycleState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LifecycleState::Installed => "installed",
+            LifecycleState::Starting => "starting",
+            LifecycleState::Running => "running",
+            LifecycleState::Updating => "updating",
+            LifecycleState::Stopping => "stopping",
+            LifecycleState::Stopped => "stopped",
+            LifecycleState::Failed => "failed",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynplat_common::time::SimDuration;
+
+    pub(crate) fn demo_model(id: u32) -> AppModel {
+        AppModel {
+            id: AppId(id),
+            name: format!("app{id}"),
+            kind: AppKind::Deterministic,
+            asil: Asil::B,
+            provides: vec![],
+            consumes: vec![],
+            period: SimDuration::from_millis(10),
+            work_mi: 1.0,
+            memory_kib: 128,
+            needs_gpu: false,
+        }
+    }
+
+    #[test]
+    fn manifest_accessors() {
+        let m = AppManifest::new(demo_model(3), Version::new(1, 2, 0), [7; 32]);
+        assert_eq!(m.id(), AppId(3));
+        assert_eq!(m.kind(), AppKind::Deterministic);
+        assert_eq!(m.asil(), Asil::B);
+        assert_eq!(m.version, Version::new(1, 2, 0));
+        assert_eq!(m.memory_kib(), 128);
+    }
+
+    #[test]
+    fn legal_lifecycle_path() {
+        use LifecycleState::*;
+        let path = [Installed, Starting, Running, Updating, Running, Stopping, Stopped];
+        for pair in path.windows(2) {
+            assert!(pair[0].can_transition_to(pair[1]), "{} -> {}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        use LifecycleState::*;
+        assert!(!Installed.can_transition_to(Running));
+        assert!(!Stopped.can_transition_to(Running));
+        assert!(!Running.can_transition_to(Installed));
+        assert!(!Failed.can_transition_to(Running));
+    }
+
+    #[test]
+    fn serving_states() {
+        assert!(LifecycleState::Running.is_serving());
+        assert!(LifecycleState::Updating.is_serving());
+        assert!(!LifecycleState::Starting.is_serving());
+        assert!(!LifecycleState::Stopped.is_serving());
+    }
+}

@@ -1,0 +1,458 @@
+//! Fleet update campaigns (§3.2).
+//!
+//! "We propose to generate a schedule from the model and test this schedule
+//! in simulations in the backend, also against the current configuration of
+//! the installing vehicle." A fleet is heterogeneous: every vehicle carries
+//! its own set of installed applications and versions, free resources and
+//! options. A [`UpdateCampaign`] therefore validates the update against
+//! *each* vehicle's configuration in the backend, and rolls out in waves
+//! (canary → ramp → full) with an automatic halt when a wave's failure rate
+//! exceeds the policy bound.
+
+use dynplat_common::rng::seeded_rng;
+use dynplat_common::{AppId, VehicleId};
+use dynplat_security::package::Version;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One vehicle's current configuration as known to the backend.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VehicleConfig {
+    /// Vehicle identity.
+    pub id: VehicleId,
+    /// Installed applications and their versions.
+    pub installed: BTreeMap<AppId, Version>,
+    /// Free RAM on the target ECU, KiB.
+    pub free_memory_kib: u32,
+    /// Remaining deterministic CPU headroom on the target ECU (0..1).
+    pub cpu_headroom: f64,
+}
+
+impl VehicleConfig {
+    /// Creates a configuration.
+    pub fn new(id: VehicleId, free_memory_kib: u32, cpu_headroom: f64) -> Self {
+        VehicleConfig { id, installed: BTreeMap::new(), free_memory_kib, cpu_headroom }
+    }
+
+    /// Records an installed application (builder style).
+    pub fn with_installed(mut self, app: AppId, version: Version) -> Self {
+        self.installed.insert(app, version);
+        self
+    }
+}
+
+/// What the update being shipped requires from a vehicle.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UpdateRequirements {
+    /// The application being updated.
+    pub app: AppId,
+    /// The version being shipped.
+    pub version: Version,
+    /// Memory needed *during* the staged update (both versions resident).
+    pub staged_memory_kib: u32,
+    /// CPU utilization of the app's task (needed twice during overlap).
+    pub utilization: f64,
+    /// Provider versions the new app version depends on
+    /// (`app -> minimum version`).
+    pub depends_on: BTreeMap<AppId, Version>,
+}
+
+/// Why the backend refused a vehicle.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The app to update is not installed at all.
+    NotInstalled,
+    /// The installed version is already at or past the shipped one.
+    AlreadyCurrent,
+    /// Not enough free memory for the staged overlap.
+    InsufficientMemory,
+    /// Not enough CPU headroom for the overlap.
+    InsufficientCpu,
+    /// A dependency is missing or too old.
+    DependencyUnsatisfied(AppId),
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::NotInstalled => write!(f, "app not installed"),
+            RejectReason::AlreadyCurrent => write!(f, "already at or past this version"),
+            RejectReason::InsufficientMemory => write!(f, "insufficient memory for overlap"),
+            RejectReason::InsufficientCpu => write!(f, "insufficient CPU headroom for overlap"),
+            RejectReason::DependencyUnsatisfied(app) => {
+                write!(f, "dependency {app} missing or too old")
+            }
+        }
+    }
+}
+
+/// Per-vehicle campaign outcome.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VehicleOutcome {
+    /// Updated successfully.
+    Updated,
+    /// Backend validation refused the vehicle.
+    Rejected(RejectReason),
+    /// The update was attempted and failed on the vehicle (the staged
+    /// procedure rolled back to the old version).
+    FailedRolledBack,
+    /// The campaign halted before this vehicle's wave.
+    NotAttempted,
+}
+
+/// Rollout policy: wave sizes as cumulative fleet fractions plus the halt
+/// threshold.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CampaignPolicy {
+    /// Cumulative fleet fraction per wave, e.g. `[0.02, 0.2, 1.0]`.
+    pub waves: Vec<f64>,
+    /// Halt the campaign when a completed wave's failure rate (failures /
+    /// attempts) exceeds this bound.
+    pub max_wave_failure_rate: f64,
+}
+
+impl Default for CampaignPolicy {
+    fn default() -> Self {
+        CampaignPolicy { waves: vec![0.02, 0.2, 1.0], max_wave_failure_rate: 0.05 }
+    }
+}
+
+/// Validates `requirements` against one vehicle configuration — the
+/// backend check the paper calls for.
+pub fn validate_vehicle(
+    config: &VehicleConfig,
+    req: &UpdateRequirements,
+) -> Result<(), RejectReason> {
+    let Some(current) = config.installed.get(&req.app) else {
+        return Err(RejectReason::NotInstalled);
+    };
+    if *current >= req.version {
+        return Err(RejectReason::AlreadyCurrent);
+    }
+    if config.free_memory_kib < req.staged_memory_kib {
+        return Err(RejectReason::InsufficientMemory);
+    }
+    // Overlap runs old + new side by side: one extra task of the same
+    // utilization must fit the headroom.
+    if config.cpu_headroom < req.utilization {
+        return Err(RejectReason::InsufficientCpu);
+    }
+    for (dep, min_version) in &req.depends_on {
+        match config.installed.get(dep) {
+            Some(v) if v.is_compatible_with(*min_version) => {}
+            _ => return Err(RejectReason::DependencyUnsatisfied(*dep)),
+        }
+    }
+    Ok(())
+}
+
+/// Result of one wave.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WaveReport {
+    /// 0-based wave index.
+    pub wave: usize,
+    /// Vehicles attempted in this wave.
+    pub attempted: usize,
+    /// Successful updates.
+    pub updated: usize,
+    /// Backend rejections (not counted as failures).
+    pub rejected: usize,
+    /// In-vehicle failures (rolled back).
+    pub failed: usize,
+}
+
+impl WaveReport {
+    /// Failure rate over attempted installs (rejections excluded).
+    pub fn failure_rate(&self) -> f64 {
+        let installs = self.updated + self.failed;
+        if installs == 0 {
+            0.0
+        } else {
+            self.failed as f64 / installs as f64
+        }
+    }
+}
+
+/// Full campaign result.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Per-wave summaries, in rollout order.
+    pub waves: Vec<WaveReport>,
+    /// Whether the campaign halted early.
+    pub halted: bool,
+    /// Per-vehicle outcomes.
+    pub outcomes: BTreeMap<VehicleId, VehicleOutcome>,
+}
+
+impl CampaignReport {
+    /// Total vehicles updated.
+    pub fn updated(&self) -> usize {
+        self.outcomes.values().filter(|o| **o == VehicleOutcome::Updated).count()
+    }
+
+    /// Total in-vehicle failures.
+    pub fn failed(&self) -> usize {
+        self.outcomes
+            .values()
+            .filter(|o| **o == VehicleOutcome::FailedRolledBack)
+            .count()
+    }
+
+    /// Total backend rejections.
+    pub fn rejected(&self) -> usize {
+        self.outcomes
+            .values()
+            .filter(|o| matches!(o, VehicleOutcome::Rejected(_)))
+            .count()
+    }
+}
+
+/// A fleet update campaign.
+#[derive(Clone, Debug)]
+pub struct UpdateCampaign {
+    requirements: UpdateRequirements,
+    policy: CampaignPolicy,
+    /// Probability that a validated install still fails in the vehicle
+    /// (flaky links, power loss, …). The staged procedure rolls back.
+    field_failure_probability: f64,
+    seed: u64,
+}
+
+impl UpdateCampaign {
+    /// Creates a campaign with the default canary policy.
+    pub fn new(requirements: UpdateRequirements) -> Self {
+        UpdateCampaign {
+            requirements,
+            policy: CampaignPolicy::default(),
+            field_failure_probability: 0.0,
+            seed: 1,
+        }
+    }
+
+    /// Overrides the rollout policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy.waves` is empty, not ascending, or does not end at
+    /// 1.0.
+    pub fn with_policy(mut self, policy: CampaignPolicy) -> Self {
+        assert!(!policy.waves.is_empty(), "at least one wave");
+        assert!(
+            policy.waves.windows(2).all(|w| w[0] < w[1]),
+            "waves must be strictly ascending"
+        );
+        assert!(
+            (policy.waves.last().copied().unwrap_or(0.0) - 1.0).abs() < 1e-9,
+            "last wave must cover the fleet"
+        );
+        self.policy = policy;
+        self
+    }
+
+    /// Injects a field failure probability (deterministic per seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_field_failures(mut self, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability in [0,1]");
+        self.field_failure_probability = p;
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the campaign over `fleet` (rollout order = slice order).
+    pub fn run(&self, fleet: &[VehicleConfig]) -> CampaignReport {
+        let mut rng = seeded_rng(self.seed);
+        let mut outcomes: BTreeMap<VehicleId, VehicleOutcome> =
+            fleet.iter().map(|v| (v.id, VehicleOutcome::NotAttempted)).collect();
+        let mut waves = Vec::new();
+        let mut halted = false;
+        let mut cursor = 0usize;
+        for (wave_idx, &fraction) in self.policy.waves.iter().enumerate() {
+            if halted {
+                break;
+            }
+            let wave_end = ((fleet.len() as f64) * fraction).ceil() as usize;
+            let wave_end = wave_end.min(fleet.len());
+            let mut report = WaveReport {
+                wave: wave_idx,
+                attempted: 0,
+                updated: 0,
+                rejected: 0,
+                failed: 0,
+            };
+            for vehicle in &fleet[cursor..wave_end] {
+                report.attempted += 1;
+                match validate_vehicle(vehicle, &self.requirements) {
+                    Err(reason) => {
+                        report.rejected += 1;
+                        outcomes.insert(vehicle.id, VehicleOutcome::Rejected(reason));
+                    }
+                    Ok(()) => {
+                        let fails = self.field_failure_probability > 0.0
+                            && rng.gen::<f64>() < self.field_failure_probability;
+                        if fails {
+                            report.failed += 1;
+                            outcomes.insert(vehicle.id, VehicleOutcome::FailedRolledBack);
+                        } else {
+                            report.updated += 1;
+                            outcomes.insert(vehicle.id, VehicleOutcome::Updated);
+                        }
+                    }
+                }
+            }
+            cursor = wave_end;
+            let rate = report.failure_rate();
+            waves.push(report);
+            if rate > self.policy.max_wave_failure_rate {
+                halted = true;
+            }
+        }
+        CampaignReport { waves, halted, outcomes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn requirements() -> UpdateRequirements {
+        UpdateRequirements {
+            app: AppId(1),
+            version: Version::new(2, 0, 0),
+            staged_memory_kib: 1024,
+            utilization: 0.1,
+            depends_on: BTreeMap::new(),
+        }
+    }
+
+    fn healthy_vehicle(id: u32) -> VehicleConfig {
+        VehicleConfig::new(VehicleId(id), 4096, 0.5)
+            .with_installed(AppId(1), Version::new(1, 0, 0))
+    }
+
+    fn fleet(n: u32) -> Vec<VehicleConfig> {
+        (0..n).map(healthy_vehicle).collect()
+    }
+
+    #[test]
+    fn backend_validation_catches_every_precondition() {
+        let req = requirements();
+        assert_eq!(
+            validate_vehicle(&VehicleConfig::new(VehicleId(1), 4096, 0.5), &req),
+            Err(RejectReason::NotInstalled)
+        );
+        let current = healthy_vehicle(1).with_installed(AppId(1), Version::new(2, 0, 0));
+        assert_eq!(validate_vehicle(&current, &req), Err(RejectReason::AlreadyCurrent));
+        let tight_mem = VehicleConfig::new(VehicleId(1), 512, 0.5)
+            .with_installed(AppId(1), Version::new(1, 0, 0));
+        assert_eq!(validate_vehicle(&tight_mem, &req), Err(RejectReason::InsufficientMemory));
+        let tight_cpu = VehicleConfig::new(VehicleId(1), 4096, 0.05)
+            .with_installed(AppId(1), Version::new(1, 0, 0));
+        assert_eq!(validate_vehicle(&tight_cpu, &req), Err(RejectReason::InsufficientCpu));
+        assert_eq!(validate_vehicle(&healthy_vehicle(1), &req), Ok(()));
+    }
+
+    #[test]
+    fn dependency_versions_are_checked_per_vehicle() {
+        let mut req = requirements();
+        req.depends_on.insert(AppId(9), Version::new(1, 2, 0));
+        let missing = healthy_vehicle(1);
+        assert_eq!(
+            validate_vehicle(&missing, &req),
+            Err(RejectReason::DependencyUnsatisfied(AppId(9)))
+        );
+        let too_old = healthy_vehicle(1).with_installed(AppId(9), Version::new(1, 1, 0));
+        assert_eq!(
+            validate_vehicle(&too_old, &req),
+            Err(RejectReason::DependencyUnsatisfied(AppId(9)))
+        );
+        let ok = healthy_vehicle(1).with_installed(AppId(9), Version::new(1, 3, 0));
+        assert_eq!(validate_vehicle(&ok, &req), Ok(()));
+        // Major-version break also fails (2.x is not compatible with >=1.2).
+        let wrong_major = healthy_vehicle(1).with_installed(AppId(9), Version::new(2, 0, 0));
+        assert_eq!(
+            validate_vehicle(&wrong_major, &req),
+            Err(RejectReason::DependencyUnsatisfied(AppId(9)))
+        );
+    }
+
+    #[test]
+    fn healthy_fleet_updates_fully_in_waves() {
+        let campaign = UpdateCampaign::new(requirements());
+        let report = campaign.run(&fleet(100));
+        assert!(!report.halted);
+        assert_eq!(report.updated(), 100);
+        assert_eq!(report.waves.len(), 3);
+        // Default waves: 2 %, 20 %, 100 % cumulative.
+        assert_eq!(report.waves[0].attempted, 2);
+        assert_eq!(report.waves[1].attempted, 18);
+        assert_eq!(report.waves[2].attempted, 80);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_mixes_outcomes() {
+        let mut vehicles = fleet(50);
+        // 10 vehicles lack the app entirely; 5 lack memory.
+        for v in vehicles.iter_mut().take(10) {
+            v.installed.clear();
+        }
+        for v in vehicles.iter_mut().skip(10).take(5) {
+            v.free_memory_kib = 100;
+        }
+        let report = UpdateCampaign::new(requirements()).run(&vehicles);
+        assert_eq!(report.updated(), 35);
+        assert_eq!(report.rejected(), 15);
+        assert!(!report.halted, "rejections are not failures");
+    }
+
+    #[test]
+    fn high_failure_rate_halts_the_campaign_after_the_canary_wave() {
+        let campaign = UpdateCampaign::new(requirements())
+            .with_field_failures(0.8, 3)
+            .with_policy(CampaignPolicy { waves: vec![0.1, 1.0], max_wave_failure_rate: 0.2 });
+        let report = campaign.run(&fleet(100));
+        assert!(report.halted);
+        assert_eq!(report.waves.len(), 1, "second wave never ran");
+        // The untouched 90 vehicles were protected by the canary halt.
+        let untouched = report
+            .outcomes
+            .values()
+            .filter(|o| **o == VehicleOutcome::NotAttempted)
+            .count();
+        assert_eq!(untouched, 90);
+    }
+
+    #[test]
+    fn low_failure_rate_completes_with_rollbacks_counted() {
+        let campaign = UpdateCampaign::new(requirements())
+            .with_field_failures(0.02, 9)
+            .with_policy(CampaignPolicy {
+                waves: vec![0.02, 0.2, 1.0],
+                max_wave_failure_rate: 0.3,
+            });
+        let report = campaign.run(&fleet(500));
+        assert!(!report.halted);
+        assert_eq!(report.updated() + report.failed(), 500);
+        assert!(report.failed() > 0, "2% of 500 should fail at least once");
+        assert!(report.failed() < 30);
+    }
+
+    #[test]
+    fn campaign_is_deterministic_per_seed() {
+        let campaign = UpdateCampaign::new(requirements()).with_field_failures(0.1, 42);
+        assert_eq!(campaign.run(&fleet(200)), campaign.run(&fleet(200)));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn bad_wave_policy_panics() {
+        UpdateCampaign::new(requirements()).with_policy(CampaignPolicy {
+            waves: vec![0.5, 0.2, 1.0],
+            max_wave_failure_rate: 0.1,
+        });
+    }
+}

@@ -1,0 +1,353 @@
+//! Replica state synchronization.
+//!
+//! Two places in the paper need application state to move between
+//! instances: phase 2 of the staged update (§3.2: "all internal states need
+//! to be synchronized with the existing application version") and redundant
+//! instances (§3.3: "synchronized applications across these ECUs").
+//!
+//! [`ReplicaState`] is a versioned key/value store; a standby replica (or a
+//! freshly started update instance) catches up either with a full
+//! [`Snapshot`] or with an incremental [`Delta`] since its last known
+//! version. Deltas carry tombstones, so deletions propagate; integrity is
+//! checked with a SHA-256 digest over the canonical encoding.
+
+use dynplat_common::time::SimDuration;
+use dynplat_security::sha256::sha256;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One synchronized entry: version and value (`None` = tombstone).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct Entry {
+    version: u64,
+    value: Option<Vec<u8>>,
+}
+
+/// Versioned application state on one replica.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaState {
+    version: u64,
+    entries: BTreeMap<String, Entry>,
+}
+
+/// An incremental state transfer: all entries newer than `from_version`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Delta {
+    /// Version the receiver must already have.
+    pub from_version: u64,
+    /// Version the receiver holds after applying.
+    pub to_version: u64,
+    entries: Vec<(String, Entry)>,
+}
+
+impl Delta {
+    /// Number of entries carried (including tombstones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Payload bytes on the wire (keys + values + fixed per-entry header).
+    pub fn wire_size(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(k, e)| k.len() + e.value.as_ref().map_or(0, Vec::len) + 16)
+            .sum()
+    }
+
+    /// Transfer time at `rate_kib_per_s` — phase 2's duration input.
+    pub fn transfer_time(&self, rate_kib_per_s: u64) -> SimDuration {
+        assert!(rate_kib_per_s > 0, "rate must be non-zero");
+        SimDuration::from_secs_f64(self.wire_size() as f64 / (rate_kib_per_s as f64 * 1024.0))
+    }
+}
+
+/// A full state snapshot (bootstrap of a brand-new replica).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    state: ReplicaState,
+}
+
+impl Snapshot {
+    /// Payload bytes on the wire.
+    pub fn wire_size(&self) -> usize {
+        self.state
+            .entries
+            .iter()
+            .map(|(k, e)| k.len() + e.value.as_ref().map_or(0, Vec::len) + 16)
+            .sum()
+    }
+}
+
+/// Errors of state synchronization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SyncError {
+    /// The delta's `from_version` does not match the receiver's version —
+    /// a gap exists and a snapshot (or an older delta) is required.
+    VersionGap {
+        /// Receiver's version.
+        have: u64,
+        /// Version the delta builds on.
+        need: u64,
+    },
+}
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncError::VersionGap { have, need } => {
+                write!(f, "state version gap: have {have}, delta builds on {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SyncError {}
+
+impl ReplicaState {
+    /// Creates empty state at version 0.
+    pub fn new() -> Self {
+        ReplicaState::default()
+    }
+
+    /// Current state version (bumps on every mutation).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of live (non-tombstone) keys.
+    pub fn len(&self) -> usize {
+        self.entries.values().filter(|e| e.value.is_some()).count()
+    }
+
+    /// `true` when no live keys exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads a key.
+    pub fn get(&self, key: &str) -> Option<&[u8]> {
+        self.entries.get(key).and_then(|e| e.value.as_deref())
+    }
+
+    /// Writes a key.
+    pub fn set(&mut self, key: impl Into<String>, value: Vec<u8>) {
+        self.version += 1;
+        self.entries
+            .insert(key.into(), Entry { version: self.version, value: Some(value) });
+    }
+
+    /// Deletes a key (recorded as a tombstone so the deletion syncs).
+    pub fn remove(&mut self, key: &str) -> bool {
+        if self.get(key).is_none() {
+            return false;
+        }
+        self.version += 1;
+        self.entries
+            .insert(key.to_owned(), Entry { version: self.version, value: None });
+        true
+    }
+
+    /// All entries changed after `from_version`, as an incremental delta.
+    pub fn delta_since(&self, from_version: u64) -> Delta {
+        let entries: Vec<(String, Entry)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.version > from_version)
+            .map(|(k, e)| (k.clone(), e.clone()))
+            .collect();
+        Delta { from_version, to_version: self.version, entries }
+    }
+
+    /// Applies a delta produced by a peer at the same history.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::VersionGap`] when the receiver is behind the delta's
+    /// base (entries would be missed); apply an older delta or a snapshot
+    /// first.
+    pub fn apply_delta(&mut self, delta: &Delta) -> Result<(), SyncError> {
+        if self.version < delta.from_version {
+            return Err(SyncError::VersionGap { have: self.version, need: delta.from_version });
+        }
+        for (key, entry) in &delta.entries {
+            let newer = self
+                .entries
+                .get(key)
+                .is_none_or(|mine| mine.version < entry.version);
+            if newer {
+                self.entries.insert(key.clone(), entry.clone());
+            }
+        }
+        self.version = self.version.max(delta.to_version);
+        Ok(())
+    }
+
+    /// Captures a full snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot { state: self.clone() }
+    }
+
+    /// Replaces this state with a snapshot (bootstrap).
+    pub fn restore(&mut self, snapshot: &Snapshot) {
+        *self = snapshot.state.clone();
+    }
+
+    /// SHA-256 over the canonical encoding — replicas agree iff digests
+    /// agree.
+    pub fn digest(&self) -> [u8; 32] {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&self.version.to_be_bytes());
+        for (k, e) in &self.entries {
+            buf.extend_from_slice(&(k.len() as u32).to_be_bytes());
+            buf.extend_from_slice(k.as_bytes());
+            buf.extend_from_slice(&e.version.to_be_bytes());
+            match &e.value {
+                Some(v) => {
+                    buf.push(1);
+                    buf.extend_from_slice(&(v.len() as u32).to_be_bytes());
+                    buf.extend_from_slice(v);
+                }
+                None => buf.push(0),
+            }
+        }
+        sha256(&buf)
+    }
+
+    /// Drops tombstones at or below `up_to_version` (checkpoint trimming);
+    /// only safe once every replica has passed that version.
+    pub fn compact(&mut self, up_to_version: u64) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|_, e| e.value.is_some() || e.version > up_to_version);
+        before - self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn primary_with_history() -> ReplicaState {
+        let mut s = ReplicaState::new();
+        s.set("trajectory", vec![1, 2, 3]);
+        s.set("speed", vec![80]);
+        s.set("trajectory", vec![4, 5, 6]); // overwrite
+        s.remove("speed");
+        s.set("lane", vec![2]);
+        s
+    }
+
+    #[test]
+    fn basic_store_semantics() {
+        let s = primary_with_history();
+        assert_eq!(s.get("trajectory"), Some(&[4u8, 5, 6][..]));
+        assert_eq!(s.get("speed"), None);
+        assert_eq!(s.get("lane"), Some(&[2u8][..]));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.version(), 5);
+    }
+
+    #[test]
+    fn snapshot_bootstraps_a_fresh_replica() {
+        let primary = primary_with_history();
+        let mut standby = ReplicaState::new();
+        standby.restore(&primary.snapshot());
+        assert_eq!(standby.digest(), primary.digest());
+        assert_eq!(standby.version(), primary.version());
+    }
+
+    #[test]
+    fn delta_catches_a_standby_up() {
+        let mut primary = primary_with_history();
+        let mut standby = ReplicaState::new();
+        standby.restore(&primary.snapshot());
+        let synced_at = standby.version();
+
+        primary.set("trajectory", vec![9]);
+        primary.set("obstacle", vec![1]);
+        primary.remove("lane");
+
+        let delta = primary.delta_since(synced_at);
+        assert_eq!(delta.len(), 3, "two writes and one tombstone");
+        standby.apply_delta(&delta).expect("applies");
+        assert_eq!(standby.digest(), primary.digest());
+        assert_eq!(standby.get("lane"), None, "deletion propagated");
+    }
+
+    #[test]
+    fn delta_is_much_smaller_than_snapshot_for_small_changes() {
+        let mut primary = ReplicaState::new();
+        for k in 0..1000 {
+            primary.set(format!("key{k}"), vec![0u8; 64]);
+        }
+        let synced_at = primary.version();
+        primary.set("key1", vec![1u8; 64]);
+        let delta = primary.delta_since(synced_at);
+        let snapshot = primary.snapshot();
+        assert!(delta.wire_size() * 100 < snapshot.wire_size());
+        // Transfer time scales with wire size.
+        assert!(
+            delta.transfer_time(50 * 1024) < SimDuration::from_millis(1),
+            "tiny delta transfers in sub-millisecond"
+        );
+    }
+
+    #[test]
+    fn version_gap_is_refused() {
+        let mut primary = primary_with_history();
+        let mut standby = ReplicaState::new(); // version 0, never synced
+        primary.set("x", vec![1]);
+        let delta = primary.delta_since(4); // builds on version 4
+        let err = standby.apply_delta(&delta).unwrap_err();
+        assert_eq!(err, SyncError::VersionGap { have: 0, need: 4 });
+        // Snapshot resolves the gap.
+        standby.restore(&primary.snapshot());
+        assert_eq!(standby.digest(), primary.digest());
+    }
+
+    #[test]
+    fn repeated_deltas_are_idempotent() {
+        let mut primary = primary_with_history();
+        let mut standby = ReplicaState::new();
+        standby.restore(&primary.snapshot());
+        let base = standby.version();
+        primary.set("a", vec![1]);
+        let delta = primary.delta_since(base);
+        standby.apply_delta(&delta).expect("first");
+        standby.apply_delta(&delta).expect("second (idempotent)");
+        assert_eq!(standby.digest(), primary.digest());
+    }
+
+    #[test]
+    fn chained_deltas_converge() {
+        let mut primary = ReplicaState::new();
+        let mut standby = ReplicaState::new();
+        for round in 0..20u32 {
+            let base = standby.version();
+            primary.set(format!("k{}", round % 5), vec![round as u8]);
+            if round % 3 == 0 {
+                primary.remove(&format!("k{}", (round + 1) % 5));
+            }
+            let delta = primary.delta_since(base);
+            standby.apply_delta(&delta).expect("chain applies");
+            assert_eq!(standby.digest(), primary.digest(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn compaction_drops_old_tombstones_only() {
+        let mut s = primary_with_history(); // tombstone for "speed" at v4
+        let v = s.version();
+        let dropped = s.compact(v);
+        assert_eq!(dropped, 1);
+        assert_eq!(s.len(), 2, "live keys survive compaction");
+        // Digest changes (the tombstone is gone) but content does not.
+        assert_eq!(s.get("trajectory"), Some(&[4u8, 5, 6][..]));
+    }
+}

@@ -1,0 +1,199 @@
+//! ECU consolidation (Fig. 1 / E1).
+//!
+//! The paper's introduction: "ECUs are in many cases the smallest unit of
+//! electronics and software in the vehicle" — one function per dedicated
+//! controller — and "ECU consolidation … is currently one of the most
+//! promising ways to curb the complexity problem". This module builds the
+//! two architectures for a given function set so E1 can compare ECU count,
+//! cost and utilization.
+
+use crate::objective::{evaluate, Assignment, Objectives};
+use crate::search::{simulated_annealing, DseConfig};
+use dynplat_common::{BusId, EcuId};
+use dynplat_hw::ecu::{EcuClass, EcuSpec};
+use dynplat_hw::topology::{BusKind, BusSpec, HwTopology};
+use dynplat_model::ir::{AppModel, Deployment, MappingChoice, SystemModel};
+use serde::{Deserialize, Serialize};
+
+/// Comparable summary of one architecture.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArchitectureSummary {
+    /// Label ("federated" / "consolidated").
+    pub label: String,
+    /// ECUs used.
+    pub ecus: usize,
+    /// Total hardware cost of the used ECUs.
+    pub cost: u64,
+    /// Mean CPU utilization of used ECUs.
+    pub mean_utilization: f64,
+    /// Peak CPU utilization.
+    pub peak_utilization: f64,
+    /// Whether all constraints hold.
+    pub feasible: bool,
+}
+
+impl ArchitectureSummary {
+    fn from_objectives(label: &str, o: &Objectives) -> Self {
+        ArchitectureSummary {
+            label: label.to_owned(),
+            ecus: o.used_ecus,
+            cost: o.used_cost,
+            mean_utilization: o.mean_utilization,
+            peak_utilization: o.peak_utilization,
+            feasible: o.is_feasible(),
+        }
+    }
+}
+
+/// Builds the federated architecture: one dedicated low-end/domain ECU per
+/// function (the weakest class that carries it), all on one CAN backbone.
+pub fn federated_architecture(apps: &[AppModel]) -> (SystemModel, ArchitectureSummary) {
+    let mut topology = HwTopology::new();
+    let mut deployment = Deployment::default();
+    let mut attached = Vec::new();
+    for (i, app) in apps.iter().enumerate() {
+        let id = EcuId(i as u16);
+        // Pick the cheapest class that can host this one function.
+        let ecu = [EcuClass::LowEnd, EcuClass::Domain, EcuClass::HighPerformance]
+            .into_iter()
+            .map(|class| EcuSpec::of_class(id, format!("ecu-{}", app.name), class))
+            .find(|ecu| {
+                let fits_mem = app.memory_kib <= ecu.ram_kib();
+                let fits_cpu =
+                    !app.kind.is_deterministic() || app.wcet_on(ecu.cpu()) <= app.period;
+                let fits_gpu = !app.needs_gpu || ecu.has_gpu();
+                fits_mem && fits_cpu && fits_gpu
+            })
+            .unwrap_or_else(|| {
+                EcuSpec::of_class(id, format!("ecu-{}", app.name), EcuClass::HighPerformance)
+            });
+        topology.add_ecu(ecu).expect("fresh ids");
+        attached.push(id);
+        deployment.mapping.insert(app.id, MappingChoice::Fixed(id));
+    }
+    topology
+        .add_bus(BusSpec::new(BusId(0), "backbone", BusKind::can_500k(), attached))
+        .expect("fresh bus");
+    let model = SystemModel {
+        hardware: topology,
+        interfaces: Vec::new(),
+        applications: apps.to_vec(),
+        deployment,
+    };
+    let assignment: Assignment = model
+        .deployment
+        .mapping
+        .iter()
+        .map(|(a, c)| (*a, c.candidates()[0]))
+        .collect();
+    let objectives = evaluate(&model, &assignment);
+    let summary = ArchitectureSummary::from_objectives("federated", &objectives);
+    (model, summary)
+}
+
+/// Builds the consolidated architecture: a small pool of high-performance
+/// platform ECUs on an Ethernet backbone, with the mapping found by DSE.
+///
+/// `pool` is the number of platform ECUs offered to the explorer; the DSE
+/// minimizes how many are actually used.
+pub fn consolidated_architecture(
+    apps: &[AppModel],
+    pool: u16,
+    cfg: &DseConfig,
+) -> (SystemModel, Assignment, ArchitectureSummary) {
+    let mut topology = HwTopology::new();
+    let mut attached = Vec::new();
+    for i in 0..pool {
+        let id = EcuId(i);
+        topology
+            .add_ecu(EcuSpec::of_class(id, format!("platform-{i}"), EcuClass::HighPerformance))
+            .expect("fresh ids");
+        attached.push(id);
+    }
+    topology
+        .add_bus(BusSpec::new(BusId(0), "backbone", BusKind::ethernet_1g(), attached.clone()))
+        .expect("fresh bus");
+    let mut deployment = Deployment::default();
+    for app in apps {
+        deployment
+            .mapping
+            .insert(app.id, MappingChoice::AnyOf(attached.clone()));
+    }
+    let model = SystemModel {
+        hardware: topology,
+        interfaces: Vec::new(),
+        applications: apps.to_vec(),
+        deployment,
+    };
+    let result = simulated_annealing(&model, cfg);
+    let (assignment, objectives) = result
+        .best
+        .expect("non-empty app set always yields a candidate");
+    let summary = ArchitectureSummary::from_objectives("consolidated", &objectives);
+    (model, assignment, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynplat_common::time::SimDuration;
+    use dynplat_common::{AppId, AppKind, Asil};
+
+    fn function(id: u32, det: bool, work_mi: f64, mem_kib: u32) -> AppModel {
+        AppModel {
+            id: AppId(id),
+            name: format!("f{id}"),
+            kind: if det { AppKind::Deterministic } else { AppKind::NonDeterministic },
+            asil: Asil::B,
+            provides: vec![],
+            consumes: vec![],
+            period: SimDuration::from_millis(20),
+            work_mi,
+            memory_kib: mem_kib,
+            needs_gpu: false,
+        }
+    }
+
+    fn fleet(n: u32) -> Vec<AppModel> {
+        (0..n).map(|i| function(i + 1, i % 3 != 0, 1.0 + (i % 4) as f64, 256)).collect()
+    }
+
+    #[test]
+    fn federated_uses_one_ecu_per_function() {
+        let apps = fleet(12);
+        let (_, summary) = federated_architecture(&apps);
+        assert_eq!(summary.ecus, 12);
+        assert!(summary.feasible);
+        assert!(summary.mean_utilization > 0.0);
+    }
+
+    #[test]
+    fn consolidation_reduces_ecus_and_cost() {
+        // At fleet scale the per-function controllers outgrow the price of
+        // a small pool of platform ECUs.
+        let apps = fleet(24);
+        let (_, federated) = federated_architecture(&apps);
+        let cfg = DseConfig { iterations: 1500, ..Default::default() };
+        let (_, assignment, consolidated) = consolidated_architecture(&apps, 4, &cfg);
+        assert!(consolidated.feasible, "consolidated must verify");
+        assert!(consolidated.ecus < federated.ecus);
+        assert!(
+            consolidated.cost < federated.cost,
+            "consolidation should cut hardware cost: {} vs {}",
+            consolidated.cost,
+            federated.cost
+        );
+        assert_eq!(assignment.len(), apps.len());
+    }
+
+    #[test]
+    fn heavy_function_escalates_ecu_class() {
+        // 200 MI per 20 ms needs 10 000 MIPS: only the high-performance
+        // class carries it.
+        let apps = vec![function(1, true, 200.0, 256)];
+        let (model, summary) = federated_architecture(&apps);
+        assert!(summary.feasible);
+        let ecu = model.hardware.ecu(EcuId(0)).unwrap();
+        assert!(ecu.cpu().mips >= 10_000);
+    }
+}

@@ -1,0 +1,31 @@
+//! Design-space exploration (§2.3, §5.1).
+//!
+//! "The design space exploration can operate on the output of the model and
+//! use simulation or verification approaches to guarantee parameters in all
+//! possible combinations, as well as define the optimal approach for every
+//! combination of functions, parameters and hardware." — after the DSE
+//! lines of Lukasiewycz et al. \[9\] and Reimann \[14\] in the related work.
+//!
+//! * [`objective`] — feasibility (via the `dynplat-model` verification
+//!   engine) and the optimization objectives: hardware cost of the ECUs
+//!   actually used, peak CPU utilization, and network load;
+//! * [`search`] — three explorers over the deployment space: greedy
+//!   first-fit-decreasing (baseline), uniform random search, and simulated
+//!   annealing with move-one-app neighborhoods;
+//! * [`pareto`] — a cost/utilization Pareto archive of feasible designs;
+//! * [`consolidate`] — the E1 (Fig. 1) experiment substrate: a federated
+//!   one-function-per-ECU architecture vs. consolidation onto platform
+//!   ECUs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod consolidate;
+pub mod objective;
+pub mod pareto;
+pub mod search;
+
+pub use consolidate::{consolidated_architecture, federated_architecture, ArchitectureSummary};
+pub use objective::{evaluate, Assignment, Objectives};
+pub use pareto::ParetoArchive;
+pub use search::{greedy_first_fit, random_search, simulated_annealing, DseConfig, DseResult};

@@ -1,0 +1,141 @@
+//! Feasibility and objectives.
+
+use dynplat_common::{AppId, EcuId};
+use dynplat_model::ir::SystemModel;
+use dynplat_model::verify::{verify, Violation};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A concrete app → ECU mapping.
+pub type Assignment = BTreeMap<AppId, EcuId>;
+
+/// Objective values of one design point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Objectives {
+    /// Number of hard violations (0 = feasible).
+    pub violations: usize,
+    /// Acquisition cost of the ECUs that host at least one app.
+    pub used_cost: u64,
+    /// Number of ECUs actually used.
+    pub used_ecus: usize,
+    /// Peak deterministic CPU utilization over all ECUs.
+    pub peak_utilization: f64,
+    /// Mean CPU utilization over *used* ECUs (consolidation quality).
+    pub mean_utilization: f64,
+}
+
+impl Objectives {
+    /// `true` when no hard constraint is violated.
+    pub fn is_feasible(&self) -> bool {
+        self.violations == 0
+    }
+
+    /// Scalarized fitness for single-objective search (lower is better):
+    /// infeasibility dominates, then cost, then peak utilization as a
+    /// tie-breaker.
+    pub fn fitness(&self) -> f64 {
+        self.violations as f64 * 1e9 + self.used_cost as f64 * 1e3 + self.peak_utilization
+    }
+}
+
+/// Evaluates a design point: runs the verification engine and computes the
+/// objective values.
+pub fn evaluate(model: &SystemModel, assignment: &Assignment) -> Objectives {
+    let violations: Vec<Violation> = verify(model, assignment);
+    let mut used: BTreeMap<EcuId, f64> = BTreeMap::new();
+    for (app_id, ecu_id) in assignment {
+        let util = model
+            .application(*app_id)
+            .zip(model.hardware.ecu(*ecu_id))
+            .map(|(app, ecu)| {
+                if app.kind.is_deterministic() {
+                    let wcet = app.wcet_on(ecu.cpu());
+                    wcet.as_nanos() as f64 / app.period.as_nanos() as f64
+                } else {
+                    0.0
+                }
+            })
+            .unwrap_or(0.0);
+        *used.entry(*ecu_id).or_insert(0.0) += util;
+    }
+    let used_cost = used
+        .keys()
+        .filter_map(|e| model.hardware.ecu(*e))
+        .map(|e| u64::from(e.cost()))
+        .sum();
+    let peak = used.values().copied().fold(0.0f64, f64::max);
+    let mean = if used.is_empty() {
+        0.0
+    } else {
+        used.values().sum::<f64>() / used.len() as f64
+    };
+    Objectives {
+        violations: violations.len(),
+        used_cost,
+        used_ecus: used.len(),
+        peak_utilization: peak,
+        mean_utilization: mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynplat_model::dsl::parse_model;
+
+    fn model() -> SystemModel {
+        parse_model(
+            r#"
+system {
+  hardware {
+    ecu "a" { id 0 class domain }
+    ecu "b" { id 1 class domain }
+    bus "eth0" { id 0 ethernet 100000000 attach [0 1] }
+  }
+  application "x" { id 1 deterministic asil B period 10ms work 3 memory 64 }
+  application "y" { id 2 deterministic asil B period 10ms work 3 memory 64 }
+  deployment { app 1 on any [0 1]  app 2 on any [0 1] }
+}
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn consolidated_uses_fewer_ecus_at_higher_utilization() {
+        let m = model();
+        let together: Assignment =
+            [(AppId(1), EcuId(0)), (AppId(2), EcuId(0))].into_iter().collect();
+        let split: Assignment =
+            [(AppId(1), EcuId(0)), (AppId(2), EcuId(1))].into_iter().collect();
+        let o_together = evaluate(&m, &together);
+        let o_split = evaluate(&m, &split);
+        assert!(o_together.is_feasible() && o_split.is_feasible());
+        assert_eq!(o_together.used_ecus, 1);
+        assert_eq!(o_split.used_ecus, 2);
+        assert!(o_together.used_cost < o_split.used_cost);
+        assert!(o_together.peak_utilization > o_split.peak_utilization);
+        assert!(o_together.fitness() < o_split.fitness());
+    }
+
+    #[test]
+    fn infeasible_point_dominates_fitness() {
+        let mut m = model();
+        // Blow up memory so any single-ECU placement violates.
+        m.applications[0].memory_kib = 999_999_999;
+        let a: Assignment = [(AppId(1), EcuId(0)), (AppId(2), EcuId(1))].into_iter().collect();
+        let o = evaluate(&m, &a);
+        assert!(!o.is_feasible());
+        assert!(o.fitness() > 1e8);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let m = model();
+        // 3 MI on 1200 MIPS = 2.5 ms per 10 ms = 0.25 utilization.
+        let a: Assignment = [(AppId(1), EcuId(0)), (AppId(2), EcuId(0))].into_iter().collect();
+        let o = evaluate(&m, &a);
+        assert!((o.peak_utilization - 0.5).abs() < 1e-9);
+        assert!((o.mean_utilization - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,39 @@
+//! Hardware architecture substrate.
+//!
+//! The paper's §2.2 requires the hardware-architecture DSL to "define all
+//! required ECUs, including all attributes to be checked (e.g., computational
+//! and storage resources, hardware support for encryption, etc.) and the
+//! communication network interconnecting them". This crate is the semantic
+//! domain of that DSL:
+//!
+//! * [`ecu`] — ECU specifications: CPU, memory, MMU, crypto support, GPU,
+//!   cost; plus the canonical ECU classes of today's vehicles (≤200 MHz body
+//!   controllers) and tomorrow's consolidated platforms;
+//! * [`topology`] — buses and which ECUs attach to them, with multi-hop
+//!   route discovery across gateway ECUs;
+//! * [`reference`] — the canonical transition-era vehicle network used by
+//!   experiments and examples.
+//!
+//! # Examples
+//!
+//! ```
+//! use dynplat_hw::ecu::{CryptoSupport, EcuClass, EcuSpec};
+//! use dynplat_common::EcuId;
+//!
+//! let ecu = EcuSpec::builder(EcuId(1), "zone-controller")
+//!     .class(EcuClass::HighPerformance)
+//!     .crypto(CryptoSupport::Accelerator)
+//!     .build();
+//! assert!(ecu.has_mmu());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ecu;
+pub mod reference;
+pub mod topology;
+
+pub use ecu::{CpuSpec, CryptoSupport, EcuClass, EcuSpec, EcuSpecBuilder};
+pub use reference::reference_vehicle;
+pub use topology::{BusKind, BusSpec, HwTopology, Route, TopologyError};

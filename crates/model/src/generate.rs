@@ -1,0 +1,300 @@
+//! Generators: "Integration is key for a modeling approach. It can, e.g.,
+//! be used to generate code stubs, configurations for communication stacks
+//! and a middleware on devices, or input for simulation environments"
+//! (§2.2) — and §4.2: access-control definitions "should be automatically
+//! extracted from the modeling approach".
+
+use crate::ir::{PortKind, SystemModel};
+use dynplat_comm::sd::SdEntry;
+use dynplat_common::ids::ServiceInstance;
+use dynplat_common::time::SimDuration;
+use dynplat_common::{AppId, EcuId, TaskId};
+use dynplat_sched::task::{TaskSet, TaskSpec};
+use dynplat_security::authz::{AccessControlMatrix, Permission};
+use std::collections::BTreeMap;
+
+/// Derives the access-control matrix from the interface/consumption model:
+/// exactly the bindings the model declares, nothing else (deny by default).
+pub fn access_matrix(model: &SystemModel) -> AccessControlMatrix {
+    let mut matrix = AccessControlMatrix::new();
+    for app in &model.applications {
+        for port in &app.consumes {
+            let perm = match port.kind {
+                PortKind::Event(_) => Permission::Subscribe,
+                PortKind::Method(m) => Permission::Call(m),
+                PortKind::Stream(_) => Permission::Stream,
+            };
+            matrix.grant(app.id, port.service, perm);
+        }
+    }
+    matrix
+}
+
+/// Generates the middleware bootstrap config for one concrete deployment:
+/// the service offers and subscriptions each node must issue at startup.
+pub fn middleware_config(
+    model: &SystemModel,
+    assignment: &BTreeMap<AppId, EcuId>,
+    ttl: SimDuration,
+) -> Vec<SdEntry> {
+    let mut entries = Vec::new();
+    for app in &model.applications {
+        let Some(&host) = assignment.get(&app.id) else { continue };
+        for service in &app.provides {
+            if let Some(iface) = model.interface(*service) {
+                entries.push(SdEntry::Offer {
+                    instance: ServiceInstance::new(*service, 0),
+                    host,
+                    version: iface.version,
+                    ttl,
+                });
+            }
+        }
+    }
+    for app in &model.applications {
+        let Some(&host) = assignment.get(&app.id) else { continue };
+        for port in &app.consumes {
+            if let PortKind::Event(group) | PortKind::Stream(group) = port.kind {
+                entries.push(SdEntry::Subscribe {
+                    instance: ServiceInstance::new(port.service, 0),
+                    group,
+                    subscriber: app.id,
+                    host,
+                    ttl,
+                });
+            }
+        }
+    }
+    entries
+}
+
+/// Generates the per-ECU deterministic task sets for the scheduling
+/// substrate (WCETs concretized against each ECU's CPU).
+pub fn task_sets(
+    model: &SystemModel,
+    assignment: &BTreeMap<AppId, EcuId>,
+) -> BTreeMap<EcuId, TaskSet> {
+    let mut out: BTreeMap<EcuId, TaskSet> = BTreeMap::new();
+    for app in &model.applications {
+        if !app.kind.is_deterministic() {
+            continue;
+        }
+        let Some(&ecu_id) = assignment.get(&app.id) else { continue };
+        let Some(ecu) = model.hardware.ecu(ecu_id) else { continue };
+        let wcet = app.wcet_on(ecu.cpu()).max(SimDuration::from_nanos(1)).min(app.period);
+        let task = TaskSpec::periodic(TaskId(app.id.raw()), app.name.clone(), app.period, wcet);
+        out.entry(ecu_id).or_default().push(task);
+    }
+    out
+}
+
+/// Generates the runtime monitor specifications for every deterministic
+/// app under a concrete deployment (§3.4: monitors "target the key
+/// parameters of deterministic applications, such as period, deadline,
+/// jitter, memory usage"), with WCET-derived jitter bounds per host CPU.
+pub fn monitor_specs(
+    model: &SystemModel,
+    assignment: &BTreeMap<AppId, EcuId>,
+) -> Vec<dynplat_monitor::MonitorSpec> {
+    model
+        .applications
+        .iter()
+        .filter(|a| a.kind.is_deterministic())
+        .filter_map(|app| {
+            let &ecu_id = assignment.get(&app.id)?;
+            let ecu = model.hardware.ecu(ecu_id)?;
+            let wcet = app.wcet_on(ecu.cpu());
+            Some(
+                dynplat_monitor::MonitorSpec::new(
+                    TaskId(app.id.raw()),
+                    app.period,
+                    app.period, // implicit deadline
+                    u64::from(app.memory_kib) * 1024,
+                )
+                // Allow the full execution-time spread plus scheduling noise.
+                .with_jitter_bound(wcet + app.period / 10),
+            )
+        })
+        .collect()
+}
+
+/// Generates Rust code stubs for every interface — provider trait plus a
+/// typed client struct skeleton, in the spirit of §2.2's "generate code
+/// stubs".
+pub fn code_stubs(model: &SystemModel) -> String {
+    let mut out = String::new();
+    for iface in &model.interfaces {
+        out.push_str(&format!(
+            "/// Provider trait for service `{}` (id {}, version {}).\n",
+            iface.name,
+            iface.id.raw(),
+            iface.version
+        ));
+        out.push_str(&format!("pub trait {}Provider {{\n", camel(&iface.name)));
+        for m in &iface.methods {
+            out.push_str(&format!(
+                "    /// Method `{}`: request {} -> response {}.\n",
+                m.name, m.request, m.response
+            ));
+            out.push_str(&format!(
+                "    fn {}(&mut self, request: Value) -> Value;\n",
+                snake(&m.name)
+            ));
+        }
+        for e in &iface.events {
+            out.push_str(&format!("    /// Emit event `{}` ({}).\n", e.name, e.payload));
+            out.push_str(&format!("    fn emit_{}(&mut self) -> Value;\n", snake(&e.name)));
+        }
+        out.push_str("}\n\n");
+    }
+    out
+}
+
+fn camel(s: &str) -> String {
+    s.split(['_', '-', ' '])
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            let mut c = p.chars();
+            match c.next() {
+                Some(f) => f.to_ascii_uppercase().to_string() + c.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
+fn snake(s: &str) -> String {
+    s.replace(['-', ' '], "_").to_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse_model;
+    use dynplat_common::{EventGroupId, MethodId, ServiceId};
+    use dynplat_security::authz::AccessDecision;
+
+    fn model() -> SystemModel {
+        parse_model(
+            r#"
+system {
+  hardware {
+    ecu "gw" { id 1 class domain }
+    ecu "hp" { id 2 class high }
+    bus "eth0" { id 0 ethernet 100000000 attach [1 2] }
+  }
+  interface "speed" {
+    id 10 owner 1 version 2
+    event "speed" { id 1 payload {v: f64} }
+    method "set_limit" { id 2 request {l: u32} response bool }
+  }
+  application "ctrl" { id 1 deterministic asil C provides [10] period 10ms work 2 memory 512 }
+  application "hmi"  { id 2 non-deterministic asil QM consumes [10 event 1, 10 method 2] period 50ms work 1 memory 1024 }
+  deployment { app 1 on 1  app 2 on 2 }
+}
+"#,
+        )
+        .unwrap()
+    }
+
+    fn assignment(m: &SystemModel) -> BTreeMap<AppId, EcuId> {
+        m.deployment.variants(1).pop().unwrap()
+    }
+
+    #[test]
+    fn access_matrix_matches_consumption() {
+        let m = model();
+        let matrix = access_matrix(&m);
+        assert!(matrix
+            .check(AppId(2), ServiceId(10), Permission::Subscribe)
+            .is_granted());
+        assert!(matrix
+            .check(AppId(2), ServiceId(10), Permission::Call(MethodId(2)))
+            .is_granted());
+        // Not declared -> denied.
+        assert_eq!(
+            matrix.check(AppId(2), ServiceId(10), Permission::Call(MethodId(9))),
+            AccessDecision::Denied
+        );
+        assert_eq!(
+            matrix.check(AppId(1), ServiceId(10), Permission::Subscribe),
+            AccessDecision::Denied
+        );
+        assert_eq!(matrix.len(), 2);
+    }
+
+    #[test]
+    fn middleware_config_offers_and_subscribes() {
+        let m = model();
+        let entries = middleware_config(&m, &assignment(&m), SimDuration::from_secs(5));
+        let offers = entries
+            .iter()
+            .filter(|e| matches!(e, SdEntry::Offer { .. }))
+            .count();
+        let subs = entries
+            .iter()
+            .filter(|e| matches!(e, SdEntry::Subscribe { .. }))
+            .count();
+        assert_eq!(offers, 1);
+        assert_eq!(subs, 1, "only the event port subscribes; methods bind on demand");
+        match &entries[0] {
+            SdEntry::Offer { instance, host, version, .. } => {
+                assert_eq!(instance.service, ServiceId(10));
+                assert_eq!(*host, EcuId(1));
+                assert_eq!(*version, 2);
+            }
+            other => panic!("expected offer, got {other:?}"),
+        }
+        match entries.iter().find(|e| matches!(e, SdEntry::Subscribe { .. })).unwrap() {
+            SdEntry::Subscribe { group, subscriber, host, .. } => {
+                assert_eq!(*group, EventGroupId(1));
+                assert_eq!(*subscriber, AppId(2));
+                assert_eq!(*host, EcuId(2));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn task_sets_concretize_wcet_per_cpu() {
+        let m = model();
+        let sets = task_sets(&m, &assignment(&m));
+        assert_eq!(sets.len(), 1, "only the deterministic app generates a task");
+        let set = &sets[&EcuId(1)];
+        assert_eq!(set.len(), 1);
+        let task = &set.tasks()[0];
+        // 2 MI on a 1200 MIPS domain ECU ≈ 1.67 ms.
+        assert!(task.wcet > SimDuration::from_micros(1600));
+        assert!(task.wcet < SimDuration::from_micros(1700));
+    }
+
+    #[test]
+    fn monitor_specs_cover_deterministic_apps_only() {
+        let m = model();
+        let specs = monitor_specs(&m, &assignment(&m));
+        assert_eq!(specs.len(), 1);
+        let spec = &specs[0];
+        assert_eq!(spec.task, dynplat_common::TaskId(1));
+        assert_eq!(spec.period, SimDuration::from_millis(10));
+        assert_eq!(spec.memory_budget, 512 * 1024);
+        // Jitter bound reflects the host CPU's concrete WCET.
+        assert!(spec.jitter_bound > SimDuration::from_millis(1));
+        assert!(spec.jitter_bound < SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn code_stubs_contain_every_port() {
+        let m = model();
+        let stubs = code_stubs(&m);
+        assert!(stubs.contains("pub trait SpeedProvider"));
+        assert!(stubs.contains("fn set_limit(&mut self, request: Value) -> Value;"));
+        assert!(stubs.contains("fn emit_speed(&mut self) -> Value;"));
+    }
+
+    #[test]
+    fn name_mangling() {
+        assert_eq!(camel("speed_service"), "SpeedService");
+        assert_eq!(camel("front-left sensor"), "FrontLeftSensor");
+        assert_eq!(snake("Set-Limit"), "set_limit");
+    }
+}

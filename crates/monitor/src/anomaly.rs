@@ -1,0 +1,206 @@
+//! Trend-based anomaly detection.
+//!
+//! Hard threshold monitors ([`crate::task`]) fire only once a bound is
+//! already violated. §3.4's promise that "faults can easily be detected,
+//! the conditions leading to such faults recorded" also needs the *leading*
+//! part: a detector that flags a metric drifting toward its bound before
+//! the first hard violation. [`DriftDetector`] keeps exponentially weighted
+//! moving estimates of mean and variance (EWMA/EWMV) and raises an anomaly
+//! when a sample leaves the adaptive band, or when the mean itself crosses
+//! a configured fraction of the hard bound.
+
+use serde::{Deserialize, Serialize};
+
+/// Verdict for one ingested sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DriftVerdict {
+    /// Within the adaptive band and below the warning line.
+    Normal,
+    /// Statistically surprising sample (outside `k · σ` of the EWMA).
+    Outlier,
+    /// The moving mean crossed the warning fraction of the hard bound —
+    /// the metric is trending into its limit.
+    Drifting,
+}
+
+/// EWMA/EWMV drift detector over a scalar metric (response time in
+/// nanoseconds, memory in bytes, …).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DriftDetector {
+    alpha: f64,
+    sigma_k: f64,
+    hard_bound: f64,
+    warn_fraction: f64,
+    mean: f64,
+    variance: f64,
+    samples: u64,
+    outliers: u64,
+}
+
+impl DriftDetector {
+    /// Creates a detector.
+    ///
+    /// * `alpha` — EWMA smoothing factor in `(0, 1]` (0.05–0.2 typical);
+    /// * `sigma_k` — band half-width in standard deviations (3 typical);
+    /// * `hard_bound` — the monitored metric's hard limit;
+    /// * `warn_fraction` — fraction of the bound at which a drifting mean
+    ///   raises [`DriftVerdict::Drifting`] (e.g. 0.8).
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameters outside their documented ranges.
+    pub fn new(alpha: f64, sigma_k: f64, hard_bound: f64, warn_fraction: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0, 1]");
+        assert!(sigma_k > 0.0, "sigma_k must be positive");
+        assert!(hard_bound > 0.0, "hard bound must be positive");
+        assert!((0.0..=1.0).contains(&warn_fraction), "warn fraction in [0, 1]");
+        DriftDetector {
+            alpha,
+            sigma_k,
+            hard_bound,
+            warn_fraction,
+            mean: 0.0,
+            variance: 0.0,
+            samples: 0,
+            outliers: 0,
+        }
+    }
+
+    /// A conventional response-time detector: α = 0.1, 3σ band, warn at
+    /// 80 % of the bound.
+    pub fn for_bound(hard_bound: f64) -> Self {
+        DriftDetector::new(0.1, 3.0, hard_bound, 0.8)
+    }
+
+    /// Current moving mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Current moving standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.variance.max(0.0).sqrt()
+    }
+
+    /// Samples ingested.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Outliers seen.
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// Ingests one sample and classifies it.
+    pub fn ingest(&mut self, sample: f64) -> DriftVerdict {
+        self.samples += 1;
+        if self.samples == 1 {
+            self.mean = sample;
+            self.variance = 0.0;
+            return DriftVerdict::Normal;
+        }
+        let deviation = sample - self.mean;
+        let sigma = self.sigma();
+        // Warm-up: need a few samples before the band is meaningful.
+        let is_outlier = self.samples > 8 && sigma > 0.0 && deviation.abs() > self.sigma_k * sigma;
+        // Update estimates (outliers included, with the same weight — a
+        // persistent shift must eventually move the mean).
+        self.mean += self.alpha * deviation;
+        self.variance =
+            (1.0 - self.alpha) * (self.variance + self.alpha * deviation * deviation);
+        if self.mean > self.warn_fraction * self.hard_bound {
+            DriftVerdict::Drifting
+        } else if is_outlier {
+            self.outliers += 1;
+            DriftVerdict::Outlier
+        } else {
+            DriftVerdict::Normal
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynplat_common::rng::seeded_rng;
+    use rand::Rng;
+
+    fn noisy(rng: &mut impl Rng, center: f64, spread: f64) -> f64 {
+        center + rng.gen_range(-spread..spread)
+    }
+
+    #[test]
+    fn stable_metric_stays_normal() {
+        let mut d = DriftDetector::for_bound(10_000.0);
+        let mut rng = seeded_rng(1);
+        for _ in 0..500 {
+            let v = d.ingest(noisy(&mut rng, 2_000.0, 100.0));
+            assert_eq!(v, DriftVerdict::Normal);
+        }
+        assert!((d.mean() - 2_000.0).abs() < 100.0);
+    }
+
+    #[test]
+    fn single_spike_is_an_outlier_not_a_drift() {
+        let mut d = DriftDetector::for_bound(10_000.0);
+        let mut rng = seeded_rng(2);
+        for _ in 0..100 {
+            d.ingest(noisy(&mut rng, 2_000.0, 50.0));
+        }
+        assert_eq!(d.ingest(4_000.0), DriftVerdict::Outlier);
+        // And the detector recovers.
+        let v = d.ingest(noisy(&mut rng, 2_000.0, 50.0));
+        assert_ne!(v, DriftVerdict::Drifting);
+        assert_eq!(d.outliers(), 1);
+    }
+
+    #[test]
+    fn creeping_degradation_raises_drift_before_the_bound() {
+        // Response time creeps from 2 ms toward the 10 ms bound; the
+        // detector must warn before any sample actually violates it.
+        let mut d = DriftDetector::for_bound(10_000.0);
+        let mut rng = seeded_rng(3);
+        let mut warned_at: Option<(u64, f64)> = None;
+        for k in 0..1_000u64 {
+            let center = 2_000.0 + k as f64 * 8.0; // +8 us per activation
+            let sample = noisy(&mut rng, center, 100.0);
+            if d.ingest(sample) == DriftVerdict::Drifting && warned_at.is_none() {
+                warned_at = Some((k, sample));
+            }
+        }
+        let (k, sample_at_warning) = warned_at.expect("drift must be detected");
+        assert!(
+            sample_at_warning < 10_000.0,
+            "warning must precede the hard violation (sample {sample_at_warning})"
+        );
+        assert!(k > 100, "no premature warning while healthy");
+    }
+
+    #[test]
+    fn warm_up_produces_no_outliers() {
+        let mut d = DriftDetector::for_bound(1_000.0);
+        for v in [10.0, 500.0, 20.0, 300.0, 15.0] {
+            assert_ne!(d.ingest(v), DriftVerdict::Outlier, "warm-up suppresses outliers");
+        }
+    }
+
+    #[test]
+    fn estimates_track_shifted_load() {
+        let mut d = DriftDetector::for_bound(100_000.0);
+        let mut rng = seeded_rng(4);
+        for _ in 0..200 {
+            d.ingest(noisy(&mut rng, 1_000.0, 10.0));
+        }
+        for _ in 0..400 {
+            d.ingest(noisy(&mut rng, 5_000.0, 10.0));
+        }
+        assert!((d.mean() - 5_000.0).abs() < 200.0, "mean tracked the shift: {}", d.mean());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha in (0, 1]")]
+    fn invalid_alpha_panics() {
+        DriftDetector::new(0.0, 3.0, 1.0, 0.8);
+    }
+}

@@ -1,0 +1,158 @@
+//! Fault records and the bounded fault recorder.
+
+use dynplat_common::time::SimTime;
+use dynplat_common::TaskId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What went wrong.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Inter-activation time left the declared period tolerance.
+    PeriodViolation,
+    /// A job completed after (or never before) its deadline.
+    DeadlineMiss,
+    /// Response-time spread exceeded the declared jitter bound.
+    JitterViolation,
+    /// Memory usage exceeded the declared budget.
+    MemoryOverrun,
+    /// The task stopped producing activations (watchdog).
+    Silence,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::PeriodViolation => write!(f, "period violation"),
+            FaultKind::DeadlineMiss => write!(f, "deadline miss"),
+            FaultKind::JitterViolation => write!(f, "jitter violation"),
+            FaultKind::MemoryOverrun => write!(f, "memory overrun"),
+            FaultKind::Silence => write!(f, "task silent"),
+        }
+    }
+}
+
+/// One detected fault, with the conditions that led to it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fault {
+    /// Detection time.
+    pub time: SimTime,
+    /// Affected task.
+    pub task: TaskId,
+    /// Fault class.
+    pub kind: FaultKind,
+    /// Human-readable detail ("observed 12ms, bound 10ms").
+    pub detail: String,
+}
+
+/// Bounded in-memory fault store: keeps the most recent `capacity` faults,
+/// counts everything (the recording half of §3.4).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FaultRecorder {
+    capacity: usize,
+    faults: Vec<Fault>,
+    counts: BTreeMap<FaultKind, u64>,
+}
+
+impl FaultRecorder {
+    /// Creates a recorder retaining up to `capacity` faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        FaultRecorder { capacity, faults: Vec::new(), counts: BTreeMap::new() }
+    }
+
+    /// Records a fault.
+    pub fn record(&mut self, fault: Fault) {
+        *self.counts.entry(fault.kind).or_insert(0) += 1;
+        self.faults.push(fault);
+        if self.faults.len() > self.capacity {
+            let excess = self.faults.len() - self.capacity;
+            self.faults.drain(0..excess);
+        }
+    }
+
+    /// Retained faults, oldest first.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Total number of faults of `kind` ever recorded.
+    pub fn count(&self, kind: FaultKind) -> u64 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total faults ever recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Drains retained faults for transfer to the backend; counters are
+    /// preserved.
+    pub fn drain(&mut self) -> Vec<Fault> {
+        std::mem::take(&mut self.faults)
+    }
+}
+
+impl Default for FaultRecorder {
+    fn default() -> Self {
+        FaultRecorder::new(1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault(ms: u64, kind: FaultKind) -> Fault {
+        Fault {
+            time: SimTime::from_millis(ms),
+            task: TaskId(1),
+            kind,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn records_and_counts() {
+        let mut r = FaultRecorder::new(10);
+        r.record(fault(1, FaultKind::DeadlineMiss));
+        r.record(fault(2, FaultKind::DeadlineMiss));
+        r.record(fault(3, FaultKind::MemoryOverrun));
+        assert_eq!(r.count(FaultKind::DeadlineMiss), 2);
+        assert_eq!(r.count(FaultKind::Silence), 0);
+        assert_eq!(r.total(), 3);
+        assert_eq!(r.faults().len(), 3);
+    }
+
+    #[test]
+    fn ring_behavior_keeps_latest() {
+        let mut r = FaultRecorder::new(2);
+        for i in 0..5 {
+            r.record(fault(i, FaultKind::PeriodViolation));
+        }
+        assert_eq!(r.faults().len(), 2);
+        assert_eq!(r.faults()[0].time, SimTime::from_millis(3));
+        assert_eq!(r.total(), 5);
+    }
+
+    #[test]
+    fn drain_transfers_but_keeps_counts() {
+        let mut r = FaultRecorder::new(10);
+        r.record(fault(1, FaultKind::JitterViolation));
+        let drained = r.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(r.faults().is_empty());
+        assert_eq!(r.count(FaultKind::JitterViolation), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        FaultRecorder::new(0);
+    }
+}

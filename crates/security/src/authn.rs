@@ -1,0 +1,323 @@
+//! Lightweight session authentication (§4.2, after reference \[10\]).
+//!
+//! The paper's reference \[10\] (Mundhenk et al., TODAES 2017) proposes a
+//! lightweight authentication and authorization framework for automotive
+//! networks: asymmetric crypto only at session setup with a central
+//! security module, symmetric MACs for the data plane. This module
+//! reproduces the structure:
+//!
+//! 1. every participant shares a long-term key with the [`KeyServer`]
+//!    (factory provisioning);
+//! 2. a client requests a session with a service; the key server derives a
+//!    fresh session key and issues a *ticket* the service can check without
+//!    talking to the server (Needham–Schroeder/Kerberos shape);
+//! 3. data-plane messages carry truncated HMAC tags and a monotonic counter
+//!    for replay protection.
+
+use crate::sha256::{ct_eq, derive_key, hmac_sha256};
+use dynplat_common::{AppId, ServiceId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Length of the truncated per-message MAC tag in bytes.
+pub const TAG_LEN: usize = 8;
+
+/// Errors of the authentication layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuthError {
+    /// The principal has no long-term key at the server.
+    UnknownPrincipal,
+    /// The ticket MAC does not verify.
+    BadTicket,
+    /// The message MAC does not verify.
+    BadTag,
+    /// The message counter did not advance (replay).
+    Replay {
+        /// Counter in the message.
+        got: u64,
+        /// Last accepted counter.
+        last: u64,
+    },
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::UnknownPrincipal => write!(f, "principal not enrolled at key server"),
+            AuthError::BadTicket => write!(f, "ticket authentication failed"),
+            AuthError::BadTag => write!(f, "message tag verification failed"),
+            AuthError::Replay { got, last } => {
+                write!(f, "replayed message: counter {got} not above {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// A principal: either a client application or a service provider.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Principal {
+    /// A client application.
+    Client(AppId),
+    /// A service instance.
+    Service(ServiceId),
+}
+
+/// A session grant: the session key for the client plus a ticket that
+/// proves the grant to the service.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionGrant {
+    /// Fresh symmetric session key.
+    pub session_key: [u8; 32],
+    /// Opaque ticket for the service: MAC over (client, service, session id)
+    /// under the service's long-term key.
+    pub ticket: [u8; 32],
+    /// Unique session identifier.
+    pub session_id: u64,
+}
+
+/// Central security module holding long-term keys.
+#[derive(Clone, Debug, Default)]
+pub struct KeyServer {
+    long_term: BTreeMap<Principal, [u8; 32]>,
+    next_session: u64,
+}
+
+impl KeyServer {
+    /// Creates an empty key server.
+    pub fn new() -> Self {
+        KeyServer::default()
+    }
+
+    /// Enrolls a principal with its long-term key.
+    pub fn enroll(&mut self, who: Principal, key: [u8; 32]) {
+        self.long_term.insert(who, key);
+    }
+
+    /// Grants a session between `client` and `service`.
+    ///
+    /// # Errors
+    ///
+    /// [`AuthError::UnknownPrincipal`] if either party is not enrolled.
+    pub fn grant_session(
+        &mut self,
+        client: AppId,
+        service: ServiceId,
+    ) -> Result<SessionGrant, AuthError> {
+        let client_key = self
+            .long_term
+            .get(&Principal::Client(client))
+            .ok_or(AuthError::UnknownPrincipal)?;
+        let service_key = self
+            .long_term
+            .get(&Principal::Service(service))
+            .ok_or(AuthError::UnknownPrincipal)?;
+        let session_id = self.next_session;
+        self.next_session += 1;
+        // Session key bound to both parties and the session id.
+        let mut material = Vec::new();
+        material.extend_from_slice(client_key);
+        material.extend_from_slice(&client.raw().to_be_bytes());
+        material.extend_from_slice(&service.raw().to_be_bytes());
+        material.extend_from_slice(&session_id.to_be_bytes());
+        let session_key = hmac_sha256(&derive_key(client_key, "session"), &material);
+        let ticket = ticket_tag(service_key, client, service, session_id, &session_key);
+        Ok(SessionGrant { session_key, ticket, session_id })
+    }
+}
+
+fn ticket_tag(
+    service_key: &[u8; 32],
+    client: AppId,
+    service: ServiceId,
+    session_id: u64,
+    session_key: &[u8; 32],
+) -> [u8; 32] {
+    let mut msg = Vec::new();
+    msg.extend_from_slice(&client.raw().to_be_bytes());
+    msg.extend_from_slice(&service.raw().to_be_bytes());
+    msg.extend_from_slice(&session_id.to_be_bytes());
+    msg.extend_from_slice(session_key);
+    hmac_sha256(&derive_key(service_key, "ticket"), &msg)
+}
+
+/// Service-side admission of a presented ticket.
+///
+/// The service recomputes the expected ticket from its long-term key and
+/// the session parameters forwarded by the client; no key-server round trip
+/// is needed.
+///
+/// # Errors
+///
+/// [`AuthError::BadTicket`] on mismatch.
+pub fn service_accept_ticket(
+    service_key: &[u8; 32],
+    client: AppId,
+    service: ServiceId,
+    grant: &SessionGrant,
+) -> Result<SecureChannel, AuthError> {
+    let expect = ticket_tag(service_key, client, service, grant.session_id, &grant.session_key);
+    if !ct_eq(&expect, &grant.ticket) {
+        return Err(AuthError::BadTicket);
+    }
+    Ok(SecureChannel::new(grant.session_key))
+}
+
+/// An authenticated message: payload, counter and truncated MAC.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuthenticatedMessage {
+    /// Application payload.
+    pub payload: Vec<u8>,
+    /// Monotonic counter for replay protection.
+    pub counter: u64,
+    /// Truncated HMAC over (counter ‖ payload).
+    pub tag: [u8; TAG_LEN],
+}
+
+/// One direction of an authenticated session.
+#[derive(Clone, Debug)]
+pub struct SecureChannel {
+    key: [u8; 32],
+    send_counter: u64,
+    recv_counter: u64,
+}
+
+impl SecureChannel {
+    /// Creates a channel over an established session key.
+    pub fn new(session_key: [u8; 32]) -> Self {
+        SecureChannel { key: session_key, send_counter: 0, recv_counter: 0 }
+    }
+
+    /// Wraps a payload for sending.
+    pub fn seal(&mut self, payload: &[u8]) -> AuthenticatedMessage {
+        self.send_counter += 1;
+        let tag = message_tag(&self.key, self.send_counter, payload);
+        AuthenticatedMessage { payload: payload.to_vec(), counter: self.send_counter, tag }
+    }
+
+    /// Verifies and unwraps a received message.
+    ///
+    /// # Errors
+    ///
+    /// [`AuthError::BadTag`] on MAC failure, [`AuthError::Replay`] on a
+    /// stale counter.
+    pub fn open(&mut self, msg: &AuthenticatedMessage) -> Result<Vec<u8>, AuthError> {
+        let expect = message_tag(&self.key, msg.counter, &msg.payload);
+        if !ct_eq(&expect, &msg.tag) {
+            return Err(AuthError::BadTag);
+        }
+        if msg.counter <= self.recv_counter {
+            return Err(AuthError::Replay { got: msg.counter, last: self.recv_counter });
+        }
+        self.recv_counter = msg.counter;
+        Ok(msg.payload.clone())
+    }
+}
+
+fn message_tag(key: &[u8; 32], counter: u64, payload: &[u8]) -> [u8; TAG_LEN] {
+    let mut msg = Vec::with_capacity(8 + payload.len());
+    msg.extend_from_slice(&counter.to_be_bytes());
+    msg.extend_from_slice(payload);
+    let full = hmac_sha256(key, &msg);
+    let mut tag = [0u8; TAG_LEN];
+    tag.copy_from_slice(&full[..TAG_LEN]);
+    tag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (KeyServer, [u8; 32], AppId, ServiceId) {
+        let mut ks = KeyServer::new();
+        let client_key = [0x11; 32];
+        let service_key = [0x22; 32];
+        let client = AppId(4);
+        let service = ServiceId(9);
+        ks.enroll(Principal::Client(client), client_key);
+        ks.enroll(Principal::Service(service), service_key);
+        (ks, service_key, client, service)
+    }
+
+    #[test]
+    fn full_handshake_and_messaging() {
+        let (mut ks, service_key, client, service) = setup();
+        let grant = ks.grant_session(client, service).unwrap();
+        let mut service_chan =
+            service_accept_ticket(&service_key, client, service, &grant).unwrap();
+        let mut client_chan = SecureChannel::new(grant.session_key);
+
+        let msg = client_chan.seal(b"set_target_speed 80");
+        let opened = service_chan.open(&msg).unwrap();
+        assert_eq!(opened, b"set_target_speed 80");
+    }
+
+    #[test]
+    fn unknown_principals_are_refused() {
+        let (mut ks, _, client, service) = setup();
+        assert_eq!(ks.grant_session(AppId(99), service), Err(AuthError::UnknownPrincipal));
+        assert_eq!(ks.grant_session(client, ServiceId(99)), Err(AuthError::UnknownPrincipal));
+    }
+
+    #[test]
+    fn forged_ticket_is_rejected() {
+        let (mut ks, service_key, client, service) = setup();
+        let mut grant = ks.grant_session(client, service).unwrap();
+        grant.ticket[0] ^= 1;
+        assert!(matches!(
+            service_accept_ticket(&service_key, client, service, &grant),
+            Err(AuthError::BadTicket)
+        ));
+    }
+
+    #[test]
+    fn ticket_is_bound_to_client_identity() {
+        let (mut ks, service_key, client, service) = setup();
+        let grant = ks.grant_session(client, service).unwrap();
+        // A different client presenting the stolen grant fails.
+        assert!(matches!(
+            service_accept_ticket(&service_key, AppId(77), service, &grant),
+            Err(AuthError::BadTicket)
+        ));
+    }
+
+    #[test]
+    fn tampered_message_and_replay_are_rejected() {
+        let (mut ks, service_key, client, service) = setup();
+        let grant = ks.grant_session(client, service).unwrap();
+        let mut rx = service_accept_ticket(&service_key, client, service, &grant).unwrap();
+        let mut tx = SecureChannel::new(grant.session_key);
+
+        let msg = tx.seal(b"brake");
+        let mut tampered = msg.clone();
+        tampered.payload = b"accel".to_vec();
+        assert_eq!(rx.open(&tampered), Err(AuthError::BadTag));
+
+        rx.open(&msg).unwrap();
+        assert_eq!(rx.open(&msg), Err(AuthError::Replay { got: 1, last: 1 }));
+    }
+
+    #[test]
+    fn sessions_have_unique_keys() {
+        let (mut ks, _, client, service) = setup();
+        let g1 = ks.grant_session(client, service).unwrap();
+        let g2 = ks.grant_session(client, service).unwrap();
+        assert_ne!(g1.session_key, g2.session_key);
+        assert_ne!(g1.session_id, g2.session_id);
+    }
+
+    #[test]
+    fn counters_increase_monotonically() {
+        let mut chan = SecureChannel::new([9; 32]);
+        let m1 = chan.seal(b"a");
+        let m2 = chan.seal(b"b");
+        assert_eq!(m1.counter, 1);
+        assert_eq!(m2.counter, 2);
+        // Receiving out of order counts the later one, then rejects the earlier.
+        let mut rx = SecureChannel::new([9; 32]);
+        rx.open(&m2).unwrap();
+        assert!(matches!(rx.open(&m1), Err(AuthError::Replay { .. })));
+    }
+}

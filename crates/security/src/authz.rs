@@ -1,0 +1,208 @@
+//! Distributed access control (§4.2).
+//!
+//! "Such an access control method needs to define which client is allowed
+//! to access which service. These definitions should be automatically
+//! extracted from the modeling approach" — the `dynplat-model` crate's
+//! generator emits an [`AccessControlMatrix`]; the middleware consults it
+//! on every binding. Semantics are **deny by default**; wildcard grants
+//! (the paper's data-logger discussion) exist but are flagged for audit and
+//! can be adjusted at runtime, with a version counter so distributed copies
+//! can detect staleness.
+
+use dynplat_common::{AppId, MethodId, ServiceId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// What a client is allowed to do on a service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Permission {
+    /// Subscribe to an event group.
+    Subscribe,
+    /// Call a specific method.
+    Call(MethodId),
+    /// Receive a stream.
+    Stream,
+    /// Everything on the service — audited wildcard (diagnosis clients).
+    All,
+}
+
+impl fmt::Display for Permission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Permission::Subscribe => write!(f, "subscribe"),
+            Permission::Call(m) => write!(f, "call:{m}"),
+            Permission::Stream => write!(f, "stream"),
+            Permission::All => write!(f, "ALL"),
+        }
+    }
+}
+
+/// Outcome of an access check, with the reason for auditability.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessDecision {
+    /// Granted by an explicit rule.
+    Granted,
+    /// Granted through a wildcard — should appear in audit logs.
+    GrantedByWildcard,
+    /// No matching rule: denied (default).
+    Denied,
+}
+
+impl AccessDecision {
+    /// `true` for either grant variant.
+    pub fn is_granted(&self) -> bool {
+        !matches!(self, AccessDecision::Denied)
+    }
+}
+
+/// The (client, service, permission) relation, versioned for distribution.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessControlMatrix {
+    rules: BTreeSet<(AppId, ServiceId, Permission)>,
+    version: u64,
+}
+
+impl AccessControlMatrix {
+    /// Creates an empty (deny-everything) matrix.
+    pub fn new() -> Self {
+        AccessControlMatrix::default()
+    }
+
+    /// Current version; bumped on every mutation so distributed copies can
+    /// detect staleness.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Grants `permission` to `client` on `service`.
+    pub fn grant(&mut self, client: AppId, service: ServiceId, permission: Permission) {
+        if self.rules.insert((client, service, permission)) {
+            self.version += 1;
+        }
+    }
+
+    /// Revokes a previously granted permission; returns whether it existed.
+    pub fn revoke(&mut self, client: AppId, service: ServiceId, permission: Permission) -> bool {
+        let removed = self.rules.remove(&(client, service, permission));
+        if removed {
+            self.version += 1;
+        }
+        removed
+    }
+
+    /// Checks whether `client` may perform `permission` on `service`.
+    pub fn check(&self, client: AppId, service: ServiceId, permission: Permission) -> AccessDecision {
+        if self.rules.contains(&(client, service, permission)) {
+            return AccessDecision::Granted;
+        }
+        if self.rules.contains(&(client, service, Permission::All)) {
+            return AccessDecision::GrantedByWildcard;
+        }
+        AccessDecision::Denied
+    }
+
+    /// All wildcard grants — the audit surface of the paper's data-logger
+    /// discussion.
+    pub fn wildcard_grants(&self) -> impl Iterator<Item = (AppId, ServiceId)> + '_ {
+        self.rules
+            .iter()
+            .filter(|(_, _, p)| *p == Permission::All)
+            .map(|(c, s, _)| (*c, *s))
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` when nothing is granted.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Merges another matrix in (e.g. a runtime-loaded permission pack);
+    /// the version jumps past both inputs.
+    pub fn merge(&mut self, other: &AccessControlMatrix) {
+        let before = self.rules.len();
+        self.rules.extend(other.rules.iter().cloned());
+        if self.rules.len() != before {
+            self.version = self.version.max(other.version) + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deny_by_default() {
+        let m = AccessControlMatrix::new();
+        assert_eq!(m.check(AppId(1), ServiceId(1), Permission::Subscribe), AccessDecision::Denied);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn explicit_grant_and_revoke() {
+        let mut m = AccessControlMatrix::new();
+        m.grant(AppId(1), ServiceId(2), Permission::Call(MethodId(3)));
+        assert_eq!(
+            m.check(AppId(1), ServiceId(2), Permission::Call(MethodId(3))),
+            AccessDecision::Granted
+        );
+        // A different method on the same service is still denied.
+        assert_eq!(
+            m.check(AppId(1), ServiceId(2), Permission::Call(MethodId(4))),
+            AccessDecision::Denied
+        );
+        assert!(m.revoke(AppId(1), ServiceId(2), Permission::Call(MethodId(3))));
+        assert_eq!(
+            m.check(AppId(1), ServiceId(2), Permission::Call(MethodId(3))),
+            AccessDecision::Denied
+        );
+        assert!(!m.revoke(AppId(1), ServiceId(2), Permission::Call(MethodId(3))));
+    }
+
+    #[test]
+    fn wildcard_is_flagged() {
+        let mut m = AccessControlMatrix::new();
+        m.grant(AppId(7), ServiceId(2), Permission::All);
+        let d = m.check(AppId(7), ServiceId(2), Permission::Subscribe);
+        assert_eq!(d, AccessDecision::GrantedByWildcard);
+        assert!(d.is_granted());
+        assert_eq!(m.wildcard_grants().collect::<Vec<_>>(), vec![(AppId(7), ServiceId(2))]);
+        // Wildcard on one service grants nothing on another.
+        assert_eq!(m.check(AppId(7), ServiceId(3), Permission::Subscribe), AccessDecision::Denied);
+    }
+
+    #[test]
+    fn version_advances_on_every_change() {
+        let mut m = AccessControlMatrix::new();
+        assert_eq!(m.version(), 0);
+        m.grant(AppId(1), ServiceId(1), Permission::Stream);
+        assert_eq!(m.version(), 1);
+        // Idempotent grant does not bump.
+        m.grant(AppId(1), ServiceId(1), Permission::Stream);
+        assert_eq!(m.version(), 1);
+        m.revoke(AppId(1), ServiceId(1), Permission::Stream);
+        assert_eq!(m.version(), 2);
+    }
+
+    #[test]
+    fn merge_unions_rules() {
+        let mut a = AccessControlMatrix::new();
+        a.grant(AppId(1), ServiceId(1), Permission::Subscribe);
+        let mut b = AccessControlMatrix::new();
+        b.grant(AppId(2), ServiceId(2), Permission::Stream);
+        b.grant(AppId(2), ServiceId(3), Permission::Stream);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert!(a.check(AppId(2), ServiceId(2), Permission::Stream).is_granted());
+        assert!(a.version() > b.version());
+        // Merging identical content is a no-op for the version.
+        let v = a.version();
+        a.merge(&b);
+        assert_eq!(a.version(), v);
+    }
+}

@@ -1,0 +1,240 @@
+//! Schnorr-style digital signatures over a small prime field.
+//!
+//! **Simulation stand-in.** The scheme is structurally a textbook Schnorr
+//! signature — key generation, deterministic nonces (RFC 6979 style),
+//! hash-based challenges, verification, tamper rejection — but instantiated
+//! over the 61-bit Mersenne prime `p = 2^61 − 1`, which is far too small to
+//! resist discrete-log attacks. It stands in for ECDSA/Ed25519 so that the
+//! E8/E9 experiments exercise a *real* sign/verify protocol without pulling
+//! cryptographic dependencies into the offline build (DESIGN.md §5).
+
+use crate::sha256::{hmac_sha256, sha256};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The field prime `2^61 − 1` (Mersenne).
+pub const P: u64 = (1 << 61) - 1;
+/// Group order used for exponent arithmetic (`p − 1`).
+pub const ORDER: u64 = P - 1;
+/// A generator of a large subgroup of `Z_p^*`.
+pub const G: u64 = 5;
+
+fn mul_mod(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) % P as u128) as u64
+}
+
+fn pow_mod(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= P;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base);
+        }
+        base = mul_mod(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+fn reduce_order(bytes: &[u8]) -> u64 {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[..8]);
+    u64::from_be_bytes(raw) % ORDER
+}
+
+/// A public verification key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PublicKey(pub u64);
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PublicKey({:016x})", self.0)
+    }
+}
+
+impl PublicKey {
+    /// A short stable identifier for key registries.
+    pub fn key_id(&self) -> [u8; 8] {
+        let digest = sha256(&self.0.to_be_bytes());
+        let mut id = [0u8; 8];
+        id.copy_from_slice(&digest[..8]);
+        id
+    }
+
+    /// Verifies `signature` over `message`.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
+        if signature.e >= ORDER || signature.s >= ORDER || self.0 == 0 {
+            return false;
+        }
+        // r' = g^s * y^e mod p; accept iff H(r' || m) == e.
+        let r = mul_mod(pow_mod(G, signature.s), pow_mod(self.0, signature.e));
+        challenge(r, message) == signature.e
+    }
+}
+
+/// A signature: challenge `e` and response `s`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Signature {
+    /// Hash challenge.
+    pub e: u64,
+    /// Schnorr response.
+    pub s: u64,
+}
+
+impl Signature {
+    /// Serializes to 16 bytes.
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.e.to_be_bytes());
+        out[8..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Parses from 16 bytes.
+    pub fn from_bytes(bytes: &[u8; 16]) -> Self {
+        let mut e = [0u8; 8];
+        let mut s = [0u8; 8];
+        e.copy_from_slice(&bytes[..8]);
+        s.copy_from_slice(&bytes[8..]);
+        Signature { e: u64::from_be_bytes(e), s: u64::from_be_bytes(s) }
+    }
+}
+
+fn challenge(r: u64, message: &[u8]) -> u64 {
+    let mut input = Vec::with_capacity(8 + message.len());
+    input.extend_from_slice(&r.to_be_bytes());
+    input.extend_from_slice(message);
+    reduce_order(&sha256(&input))
+}
+
+/// A signing key pair.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct KeyPair {
+    secret: u64,
+    public: PublicKey,
+}
+
+impl fmt::Debug for KeyPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the secret.
+        write!(f, "KeyPair(public: {:?})", self.public)
+    }
+}
+
+impl KeyPair {
+    /// Derives a key pair deterministically from seed material (in a real
+    /// deployment: an HSM-held secret).
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let mut x = reduce_order(&sha256(seed));
+        if x == 0 {
+            x = 1;
+        }
+        let public = PublicKey(pow_mod(G, x));
+        KeyPair { secret: x, public }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Signs `message` with a deterministic (RFC 6979-style) nonce.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        // k = HMAC(secret, message), never zero.
+        let mut k = reduce_order(&hmac_sha256(&self.secret.to_be_bytes(), message));
+        if k == 0 {
+            k = 1;
+        }
+        let r = pow_mod(G, k);
+        let e = challenge(r, message);
+        // s = k - x*e mod (p-1).
+        let xe = (self.secret as u128 * e as u128) % ORDER as u128;
+        let s = ((k as u128 + ORDER as u128 - xe) % ORDER as u128) as u64;
+        Signature { e, s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = KeyPair::from_seed(b"oem root key 1");
+        let msg = b"firmware image v2.4.1";
+        let sig = kp.sign(msg);
+        assert!(kp.public().verify(msg, &sig));
+    }
+
+    #[test]
+    fn tampered_message_is_rejected() {
+        let kp = KeyPair::from_seed(b"oem root key 1");
+        let sig = kp.sign(b"install app 7");
+        assert!(!kp.public().verify(b"install app 8", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_is_rejected() {
+        let kp = KeyPair::from_seed(b"k");
+        let msg = b"m";
+        let sig = kp.sign(msg);
+        let bad_e = Signature { e: sig.e ^ 1, s: sig.s };
+        let bad_s = Signature { e: sig.e, s: sig.s ^ 1 };
+        assert!(!kp.public().verify(msg, &bad_e));
+        assert!(!kp.public().verify(msg, &bad_s));
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let a = KeyPair::from_seed(b"authority a");
+        let b = KeyPair::from_seed(b"authority b");
+        let sig = a.sign(b"payload");
+        assert!(!b.public().verify(b"payload", &sig));
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let kp = KeyPair::from_seed(b"seed");
+        assert_eq!(kp.sign(b"x"), kp.sign(b"x"));
+        assert_ne!(kp.sign(b"x"), kp.sign(b"y"));
+    }
+
+    #[test]
+    fn signature_serialization_roundtrip() {
+        let kp = KeyPair::from_seed(b"seed");
+        let sig = kp.sign(b"data");
+        let bytes = sig.to_bytes();
+        assert_eq!(Signature::from_bytes(&bytes), sig);
+    }
+
+    #[test]
+    fn out_of_range_signature_fields_rejected() {
+        let kp = KeyPair::from_seed(b"seed");
+        assert!(!kp.public().verify(b"m", &Signature { e: ORDER, s: 0 }));
+        assert!(!kp.public().verify(b"m", &Signature { e: 0, s: ORDER }));
+    }
+
+    #[test]
+    fn key_ids_differ_per_key() {
+        let a = KeyPair::from_seed(b"a").public();
+        let b = KeyPair::from_seed(b"b").public();
+        assert_ne!(a.key_id(), b.key_id());
+    }
+
+    #[test]
+    fn debug_never_leaks_secret() {
+        let kp = KeyPair::from_seed(b"super secret");
+        let s = format!("{kp:?}");
+        assert!(s.contains("public"));
+        assert!(!s.contains(&format!("{:x}", kp.secret)));
+    }
+
+    #[test]
+    fn field_arithmetic_sanity() {
+        assert_eq!(pow_mod(G, 0), 1);
+        assert_eq!(pow_mod(G, 1), G);
+        // Fermat: g^(p-1) = 1 mod p.
+        assert_eq!(pow_mod(G, P - 1), 1);
+        assert_eq!(mul_mod(P - 1, P - 1), 1); // (-1)^2 = 1
+    }
+}

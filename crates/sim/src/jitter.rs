@@ -1,0 +1,250 @@
+//! Uncertainty models: execution-time jitter and imperfect clocks.
+//!
+//! The paper's central theme is *uncertainty management*: once applications
+//! are added and updated dynamically, execution times, communication delays
+//! and clock agreement can no longer be pinned down at design time. This
+//! module provides the two uncertainty sources every experiment injects:
+//!
+//! * [`ExecutionModel`] — stochastic execution times between a best-case and
+//!   a worst-case bound;
+//! * [`ClockModel`] — per-ECU clock offset and drift, used by the update
+//!   experiments (§3.2) to show why a centrally synchronized version switch
+//!   "requires high accuracy clock synchronization".
+
+use dynplat_common::rng::truncated_normal_factor;
+use dynplat_common::time::{SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Stochastic execution-time model for a task.
+///
+/// Samples are drawn as `nominal * factor` where `factor` follows a
+/// truncated normal around 1.0, clamped so results stay within
+/// `[bcet, wcet]`.
+///
+/// # Examples
+///
+/// ```
+/// use dynplat_common::time::SimDuration;
+/// use dynplat_sim::jitter::ExecutionModel;
+///
+/// let model = ExecutionModel::new(
+///     SimDuration::from_micros(800),
+///     SimDuration::from_micros(1000),
+///     0.05,
+/// );
+/// let mut rng = dynplat_common::rng::seeded_rng(1);
+/// let sample = model.sample(&mut rng);
+/// assert!(sample >= SimDuration::from_micros(800));
+/// assert!(sample <= SimDuration::from_micros(1000));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionModel {
+    bcet: SimDuration,
+    wcet: SimDuration,
+    sigma: f64,
+}
+
+impl ExecutionModel {
+    /// Creates a model with best-case `bcet`, worst-case `wcet` and relative
+    /// standard deviation `sigma` (fraction of the nominal time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bcet > wcet`, `wcet` is zero, or `sigma` is negative.
+    pub fn new(bcet: SimDuration, wcet: SimDuration, sigma: f64) -> Self {
+        assert!(bcet <= wcet, "bcet must not exceed wcet");
+        assert!(!wcet.is_zero(), "wcet must be non-zero");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        ExecutionModel { bcet, wcet, sigma }
+    }
+
+    /// A deterministic model that always takes exactly `wcet`.
+    pub fn constant(wcet: SimDuration) -> Self {
+        Self::new(wcet, wcet, 0.0)
+    }
+
+    /// The best-case execution time.
+    pub fn bcet(self) -> SimDuration {
+        self.bcet
+    }
+
+    /// The worst-case execution time — what schedulability analysis uses.
+    pub fn wcet(self) -> SimDuration {
+        self.wcet
+    }
+
+    /// Nominal (midpoint) execution time.
+    pub fn nominal(self) -> SimDuration {
+        (self.bcet + self.wcet) / 2
+    }
+
+    /// Draws one execution time, always within `[bcet, wcet]`.
+    pub fn sample<R: Rng>(self, rng: &mut R) -> SimDuration {
+        if self.bcet == self.wcet {
+            return self.wcet;
+        }
+        let nominal = self.nominal();
+        let min = self.bcet.as_nanos() as f64 / nominal.as_nanos() as f64;
+        let max = self.wcet.as_nanos() as f64 / nominal.as_nanos() as f64;
+        let factor = truncated_normal_factor(rng, self.sigma, min, max);
+        nominal.mul_f64(factor)
+    }
+}
+
+/// An imperfect per-ECU clock: `local = global * (1 + drift_ppm e-6) + offset`.
+///
+/// Offset may be negative (the clock runs behind). Drift accumulates with
+/// elapsed global time, modeling crystal-oscillator tolerance.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClockModel {
+    offset_ns: i64,
+    drift_ppm: f64,
+}
+
+impl ClockModel {
+    /// A perfect clock (zero offset, zero drift).
+    pub const PERFECT: ClockModel = ClockModel { offset_ns: 0, drift_ppm: 0.0 };
+
+    /// Creates a clock with a fixed offset (ns, may be negative) and a drift
+    /// rate in parts per million.
+    pub fn new(offset_ns: i64, drift_ppm: f64) -> Self {
+        ClockModel { offset_ns, drift_ppm }
+    }
+
+    /// The configured offset in nanoseconds.
+    pub fn offset_ns(self) -> i64 {
+        self.offset_ns
+    }
+
+    /// The configured drift in parts per million.
+    pub fn drift_ppm(self) -> f64 {
+        self.drift_ppm
+    }
+
+    /// Reads this clock at global time `global`; saturates at zero if the
+    /// offset would make local time negative.
+    pub fn local_time(self, global: SimTime) -> SimTime {
+        let g = global.as_nanos() as f64;
+        let local = g * (1.0 + self.drift_ppm * 1e-6) + self.offset_ns as f64;
+        SimTime::from_nanos(local.max(0.0) as u64)
+    }
+
+    /// Absolute disagreement between this clock and a perfect clock at
+    /// `global`.
+    pub fn error_at(self, global: SimTime) -> SimDuration {
+        let local = self.local_time(global).as_nanos() as i128;
+        let g = global.as_nanos() as i128;
+        SimDuration::from_nanos(local.abs_diff(g) as u64)
+    }
+
+    /// When, in global time, this clock shows `local_target`.
+    ///
+    /// This is the instant a "switch at local time T" command actually fires
+    /// on an ECU with this clock — the quantity that makes centralized
+    /// switch-over updates fragile (§3.2).
+    pub fn global_time_showing(self, local_target: SimTime) -> SimTime {
+        let l = local_target.as_nanos() as f64;
+        let g = (l - self.offset_ns as f64) / (1.0 + self.drift_ppm * 1e-6);
+        SimTime::from_nanos(g.max(0.0) as u64)
+    }
+}
+
+impl Default for ClockModel {
+    fn default() -> Self {
+        ClockModel::PERFECT
+    }
+}
+
+/// Draws a random clock per ECU: offset uniform in `±max_offset`, drift
+/// uniform in `±max_drift_ppm`.
+pub fn random_clock<R: Rng>(rng: &mut R, max_offset: SimDuration, max_drift_ppm: f64) -> ClockModel {
+    let off_range = max_offset.as_nanos() as i64;
+    let offset = if off_range == 0 { 0 } else { rng.gen_range(-off_range..=off_range) };
+    let drift = if max_drift_ppm == 0.0 {
+        0.0
+    } else {
+        rng.gen_range(-max_drift_ppm..=max_drift_ppm)
+    };
+    ClockModel::new(offset, drift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynplat_common::rng::seeded_rng;
+
+    #[test]
+    fn samples_respect_bounds() {
+        let m = ExecutionModel::new(
+            SimDuration::from_micros(500),
+            SimDuration::from_micros(1500),
+            0.3,
+        );
+        let mut rng = seeded_rng(4);
+        for _ in 0..2000 {
+            let s = m.sample(&mut rng);
+            assert!(s >= m.bcet() && s <= m.wcet());
+        }
+    }
+
+    #[test]
+    fn constant_model_never_varies() {
+        let m = ExecutionModel::constant(SimDuration::from_micros(100));
+        let mut rng = seeded_rng(4);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), SimDuration::from_micros(100));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bcet must not exceed wcet")]
+    fn inverted_bounds_panic() {
+        ExecutionModel::new(SimDuration::from_micros(2), SimDuration::from_micros(1), 0.1);
+    }
+
+    #[test]
+    fn perfect_clock_is_identity() {
+        let t = SimTime::from_secs(100);
+        assert_eq!(ClockModel::PERFECT.local_time(t), t);
+        assert_eq!(ClockModel::PERFECT.error_at(t), SimDuration::ZERO);
+        assert_eq!(ClockModel::PERFECT.global_time_showing(t), t);
+    }
+
+    #[test]
+    fn offset_shifts_local_time() {
+        let c = ClockModel::new(1_000_000, 0.0); // +1 ms
+        let t = SimTime::from_secs(1);
+        assert_eq!(c.local_time(t), t + SimDuration::from_millis(1));
+        assert_eq!(c.error_at(t), SimDuration::from_millis(1));
+        let back = c.global_time_showing(c.local_time(t));
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn negative_offset_saturates_at_zero() {
+        let c = ClockModel::new(-5_000_000, 0.0);
+        assert_eq!(c.local_time(SimTime::from_millis(1)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn drift_accumulates() {
+        let c = ClockModel::new(0, 100.0); // 100 ppm fast
+        let t = SimTime::from_secs(10);
+        // 100 ppm over 10 s = 1 ms ahead.
+        let err = c.error_at(t);
+        assert!(err >= SimDuration::from_micros(999) && err <= SimDuration::from_micros(1001));
+    }
+
+    #[test]
+    fn random_clock_within_configured_bounds() {
+        let mut rng = seeded_rng(11);
+        for _ in 0..200 {
+            let c = random_clock(&mut rng, SimDuration::from_millis(2), 50.0);
+            assert!(c.offset_ns().abs() <= 2_000_000);
+            assert!(c.drift_ppm().abs() <= 50.0);
+        }
+        let perfect = random_clock(&mut rng, SimDuration::ZERO, 0.0);
+        assert_eq!(perfect, ClockModel::PERFECT);
+    }
+}

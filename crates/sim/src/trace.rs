@@ -1,0 +1,169 @@
+//! Structured simulation traces.
+//!
+//! Runtime monitoring (§3.4 of the paper) and the experiment harness both
+//! need a record of what happened during a simulation. [`Trace`] is a cheap
+//! append-only log of timestamped, categorized entries with per-category
+//! counters, suitable both as a debugging aid and as the raw input for the
+//! monitoring substrate's statistics.
+
+use dynplat_common::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Simulated time at which the event happened.
+    pub time: SimTime,
+    /// Stable category label, e.g. `"task.activate"` or `"net.tx"`.
+    pub category: String,
+    /// Free-form detail message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.time, self.category, self.message)
+    }
+}
+
+/// Append-only trace with per-category counters.
+///
+/// # Examples
+///
+/// ```
+/// use dynplat_common::time::SimTime;
+/// use dynplat_sim::Trace;
+///
+/// let mut trace = Trace::new();
+/// trace.record(SimTime::from_millis(1), "task.activate", "task3 released");
+/// trace.record(SimTime::from_millis(2), "task.activate", "task4 released");
+/// assert_eq!(trace.count("task.activate"), 2);
+/// assert_eq!(trace.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    counters: BTreeMap<String, u64>,
+    capacity: Option<usize>,
+}
+
+impl Trace {
+    /// Creates an unbounded trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Creates a trace that keeps only the most recent `capacity` entries
+    /// (counters still count everything) — the "fault recorder ring buffer"
+    /// shape used by the monitoring substrate.
+    pub fn with_capacity_limit(capacity: usize) -> Self {
+        Trace { entries: Vec::new(), counters: BTreeMap::new(), capacity: Some(capacity) }
+    }
+
+    /// Appends an entry.
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        category: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        let category = category.into();
+        *self.counters.entry(category.clone()).or_insert(0) += 1;
+        self.entries.push(TraceEntry { time, category, message: message.into() });
+        if let Some(cap) = self.capacity {
+            if self.entries.len() > cap {
+                let excess = self.entries.len() - cap;
+                self.entries.drain(0..excess);
+            }
+        }
+    }
+
+    /// Total occurrences of `category`, including entries evicted from a
+    /// bounded trace.
+    pub fn count(&self, category: &str) -> u64 {
+        self.counters.get(category).copied().unwrap_or(0)
+    }
+
+    /// All retained entries in insertion order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Retained entries of one category.
+    pub fn entries_in<'a>(&'a self, category: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| e.category == category)
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All categories seen so far with their total counts.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// Clears retained entries and counters.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.counters.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut t = Trace::new();
+        t.record(SimTime::from_millis(1), "a", "x");
+        t.record(SimTime::from_millis(2), "b", "y");
+        t.record(SimTime::from_millis(3), "a", "z");
+        assert_eq!(t.count("a"), 2);
+        assert_eq!(t.count("b"), 1);
+        assert_eq!(t.count("c"), 0);
+        assert_eq!(t.entries_in("a").count(), 2);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn bounded_trace_evicts_oldest_but_keeps_counters() {
+        let mut t = Trace::with_capacity_limit(2);
+        for i in 0..5u64 {
+            t.record(SimTime::from_millis(i), "f", format!("{i}"));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.count("f"), 5);
+        assert_eq!(t.entries()[0].message, "3");
+        assert_eq!(t.entries()[1].message, "4");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut t = Trace::new();
+        t.record(SimTime::ZERO, "a", "x");
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.count("a"), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        let e = TraceEntry {
+            time: SimTime::from_millis(7),
+            category: "net.tx".into(),
+            message: "frame 9".into(),
+        };
+        assert_eq!(e.to_string(), "[7ms] net.tx: frame 9");
+    }
+}

@@ -1,0 +1,188 @@
+//! The virtual control unit: a PID speed controller closed around a
+//! first-order plant — the canonical automotive control function used as
+//! the system under test at every XiL level.
+
+use serde::{Deserialize, Serialize};
+
+/// Discrete PID controller.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PidController {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain.
+    pub ki: f64,
+    /// Derivative gain.
+    pub kd: f64,
+    /// Output saturation (symmetric, ±limit).
+    pub output_limit: f64,
+    integral: f64,
+    last_error: f64,
+}
+
+impl PidController {
+    /// Creates a controller with the given gains and output limit.
+    pub fn new(kp: f64, ki: f64, kd: f64, output_limit: f64) -> Self {
+        PidController { kp, ki, kd, output_limit, integral: 0.0, last_error: 0.0 }
+    }
+
+    /// One control step at sample time `dt` seconds.
+    pub fn step(&mut self, setpoint: f64, measured: f64, dt: f64) -> f64 {
+        let error = setpoint - measured;
+        self.integral += error * dt;
+        let derivative = if dt > 0.0 { (error - self.last_error) / dt } else { 0.0 };
+        self.last_error = error;
+        let raw = self.kp * error + self.ki * self.integral + self.kd * derivative;
+        // Anti-windup: clamp and back off the integral when saturated.
+        let clamped = raw.clamp(-self.output_limit, self.output_limit);
+        if raw != clamped && self.ki != 0.0 {
+            self.integral -= (raw - clamped) / self.ki;
+        }
+        clamped
+    }
+
+    /// Resets internal state.
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.last_error = 0.0;
+    }
+}
+
+/// First-order plant: `v' = (u * gain - v) / tau` (speed responding to a
+/// drive command against drag).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FirstOrderPlant {
+    /// Steady-state gain.
+    pub gain: f64,
+    /// Time constant in seconds.
+    pub tau: f64,
+    state: f64,
+}
+
+impl FirstOrderPlant {
+    /// Creates a plant at rest.
+    pub fn new(gain: f64, tau: f64) -> Self {
+        assert!(tau > 0.0, "time constant must be positive");
+        FirstOrderPlant { gain, tau, state: 0.0 }
+    }
+
+    /// Current output.
+    pub fn output(&self) -> f64 {
+        self.state
+    }
+
+    /// Advances the plant by `dt` seconds under input `u` (forward Euler).
+    pub fn step(&mut self, u: f64, dt: f64) -> f64 {
+        let dv = (u * self.gain - self.state) / self.tau;
+        self.state += dv * dt;
+        self.state
+    }
+
+    /// Resets to rest.
+    pub fn reset(&mut self) {
+        self.state = 0.0;
+    }
+}
+
+/// Controller + plant closed loop: the unit every XiL level executes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VirtualControlUnit {
+    /// The controller under test.
+    pub controller: PidController,
+    /// The simulated plant.
+    pub plant: FirstOrderPlant,
+    /// Sample time in seconds.
+    pub dt: f64,
+}
+
+impl VirtualControlUnit {
+    /// A well-tuned cruise-control-like loop at 1 kHz.
+    pub fn cruise_control() -> Self {
+        VirtualControlUnit {
+            controller: PidController::new(8.0, 15.0, 0.02, 100.0),
+            plant: FirstOrderPlant::new(1.0, 0.5),
+            dt: 0.001,
+        }
+    }
+
+    /// The same loop with a defective derivative gain — the injected bug
+    /// used by the error-reproduction experiment.
+    pub fn cruise_control_buggy() -> Self {
+        let mut unit = Self::cruise_control();
+        unit.controller.kd = -0.8; // destabilizing
+        unit
+    }
+
+    /// Runs one closed-loop step toward `setpoint`; returns the new plant
+    /// output.
+    pub fn step(&mut self, setpoint: f64) -> f64 {
+        let u = self.controller.step(setpoint, self.plant.output(), self.dt);
+        self.plant.step(u, self.dt)
+    }
+
+    /// Resets controller and plant.
+    pub fn reset(&mut self) {
+        self.controller.reset();
+        self.plant.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plant_settles_to_gain_times_input() {
+        let mut plant = FirstOrderPlant::new(2.0, 0.1);
+        for _ in 0..10_000 {
+            plant.step(5.0, 0.001);
+        }
+        assert!((plant.output() - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn tuned_loop_tracks_setpoint() {
+        let mut unit = VirtualControlUnit::cruise_control();
+        let mut y = 0.0;
+        for _ in 0..5_000 {
+            y = unit.step(30.0);
+        }
+        assert!((y - 30.0).abs() < 0.5, "settled at {y}");
+    }
+
+    #[test]
+    fn buggy_loop_misbehaves() {
+        let mut good = VirtualControlUnit::cruise_control();
+        let mut bad = VirtualControlUnit::cruise_control_buggy();
+        let mut worst_good: f64 = 0.0;
+        let mut worst_bad: f64 = 0.0;
+        for _ in 0..5_000 {
+            worst_good = worst_good.max((good.step(30.0) - 30.0).abs());
+            worst_bad = worst_bad.max((bad.step(30.0) - 30.0).abs());
+        }
+        // The final tracking error exposes the defect.
+        let final_good = (good.plant.output() - 30.0).abs();
+        let final_bad = (bad.plant.output() - 30.0).abs();
+        assert!(
+            final_bad > final_good * 2.0 || worst_bad > worst_good * 2.0,
+            "bug not observable: good {final_good}/{worst_good}, bad {final_bad}/{worst_bad}"
+        );
+    }
+
+    #[test]
+    fn controller_saturation_is_respected() {
+        let mut pid = PidController::new(1000.0, 0.0, 0.0, 50.0);
+        let u = pid.step(100.0, 0.0, 0.001);
+        assert_eq!(u, 50.0);
+        let u = pid.step(-100.0, 0.0, 0.001);
+        assert_eq!(u, -50.0);
+    }
+
+    #[test]
+    fn reset_restores_initial_behavior() {
+        let mut unit = VirtualControlUnit::cruise_control();
+        let first = unit.step(10.0);
+        unit.reset();
+        let again = unit.step(10.0);
+        assert_eq!(first, again);
+    }
+}

@@ -1,0 +1,27 @@
+//! X-in-the-loop testing (§2.4, after the paper's reference \[17\]).
+//!
+//! "Several test levels can be leveraged to shift a big amount of testing
+//! activities to an earlier stage … we refer to these levels as XiL, with X
+//! representing any control model (M), software (S), or hardware (H) under
+//! test. … Using the full potential of computing power of a PC, debugging
+//! and error reproduction in MiL and SiL can be performed much faster than
+//! on ECUs. Time consuming procedures such as flash programming can be
+//! reduced."
+//!
+//! * [`level`] — the MiL/SiL/HiL cost models: per-step execution factor,
+//!   per-run setup (flash programming at HiL), per-iteration debug cost;
+//! * [`control`] — a virtual control unit: PID controller + first-order
+//!   plant, the canonical "control model" under test;
+//! * [`harness`] — test cases, suites, fault injection and the
+//!   error-reproduction experiment that E11 sweeps across levels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod harness;
+pub mod level;
+
+pub use control::{FirstOrderPlant, PidController, VirtualControlUnit};
+pub use harness::{FaultInjection, TestCase, TestHarness, TestOutcome, TestRunReport};
+pub use level::TestLevel;

@@ -1,0 +1,134 @@
+//! Fleet operations day-in-the-life: the backend side of the dynamic
+//! platform.
+//!
+//! 1. build the reference vehicle network and measure its scheduling
+//!    headroom (critical scaling factor — how much WCET uncertainty the
+//!    configuration absorbs);
+//! 2. watch a vehicle's monitoring telemetry drift toward its deadline and
+//!    catch it *before* the first hard violation;
+//! 3. react with a fleet update campaign: per-vehicle backend validation,
+//!    canary wave, automatic halt if the fix misbehaves in the field.
+//!
+//! Run with: `cargo run --example fleet_operations`
+
+use dynplat::common::rng::seeded_rng;
+use dynplat::common::time::SimDuration;
+use dynplat::common::{AppId, TaskId, VehicleId};
+use dynplat::core::campaign::{
+    CampaignPolicy, UpdateCampaign, UpdateRequirements, VehicleConfig,
+};
+use dynplat::hw::reference::{ecus, reference_vehicle};
+use dynplat::monitor::anomaly::{DriftDetector, DriftVerdict};
+use dynplat::sched::sensitivity::critical_scaling_factor;
+use dynplat::sched::task::{TaskSet, TaskSpec};
+use dynplat::security::package::Version;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+fn main() {
+    // -- 1. configuration headroom -------------------------------------------
+    let vehicle = reference_vehicle();
+    let platform_a = vehicle.ecu(ecus::PLATFORM_A).expect("reference ECU");
+    println!("reference vehicle: {} ECUs, platform host = {}", vehicle.ecu_count(), platform_a);
+
+    let deployed: TaskSet = [
+        TaskSpec::periodic(TaskId(1), "lane-keep", SimDuration::from_millis(20), SimDuration::from_millis(4)),
+        TaskSpec::periodic(TaskId(2), "fusion", SimDuration::from_millis(33), SimDuration::from_millis(8)),
+        TaskSpec::periodic(TaskId(3), "planner", SimDuration::from_millis(100), SimDuration::from_millis(15)),
+    ]
+    .into_iter()
+    .collect();
+    let headroom = critical_scaling_factor(&deployed, 0.01);
+    println!(
+        "deployed DA set on {}: U = {:.2}, critical scaling factor = {:.2}x",
+        platform_a.name(),
+        deployed.utilization(),
+        headroom
+    );
+
+    // -- 2. drift detection on telemetry ---------------------------------------
+    // lane-keep's responses creep up in the field (say, a map-data
+    // regression); the drift detector warns while deadlines still hold.
+    let deadline_ns = 20e6;
+    let mut detector = DriftDetector::for_bound(deadline_ns);
+    let mut rng = seeded_rng(5);
+    let mut first_warning = None;
+    let mut first_violation = None;
+    for k in 0..4_000u64 {
+        let creep = k as f64 * 4_000.0; // +4 us per activation
+        let sample = 4e6 + creep + rng.gen_range(-2e5..2e5);
+        if sample > deadline_ns && first_violation.is_none() {
+            first_violation = Some(k);
+        }
+        if detector.ingest(sample) == DriftVerdict::Drifting && first_warning.is_none() {
+            first_warning = Some(k);
+        }
+    }
+    let warn = first_warning.expect("drift detected");
+    println!(
+        "\ntelemetry drift: warned at activation {warn}, first hard violation would be at {:?}",
+        first_violation
+    );
+    assert!(first_violation.is_none_or(|v| warn < v));
+
+    // -- 3. the fix ships as a campaign -----------------------------------------
+    let mut rng = seeded_rng(11);
+    let fleet: Vec<VehicleConfig> = (0..5_000u32)
+        .map(|i| {
+            let mut v = VehicleConfig::new(
+                VehicleId(i),
+                rng.gen_range(512..8192),
+                rng.gen_range(0.1..0.9),
+            );
+            // 95% of the fleet runs lane-keep v2.3; a few are still on 2.2.
+            let minor = if rng.gen_bool(0.95) { 3 } else { 2 };
+            v.installed.insert(AppId(1), Version::new(2, minor, 0));
+            // Fusion dependency at various patch levels.
+            v.installed.insert(AppId(2), Version::new(1, rng.gen_range(0..4), 0));
+            v
+        })
+        .collect();
+    let req = UpdateRequirements {
+        app: AppId(1),
+        version: Version::new(2, 4, 0),
+        staged_memory_kib: 2048,
+        utilization: 0.2,
+        depends_on: [(AppId(2), Version::new(1, 2, 0))].into_iter().collect(),
+    };
+    let campaign = UpdateCampaign::new(req)
+        .with_field_failures(0.01, 99)
+        .with_policy(CampaignPolicy {
+            waves: vec![0.01, 0.1, 1.0],
+            max_wave_failure_rate: 0.08,
+        });
+    let report = campaign.run(&fleet);
+    println!("\nlane-keep 2.4.0 campaign over {} vehicles:", fleet.len());
+    for w in &report.waves {
+        println!(
+            "  wave {}: attempted {:4}, updated {:4}, rejected {:3}, failed {:2} (rate {:.3})",
+            w.wave,
+            w.attempted,
+            w.updated,
+            w.rejected,
+            w.failed,
+            w.failure_rate()
+        );
+    }
+    println!(
+        "totals: updated {}, rejected {}, failed {}, halted: {}",
+        report.updated(),
+        report.rejected(),
+        report.failed(),
+        report.halted
+    );
+    let mut reasons: BTreeMap<String, usize> = BTreeMap::new();
+    for outcome in report.outcomes.values() {
+        if let dynplat::core::campaign::VehicleOutcome::Rejected(r) = outcome {
+            *reasons.entry(r.to_string()).or_insert(0) += 1;
+        }
+    }
+    println!("rejection reasons:");
+    for (reason, n) in reasons {
+        println!("  {n:4} × {reason}");
+    }
+}

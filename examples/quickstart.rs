@@ -1,0 +1,121 @@
+//! Quickstart: model a two-ECU dynamic platform, securely deploy a
+//! deterministic control app and a non-deterministic HMI app, authorize and
+//! exercise an event binding between them, and inspect the platform state.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dynplat::comm::paradigm::{EventBus, Publication};
+use dynplat::comm::Fabric;
+use dynplat::common::ids::ServiceInstance;
+use dynplat::common::time::{SimDuration, SimTime};
+use dynplat::common::{AppId, AppKind, Asil, EcuId, EventGroupId, ServiceId};
+use dynplat::core::DynamicPlatform;
+use dynplat::hw::ecu::{EcuClass, EcuSpec};
+use dynplat::model::ir::{AppModel, ConsumedPort, PortKind};
+use dynplat::net::TrafficClass;
+use dynplat::security::authz::{AccessControlMatrix, Permission};
+use dynplat::security::package::{KeyRegistry, SignedPackage, UpdatePackage, Version};
+use dynplat::security::sign::KeyPair;
+
+const SPEED_SERVICE: ServiceId = ServiceId(10);
+const SPEED_EVENT: EventGroupId = EventGroupId(1);
+
+fn app(id: u32, name: &str, kind: AppKind, asil: Asil) -> AppModel {
+    AppModel {
+        id: AppId(id),
+        name: name.into(),
+        kind,
+        asil,
+        provides: vec![],
+        consumes: vec![],
+        period: SimDuration::from_millis(10),
+        work_mi: 2.0,
+        memory_kib: 512,
+        needs_gpu: false,
+    }
+}
+
+fn main() {
+    // 1. Trust the OEM signing authority.
+    let authority = KeyPair::from_seed(b"oem release authority");
+    let mut registry = KeyRegistry::new();
+    registry.trust(authority.public());
+
+    // 2. Two platform ECUs connected by 100 Mbit/s Ethernet.
+    let gw = EcuSpec::of_class(EcuId(1), "gateway", EcuClass::Domain);
+    let hp = EcuSpec::of_class(EcuId(2), "compute", EcuClass::HighPerformance);
+    let mut platform = DynamicPlatform::new(registry);
+    platform.add_node(gw.clone());
+    platform.add_node(hp.clone());
+
+    // 3. A deterministic speed provider and a non-deterministic HMI consumer.
+    let mut provider = app(1, "speed-sensor", AppKind::Deterministic, Asil::C);
+    provider.provides = vec![SPEED_SERVICE];
+    let mut consumer = app(2, "hmi", AppKind::NonDeterministic, Asil::Qm);
+    consumer.consumes =
+        vec![ConsumedPort { service: SPEED_SERVICE, kind: PortKind::Event(SPEED_EVENT) }];
+
+    let now = SimTime::ZERO;
+    for (ecu, model, counter) in [(EcuId(1), provider, 1u64), (EcuId(2), consumer, 2)] {
+        let package =
+            UpdatePackage::new(model.id, Version::new(1, 0, 0), counter, vec![0xEC; 64]);
+        let signed = SignedPackage::create(&package, &authority);
+        let instance = platform.deploy(now, ecu, model.clone(), &signed).expect("deploys");
+        println!("deployed {:12} on {} as {}", model.name, ecu, instance);
+    }
+
+    // 4. Authorization is deny-by-default; grant the HMI its subscription.
+    let denied = platform.bind(now, AppId(2), SPEED_SERVICE, Permission::Subscribe);
+    println!("bind before grant: {:?}", denied.err().map(|e| e.to_string()));
+    let mut matrix = AccessControlMatrix::new();
+    matrix.grant(AppId(2), SPEED_SERVICE, Permission::Subscribe);
+    platform.set_access_matrix(matrix);
+    let offer = platform
+        .bind(now, AppId(2), SPEED_SERVICE, Permission::Subscribe)
+        .expect("authorized binding succeeds");
+    println!("bind after grant: offer from {} v{}", offer.host, offer.version);
+
+    // 5. Push ten speed events through the network fabric and measure.
+    let mut fabric = Fabric::new(
+        dynplat::hw::HwTopology::from_parts(
+            [gw, hp],
+            [dynplat::hw::topology::BusSpec::new(
+                dynplat::common::BusId(0),
+                "eth0",
+                dynplat::hw::BusKind::ethernet_100m(),
+                [EcuId(1), EcuId(2)],
+            )],
+        )
+        .expect("valid topology"),
+    );
+    let directory = platform.directory().clone();
+    let mut bus = EventBus::new(&mut fabric, &directory);
+    let publications: Vec<Publication> = (0..10)
+        .map(|k| Publication {
+            time: now + SimDuration::from_millis(10) * k,
+            instance: ServiceInstance::new(SPEED_SERVICE, 0),
+            group: SPEED_EVENT,
+            src: EcuId(1),
+            payload: 16,
+            class: TrafficClass::Critical,
+            priority: 1,
+        })
+        .collect();
+    let deliveries = bus.publish_all(&publications);
+    println!("\nevent deliveries ({}):", deliveries.len());
+    for (k, host, d) in &deliveries {
+        println!("  event #{k} -> {host}: latency {}", d.latency());
+    }
+
+    // 6. Platform health overview.
+    println!("\nplatform state:");
+    for (ecu, node) in platform.nodes() {
+        println!(
+            "  {}: {} instances, {} KiB used, U = {:.3}",
+            ecu,
+            node.instances().count(),
+            node.memory_used_kib(),
+            node.utilization()
+        );
+    }
+}

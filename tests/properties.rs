@@ -1,0 +1,399 @@
+//! Property-based tests over the workspace invariants (DESIGN.md §6).
+
+use dynplat::common::codec::{ByteReader, ByteWriter};
+use dynplat::common::time::{SimDuration, SimTime};
+use dynplat::common::value::{DataType, Value};
+use dynplat::common::{AppId, MessageId, MethodId, ServiceId, TaskId};
+use dynplat::net::can::{can_frame_time, CanAnalysis, CanArbiter, CanMessageSpec};
+use dynplat::net::{simulate, Frame, TxEvent};
+use dynplat::sched::admission::{AdmissionController, AdmissionTest};
+use dynplat::sched::task::{TaskSet, TaskSpec};
+use dynplat::sched::tt;
+use dynplat::security::package::{KeyRegistry, SignedPackage, UpdatePackage, Version};
+use dynplat::security::sha256::{hmac_sha256, sha256, Sha256};
+use dynplat::security::sign::KeyPair;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- codecs --
+
+fn arb_leaf_type() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::Bool),
+        Just(DataType::U8),
+        Just(DataType::U16),
+        Just(DataType::U32),
+        Just(DataType::U64),
+        Just(DataType::I64),
+        Just(DataType::F64),
+        Just(DataType::Str),
+        Just(DataType::Blob),
+        prop::collection::vec("[a-z]{1,6}", 1..4).prop_map(DataType::Enum),
+    ]
+}
+
+fn arb_type() -> impl Strategy<Value = DataType> {
+    arb_leaf_type().prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), 0usize..4).prop_map(|(t, n)| DataType::array(t, n)),
+            prop::collection::vec(("[a-z]{1,6}", inner), 1..4)
+                .prop_map(DataType::Record),
+        ]
+    })
+}
+
+fn arb_value_of(ty: &DataType) -> BoxedStrategy<Value> {
+    match ty {
+        DataType::Bool => any::<bool>().prop_map(Value::Bool).boxed(),
+        DataType::U8 => any::<u8>().prop_map(Value::U8).boxed(),
+        DataType::U16 => any::<u16>().prop_map(Value::U16).boxed(),
+        DataType::U32 => any::<u32>().prop_map(Value::U32).boxed(),
+        DataType::U64 => any::<u64>().prop_map(Value::U64).boxed(),
+        DataType::I64 => any::<i64>().prop_map(Value::I64).boxed(),
+        DataType::F64 => any::<i32>().prop_map(|v| Value::F64(f64::from(v))).boxed(),
+        DataType::Str => "[ -~]{0,24}".prop_map(Value::Str).boxed(),
+        DataType::Blob => prop::collection::vec(any::<u8>(), 0..32).prop_map(Value::Blob).boxed(),
+        DataType::Array(elem, len) => {
+            let strategies: Vec<BoxedStrategy<Value>> =
+                (0..*len).map(|_| arb_value_of(elem)).collect();
+            strategies.prop_map(Value::Array).boxed()
+        }
+        DataType::Record(fields) => {
+            let strategies: Vec<BoxedStrategy<(String, Value)>> = fields
+                .iter()
+                .map(|(n, t)| {
+                    let name = n.clone();
+                    arb_value_of(t).prop_map(move |v| (name.clone(), v)).boxed()
+                })
+                .collect();
+            strategies.prop_map(Value::Record).boxed()
+        }
+        DataType::Enum(variants) => {
+            let n = variants.len() as u8;
+            (0..n).prop_map(Value::EnumOrdinal).boxed()
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn typed_value_encode_decode_roundtrip(
+        (ty, value) in arb_type().prop_flat_map(|ty| {
+            let v = arb_value_of(&ty);
+            (Just(ty), v)
+        })
+    ) {
+        prop_assert!(value.conforms_to(&ty));
+        let bytes = value.encode();
+        let (lo, hi) = ty.encoded_size_bounds();
+        prop_assert!(bytes.len() >= lo && bytes.len() <= hi.max(lo) + 1024);
+        let back = Value::decode(&bytes, &ty).expect("own encoding decodes");
+        prop_assert_eq!(back, value);
+    }
+
+    #[test]
+    fn byte_writer_reader_roundtrip(
+        a in any::<u8>(), b in any::<u16>(), c in any::<u32>(), d in any::<u64>(),
+        s in "[ -~]{0,64}", blob in prop::collection::vec(any::<u8>(), 0..128)
+    ) {
+        let mut w = ByteWriter::new();
+        w.put_u8(a);
+        w.put_u16(b);
+        w.put_u32(c);
+        w.put_u64(d);
+        w.put_string(&s);
+        w.put_len_prefixed(&blob);
+        let buf = w.into_vec();
+        let mut r = ByteReader::new(&buf);
+        prop_assert_eq!(r.take_u8().unwrap(), a);
+        prop_assert_eq!(r.take_u16().unwrap(), b);
+        prop_assert_eq!(r.take_u32().unwrap(), c);
+        prop_assert_eq!(r.take_u64().unwrap(), d);
+        prop_assert_eq!(r.take_string().unwrap(), s);
+        prop_assert_eq!(r.take_len_prefixed(1024).unwrap(), &blob[..]);
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_input_never_panics(data in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut r = ByteReader::new(&data);
+        let _ = r.take_u64();
+        let _ = r.take_string();
+        let ty = DataType::record([("a", DataType::U32), ("b", DataType::Str)]);
+        let _ = Value::decode(&data, &ty); // must return Err, not panic
+    }
+
+    // ---------------------------------------------------------- security --
+
+    #[test]
+    fn sha256_incremental_equals_one_shot(
+        data in prop::collection::vec(any::<u8>(), 0..512),
+        split in 0usize..512
+    ) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn hmac_differs_under_key_or_message_change(
+        key in prop::collection::vec(any::<u8>(), 1..64),
+        msg in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mac = hmac_sha256(&key, &msg);
+        let mut key2 = key.clone();
+        key2[0] ^= 1;
+        prop_assert_ne!(mac, hmac_sha256(&key2, &msg));
+        let mut msg2 = msg.clone();
+        msg2.push(0);
+        prop_assert_ne!(mac, hmac_sha256(&key, &msg2));
+    }
+
+    #[test]
+    fn signature_roundtrip_and_tamper_rejection(
+        seed in prop::collection::vec(any::<u8>(), 1..32),
+        msg in prop::collection::vec(any::<u8>(), 0..128),
+        flip in 0usize..128,
+    ) {
+        let kp = KeyPair::from_seed(&seed);
+        let sig = kp.sign(&msg);
+        prop_assert!(kp.public().verify(&msg, &sig));
+        let mut tampered = msg.clone();
+        if tampered.is_empty() {
+            tampered.push(1);
+        } else {
+            let i = flip % tampered.len();
+            tampered[i] ^= 1;
+        }
+        prop_assert!(!kp.public().verify(&tampered, &sig));
+    }
+
+    #[test]
+    fn package_roundtrip_and_signed_integrity(
+        app in any::<u32>(),
+        counter in 1u64..u64::MAX,
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        flip in 0usize..1024,
+    ) {
+        let package = UpdatePackage::new(
+            AppId(app), Version::new(1, 2, 3), counter, payload,
+        ).with_metadata("k", "v");
+        let bytes = package.to_bytes();
+        prop_assert_eq!(UpdatePackage::from_bytes(&bytes).unwrap(), package.clone());
+
+        let authority = KeyPair::from_seed(b"prop authority");
+        let mut registry = KeyRegistry::new();
+        registry.trust(authority.public());
+        let signed = SignedPackage::create(&package, &authority);
+        prop_assert!(signed.verify(&registry).is_ok());
+        let mut bad = signed.clone();
+        let i = flip % bad.package_bytes.len();
+        bad.package_bytes[i] ^= 0x40;
+        prop_assert!(bad.verify(&registry).is_err());
+    }
+
+    // -------------------------------------------------------- scheduling --
+
+    #[test]
+    fn tt_synthesis_output_always_validates(
+        params in prop::collection::vec((1u64..6, 1u64..4), 1..6)
+    ) {
+        // Periods from {2,4,8,16,32} ms, wcet a fraction of the period.
+        let set: TaskSet = params
+            .iter()
+            .enumerate()
+            .map(|(i, (p, c))| {
+                let period = SimDuration::from_millis(1 << p);
+                let wcet = SimDuration::from_millis((*c).min(1 << (p - 1)).max(1));
+                TaskSpec::periodic(TaskId(i as u32), format!("t{i}"), period, wcet)
+            })
+            .collect();
+        match tt::synthesize(&set) {
+            Ok(schedule) => {
+                prop_assert!(schedule.validate(&set).is_ok());
+                prop_assert!(schedule.utilization() <= 1.0 + 1e-9);
+            }
+            Err(_) => {
+                // The heuristic may fail; it must never return garbage.
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_insert_never_disturbs(
+        base in prop::collection::vec((1u64..5, 1u64..3), 1..4),
+        new_period in 1u64..5,
+    ) {
+        let set: TaskSet = base
+            .iter()
+            .enumerate()
+            .map(|(i, (p, c))| {
+                let period = SimDuration::from_millis(1 << p);
+                let wcet = SimDuration::from_millis((*c).min(1 << (p - 1)).max(1));
+                TaskSpec::periodic(TaskId(i as u32), format!("t{i}"), period, wcet)
+            })
+            .collect();
+        let Ok(schedule) = tt::synthesize(&set) else { return Ok(()); };
+        let new_task = TaskSpec::periodic(
+            TaskId(1000),
+            "new",
+            SimDuration::from_millis(1 << new_period),
+            SimDuration::from_millis(1),
+        );
+        if let Ok(grown) = tt::insert_incremental(&schedule, &new_task) {
+            prop_assert_eq!(tt::disturbance(&schedule, &grown), 0);
+            let mut full = set.clone();
+            full.push(new_task);
+            prop_assert!(grown.validate(&full).is_ok());
+        }
+    }
+
+    #[test]
+    fn admission_controller_never_admits_unschedulable_edf_sets(
+        tasks in prop::collection::vec((1u64..6, 1u64..16), 1..8)
+    ) {
+        let mut ctrl = AdmissionController::with_test(AdmissionTest::Edf);
+        for (i, (p, c)) in tasks.iter().enumerate() {
+            let period = SimDuration::from_millis(1 << p);
+            let wcet = SimDuration::from_micros(*c * 100);
+            if wcet > period {
+                continue;
+            }
+            let task = TaskSpec::periodic(TaskId(i as u32), format!("t{i}"), period, wcet);
+            let _ = ctrl.try_admit(task);
+            // Invariant: the admitted set always stays schedulable.
+            prop_assert!(ctrl.admitted().utilization() <= 1.0 + 1e-9);
+            prop_assert!(dynplat::sched::edf::is_edf_schedulable(ctrl.admitted()));
+        }
+    }
+
+    // ------------------------------------------------------------- CAN ----
+
+    #[test]
+    fn can_simulation_never_beats_analysis(
+        payloads in prop::collection::vec(1usize..9, 2..6),
+    ) {
+        let specs: Vec<CanMessageSpec> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                CanMessageSpec::periodic(
+                    MessageId(i as u32),
+                    p,
+                    SimDuration::from_millis(10 * (i as u64 + 1)),
+                )
+            })
+            .collect();
+        let analysis = CanAnalysis::new(500_000, specs.clone());
+        prop_assume!(analysis.is_schedulable());
+        let bounds = analysis.response_times();
+
+        let mut bus = CanArbiter::new(500_000);
+        let mut events = Vec::new();
+        for spec in &specs {
+            let mut t = SimTime::ZERO;
+            while t < SimTime::from_millis(100) {
+                events.push(TxEvent {
+                    arrival: t,
+                    frame: Frame::new(spec.id, spec.payload).with_priority(spec.id.raw()),
+                });
+                t += spec.period;
+            }
+        }
+        for tx in simulate(&mut bus, events) {
+            let bound = bounds
+                .iter()
+                .find(|b| b.id == tx.frame.id)
+                .and_then(|b| b.wcrt)
+                .expect("schedulable");
+            prop_assert!(tx.latency() <= bound);
+        }
+    }
+
+    #[test]
+    fn can_frame_time_is_monotone_in_payload(bitrate in 100_000u64..1_000_000) {
+        let mut last = SimDuration::ZERO;
+        for payload in 0..=8usize {
+            let t = can_frame_time(payload, bitrate);
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    // ------------------------------------------------------------ model ----
+
+    #[test]
+    fn dsl_roundtrip_for_generated_models(
+        n_ecus in 1usize..5,
+        n_apps in 1usize..5,
+        seedwork in 1u32..50,
+    ) {
+        use dynplat::model::ir::{AppModel, Deployment, MappingChoice, SystemModel};
+        use dynplat::hw::ecu::{EcuClass, EcuSpec};
+        use dynplat::hw::topology::{BusKind, BusSpec, HwTopology};
+        use dynplat::common::{AppKind, Asil, BusId, EcuId};
+
+        let mut hw = HwTopology::new();
+        let mut ids = Vec::new();
+        for i in 0..n_ecus {
+            let class = match i % 3 {
+                0 => EcuClass::LowEnd,
+                1 => EcuClass::Domain,
+                _ => EcuClass::HighPerformance,
+            };
+            hw.add_ecu(EcuSpec::of_class(EcuId(i as u16), format!("e{i}"), class)).unwrap();
+            ids.push(EcuId(i as u16));
+        }
+        hw.add_bus(BusSpec::new(BusId(0), "b", BusKind::ethernet_100m(), ids.clone())).unwrap();
+        let mut deployment = Deployment::default();
+        let applications: Vec<AppModel> = (0..n_apps)
+            .map(|i| {
+                deployment.mapping.insert(
+                    AppId(i as u32),
+                    if i % 2 == 0 {
+                        MappingChoice::Fixed(ids[i % ids.len()])
+                    } else {
+                        MappingChoice::AnyOf(ids.clone())
+                    },
+                );
+                AppModel {
+                    id: AppId(i as u32),
+                    name: format!("app{i}"),
+                    kind: if i % 2 == 0 { AppKind::Deterministic } else { AppKind::NonDeterministic },
+                    asil: Asil::ALL[i % 5],
+                    provides: vec![],
+                    consumes: vec![],
+                    period: SimDuration::from_millis(10 * (i as u64 + 1)),
+                    work_mi: f64::from(seedwork) / 10.0,
+                    memory_kib: 64 * (i as u32 + 1),
+                    needs_gpu: false,
+                }
+            })
+            .collect();
+        let model = SystemModel { hardware: hw, interfaces: vec![], applications, deployment };
+        let text = dynplat::model::dsl::print_model(&model);
+        let back = dynplat::model::dsl::parse_model(&text)
+            .map_err(|e| TestCaseError::fail(format!("reparse: {e}\n{text}")))?;
+        prop_assert_eq!(back, model);
+    }
+
+    // ------------------------------------------------------------ wire -----
+
+    #[test]
+    fn someip_header_roundtrip(
+        service in any::<u16>(), method in any::<u16>(),
+        client in any::<u16>(), session in any::<u16>(),
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        use dynplat::comm::wire::SomeIpHeader;
+        let mut h = SomeIpHeader::request(
+            ServiceId(service), MethodId(method), client, session,
+        );
+        h.payload_len = payload.len() as u32;
+        let wire = h.encode(&payload);
+        let (decoded, p) = SomeIpHeader::decode(&wire).expect("own encoding decodes");
+        prop_assert_eq!(p, &payload[..]);
+        prop_assert_eq!(decoded, h);
+    }
+}
