@@ -1,8 +1,11 @@
-//! Criterion micro-benchmarks over the hot paths of every substrate:
-//! crypto primitives, wire codecs, schedulability analyses, TT synthesis,
-//! DSL parsing and fabric simulation.
+//! Micro-benchmarks over the hot paths of every substrate: crypto
+//! primitives, wire codecs, schedulability analyses, TT synthesis, DSL
+//! parsing and fabric simulation.
+//!
+//! Implemented on a small in-repo timing harness (`harness = false`) so the
+//! workspace builds with no external dependencies. Run with
+//! `cargo bench --bench micro`; pass `--quick` for a fast smoke pass.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dynplat_comm::fabric::{Fabric, MessageSend};
 use dynplat_comm::wire::SomeIpHeader;
 use dynplat_common::time::{SimDuration, SimTime};
@@ -18,49 +21,64 @@ use dynplat_sched::tt;
 use dynplat_security::package::{KeyRegistry, SignedPackage, UpdatePackage, Version};
 use dynplat_security::sha256::{hmac_sha256, sha256};
 use dynplat_security::sign::KeyPair;
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_crypto(c: &mut Criterion) {
-    let mut group = c.benchmark_group("crypto");
+/// Times `f` over enough iterations to smooth noise and prints the result
+/// as a TSV row (`name<TAB>ns_per_iter<TAB>iters`).
+fn bench<T>(name: &str, quick: bool, mut f: impl FnMut() -> T) {
+    // Warm up and calibrate the iteration count to a time budget.
+    let budget_ns: u128 = if quick { 2_000_000 } else { 200_000_000 };
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().as_nanos().max(1);
+    let iters = (budget_ns / once).clamp(1, 100_000) as u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = start.elapsed().as_nanos() / u128::from(iters);
+    println!("{name}\t{per_iter}\t{iters}");
+}
+
+fn bench_crypto(quick: bool) {
     for size in [64usize, 1024, 16384] {
         let data = vec![0xA5u8; size];
-        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
-            b.iter(|| sha256(black_box(d)))
+        bench(&format!("crypto/sha256/{size}"), quick, || {
+            sha256(black_box(&data))
         });
     }
     let key = [7u8; 32];
     let msg = vec![1u8; 256];
-    group.bench_function("hmac_sha256_256B", |b| {
-        b.iter(|| hmac_sha256(black_box(&key), black_box(&msg)))
+    bench("crypto/hmac_sha256_256B", quick, || {
+        hmac_sha256(black_box(&key), black_box(&msg))
     });
     let kp = KeyPair::from_seed(b"bench");
     let payload = vec![9u8; 1024];
-    group.bench_function("sign_1KiB", |b| b.iter(|| kp.sign(black_box(&payload))));
+    bench("crypto/sign_1KiB", quick, || kp.sign(black_box(&payload)));
     let sig = kp.sign(&payload);
-    group.bench_function("verify_1KiB", |b| {
-        b.iter(|| kp.public().verify(black_box(&payload), black_box(&sig)))
+    bench("crypto/verify_1KiB", quick, || {
+        kp.public().verify(black_box(&payload), black_box(&sig))
     });
     let package = UpdatePackage::new(AppId(1), Version::new(1, 0, 0), 1, vec![0; 4096]);
     let signed = SignedPackage::create(&package, &kp);
     let mut registry = KeyRegistry::new();
     registry.trust(kp.public());
-    group.bench_function("verify_signed_package_4KiB", |b| {
-        b.iter(|| signed.verify(black_box(&registry)).expect("verifies"))
+    bench("crypto/verify_signed_package_4KiB", quick, || {
+        signed.verify(black_box(&registry)).expect("verifies")
     });
-    group.finish();
 }
 
-fn bench_wire(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wire");
+fn bench_wire(quick: bool) {
     let header = SomeIpHeader::request(ServiceId(0x1234), MethodId(0x21), 3, 4);
     let payload = vec![0u8; 256];
-    group.bench_function("someip_encode_256B", |b| {
-        b.iter(|| header.encode(black_box(&payload)))
+    bench("wire/someip_encode_256B", quick, || {
+        header.encode(black_box(&payload))
     });
     let wire = header.encode(&payload);
-    group.bench_function("someip_decode_256B", |b| {
-        b.iter(|| SomeIpHeader::decode(black_box(&wire)).expect("decodes"))
+    bench("wire/someip_decode_256B", quick, || {
+        SomeIpHeader::decode(black_box(&wire)).expect("decodes")
     });
-    group.finish();
 }
 
 fn task_set(n: u32) -> TaskSet {
@@ -77,21 +95,19 @@ fn task_set(n: u32) -> TaskSet {
         .collect()
 }
 
-fn bench_sched(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sched");
+fn bench_sched(quick: bool) {
     for n in [10u32, 40] {
         let set = task_set(n);
-        group.bench_with_input(BenchmarkId::new("rta", n), &set, |b, s| {
-            b.iter(|| rta::response_times(black_box(s)))
+        bench(&format!("sched/rta/{n}"), quick, || {
+            rta::response_times(black_box(&set))
         });
-        group.bench_with_input(BenchmarkId::new("tt_synthesis", n), &set, |b, s| {
-            b.iter(|| tt::synthesize(black_box(s)).expect("synthesizes"))
+        bench(&format!("sched/tt_synthesis/{n}"), quick, || {
+            tt::synthesize(black_box(&set)).expect("synthesizes")
         });
     }
-    group.finish();
 }
 
-fn bench_can_analysis(c: &mut Criterion) {
+fn bench_can_analysis(quick: bool) {
     let specs: Vec<CanMessageSpec> = (0..30)
         .map(|i| {
             CanMessageSpec::periodic(
@@ -102,12 +118,10 @@ fn bench_can_analysis(c: &mut Criterion) {
         })
         .collect();
     let analysis = CanAnalysis::new(500_000, specs);
-    c.bench_function("can_wcrt_30_messages", |b| {
-        b.iter(|| analysis.response_times())
-    });
+    bench("can/wcrt_30_messages", quick, || analysis.response_times());
 }
 
-fn bench_dsl(c: &mut Criterion) {
+fn bench_dsl(quick: bool) {
     let text = r#"
 system {
   hardware {
@@ -125,44 +139,49 @@ system {
   deployment { app 1 on 0  app 2 on any [0 1] }
 }
 "#;
-    c.bench_function("dsl_parse", |b| b.iter(|| parse_model(black_box(text)).expect("parses")));
+    bench("dsl/parse", quick, || {
+        parse_model(black_box(text)).expect("parses")
+    });
 }
 
-fn bench_fabric(c: &mut Criterion) {
+fn bench_fabric(quick: bool) {
     let topo = HwTopology::from_parts(
         [
             EcuSpec::of_class(EcuId(0), "a", EcuClass::Domain),
             EcuSpec::of_class(EcuId(1), "b", EcuClass::Domain),
         ],
-        [BusSpec::new(BusId(0), "e", BusKind::ethernet_100m(), [EcuId(0), EcuId(1)])],
+        [BusSpec::new(
+            BusId(0),
+            "e",
+            BusKind::ethernet_100m(),
+            [EcuId(0), EcuId(1)],
+        )],
     )
     .expect("valid");
-    c.bench_function("fabric_500_messages", |b| {
-        b.iter(|| {
-            let mut fabric = Fabric::new(topo.clone());
-            let sends: Vec<MessageSend> = (0..500)
-                .map(|i| MessageSend {
-                    id: i,
-                    time: SimTime::from_micros(i * 20),
-                    src: EcuId(0),
-                    dst: EcuId(1),
-                    payload: 256,
-                    class: TrafficClass::BestEffort,
-                    priority: (i % 4) as u32,
-                })
-                .collect();
-            fabric.run(sends, |_| vec![])
-        })
+    bench("fabric/500_messages", quick, || {
+        let mut fabric = Fabric::new(topo.clone());
+        let sends: Vec<MessageSend> = (0..500)
+            .map(|i| MessageSend {
+                id: i,
+                time: SimTime::from_micros(i * 20),
+                src: EcuId(0),
+                dst: EcuId(1),
+                payload: 256,
+                class: TrafficClass::BestEffort,
+                priority: (i % 4) as u32,
+            })
+            .collect();
+        fabric.run(sends, |_| vec![])
     });
 }
 
-criterion_group!(
-    benches,
-    bench_crypto,
-    bench_wire,
-    bench_sched,
-    bench_can_analysis,
-    bench_dsl,
-    bench_fabric
-);
-criterion_main!(benches);
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("benchmark\tns_per_iter\titers");
+    bench_crypto(quick);
+    bench_wire(quick);
+    bench_sched(quick);
+    bench_can_analysis(quick);
+    bench_dsl(quick);
+    bench_fabric(quick);
+}

@@ -18,18 +18,34 @@ fn model(n_apps: u32, pool: u16) -> SystemModel {
     let ids: Vec<EcuId> = (0..pool).map(EcuId).collect();
     for &id in &ids {
         hardware
-            .add_ecu(EcuSpec::of_class(id, format!("p{}", id.raw()), EcuClass::Domain))
+            .add_ecu(EcuSpec::of_class(
+                id,
+                format!("p{}", id.raw()),
+                EcuClass::Domain,
+            ))
             .expect("fresh");
     }
     hardware
-        .add_bus(BusSpec::new(BusId(0), "bb", BusKind::ethernet_1g(), ids.clone()))
+        .add_bus(BusSpec::new(
+            BusId(0),
+            "bb",
+            BusKind::ethernet_1g(),
+            ids.clone(),
+        ))
         .expect("fresh");
     let applications = vehicle_functions(n_apps);
     let mut deployment = Deployment::default();
     for app in &applications {
-        deployment.mapping.insert(app.id, MappingChoice::AnyOf(ids.clone()));
+        deployment
+            .mapping
+            .insert(app.id, MappingChoice::AnyOf(ids.clone()));
     }
-    SystemModel { hardware, interfaces: vec![], applications, deployment }
+    SystemModel {
+        hardware,
+        interfaces: vec![],
+        applications,
+        deployment,
+    }
 }
 
 fn main() {

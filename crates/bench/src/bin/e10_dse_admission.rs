@@ -19,6 +19,11 @@ use dynplat_model::ir::{Deployment, MappingChoice, SystemModel};
 use dynplat_sched::admission::{AdmissionController, AdmissionTest};
 use dynplat_sched::manage::{ScheduleManager, SynthesisBackend};
 use dynplat_sched::rta;
+
+type DseRun<'a> = (
+    &'a str,
+    Box<dyn Fn() -> dynplat_dse::search::DseResult + 'a>,
+);
 use dynplat_sched::task::{TaskSet, TaskSpec};
 use std::time::Instant;
 
@@ -27,7 +32,11 @@ fn platform_model(n_apps: u32, pool: u16) -> SystemModel {
     let ids: Vec<EcuId> = (0..pool).map(EcuId).collect();
     for &id in &ids {
         hardware
-            .add_ecu(EcuSpec::of_class(id, format!("p{}", id.raw()), EcuClass::Domain))
+            .add_ecu(EcuSpec::of_class(
+                id,
+                format!("p{}", id.raw()),
+                EcuClass::Domain,
+            ))
             .expect("fresh");
     }
     hardware
@@ -41,22 +50,41 @@ fn platform_model(n_apps: u32, pool: u16) -> SystemModel {
     let applications = vehicle_functions(n_apps);
     let mut deployment = Deployment::default();
     for app in &applications {
-        deployment.mapping.insert(app.id, MappingChoice::AnyOf(ids.clone()));
+        deployment
+            .mapping
+            .insert(app.id, MappingChoice::AnyOf(ids.clone()));
     }
-    SystemModel { hardware, interfaces: vec![], applications, deployment }
+    SystemModel {
+        hardware,
+        interfaces: vec![],
+        applications,
+        deployment,
+    }
 }
 
 fn main() {
     // -- DSE quality / runtime ---------------------------------------------------
     let table = Table::new(
         "E10a — DSE algorithms over growing architectures",
-        &["apps", "algorithm", "feasible", "cost", "peak_U", "evals", "runtime_ms"],
+        &[
+            "apps",
+            "algorithm",
+            "feasible",
+            "cost",
+            "peak_U",
+            "evals",
+            "runtime_ms",
+        ],
     );
     for n in [10u32, 30, 60] {
         let model = platform_model(n, (n / 6).clamp(2, 10) as u16);
-        let cfg = DseConfig { iterations: 1200, seed: 3, ..Default::default() };
+        let cfg = DseConfig {
+            iterations: 1200,
+            seed: 3,
+            ..Default::default()
+        };
 
-        let runs: Vec<(&str, Box<dyn Fn() -> dynplat_dse::search::DseResult>)> = vec![
+        let runs: Vec<DseRun> = vec![
             ("greedy", Box::new(|| greedy_first_fit(&model))),
             ("random", Box::new(|| random_search(&model, &cfg))),
             ("annealing", Box::new(|| simulated_annealing(&model, &cfg))),
@@ -85,7 +113,7 @@ fn main() {
         &["test", "admitted_sets", "of_which_unschedulable"],
     );
     let mut rng = dynplat_common::rng::seeded_rng(17);
-    use rand::Rng;
+    use dynplat_common::rng::Rng;
     let mut results: Vec<(&str, u32, u32)> = vec![("utilization<=1", 0, 0), ("edf_exact", 0, 0)];
     for _ in 0..200 {
         let set: TaskSet = (0..4u32)
@@ -93,8 +121,7 @@ fn main() {
                 let period = SimDuration::from_millis(rng.gen_range(4u64..20));
                 let wcet = SimDuration::from_millis(rng.gen_range(1u64..4)).min(period);
                 let deadline = wcet.max(period / rng.gen_range(1u64..4));
-                TaskSpec::periodic(TaskId(i), format!("t{i}"), period, wcet)
-                    .with_deadline(deadline)
+                TaskSpec::periodic(TaskId(i), format!("t{i}"), period, wcet).with_deadline(deadline)
             })
             .collect();
         let truly_schedulable = dynplat_sched::edf::is_edf_schedulable(&set);
@@ -106,10 +133,11 @@ fn main() {
         .enumerate()
         {
             let mut ctrl = AdmissionController::with_test(test);
-            let all_admitted = set
-                .tasks()
-                .iter()
-                .all(|t| ctrl.try_admit(t.clone()).map(|d| d.admitted).unwrap_or(false));
+            let all_admitted = set.tasks().iter().all(|t| {
+                ctrl.try_admit(t.clone())
+                    .map(|d| d.admitted)
+                    .unwrap_or(false)
+            });
             if all_admitted {
                 results[idx].1 += 1;
                 if !truly_schedulable {
@@ -146,7 +174,9 @@ fn main() {
     );
     for backend in [
         SynthesisBackend::Local,
-        SynthesisBackend::Cloud { round_trip: SimDuration::from_millis(120) },
+        SynthesisBackend::Cloud {
+            round_trip: SimDuration::from_millis(120),
+        },
     ] {
         let mut mgr = ScheduleManager::with_initial(base.clone()).expect("base synthesizes");
         match mgr.add_task(new_task.clone(), backend) {
@@ -168,8 +198,18 @@ fn main() {
     }
     // Scenario B: fragmented — local fails, mixed strategy falls back to cloud.
     let fragmented: TaskSet = [
-        TaskSpec::periodic(TaskId(0), "a", SimDuration::from_millis(8), SimDuration::from_millis(3)),
-        TaskSpec::periodic(TaskId(1), "b", SimDuration::from_millis(8), SimDuration::from_millis(3)),
+        TaskSpec::periodic(
+            TaskId(0),
+            "a",
+            SimDuration::from_millis(8),
+            SimDuration::from_millis(3),
+        ),
+        TaskSpec::periodic(
+            TaskId(1),
+            "b",
+            SimDuration::from_millis(8),
+            SimDuration::from_millis(3),
+        ),
     ]
     .into_iter()
     .collect();
@@ -180,7 +220,9 @@ fn main() {
         SimDuration::from_millis(1),
     );
     let mut mgr = ScheduleManager::with_initial(fragmented).expect("synthesizes");
-    let local_fails = mgr.add_task(tight.clone(), SynthesisBackend::Local).is_err();
+    let local_fails = mgr
+        .add_task(tight.clone(), SynthesisBackend::Local)
+        .is_err();
     let outcome = mgr
         .add_task_mixed(tight, SimDuration::from_millis(120))
         .expect("mixed strategy succeeds");
@@ -201,5 +243,8 @@ fn main() {
 
     // Sanity: every schedule the manager holds is still analyzable.
     let dm = rta::assign_deadline_monotonic(mgr.tasks());
-    println!("# post-update RTA schedulable: {}", rta::is_schedulable(&dm));
+    println!(
+        "# post-update RTA schedulable: {}",
+        rta::is_schedulable(&dm)
+    );
 }

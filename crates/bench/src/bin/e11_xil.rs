@@ -28,9 +28,16 @@ fn main() {
         let report = harness.run_suite(level, &suite);
         table.row(&[
             level.to_string(),
-            format!("{}/{}", report.outcomes.len() - report.failures(), report.outcomes.len()),
+            format!(
+                "{}/{}",
+                report.outcomes.len() - report.failures(),
+                report.outcomes.len()
+            ),
             format!("{:.1}", report.wall_clock.as_secs_f64()),
-            format!("{:.1}x", hil_cost.as_secs_f64() / report.wall_clock.as_secs_f64()),
+            format!(
+                "{:.1}x",
+                hil_cost.as_secs_f64() / report.wall_clock.as_secs_f64()
+            ),
         ]);
     }
 
@@ -63,5 +70,7 @@ fn main() {
     }
 
     // -- coverage note ----------------------------------------------------------
-    println!("# coverage: MiL covers model only; SiL adds production software; HiL adds target hardware");
+    println!(
+        "# coverage: MiL covers model only; SiL adds production software; HiL adds target hardware"
+    );
 }

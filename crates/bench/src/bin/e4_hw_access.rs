@@ -43,7 +43,13 @@ fn urgent_latency<A: Arbiter>(mut port: A, events: Vec<TxEvent>) -> SimDuration 
 fn main() {
     let table = Table::new(
         "E4 — urgent DA frame latency vs NDA bulk load on 100 Mbit/s Ethernet",
-        &["bulk_frames", "fifo_us", "strict_prio_us", "tsn_us", "one_frame_bound_us"],
+        &[
+            "bulk_frames",
+            "fifo_us",
+            "strict_prio_us",
+            "tsn_us",
+            "one_frame_bound_us",
+        ],
     );
     let bound = ethernet_frame_time(1500, MBIT100) + ethernet_frame_time(64, MBIT100);
     for bulk in [0u64, 50, 200, 800, 2000] {
@@ -56,12 +62,6 @@ fn main() {
             ),
             scenario(bulk),
         );
-        table.row(&[
-            bulk.to_string(),
-            us(fifo),
-            us(prio),
-            us(tsn),
-            us(bound),
-        ]);
+        table.row(&[bulk.to_string(), us(fifo), us(prio), us(tsn), us(bound)]);
     }
 }

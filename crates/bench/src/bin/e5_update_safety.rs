@@ -9,18 +9,17 @@
 
 use dynplat_bench::{ms, Table};
 use dynplat_common::time::{SimDuration, SimTime};
+use dynplat_common::VehicleId;
 use dynplat_common::{AppId, AppKind, Asil, EcuId};
 use dynplat_core::app::AppManifest;
-use dynplat_core::update::{
-    centralized_switch_update, staged_update, stop_restart_update, StagedParams,
-    StopRestartParams,
-};
 use dynplat_core::campaign::{CampaignPolicy, UpdateCampaign, UpdateRequirements, VehicleConfig};
+use dynplat_core::update::{
+    centralized_switch_update, staged_update, stop_restart_update, StagedParams, StopRestartParams,
+};
 use dynplat_core::DynamicPlatform;
 use dynplat_hw::ecu::{EcuClass, EcuSpec};
 use dynplat_model::ir::AppModel;
 use dynplat_security::package::{KeyRegistry, Version};
-use dynplat_common::VehicleId;
 use dynplat_sim::jitter::ClockModel;
 use std::collections::BTreeMap;
 
@@ -57,7 +56,12 @@ fn main() {
     // -- staged vs stop-restart over state size -----------------------------
     let table = Table::new(
         "E5a — staged vs stop-restart: outage and overlap vs state size",
-        &["state_kib", "staged_outage_ms", "staged_overlap_ms", "stop_restart_outage_ms"],
+        &[
+            "state_kib",
+            "staged_outage_ms",
+            "staged_overlap_ms",
+            "stop_restart_outage_ms",
+        ],
     );
     for state_kib in [0u64, 1024, 16 * 1024, 128 * 1024] {
         let mut p = fresh_platform();
@@ -118,7 +122,14 @@ fn main() {
     // -- fleet campaign: per-vehicle backend validation + canary halt ---------
     let table = Table::new(
         "E5d — fleet campaign (1000 heterogeneous vehicles) vs field failure rate",
-        &["field_failure_pct", "updated", "rejected", "failed", "protected", "halted"],
+        &[
+            "field_failure_pct",
+            "updated",
+            "rejected",
+            "failed",
+            "protected",
+            "halted",
+        ],
     );
     let fleet: Vec<VehicleConfig> = (0..1000u32)
         .map(|i| {

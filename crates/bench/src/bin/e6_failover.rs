@@ -50,7 +50,14 @@ fn crash_scenario(
 fn main() {
     let table = Table::new(
         "E6 — failover detection vs heartbeat period (master crash at t=1s)",
-        &["heartbeat_ms", "tolerated_misses", "replicas", "detect_ms", "output_gap_ms", "bound_ms"],
+        &[
+            "heartbeat_ms",
+            "tolerated_misses",
+            "replicas",
+            "detect_ms",
+            "output_gap_ms",
+            "bound_ms",
+        ],
     );
     for (hb, misses) in [(50u64, 2u32), (20, 2), (10, 2), (5, 2), (10, 5), (10, 1)] {
         for replicas in [2u64, 3, 4] {
@@ -72,6 +79,6 @@ fn main() {
     let result = crash_scenario(10, 2, 1, 1_000);
     println!(
         "# single replica after master loss: {:?}",
-        result.err().expect("must fail")
+        result.expect_err("must fail")
     );
 }

@@ -9,11 +9,11 @@
 
 use dynplat_bench::Table;
 use dynplat_common::rng::seeded_rng;
+use dynplat_common::rng::Rng;
 use dynplat_common::time::{SimDuration, SimTime};
 use dynplat_common::{TaskId, VehicleId};
 use dynplat_monitor::report::{CertificationDataSet, DiagnosticReport};
 use dynplat_monitor::{FaultKind, FaultRecorder, MonitorSpec, TaskMonitor, TaskObservation};
-use rand::Rng;
 use std::time::Instant;
 
 fn main() {
@@ -32,7 +32,10 @@ fn main() {
         let t = SimTime::from_millis(k * 10);
         monitor.observe(TaskObservation::Activation(t), &mut recorder);
         monitor.observe(
-            TaskObservation::Completion { release: t, completion: t + SimDuration::from_millis(2) },
+            TaskObservation::Completion {
+                release: t,
+                completion: t + SimDuration::from_millis(2),
+            },
             &mut recorder,
         );
     }
@@ -48,7 +51,10 @@ fn main() {
     let mut m = TaskMonitor::new(spec.clone());
     let mut r = FaultRecorder::default();
     m.observe(TaskObservation::Activation(SimTime::ZERO), &mut r);
-    m.observe(TaskObservation::Activation(SimTime::from_millis(25)), &mut r);
+    m.observe(
+        TaskObservation::Activation(SimTime::from_millis(25)),
+        &mut r,
+    );
     table.row(&["period_violation".into(), format!("{}", 1)]);
     assert_eq!(r.count(FaultKind::PeriodViolation), 1);
     // Deadline miss: first late completion.
@@ -103,7 +109,10 @@ fn main() {
             let resp = SimDuration::from_micros(1_000 + rng.gen_range(0..spread));
             m.observe(TaskObservation::Activation(rel), &mut r);
             m.observe(
-                TaskObservation::Completion { release: rel, completion: rel + resp },
+                TaskObservation::Completion {
+                    release: rel,
+                    completion: rel + resp,
+                },
                 &mut r,
             );
         }
@@ -115,7 +124,10 @@ fn main() {
         "E7c — fleet certification data set (500 vehicles x 100 activations)",
         &["metric", "value"],
     );
-    table.row(&["total_activations".into(), set.activations(TaskId(1)).to_string()]);
+    table.row(&[
+        "total_activations".into(),
+        set.activations(TaskId(1)).to_string(),
+    ]);
     table.row(&["total_faults".into(), set.total_faults().to_string()]);
     for q in [0.5, 0.9, 0.99, 1.0] {
         let bound = set.response_bound(TaskId(1), q).expect("data present");

@@ -13,9 +13,7 @@ use dynplat_common::time::SimDuration;
 use dynplat_common::{AppId, EcuId};
 use dynplat_hw::ecu::CryptoSupport;
 use dynplat_security::master::{RedundantMasters, UpdateMaster, WeakEcuVerifier};
-use dynplat_security::package::{
-    InstallGate, KeyRegistry, SignedPackage, UpdatePackage, Version,
-};
+use dynplat_security::package::{InstallGate, KeyRegistry, SignedPackage, UpdatePackage, Version};
 use dynplat_security::sign::KeyPair;
 use std::time::Instant;
 
@@ -41,7 +39,11 @@ fn main() {
         "E8a — 64 KiB package verification cost by ECU crypto class",
         &["crypto_class", "relative_cost", "modeled_us"],
     );
-    for class in [CryptoSupport::Hsm, CryptoSupport::Accelerator, CryptoSupport::Software] {
+    for class in [
+        CryptoSupport::Hsm,
+        CryptoSupport::Accelerator,
+        CryptoSupport::Software,
+    ] {
         let factor = class.verify_cost_factor().expect("verifying classes");
         table.row(&[
             class.to_string(),
@@ -58,24 +60,39 @@ fn main() {
     );
     let mut tampered = signed.clone();
     tampered.package_bytes[1000] ^= 0x80;
-    table.row(&["payload_bit_flip".into(), tampered.verify(&registry).is_err().to_string()]);
+    table.row(&[
+        "payload_bit_flip".into(),
+        tampered.verify(&registry).is_err().to_string(),
+    ]);
 
     let rogue = KeyPair::from_seed(b"rogue authority");
     let forged = SignedPackage::create(&package, &rogue);
-    table.row(&["unsigned_authority".into(), forged.verify(&registry).is_err().to_string()]);
+    table.row(&[
+        "unsigned_authority".into(),
+        forged.verify(&registry).is_err().to_string(),
+    ]);
 
     let mut gate = InstallGate::new();
     gate.accept(&signed, &registry).expect("first install");
-    table.row(&["replay".into(), gate.accept(&signed, &registry).is_err().to_string()]);
+    table.row(&[
+        "replay".into(),
+        gate.accept(&signed, &registry).is_err().to_string(),
+    ]);
     let old = SignedPackage::create(
         &UpdatePackage::new(AppId(1), Version::new(1, 0, 0), 3, vec![1]),
         &authority,
     );
-    table.row(&["rollback".into(), gate.accept(&old, &registry).is_err().to_string()]);
+    table.row(&[
+        "rollback".into(),
+        gate.accept(&old, &registry).is_err().to_string(),
+    ]);
 
     let mut wrong_sig = signed.clone();
     wrong_sig.signature = authority.sign(b"something else");
-    table.row(&["signature_swap".into(), wrong_sig.verify(&registry).is_err().to_string()]);
+    table.row(&[
+        "signature_swap".into(),
+        wrong_sig.verify(&registry).is_err().to_string(),
+    ]);
 
     // -- update master for weak ECUs -------------------------------------------
     let psk = [0x55u8; 32];
@@ -91,7 +108,9 @@ fn main() {
     // gap is far larger still (software big-int vs one HMAC block).
     let small = UpdatePackage::new(AppId(2), Version::new(1, 0, 0), 1, vec![0u8; 64]);
     let small_signed = SignedPackage::create(&small, &authority);
-    let (_, small_voucher) = m1.verify_for(&small_signed, EcuId(0)).expect("master verifies");
+    let (_, small_voucher) = m1
+        .verify_for(&small_signed, EcuId(0))
+        .expect("master verifies");
     let reps = 20_000u32;
     let start = Instant::now();
     for _ in 0..reps {
@@ -124,5 +143,8 @@ fn main() {
     );
     table.row(&["both_masters_up".into(), "true".into()]);
     table.row(&["primary_failed".into(), served_after_failure.to_string()]);
-    table.row(&["all_masters_failed".into(), served_after_total_loss.to_string()]);
+    table.row(&[
+        "all_masters_failed".into(),
+        served_after_total_loss.to_string(),
+    ]);
 }

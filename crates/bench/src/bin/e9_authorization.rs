@@ -67,12 +67,12 @@ fn main() {
         &["client", "service", "permission", "decision"],
     );
     let checks = [
-        (AppId(2), ServiceId(1), Permission::Call(MethodId(1))),  // declared
-        (AppId(2), ServiceId(3), Permission::Subscribe),          // declared
-        (AppId(2), ServiceId(2), Permission::Call(MethodId(1))),  // NOT declared
-        (AppId(3), ServiceId(2), Permission::Call(MethodId(1))),  // declared
-        (AppId(3), ServiceId(1), Permission::Call(MethodId(1))),  // NOT declared
-        (AppId(9), ServiceId(1), Permission::Call(MethodId(1))),  // unknown app
+        (AppId(2), ServiceId(1), Permission::Call(MethodId(1))), // declared
+        (AppId(2), ServiceId(3), Permission::Subscribe),         // declared
+        (AppId(2), ServiceId(2), Permission::Call(MethodId(1))), // NOT declared
+        (AppId(3), ServiceId(2), Permission::Call(MethodId(1))), // declared
+        (AppId(3), ServiceId(1), Permission::Call(MethodId(1))), // NOT declared
+        (AppId(9), ServiceId(1), Permission::Call(MethodId(1))), // unknown app
     ];
     for (client, service, perm) in checks {
         table.row(&[
@@ -99,7 +99,10 @@ fn main() {
     table.row(&["version_after".into(), live.version().to_string()]);
     table.row(&[
         "logger_subscribe_state".into(),
-        format!("{:?}", live.check(AppId(42), ServiceId(3), Permission::Subscribe)),
+        format!(
+            "{:?}",
+            live.check(AppId(42), ServiceId(3), Permission::Subscribe)
+        ),
     ]);
     table.row(&[
         "wildcard_grants_for_audit".into(),
@@ -109,6 +112,9 @@ fn main() {
     live.revoke(AppId(42), ServiceId(3), Permission::All);
     table.row(&[
         "logger_after_revoke".into(),
-        format!("{:?}", live.check(AppId(42), ServiceId(3), Permission::Subscribe)),
+        format!(
+            "{:?}",
+            live.check(AppId(42), ServiceId(3), Permission::Subscribe)
+        ),
     ]);
 }

@@ -28,7 +28,11 @@ fn main() {
         let apps = vehicle_functions(n);
         let (_, fed) = federated_architecture(&apps);
         let pool = (n / 8).clamp(2, 8) as u16;
-        let cfg = DseConfig { iterations: 1500, seed: 7, ..Default::default() };
+        let cfg = DseConfig {
+            iterations: 1500,
+            seed: 7,
+            ..Default::default()
+        };
         let (_, _, cons) = consolidated_architecture(&apps, pool, &cfg);
         table.row(&[
             n.to_string(),

@@ -17,9 +17,27 @@ use dynplat_sched::tt;
 
 fn da_tasks() -> Vec<TaskSpec> {
     vec![
-        TaskSpec::periodic(TaskId(1), "ctrl-2ms", SimDuration::from_millis(2), SimDuration::from_micros(200)).with_priority(0),
-        TaskSpec::periodic(TaskId(2), "ctrl-10ms", SimDuration::from_millis(10), SimDuration::from_millis(1)).with_priority(1),
-        TaskSpec::periodic(TaskId(3), "adas-20ms", SimDuration::from_millis(20), SimDuration::from_micros(1500)).with_priority(2),
+        TaskSpec::periodic(
+            TaskId(1),
+            "ctrl-2ms",
+            SimDuration::from_millis(2),
+            SimDuration::from_micros(200),
+        )
+        .with_priority(0),
+        TaskSpec::periodic(
+            TaskId(2),
+            "ctrl-10ms",
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(1),
+        )
+        .with_priority(1),
+        TaskSpec::periodic(
+            TaskId(3),
+            "adas-20ms",
+            SimDuration::from_millis(20),
+            SimDuration::from_micros(1500),
+        )
+        .with_priority(2),
     ]
 }
 

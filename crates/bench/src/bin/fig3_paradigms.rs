@@ -73,17 +73,15 @@ fn main() {
                     priority: 1,
                 })
                 .collect();
-            let mut lats: Vec<SimDuration> =
-                fabric.run(sends, |_| vec![]).iter().map(|d| d.latency()).collect();
+            let mut lats: Vec<SimDuration> = fabric
+                .run(sends, |_| vec![])
+                .iter()
+                .map(|d| d.latency())
+                .collect();
             lats.sort();
             let median = lats[lats.len() / 2];
             let p99 = lats[lats.len() * 99 / 100];
-            table.row(&[
-                medium.to_owned(),
-                payload.to_string(),
-                us(median),
-                us(p99),
-            ]);
+            table.row(&[medium.to_owned(), payload.to_string(), us(median), us(p99)]);
         }
     }
 
@@ -111,7 +109,11 @@ fn main() {
                 })
                 .collect();
             let stats = run_rpc(&mut fabric, &calls);
-            let worst = stats.iter().map(|s| s.round_trip).max().expect("calls complete");
+            let worst = stats
+                .iter()
+                .map(|s| s.round_trip)
+                .max()
+                .expect("calls complete");
             table.row(&[
                 medium.to_owned(),
                 req.to_string(),
@@ -124,7 +126,14 @@ fn main() {
     // -- Stream: continuous frames with dependencies -------------------------
     let table = Table::new(
         "E3c / Fig.3 — Stream paradigm: 100 frames @ 5 ms",
-        &["medium", "frame_B", "delivered", "mean_us", "decodable_worst_us", "jitter_us"],
+        &[
+            "medium",
+            "frame_B",
+            "delivered",
+            "mean_us",
+            "decodable_worst_us",
+            "jitter_us",
+        ],
     );
     for medium in media {
         for frame in [512usize, 4096, 16384] {

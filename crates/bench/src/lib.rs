@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+
 use dynplat_common::time::SimDuration;
 use dynplat_common::{AppId, AppKind, Asil};
 use dynplat_model::ir::AppModel;
@@ -22,7 +24,9 @@ impl Table {
     pub fn new(title: &str, columns: &[&str]) -> Self {
         println!("# {title}");
         println!("{}", columns.join("\t"));
-        Table { columns: columns.iter().map(|s| (*s).to_owned()).collect() }
+        Table {
+            columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+        }
     }
 
     /// Prints one row.
@@ -62,7 +66,11 @@ pub fn vehicle_functions(n: u32) -> Vec<AppModel> {
             AppModel {
                 id: AppId(i + 1),
                 name: format!("fn{}", i + 1),
-                kind: if det { AppKind::Deterministic } else { AppKind::NonDeterministic },
+                kind: if det {
+                    AppKind::Deterministic
+                } else {
+                    AppKind::NonDeterministic
+                },
                 asil: Asil::ALL[(i % 5) as usize],
                 provides: vec![],
                 consumes: vec![],
@@ -83,7 +91,10 @@ mod tests {
     fn vehicle_functions_mix_kinds() {
         let fns = vehicle_functions(30);
         assert_eq!(fns.len(), 30);
-        let det = fns.iter().filter(|f| f.kind == AppKind::Deterministic).count();
+        let det = fns
+            .iter()
+            .filter(|f| f.kind == AppKind::Deterministic)
+            .count();
         assert!(det > 15 && det < 25);
     }
 

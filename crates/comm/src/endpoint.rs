@@ -106,12 +106,24 @@ impl ServiceSkeleton {
     }
 
     /// Registers a typed method with its handler (builder style).
-    pub fn method<F>(mut self, id: MethodId, request: DataType, response: DataType, handler: F) -> Self
+    pub fn method<F>(
+        mut self,
+        id: MethodId,
+        request: DataType,
+        response: DataType,
+        handler: F,
+    ) -> Self
     where
         F: FnMut(Value) -> Value + 'static,
     {
-        self.methods
-            .insert(id, MethodEntry { request, response, handler: Box::new(handler) });
+        self.methods.insert(
+            id,
+            MethodEntry {
+                request,
+                response,
+                handler: Box::new(handler),
+            },
+        );
         self
     }
 
@@ -165,7 +177,11 @@ impl ServiceSkeleton {
             return Ok(respond(ReturnCode::UnknownMethod, &[]));
         };
         if !matrix
-            .check(client, self.instance.service, Permission::Call(header.method))
+            .check(
+                client,
+                self.instance.service,
+                Permission::Call(header.method),
+            )
             .is_granted()
         {
             self.denied += 1;
@@ -192,13 +208,16 @@ impl ServiceSkeleton {
     /// an error naming the unknown event.
     pub fn notify(&self, event: EventGroupId, payload: &Value) -> Result<Vec<u8>, EndpointError> {
         let Some(ty) = self.events.get(&event) else {
-            return Err(EndpointError::TypeMismatch { expected: format!("unknown event {event}") });
+            return Err(EndpointError::TypeMismatch {
+                expected: format!("unknown event {event}"),
+            });
         };
         if !payload.conforms_to(ty) {
-            return Err(EndpointError::TypeMismatch { expected: ty.to_string() });
+            return Err(EndpointError::TypeMismatch {
+                expected: ty.to_string(),
+            });
         }
-        let mut header =
-            SomeIpHeader::notification(self.instance.service, MethodId(event.raw()));
+        let mut header = SomeIpHeader::notification(self.instance.service, MethodId(event.raw()));
         header.interface_version = self.interface_version;
         let body = payload.encode();
         header.payload_len = body.len() as u32;
@@ -219,7 +238,11 @@ impl ClientProxy {
     /// Creates a proxy for application `app` using `client_wire_id` on the
     /// wire.
     pub fn new(app: AppId, client_wire_id: u16) -> Self {
-        ClientProxy { app, client_wire_id, session: 0 }
+        ClientProxy {
+            app,
+            client_wire_id,
+            session: 0,
+        }
     }
 
     /// The application this proxy acts for.
@@ -241,7 +264,9 @@ impl ClientProxy {
         args: &Value,
     ) -> Result<Vec<u8>, EndpointError> {
         if !args.conforms_to(request_type) {
-            return Err(EndpointError::TypeMismatch { expected: request_type.to_string() });
+            return Err(EndpointError::TypeMismatch {
+                expected: request_type.to_string(),
+            });
         }
         self.session = self.session.wrapping_add(1);
         let mut header = SomeIpHeader::request(service, method, self.client_wire_id, self.session);
@@ -293,19 +318,17 @@ mod tests {
 
     fn skeleton() -> ServiceSkeleton {
         ServiceSkeleton::new(ServiceInstance::new(ServiceId(10), 0), 1)
-            .method(
-                MethodId(1),
-                speed_request_type(),
-                DataType::Bool,
-                |req| {
-                    let ok = req
-                        .field("limit_kmh")
-                        .and_then(Value::as_f64)
-                        .is_some_and(|v| v <= 250.0);
-                    Value::Bool(ok)
-                },
+            .method(MethodId(1), speed_request_type(), DataType::Bool, |req| {
+                let ok = req
+                    .field("limit_kmh")
+                    .and_then(Value::as_f64)
+                    .is_some_and(|v| v <= 250.0);
+                Value::Bool(ok)
+            })
+            .event(
+                EventGroupId(1),
+                DataType::record([("speed_kmh", DataType::F64)]),
             )
-            .event(EventGroupId(1), DataType::record([("speed_kmh", DataType::F64)]))
     }
 
     fn allowing_matrix() -> AccessControlMatrix {
@@ -324,7 +347,9 @@ mod tests {
             .request(ServiceId(10), MethodId(1), &speed_request_type(), &args)
             .expect("conforms");
         let response = skel.handle(AppId(2), &request, &matrix).expect("handled");
-        let value = proxy.parse_response(&response, &DataType::Bool).expect("ok");
+        let value = proxy
+            .parse_response(&response, &DataType::Bool)
+            .expect("ok");
         assert_eq!(value, Value::Bool(true));
         assert_eq!(skel.served(), 1);
         assert_eq!(skel.denied(), 0);
@@ -340,7 +365,9 @@ mod tests {
             .request(ServiceId(10), MethodId(1), &speed_request_type(), &args)
             .expect("conforms");
         let response = skel.handle(AppId(2), &request, &matrix).expect("handled");
-        let value = proxy.parse_response(&response, &DataType::Bool).expect("ok");
+        let value = proxy
+            .parse_response(&response, &DataType::Bool)
+            .expect("ok");
         assert_eq!(value, Value::Bool(false));
     }
 
@@ -354,7 +381,9 @@ mod tests {
             .request(ServiceId(10), MethodId(1), &speed_request_type(), &args)
             .expect("conforms");
         let response = skel.handle(AppId(66), &request, &matrix).expect("handled");
-        let err = intruder.parse_response(&response, &DataType::Bool).unwrap_err();
+        let err = intruder
+            .parse_response(&response, &DataType::Bool)
+            .unwrap_err();
         assert_eq!(err, EndpointError::Remote(ReturnCode::NotReachable));
         assert_eq!(skel.denied(), 1);
         assert_eq!(skel.served(), 0);
@@ -368,8 +397,12 @@ mod tests {
 
         // Unknown service.
         let req = proxy
-            .request(ServiceId(99), MethodId(1), &speed_request_type(),
-                &Value::record([("limit_kmh", Value::U32(1))]))
+            .request(
+                ServiceId(99),
+                MethodId(1),
+                &speed_request_type(),
+                &Value::record([("limit_kmh", Value::U32(1))]),
+            )
             .expect("conforms");
         let resp = skel.handle(AppId(2), &req, &matrix).expect("handled");
         assert_eq!(
@@ -379,8 +412,12 @@ mod tests {
 
         // Unknown method.
         let req = proxy
-            .request(ServiceId(10), MethodId(42), &speed_request_type(),
-                &Value::record([("limit_kmh", Value::U32(1))]))
+            .request(
+                ServiceId(10),
+                MethodId(42),
+                &speed_request_type(),
+                &Value::record([("limit_kmh", Value::U32(1))]),
+            )
             .expect("conforms");
         let resp = skel.handle(AppId(2), &req, &matrix).expect("handled");
         assert_eq!(
@@ -403,7 +440,12 @@ mod tests {
     fn proxy_rejects_non_conforming_arguments_locally() {
         let mut proxy = ClientProxy::new(AppId(2), 7);
         let err = proxy
-            .request(ServiceId(10), MethodId(1), &speed_request_type(), &Value::U8(1))
+            .request(
+                ServiceId(10),
+                MethodId(1),
+                &speed_request_type(),
+                &Value::U8(1),
+            )
             .unwrap_err();
         assert!(matches!(err, EndpointError::TypeMismatch { .. }));
     }
@@ -427,19 +469,31 @@ mod tests {
         let skel = skeleton();
         assert!(skel.notify(EventGroupId(1), &Value::U8(1)).is_err());
         assert!(skel
-            .notify(EventGroupId(9), &Value::record([("speed_kmh", Value::F64(1.0))]))
+            .notify(
+                EventGroupId(9),
+                &Value::record([("speed_kmh", Value::F64(1.0))])
+            )
             .is_err());
     }
 
     #[test]
     fn buggy_handler_response_is_contained() {
-        let mut skel = ServiceSkeleton::new(ServiceInstance::new(ServiceId(10), 0), 1)
-            .method(MethodId(1), DataType::Bool, DataType::Bool, |_| Value::U64(999));
+        let mut skel = ServiceSkeleton::new(ServiceInstance::new(ServiceId(10), 0), 1).method(
+            MethodId(1),
+            DataType::Bool,
+            DataType::Bool,
+            |_| Value::U64(999),
+        );
         let mut matrix = AccessControlMatrix::new();
         matrix.grant(AppId(2), ServiceId(10), Permission::Call(MethodId(1)));
         let mut proxy = ClientProxy::new(AppId(2), 1);
         let req = proxy
-            .request(ServiceId(10), MethodId(1), &DataType::Bool, &Value::Bool(true))
+            .request(
+                ServiceId(10),
+                MethodId(1),
+                &DataType::Bool,
+                &Value::Bool(true),
+            )
             .expect("conforms");
         let resp = skel.handle(AppId(2), &req, &matrix).expect("handled");
         assert_eq!(
@@ -452,10 +506,20 @@ mod tests {
     fn sessions_increment_per_request() {
         let mut proxy = ClientProxy::new(AppId(2), 7);
         let r1 = proxy
-            .request(ServiceId(10), MethodId(1), &DataType::Bool, &Value::Bool(true))
+            .request(
+                ServiceId(10),
+                MethodId(1),
+                &DataType::Bool,
+                &Value::Bool(true),
+            )
             .expect("ok");
         let r2 = proxy
-            .request(ServiceId(10), MethodId(1), &DataType::Bool, &Value::Bool(true))
+            .request(
+                ServiceId(10),
+                MethodId(1),
+                &DataType::Bool,
+                &Value::Bool(true),
+            )
             .expect("ok");
         let (h1, _) = SomeIpHeader::decode(&r1).expect("decodes");
         let (h2, _) = SomeIpHeader::decode(&r2).expect("decodes");

@@ -68,9 +68,7 @@ impl BusPort {
     pub fn default_for(kind: BusKind) -> BusPort {
         match kind {
             BusKind::Can { bitrate } => BusPort::Can(CanArbiter::new(bitrate)),
-            BusKind::Ethernet { bitrate } => {
-                BusPort::Priority(StrictPriorityPort::new(bitrate))
-            }
+            BusKind::Ethernet { bitrate } => BusPort::Priority(StrictPriorityPort::new(bitrate)),
             BusKind::FlexRay { .. } => BusPort::FlexRay(FlexRayBus::new(
                 dynplat_net::FlexRayConfig::typical_10mbit(),
                 SlotAssignment::new(),
@@ -208,10 +206,10 @@ impl Fabric {
         let mut payloads: BTreeMap<u64, Event> = BTreeMap::new();
         let mut seq = 0u64;
         let push = |heap: &mut BinaryHeap<Reverse<(SimTime, u64)>>,
-                        payloads: &mut BTreeMap<u64, Event>,
-                        seq: &mut u64,
-                        t: SimTime,
-                        ev: Event| {
+                    payloads: &mut BTreeMap<u64, Event>,
+                    seq: &mut u64,
+                    t: SimTime,
+                    ev: Event| {
             let s = *seq;
             *seq += 1;
             payloads.insert(s, ev);
@@ -252,10 +250,21 @@ impl Fabric {
                     }
                     let key = msg_key;
                     msg_key += 1;
-                    let state = MsgState { send, route: route.buses, hop: 0, segs_outstanding: 0 };
+                    let state = MsgState {
+                        send,
+                        route: route.buses,
+                        hop: 0,
+                        segs_outstanding: 0,
+                    };
                     msgs.insert(key, state);
                     self.start_hop(
-                        key, now, &mut msgs, &mut heap, &mut payloads, &mut seq, &bus_free,
+                        key,
+                        now,
+                        &mut msgs,
+                        &mut heap,
+                        &mut payloads,
+                        &mut seq,
+                        &bus_free,
                         &mut bus_next_poll,
                     );
                 }
@@ -266,7 +275,14 @@ impl Fabric {
                     bus_next_poll.remove(&bus);
                     let free = bus_free.get(&bus).copied().unwrap_or(SimTime::ZERO);
                     if now < free {
-                        schedule_poll(&mut bus_next_poll, &mut heap, &mut payloads, &mut seq, bus, free);
+                        schedule_poll(
+                            &mut bus_next_poll,
+                            &mut heap,
+                            &mut payloads,
+                            &mut seq,
+                            bus,
+                            free,
+                        );
                         continue;
                     }
                     let port = self.ports.get_mut(&bus).expect("port exists");
@@ -281,10 +297,24 @@ impl Fabric {
                                 tx.end,
                                 Event::TxDone(bus, key),
                             );
-                            schedule_poll(&mut bus_next_poll, &mut heap, &mut payloads, &mut seq, bus, tx.end);
+                            schedule_poll(
+                                &mut bus_next_poll,
+                                &mut heap,
+                                &mut payloads,
+                                &mut seq,
+                                bus,
+                                tx.end,
+                            );
                         }
                         Grant::WaitUntil(t) => {
-                            schedule_poll(&mut bus_next_poll, &mut heap, &mut payloads, &mut seq, bus, t);
+                            schedule_poll(
+                                &mut bus_next_poll,
+                                &mut heap,
+                                &mut payloads,
+                                &mut seq,
+                                bus,
+                                t,
+                            );
                         }
                         Grant::Idle => {}
                     }
@@ -319,7 +349,13 @@ impl Fabric {
                     } else {
                         let at = now + self.gateway_delay;
                         self.start_hop(
-                            key, at, &mut msgs, &mut heap, &mut payloads, &mut seq, &bus_free,
+                            key,
+                            at,
+                            &mut msgs,
+                            &mut heap,
+                            &mut payloads,
+                            &mut seq,
+                            &bus_free,
                             &mut bus_next_poll,
                         );
                     }
@@ -414,7 +450,12 @@ mod tests {
             ],
             [
                 BusSpec::new(BusId(0), "can0", BusKind::can_500k(), [EcuId(0), EcuId(1)]),
-                BusSpec::new(BusId(1), "eth0", BusKind::ethernet_100m(), [EcuId(1), EcuId(2)]),
+                BusSpec::new(
+                    BusId(1),
+                    "eth0",
+                    BusKind::ethernet_100m(),
+                    [EcuId(1), EcuId(2)],
+                ),
             ],
         )
         .unwrap()
@@ -546,8 +587,7 @@ mod tests {
     #[test]
     fn throughput_accounting_many_messages() {
         let mut fabric = Fabric::new(topo());
-        let sends: Vec<MessageSend> =
-            (0..200).map(|i| send(i, (i * 10) as u64, 1, 2, 1000)).collect();
+        let sends: Vec<MessageSend> = (0..200).map(|i| send(i, i * 10, 1, 2, 1000)).collect();
         let done = fabric.run(sends, |_| vec![]);
         assert_eq!(done.len(), 200);
         // Completion order is monotone in delivery time.

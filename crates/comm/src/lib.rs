@@ -19,7 +19,10 @@
 //!   interface DSL attaches to each port;
 //! * [`endpoint`] — the typed runtime layer: service skeletons and client
 //!   proxies that link dynamically under access control, the Adaptive-RTE
-//!   behavior the paper's §5.2 points to.
+//!   behavior the paper's §5.2 points to;
+//! * [`retry`] — client-side robustness: per-request timeout, capped
+//!   exponential backoff with deterministic jitter, and a circuit breaker
+//!   per (client, service) edge.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +31,7 @@ pub mod endpoint;
 pub mod fabric;
 pub mod paradigm;
 pub mod qos;
+pub mod retry;
 pub mod sd;
 pub mod wire;
 
@@ -35,5 +39,6 @@ pub use endpoint::{ClientProxy, EndpointError, ServiceSkeleton};
 pub use fabric::{BusPort, Fabric, MessageDelivery, MessageSend};
 pub use paradigm::{EventBus, RpcStats, StreamStats};
 pub use qos::QosSpec;
+pub use retry::{Attempt, BreakerState, CircuitBreaker, RetryPolicy};
 pub use sd::{SdEntry, ServiceDirectory};
 pub use wire::{MessageType, ReturnCode, SomeIpHeader};

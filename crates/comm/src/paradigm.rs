@@ -249,9 +249,17 @@ pub fn run_stream(fabric: &mut Fabric, spec: &StreamSpec) -> StreamStats {
     StreamStats {
         delivered,
         sent: spec.frames,
-        mean_latency: if delivered > 0 { lat_sum / delivered as u64 } else { SimDuration::ZERO },
+        mean_latency: if delivered > 0 {
+            lat_sum / delivered as u64
+        } else {
+            SimDuration::ZERO
+        },
         max_decodable_latency: max_decodable,
-        jitter: if delivered > 0 { lat_max.saturating_sub(lat_min) } else { SimDuration::ZERO },
+        jitter: if delivered > 0 {
+            lat_max.saturating_sub(lat_min)
+        } else {
+            SimDuration::ZERO
+        },
     }
 }
 
@@ -444,6 +452,9 @@ mod tests {
             .collect();
         let busy_max = stream_lats.iter().copied().max().unwrap();
         let busy_min = stream_lats.iter().copied().min().unwrap();
-        assert!(busy_max - busy_min > idle.jitter, "congestion should add jitter");
+        assert!(
+            busy_max - busy_min > idle.jitter,
+            "congestion should add jitter"
+        );
     }
 }

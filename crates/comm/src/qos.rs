@@ -8,10 +8,9 @@
 
 use dynplat_common::time::SimDuration;
 use dynplat_net::TrafficClass;
-use serde::{Deserialize, Serialize};
 
 /// Requirements a communication relation must satisfy.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct QosSpec {
     /// Maximum end-to-end latency, if bounded.
     pub max_latency: Option<SimDuration>,
@@ -62,8 +61,7 @@ impl QosSpec {
 
     /// Checks an observed (latency, jitter) pair against the bounds.
     pub fn is_met(&self, latency: SimDuration, jitter: SimDuration) -> bool {
-        self.max_latency.is_none_or(|b| latency <= b)
-            && self.max_jitter.is_none_or(|b| jitter <= b)
+        self.max_latency.is_none_or(|b| latency <= b) && self.max_jitter.is_none_or(|b| jitter <= b)
     }
 }
 
@@ -77,9 +75,18 @@ mod tests {
 
     #[test]
     fn class_mapping() {
-        assert_eq!(QosSpec::best_effort().traffic_class(), TrafficClass::BestEffort);
-        assert_eq!(QosSpec::control(ms(5)).traffic_class(), TrafficClass::Critical);
-        assert_eq!(QosSpec::streaming(2_000_000).traffic_class(), TrafficClass::Stream);
+        assert_eq!(
+            QosSpec::best_effort().traffic_class(),
+            TrafficClass::BestEffort
+        );
+        assert_eq!(
+            QosSpec::control(ms(5)).traffic_class(),
+            TrafficClass::Critical
+        );
+        assert_eq!(
+            QosSpec::streaming(2_000_000).traffic_class(),
+            TrafficClass::Stream
+        );
     }
 
     #[test]

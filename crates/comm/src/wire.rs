@@ -12,7 +12,6 @@
 
 use dynplat_common::codec::{ByteReader, ByteWriter, CodecError};
 use dynplat_common::{MethodId, ServiceId};
-use serde::{Deserialize, Serialize};
 
 /// Protocol version this implementation speaks.
 pub const PROTOCOL_VERSION: u8 = 1;
@@ -20,7 +19,7 @@ pub const PROTOCOL_VERSION: u8 = 1;
 pub const HEADER_LEN: usize = 16;
 
 /// SOME/IP message types (subset plus a stream-data extension).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MessageType {
     /// RPC request expecting a response.
     Request,
@@ -62,7 +61,7 @@ impl MessageType {
 }
 
 /// SOME/IP return codes (subset).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum ReturnCode {
     /// Success.
     #[default]
@@ -101,7 +100,7 @@ impl ReturnCode {
 }
 
 /// The 16-byte message header.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SomeIpHeader {
     /// Target service.
     pub service: ServiceId,
@@ -295,7 +294,10 @@ mod tests {
         wire[12] = 9; // protocol version byte
         assert!(matches!(
             SomeIpHeader::decode(&wire),
-            Err(CodecError::InvalidValue { field: "protocol version", .. })
+            Err(CodecError::InvalidValue {
+                field: "protocol version",
+                ..
+            })
         ));
     }
 

@@ -23,7 +23,6 @@
 //! # Ok::<(), dynplat_common::codec::CodecError>(())
 //! ```
 
-use bytes::{BufMut, Bytes, BytesMut};
 use std::fmt;
 
 /// Error produced when decoding malformed or truncated byte input.
@@ -58,7 +57,10 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::UnexpectedEnd { needed, remaining } => {
-                write!(f, "unexpected end of input: needed {needed} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} remain"
+                )
             }
             CodecError::InvalidValue { field, value } => {
                 write!(f, "invalid value {value} for field `{field}`")
@@ -76,53 +78,55 @@ impl std::error::Error for CodecError {}
 /// Appends big-endian encoded fields to a growable buffer.
 #[derive(Clone, Debug, Default)]
 pub struct ByteWriter {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl ByteWriter {
     /// Creates an empty writer.
     pub fn new() -> Self {
-        ByteWriter { buf: BytesMut::new() }
+        ByteWriter { buf: Vec::new() }
     }
 
     /// Creates a writer with `cap` bytes preallocated.
     pub fn with_capacity(cap: usize) -> Self {
-        ByteWriter { buf: BytesMut::with_capacity(cap) }
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Appends a single byte.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Appends a big-endian `u16`.
     pub fn put_u16(&mut self, v: u16) {
-        self.buf.put_u16(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Appends a big-endian `u32`.
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.put_u32(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Appends a big-endian `u64`.
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.put_u64(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Appends a big-endian `i64`.
     pub fn put_i64(&mut self, v: i64) {
-        self.buf.put_i64(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Appends an IEEE-754 `f64` in big-endian byte order.
     pub fn put_f64(&mut self, v: f64) {
-        self.buf.put_f64(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Appends raw bytes.
     pub fn put_bytes(&mut self, v: &[u8]) {
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(v);
     }
 
     /// Appends a `u32` length prefix followed by the bytes.
@@ -158,14 +162,14 @@ impl ByteWriter {
         self.buf[offset..offset + 4].copy_from_slice(&v.to_be_bytes());
     }
 
-    /// Finishes writing and returns the immutable buffer.
-    pub fn into_bytes(self) -> Bytes {
-        self.buf.freeze()
+    /// Finishes writing and returns the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
     }
 
     /// Finishes writing and returns an owned `Vec<u8>`.
     pub fn into_vec(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf
     }
 }
 
@@ -199,7 +203,10 @@ impl<'a> ByteReader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if self.remaining() < n {
-            return Err(CodecError::UnexpectedEnd { needed: n, remaining: self.remaining() });
+            return Err(CodecError::UnexpectedEnd {
+                needed: n,
+                remaining: self.remaining(),
+            });
         }
         let out = &self.input[self.pos..self.pos + n];
         self.pos += n;
@@ -297,7 +304,9 @@ impl<'a> ByteReader<'a> {
     /// errors of [`ByteReader::take_len_prefixed`].
     pub fn take_string(&mut self) -> Result<String, CodecError> {
         let raw = self.take_len_prefixed(1 << 20)?;
-        std::str::from_utf8(raw).map(str::to_owned).map_err(|_| CodecError::InvalidUtf8)
+        std::str::from_utf8(raw)
+            .map(str::to_owned)
+            .map_err(|_| CodecError::InvalidUtf8)
     }
 
     /// Returns the rest of the input without consuming it.
@@ -337,7 +346,13 @@ mod tests {
     fn truncated_input_reports_unexpected_end() {
         let mut r = ByteReader::new(&[1, 2]);
         let err = r.take_u32().unwrap_err();
-        assert_eq!(err, CodecError::UnexpectedEnd { needed: 4, remaining: 2 });
+        assert_eq!(
+            err,
+            CodecError::UnexpectedEnd {
+                needed: 4,
+                remaining: 2
+            }
+        );
     }
 
     #[test]
@@ -347,7 +362,13 @@ mod tests {
         let buf = w.into_vec();
         let mut r = ByteReader::new(&buf);
         let err = r.take_len_prefixed(100).unwrap_err();
-        assert_eq!(err, CodecError::LengthOutOfRange { len: 10_000, max: 100 });
+        assert_eq!(
+            err,
+            CodecError::LengthOutOfRange {
+                len: 10_000,
+                max: 100
+            }
+        );
     }
 
     #[test]

@@ -6,7 +6,6 @@
 //! scheduling — typically infotainment). Orthogonally, ISO 26262 assigns each
 //! function an Automotive Safety Integrity Level (ASIL).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -23,9 +22,7 @@ use std::str::FromStr;
 /// assert!(Asil::D > Asil::A);
 /// assert_eq!("ASIL-C".parse::<Asil>().unwrap(), Asil::C);
 /// ```
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Asil {
     /// Quality Managed — no safety requirements.
     #[default]
@@ -107,7 +104,7 @@ impl FromStr for Asil {
 }
 
 /// The two application categories of the paper's §3.1 application model.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AppKind {
     /// Strict schedule requirements: fixed activation intervals, computation
     /// deadlines, bounded jitter. Requires an RTOS-style scheduler.
@@ -129,6 +126,58 @@ impl fmt::Display for AppKind {
         match self {
             AppKind::Deterministic => write!(f, "deterministic"),
             AppKind::NonDeterministic => write!(f, "non-deterministic"),
+        }
+    }
+}
+
+/// Platform-wide operating level of the degradation ladder (§3.3).
+///
+/// Under fault pressure the platform sheds load in criticality order:
+/// non-deterministic (infotainment) functions go first, deterministic
+/// control functions are protected to the end. Ordered from healthiest
+/// ([`DegradationLevel::Full`]) to most degraded
+/// ([`DegradationLevel::LimpHome`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DegradationLevel {
+    /// All applications run.
+    #[default]
+    Full,
+    /// Low-criticality non-deterministic load is shed.
+    Degraded,
+    /// Only deterministic, safety-rated functions keep running.
+    LimpHome,
+}
+
+impl DegradationLevel {
+    /// All levels, healthiest first.
+    pub const ALL: [DegradationLevel; 3] = [
+        DegradationLevel::Full,
+        DegradationLevel::Degraded,
+        DegradationLevel::LimpHome,
+    ];
+
+    /// `true` if an application of `kind` at `asil` may run at this level.
+    ///
+    /// The shedding order protects deterministic applications: at
+    /// [`DegradationLevel::Degraded`] every non-deterministic application
+    /// below ASIL-B is stopped; at [`DegradationLevel::LimpHome`] all
+    /// non-deterministic load is stopped and only deterministic
+    /// applications rated ASIL-A or higher remain.
+    pub fn admits(self, kind: AppKind, asil: Asil) -> bool {
+        match self {
+            DegradationLevel::Full => true,
+            DegradationLevel::Degraded => kind.is_deterministic() || asil >= Asil::B,
+            DegradationLevel::LimpHome => kind.is_deterministic() && asil >= Asil::A,
+        }
+    }
+}
+
+impl fmt::Display for DegradationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradationLevel::Full => write!(f, "full"),
+            DegradationLevel::Degraded => write!(f, "degraded"),
+            DegradationLevel::LimpHome => write!(f, "limp-home"),
         }
     }
 }
@@ -180,5 +229,36 @@ mod tests {
         assert!(AppKind::Deterministic.is_deterministic());
         assert!(!AppKind::NonDeterministic.is_deterministic());
         assert_eq!(AppKind::Deterministic.to_string(), "deterministic");
+    }
+
+    #[test]
+    fn degradation_sheds_nda_before_da() {
+        use DegradationLevel::*;
+        // Full admits everything.
+        for a in Asil::ALL {
+            assert!(Full.admits(AppKind::Deterministic, a));
+            assert!(Full.admits(AppKind::NonDeterministic, a));
+        }
+        // Degraded drops low-criticality NDA but keeps all DA.
+        assert!(!Degraded.admits(AppKind::NonDeterministic, Asil::Qm));
+        assert!(Degraded.admits(AppKind::NonDeterministic, Asil::B));
+        for a in Asil::ALL {
+            assert!(Degraded.admits(AppKind::Deterministic, a));
+        }
+        // Limp-home keeps only safety-rated DA.
+        assert!(!LimpHome.admits(AppKind::NonDeterministic, Asil::D));
+        assert!(!LimpHome.admits(AppKind::Deterministic, Asil::Qm));
+        assert!(LimpHome.admits(AppKind::Deterministic, Asil::A));
+        // The admitted set shrinks monotonically along the ladder.
+        for kind in [AppKind::Deterministic, AppKind::NonDeterministic] {
+            for a in Asil::ALL {
+                for pair in DegradationLevel::ALL.windows(2) {
+                    if pair[0].admits(kind, a) || !pair[1].admits(kind, a) {
+                        continue;
+                    }
+                    panic!("{kind}/{a} admitted at {} but not {}", pair[1], pair[0]);
+                }
+            }
+        }
     }
 }

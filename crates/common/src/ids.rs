@@ -5,16 +5,12 @@
 //! All identifiers are small `Copy` integers with `Display` in a short,
 //! greppable format (`ecu3`, `app17`, ...).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $prefix:literal, $repr:ty) => {
         $(#[$doc])*
-        #[derive(
-            Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash,
-            Serialize, Deserialize,
-        )]
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub $repr);
 
         impl $name {
@@ -91,9 +87,7 @@ id_type!(
 );
 
 /// A combined service + instance address, as used by service discovery.
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ServiceInstance {
     /// The service type offered.
     pub service: ServiceId,
@@ -135,7 +129,10 @@ pub struct IdAllocator<T> {
 impl<T: From<u32>> IdAllocator<T> {
     /// Creates an allocator starting at zero.
     pub fn new() -> Self {
-        IdAllocator { next: 0, _marker: std::marker::PhantomData }
+        IdAllocator {
+            next: 0,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Returns the next identifier.

@@ -36,10 +36,10 @@ pub mod time;
 pub mod value;
 
 pub use codec::{ByteReader, ByteWriter, CodecError};
-pub use criticality::{AppKind, Asil};
+pub use criticality::{AppKind, Asil, DegradationLevel};
 pub use ids::{
-    AppId, BusId, EcuId, EventGroupId, InstanceId, LinkId, MessageId, MethodId, NodeId,
-    ServiceId, TaskId, VehicleId,
+    AppId, BusId, EcuId, EventGroupId, InstanceId, LinkId, MessageId, MethodId, NodeId, ServiceId,
+    TaskId, VehicleId,
 };
 pub use time::{SimDuration, SimTime};
 pub use value::{DataType, Value};

@@ -2,25 +2,203 @@
 //!
 //! Every experiment in the workspace must be reproducible from a seed, so all
 //! stochastic components (workload generators, jitter models, simulated
-//! annealing) draw from [`seeded_rng`] or from streams split off a parent
-//! seed with [`split_seed`].
+//! annealing, fault injection) draw from [`seeded_rng`] or from streams split
+//! off a parent seed with [`split_seed`].
+//!
+//! The generator is implemented in-repo (a SplitMix64 stream, the same
+//! finalizer [`split_seed`] uses) so the workspace builds with no external
+//! dependencies and fault campaigns replay byte-identically on every
+//! toolchain. The [`Rng`] trait mirrors the small slice of the `rand` API
+//! the workspace uses (`gen`, `gen_range`, `gen_bool`).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// The minimal random-number interface used across the workspace.
+///
+/// Mirrors the `rand::Rng` surface the crates rely on so generic samplers
+/// (`fn sample<R: Rng>(rng: &mut R)`) read identically.
+pub trait Rng {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a uniformly distributed value of `T`.
+    fn gen<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_in(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: Rng> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from an [`Rng`].
+pub trait Sample: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uint {
+    ($($ty:ty),*) => {$(
+        impl Sample for $ty {
+            fn sample<R: Rng>(rng: &mut R) -> Self {
+                // Truncation keeps the uniform distribution of the low bits.
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_uint!(u8, u16, u32, u64, usize, i64);
+
+impl Sample for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_in<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Maps 64 random bits onto `[0, span)` by widening multiply (no modulo
+/// skew worth speaking of at simulation scales).
+fn bounded(bits: u64, span: u64) -> u64 {
+    ((u128::from(bits) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! impl_sample_range_int {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_in<R: Rng>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + bounded(rng.next_u64(), span) as i128) as $ty
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_in<R: Rng>(self, rng: &mut R) -> $ty {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                (start as i128 + bounded(rng.next_u64(), span + 1) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_in<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let u = f64::sample(rng);
+        let out = self.start + u * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if out < self.end {
+            out
+        } else {
+            self.start
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_in<R: Rng>(self, rng: &mut R) -> f64 {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample from empty range");
+        let u = rng.next_u64() as f64 / u64::MAX as f64;
+        (start + u * (end - start)).clamp(start, end)
+    }
+}
+
+/// A deterministic SplitMix64 random-number generator.
+///
+/// Tiny state, fast fixed-cost steps, and — critical for the fault-injection
+/// layer — the same stream on every platform and toolchain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Derives an independent generator for a labeled stream, equivalent to
+    /// `seeded_rng(split_seed(seed, stream))`.
+    pub fn stream(&self, stream: u64) -> SplitMix64 {
+        SplitMix64::new(split_seed(self.state, stream))
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
 
 /// Creates a deterministic RNG from a 64-bit seed.
 ///
 /// # Examples
 ///
 /// ```
-/// use rand::Rng;
+/// use dynplat_common::rng::Rng;
 ///
 /// let mut a = dynplat_common::rng::seeded_rng(7);
 /// let mut b = dynplat_common::rng::seeded_rng(7);
 /// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
 /// ```
-pub fn seeded_rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn seeded_rng(seed: u64) -> SplitMix64 {
+    SplitMix64::new(seed)
 }
 
 /// Derives an independent child seed from a parent seed and a stream label.
@@ -91,6 +269,59 @@ mod tests {
     }
 
     #[test]
+    fn stream_matches_split_seed() {
+        let mut direct = seeded_rng(split_seed(9, 4));
+        let mut via_stream = seeded_rng(9).stream(4);
+        assert_eq!(direct.next_u64(), via_stream.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = seeded_rng(7);
+        for _ in 0..2000 {
+            let a = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&a));
+            let b = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&b));
+            let c = rng.gen_range(0usize..3);
+            assert!(c < 3);
+            let d = rng.gen_range(-1.5f64..1.5);
+            assert!((-1.5..1.5).contains(&d));
+            let e = rng.gen_range(-2.0f64..=2.0);
+            assert!((-2.0..=2.0).contains(&e));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        // Every value of a small range is hit (sanity against off-by-one).
+        let mut rng = seeded_rng(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_interval_is_half_open() {
+        let mut rng = seeded_rng(21);
+        for _ in 0..5000 {
+            let u = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = seeded_rng(5);
+        let n = 10_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / f64::from(n);
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate} too far from 0.3");
+    }
+
+    #[test]
     fn truncated_normal_stays_in_bounds() {
         let mut rng = seeded_rng(9);
         for _ in 0..1000 {
@@ -110,8 +341,9 @@ mod tests {
     fn mean_is_near_one() {
         let mut rng = seeded_rng(5);
         let n = 5000;
-        let sum: f64 =
-            (0..n).map(|_| truncated_normal_factor(&mut rng, 0.1, 0.0, 2.0)).sum();
+        let sum: f64 = (0..n)
+            .map(|_| truncated_normal_factor(&mut rng, 0.1, 0.0, 2.0))
+            .sum();
         let mean = sum / f64::from(n);
         assert!((mean - 1.0).abs() < 0.02, "mean {mean} too far from 1.0");
     }

@@ -18,21 +18,16 @@
 //! assert!(third_activation > start);
 //! ```
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 
 /// A point in simulated time, measured in nanoseconds since simulation start.
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimTime(u64);
 
 /// A span of simulated time in nanoseconds.
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -147,7 +142,10 @@ impl SimDuration {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "seconds must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "seconds must be finite and non-negative"
+        );
         SimDuration((secs * 1e9).round() as u64)
     }
 
@@ -197,7 +195,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor.is_finite() && factor >= 0.0, "factor must be finite and non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "factor must be finite and non-negative"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 
@@ -238,9 +239,13 @@ const fn gcd(a: u64, b: u64) -> u64 {
 /// assert_eq!(h, SimDuration::from_millis(12));
 /// ```
 pub fn hyperperiod<I: IntoIterator<Item = SimDuration>>(periods: I) -> SimDuration {
-    periods
-        .into_iter()
-        .fold(SimDuration::ZERO, |acc, p| if acc.is_zero() { p } else { acc.lcm(p) })
+    periods.into_iter().fold(SimDuration::ZERO, |acc, p| {
+        if acc.is_zero() {
+            p
+        } else {
+            acc.lcm(p)
+        }
+    })
 }
 
 impl Add<SimDuration> for SimTime {
@@ -348,11 +353,11 @@ impl fmt::Display for SimDuration {
         let ns = self.0;
         if ns == 0 {
             write!(f, "0s")
-        } else if ns % 1_000_000_000 == 0 {
+        } else if ns.is_multiple_of(1_000_000_000) {
             write!(f, "{}s", ns / 1_000_000_000)
-        } else if ns % 1_000_000 == 0 {
+        } else if ns.is_multiple_of(1_000_000) {
             write!(f, "{}ms", ns / 1_000_000)
-        } else if ns % 1_000 == 0 {
+        } else if ns.is_multiple_of(1_000) {
             write!(f, "{}us", ns / 1_000)
         } else {
             write!(f, "{ns}ns")
@@ -383,7 +388,10 @@ mod tests {
         let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
         assert_eq!(t.as_millis(), 15);
         assert_eq!(t - SimTime::from_millis(10), SimDuration::from_millis(5));
-        assert_eq!(SimDuration::from_millis(4) * 3, SimDuration::from_millis(12));
+        assert_eq!(
+            SimDuration::from_millis(4) * 3,
+            SimDuration::from_millis(12)
+        );
         assert_eq!(SimDuration::from_millis(9) / 3, SimDuration::from_millis(3));
         assert_eq!(SimDuration::from_millis(9) / SimDuration::from_millis(4), 2);
     }
@@ -400,8 +408,14 @@ mod tests {
     #[test]
     fn align_up_to_grid() {
         let p = SimDuration::from_millis(10);
-        assert_eq!(SimTime::from_millis(10).align_up(p), SimTime::from_millis(10));
-        assert_eq!(SimTime::from_millis(11).align_up(p), SimTime::from_millis(20));
+        assert_eq!(
+            SimTime::from_millis(10).align_up(p),
+            SimTime::from_millis(10)
+        );
+        assert_eq!(
+            SimTime::from_millis(11).align_up(p),
+            SimTime::from_millis(20)
+        );
         assert_eq!(SimTime::ZERO.align_up(p), SimTime::ZERO);
     }
 

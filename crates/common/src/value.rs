@@ -27,7 +27,6 @@
 //! ```
 
 use crate::codec::{ByteReader, ByteWriter, CodecError};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A self-describing interface data type.
@@ -35,7 +34,7 @@ use std::fmt;
 /// These are the types interface DSL definitions are written in; the
 /// verification engine checks payload compatibility against them and the
 /// middleware sizes frames from [`DataType::encoded_size_bounds`].
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// Boolean flag.
     Bool,
@@ -123,11 +122,16 @@ impl DataType {
             DataType::F64 => Value::F64(0.0),
             DataType::Str => Value::Str(String::new()),
             DataType::Blob => Value::Blob(Vec::new()),
-            DataType::Array(elem, len) => {
-                Value::Array(std::iter::repeat_with(|| elem.default_value()).take(*len).collect())
-            }
+            DataType::Array(elem, len) => Value::Array(
+                std::iter::repeat_with(|| elem.default_value())
+                    .take(*len)
+                    .collect(),
+            ),
             DataType::Record(fields) => Value::Record(
-                fields.iter().map(|(n, t)| (n.clone(), t.default_value())).collect(),
+                fields
+                    .iter()
+                    .map(|(n, t)| (n.clone(), t.default_value()))
+                    .collect(),
             ),
             DataType::Enum(_) => Value::EnumOrdinal(0),
         }
@@ -172,7 +176,7 @@ impl fmt::Display for DataType {
 }
 
 /// A runtime value of some [`DataType`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Value {
     /// Boolean.
     Bool(bool),
@@ -232,13 +236,12 @@ impl Value {
             }
             (Value::Record(vals), DataType::Record(fields)) => {
                 vals.len() == fields.len()
-                    && vals.iter().zip(fields).all(|((vn, v), (fn_, ft))| {
-                        vn == fn_ && v.conforms_to(ft)
-                    })
+                    && vals
+                        .iter()
+                        .zip(fields)
+                        .all(|((vn, v), (fn_, ft))| vn == fn_ && v.conforms_to(ft))
             }
-            (Value::EnumOrdinal(ord), DataType::Enum(variants)) => {
-                (*ord as usize) < variants.len()
-            }
+            (Value::EnumOrdinal(ord), DataType::Enum(variants)) => (*ord as usize) < variants.len(),
             _ => false,
         }
     }
@@ -286,7 +289,10 @@ impl Value {
         let mut r = ByteReader::new(input);
         let v = Self::decode_from(&mut r, ty)?;
         if !r.is_empty() {
-            return Err(CodecError::LengthOutOfRange { len: input.len(), max: r.position() });
+            return Err(CodecError::LengthOutOfRange {
+                len: input.len(),
+                max: r.position(),
+            });
         }
         Ok(v)
     }

@@ -4,12 +4,11 @@ use dynplat_common::time::SimDuration;
 use dynplat_common::{AppId, AppKind, Asil, ServiceId};
 use dynplat_model::ir::{AppModel, ConsumedPort};
 use dynplat_security::package::Version;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Everything the platform needs to know to host an application: the
 /// modeled behavior plus packaging metadata.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AppManifest {
     /// The modeled application (tasks, resources, ports, ASIL).
     pub model: AppModel,
@@ -23,7 +22,11 @@ pub struct AppManifest {
 impl AppManifest {
     /// Creates a manifest for a model at a version.
     pub fn new(model: AppModel, version: Version, image_digest: [u8; 32]) -> Self {
-        AppManifest { model, version, image_digest }
+        AppManifest {
+            model,
+            version,
+            image_digest,
+        }
     }
 
     /// The application id.
@@ -70,7 +73,7 @@ impl AppManifest {
 ///                             +--> Updating (staged update in progress)
 ///                             +--> Failed
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum LifecycleState {
     /// Package verified and unpacked; not scheduled yet.
     Installed,
@@ -162,9 +165,16 @@ mod tests {
     #[test]
     fn legal_lifecycle_path() {
         use LifecycleState::*;
-        let path = [Installed, Starting, Running, Updating, Running, Stopping, Stopped];
+        let path = [
+            Installed, Starting, Running, Updating, Running, Stopping, Stopped,
+        ];
         for pair in path.windows(2) {
-            assert!(pair[0].can_transition_to(pair[1]), "{} -> {}", pair[0], pair[1]);
+            assert!(
+                pair[0].can_transition_to(pair[1]),
+                "{} -> {}",
+                pair[0],
+                pair[1]
+            );
         }
     }
 

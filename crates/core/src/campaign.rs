@@ -10,15 +10,14 @@
 //! exceeds the policy bound.
 
 use dynplat_common::rng::seeded_rng;
+use dynplat_common::rng::Rng;
 use dynplat_common::{AppId, VehicleId};
 use dynplat_security::package::Version;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// One vehicle's current configuration as known to the backend.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct VehicleConfig {
     /// Vehicle identity.
     pub id: VehicleId,
@@ -33,7 +32,12 @@ pub struct VehicleConfig {
 impl VehicleConfig {
     /// Creates a configuration.
     pub fn new(id: VehicleId, free_memory_kib: u32, cpu_headroom: f64) -> Self {
-        VehicleConfig { id, installed: BTreeMap::new(), free_memory_kib, cpu_headroom }
+        VehicleConfig {
+            id,
+            installed: BTreeMap::new(),
+            free_memory_kib,
+            cpu_headroom,
+        }
     }
 
     /// Records an installed application (builder style).
@@ -44,7 +48,7 @@ impl VehicleConfig {
 }
 
 /// What the update being shipped requires from a vehicle.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct UpdateRequirements {
     /// The application being updated.
     pub app: AppId,
@@ -60,7 +64,7 @@ pub struct UpdateRequirements {
 }
 
 /// Why the backend refused a vehicle.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RejectReason {
     /// The app to update is not installed at all.
     NotInstalled,
@@ -89,7 +93,7 @@ impl fmt::Display for RejectReason {
 }
 
 /// Per-vehicle campaign outcome.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum VehicleOutcome {
     /// Updated successfully.
     Updated,
@@ -104,7 +108,7 @@ pub enum VehicleOutcome {
 
 /// Rollout policy: wave sizes as cumulative fleet fractions plus the halt
 /// threshold.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CampaignPolicy {
     /// Cumulative fleet fraction per wave, e.g. `[0.02, 0.2, 1.0]`.
     pub waves: Vec<f64>,
@@ -115,7 +119,10 @@ pub struct CampaignPolicy {
 
 impl Default for CampaignPolicy {
     fn default() -> Self {
-        CampaignPolicy { waves: vec![0.02, 0.2, 1.0], max_wave_failure_rate: 0.05 }
+        CampaignPolicy {
+            waves: vec![0.02, 0.2, 1.0],
+            max_wave_failure_rate: 0.05,
+        }
     }
 }
 
@@ -149,7 +156,7 @@ pub fn validate_vehicle(
 }
 
 /// Result of one wave.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct WaveReport {
     /// 0-based wave index.
     pub wave: usize,
@@ -176,7 +183,7 @@ impl WaveReport {
 }
 
 /// Full campaign result.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CampaignReport {
     /// Per-wave summaries, in rollout order.
     pub waves: Vec<WaveReport>,
@@ -189,7 +196,10 @@ pub struct CampaignReport {
 impl CampaignReport {
     /// Total vehicles updated.
     pub fn updated(&self) -> usize {
-        self.outcomes.values().filter(|o| **o == VehicleOutcome::Updated).count()
+        self.outcomes
+            .values()
+            .filter(|o| **o == VehicleOutcome::Updated)
+            .count()
     }
 
     /// Total in-vehicle failures.
@@ -266,8 +276,10 @@ impl UpdateCampaign {
     /// Runs the campaign over `fleet` (rollout order = slice order).
     pub fn run(&self, fleet: &[VehicleConfig]) -> CampaignReport {
         let mut rng = seeded_rng(self.seed);
-        let mut outcomes: BTreeMap<VehicleId, VehicleOutcome> =
-            fleet.iter().map(|v| (v.id, VehicleOutcome::NotAttempted)).collect();
+        let mut outcomes: BTreeMap<VehicleId, VehicleOutcome> = fleet
+            .iter()
+            .map(|v| (v.id, VehicleOutcome::NotAttempted))
+            .collect();
         let mut waves = Vec::new();
         let mut halted = false;
         let mut cursor = 0usize;
@@ -311,7 +323,11 @@ impl UpdateCampaign {
                 halted = true;
             }
         }
-        CampaignReport { waves, halted, outcomes }
+        CampaignReport {
+            waves,
+            halted,
+            outcomes,
+        }
     }
 }
 
@@ -330,8 +346,7 @@ mod tests {
     }
 
     fn healthy_vehicle(id: u32) -> VehicleConfig {
-        VehicleConfig::new(VehicleId(id), 4096, 0.5)
-            .with_installed(AppId(1), Version::new(1, 0, 0))
+        VehicleConfig::new(VehicleId(id), 4096, 0.5).with_installed(AppId(1), Version::new(1, 0, 0))
     }
 
     fn fleet(n: u32) -> Vec<VehicleConfig> {
@@ -346,13 +361,22 @@ mod tests {
             Err(RejectReason::NotInstalled)
         );
         let current = healthy_vehicle(1).with_installed(AppId(1), Version::new(2, 0, 0));
-        assert_eq!(validate_vehicle(&current, &req), Err(RejectReason::AlreadyCurrent));
+        assert_eq!(
+            validate_vehicle(&current, &req),
+            Err(RejectReason::AlreadyCurrent)
+        );
         let tight_mem = VehicleConfig::new(VehicleId(1), 512, 0.5)
             .with_installed(AppId(1), Version::new(1, 0, 0));
-        assert_eq!(validate_vehicle(&tight_mem, &req), Err(RejectReason::InsufficientMemory));
+        assert_eq!(
+            validate_vehicle(&tight_mem, &req),
+            Err(RejectReason::InsufficientMemory)
+        );
         let tight_cpu = VehicleConfig::new(VehicleId(1), 4096, 0.05)
             .with_installed(AppId(1), Version::new(1, 0, 0));
-        assert_eq!(validate_vehicle(&tight_cpu, &req), Err(RejectReason::InsufficientCpu));
+        assert_eq!(
+            validate_vehicle(&tight_cpu, &req),
+            Err(RejectReason::InsufficientCpu)
+        );
         assert_eq!(validate_vehicle(&healthy_vehicle(1), &req), Ok(()));
     }
 
@@ -413,7 +437,10 @@ mod tests {
     fn high_failure_rate_halts_the_campaign_after_the_canary_wave() {
         let campaign = UpdateCampaign::new(requirements())
             .with_field_failures(0.8, 3)
-            .with_policy(CampaignPolicy { waves: vec![0.1, 1.0], max_wave_failure_rate: 0.2 });
+            .with_policy(CampaignPolicy {
+                waves: vec![0.1, 1.0],
+                max_wave_failure_rate: 0.2,
+            });
         let report = campaign.run(&fleet(100));
         assert!(report.halted);
         assert_eq!(report.waves.len(), 1, "second wave never ran");

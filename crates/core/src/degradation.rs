@@ -1,0 +1,282 @@
+//! Criticality-aware degradation ladder (§3.3).
+//!
+//! When fault pressure rises — lost messages, failed nodes, missed
+//! deadlines — the platform walks the ladder Full → Degraded → LimpHome,
+//! shedding non-deterministic (infotainment) load first so deterministic
+//! control functions keep their resources. Escalation is immediate;
+//! recovery is guarded by hysteresis (pressure must stay below a fraction
+//! of the entry threshold for a hold period) so a flapping fault source
+//! cannot bounce the vehicle between levels.
+
+use crate::platform::DynamicPlatform;
+use dynplat_common::time::{SimDuration, SimTime};
+use dynplat_common::{AppId, AppKind, Asil, DegradationLevel};
+
+/// Thresholds and hysteresis of the ladder.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegradationConfig {
+    /// Fault pressure at or above which the platform enters
+    /// [`DegradationLevel::Degraded`].
+    pub degraded_threshold: f64,
+    /// Fault pressure at or above which the platform enters
+    /// [`DegradationLevel::LimpHome`].
+    pub limp_threshold: f64,
+    /// Recovery hysteresis: pressure must fall below
+    /// `recovery_margin x` the entry threshold of the current level before
+    /// the hold timer starts.
+    pub recovery_margin: f64,
+    /// How long pressure must stay below the recovery floor before the
+    /// platform steps one level back up.
+    pub recovery_hold: SimDuration,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        DegradationConfig {
+            degraded_threshold: 0.10,
+            limp_threshold: 0.35,
+            recovery_margin: 0.5,
+            recovery_hold: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// The ladder's state machine. Feed it a fault-pressure signal (any
+/// monotone badness measure in `[0, 1]`, e.g. the loss rate over the last
+/// observation window) and it yields level transitions.
+#[derive(Clone, Debug)]
+pub struct DegradationManager {
+    config: DegradationConfig,
+    level: DegradationLevel,
+    below_floor_since: Option<SimTime>,
+    transitions: Vec<(SimTime, DegradationLevel)>,
+}
+
+impl DegradationManager {
+    /// Creates a manager at [`DegradationLevel::Full`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < degraded_threshold <= limp_threshold` and
+    /// `recovery_margin` is in `(0, 1]`.
+    pub fn new(config: DegradationConfig) -> Self {
+        assert!(
+            config.degraded_threshold > 0.0 && config.degraded_threshold <= config.limp_threshold,
+            "thresholds must satisfy 0 < degraded <= limp"
+        );
+        assert!(
+            config.recovery_margin > 0.0 && config.recovery_margin <= 1.0,
+            "recovery margin must be in (0, 1]"
+        );
+        DegradationManager {
+            config,
+            level: DegradationLevel::Full,
+            below_floor_since: None,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// The current level.
+    pub fn level(&self) -> DegradationLevel {
+        self.level
+    }
+
+    /// Every transition so far, in time order.
+    pub fn transitions(&self) -> &[(SimTime, DegradationLevel)] {
+        &self.transitions
+    }
+
+    /// `true` if an application of `kind` at `asil` may run right now.
+    pub fn admits(&self, kind: AppKind, asil: Asil) -> bool {
+        self.level.admits(kind, asil)
+    }
+
+    /// The pressure below which recovery from the current level may begin.
+    fn recovery_floor(&self) -> f64 {
+        let entry = match self.level {
+            DegradationLevel::Full => return f64::INFINITY, // nothing to recover from
+            DegradationLevel::Degraded => self.config.degraded_threshold,
+            DegradationLevel::LimpHome => self.config.limp_threshold,
+        };
+        entry * self.config.recovery_margin
+    }
+
+    /// Feeds one pressure observation at `now`. Returns the new level if
+    /// this observation caused a transition.
+    ///
+    /// Escalation takes effect immediately (and may jump straight to
+    /// limp-home); recovery steps down one level at a time after the
+    /// pressure has stayed under the recovery floor for the configured
+    /// hold.
+    pub fn observe(&mut self, now: SimTime, pressure: f64) -> Option<DegradationLevel> {
+        let target = if pressure >= self.config.limp_threshold {
+            DegradationLevel::LimpHome
+        } else if pressure >= self.config.degraded_threshold {
+            DegradationLevel::Degraded
+        } else {
+            DegradationLevel::Full
+        };
+        if target > self.level {
+            self.level = target;
+            self.below_floor_since = None;
+            self.transitions.push((now, target));
+            return Some(target);
+        }
+        if self.level == DegradationLevel::Full {
+            return None;
+        }
+        if pressure < self.recovery_floor() {
+            let since = *self.below_floor_since.get_or_insert(now);
+            if now.saturating_since(since) >= self.config.recovery_hold {
+                let next = match self.level {
+                    DegradationLevel::LimpHome => DegradationLevel::Degraded,
+                    _ => DegradationLevel::Full,
+                };
+                self.level = next;
+                self.below_floor_since = Some(now);
+                self.transitions.push((now, next));
+                return Some(next);
+            }
+        } else {
+            // Pressure bounced back above the floor: restart the hold.
+            self.below_floor_since = None;
+        }
+        None
+    }
+
+    /// Which of `apps` must be shed at the current level, NDA-first by
+    /// construction of [`DegradationLevel::admits`].
+    pub fn shed_plan(&self, apps: impl IntoIterator<Item = (AppId, AppKind, Asil)>) -> Vec<AppId> {
+        apps.into_iter()
+            .filter(|(_, kind, asil)| !self.level.admits(*kind, *asil))
+            .map(|(id, _, _)| id)
+            .collect()
+    }
+
+    /// Applies the current level to a running platform: stops every
+    /// serving application the level no longer admits. Returns the stopped
+    /// app ids (empty at [`DegradationLevel::Full`]).
+    pub fn enforce(&self, now: SimTime, platform: &mut DynamicPlatform) -> Vec<AppId> {
+        let running: Vec<(AppId, AppKind, Asil)> = platform
+            .nodes()
+            .flat_map(|(_, node)| {
+                node.instances()
+                    .filter(|(_, inst)| inst.state.is_serving())
+                    .map(|(_, inst)| {
+                        (
+                            inst.manifest.id(),
+                            inst.manifest.kind(),
+                            inst.manifest.asil(),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut shed = self.shed_plan(running);
+        shed.sort();
+        shed.dedup();
+        shed.retain(|app| platform.stop_app(now, *app).is_ok());
+        shed
+    }
+}
+
+impl Default for DegradationManager {
+    fn default() -> Self {
+        DegradationManager::new(DegradationConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn manager() -> DegradationManager {
+        DegradationManager::new(DegradationConfig {
+            degraded_threshold: 0.1,
+            limp_threshold: 0.4,
+            recovery_margin: 0.5,
+            recovery_hold: SimDuration::from_millis(100),
+        })
+    }
+
+    #[test]
+    fn escalates_immediately_and_in_jumps() {
+        let mut m = manager();
+        assert_eq!(m.observe(ms(0), 0.05), None);
+        assert_eq!(m.observe(ms(1), 0.2), Some(DegradationLevel::Degraded));
+        assert_eq!(m.observe(ms(2), 0.9), Some(DegradationLevel::LimpHome));
+        // Straight jump from Full works too.
+        let mut j = manager();
+        assert_eq!(j.observe(ms(0), 0.9), Some(DegradationLevel::LimpHome));
+    }
+
+    #[test]
+    fn recovery_requires_hold_below_floor() {
+        let mut m = manager();
+        m.observe(ms(0), 0.2);
+        assert_eq!(m.level(), DegradationLevel::Degraded);
+        // Floor is 0.05; 0.07 does not start recovery.
+        assert_eq!(m.observe(ms(10), 0.07), None);
+        assert_eq!(m.observe(ms(200), 0.07), None);
+        // Below the floor, but the hold has not elapsed yet.
+        assert_eq!(m.observe(ms(210), 0.01), None);
+        assert_eq!(m.observe(ms(250), 0.01), None);
+        // Hold elapsed: one step back up.
+        assert_eq!(m.observe(ms(310), 0.01), Some(DegradationLevel::Full));
+    }
+
+    #[test]
+    fn flapping_pressure_restarts_the_hold() {
+        let mut m = manager();
+        m.observe(ms(0), 0.5);
+        assert_eq!(m.level(), DegradationLevel::LimpHome);
+        assert_eq!(m.observe(ms(10), 0.01), None);
+        // A spike above the floor (0.2) resets the timer...
+        assert_eq!(m.observe(ms(60), 0.25), None);
+        // ...so 100 ms from the *first* quiet sample is not enough.
+        assert_eq!(m.observe(ms(110), 0.01), None);
+        // 100 ms after the restart it steps down one level only.
+        assert_eq!(m.observe(ms(210), 0.01), Some(DegradationLevel::Degraded));
+        assert_eq!(m.level(), DegradationLevel::Degraded);
+    }
+
+    #[test]
+    fn transitions_are_logged_in_order() {
+        let mut m = manager();
+        m.observe(ms(0), 0.2);
+        m.observe(ms(5), 0.9);
+        m.observe(ms(10), 0.0);
+        m.observe(ms(120), 0.0);
+        let levels: Vec<DegradationLevel> = m.transitions().iter().map(|(_, l)| *l).collect();
+        assert_eq!(
+            levels,
+            vec![
+                DegradationLevel::Degraded,
+                DegradationLevel::LimpHome,
+                DegradationLevel::Degraded
+            ]
+        );
+    }
+
+    #[test]
+    fn shed_plan_drops_nda_before_da() {
+        let mut m = manager();
+        let apps = [
+            (AppId(1), AppKind::Deterministic, Asil::C),
+            (AppId(2), AppKind::NonDeterministic, Asil::Qm),
+            (AppId(3), AppKind::NonDeterministic, Asil::B),
+            (AppId(4), AppKind::Deterministic, Asil::Qm),
+        ];
+        assert!(m.shed_plan(apps).is_empty());
+        m.observe(ms(0), 0.2);
+        assert_eq!(m.shed_plan(apps), vec![AppId(2)]);
+        m.observe(ms(1), 0.9);
+        assert_eq!(m.shed_plan(apps), vec![AppId(2), AppId(3), AppId(4)]);
+        // The ASIL-C control loop survives to the end of the ladder.
+        assert!(m.admits(AppKind::Deterministic, Asil::C));
+    }
+}

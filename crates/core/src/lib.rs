@@ -21,6 +21,10 @@
 //!   baseline, and dependency-ordered distributed update paths;
 //! * [`redundancy`] — fail-operational behavior (§3.3): master/slave
 //!   instance groups with heartbeat supervision and failover;
+//! * [`degradation`] — the criticality-aware degradation ladder (§3.3):
+//!   Full → Degraded → LimpHome under fault pressure, shedding
+//!   non-deterministic load before deterministic load, with hysteresis on
+//!   recovery;
 //! * [`campaign`] — fleet update campaigns: per-vehicle backend validation
 //!   and canary-wave rollout with automatic halt (§3.2);
 //! * [`sync`] — versioned replica state with snapshot/delta transfer, the
@@ -31,6 +35,7 @@
 
 pub mod app;
 pub mod campaign;
+pub mod degradation;
 pub mod node;
 pub mod platform;
 pub mod process;
@@ -40,6 +45,7 @@ pub mod update;
 
 pub use app::{AppManifest, LifecycleState};
 pub use campaign::{CampaignPolicy, CampaignReport, UpdateCampaign, VehicleConfig, VehicleOutcome};
+pub use degradation::{DegradationConfig, DegradationManager};
 pub use node::{NodeError, PlatformNode};
 pub use platform::{DynamicPlatform, PlatformError};
 pub use process::{ProcessGroupId, ProcessManager};

@@ -58,8 +58,14 @@ impl fmt::Display for NodeError {
             NodeError::BadTransition { from, to } => {
                 write!(f, "illegal lifecycle transition {from} -> {to}")
             }
-            NodeError::OutOfMemory { requested, available } => {
-                write!(f, "out of memory: need {requested} KiB, {available} KiB free")
+            NodeError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "out of memory: need {requested} KiB, {available} KiB free"
+                )
             }
             NodeError::AdmissionRejected { reason } => write!(f, "admission rejected: {reason}"),
             NodeError::Admission(e) => write!(f, "admission bookkeeping: {e}"),
@@ -305,7 +311,9 @@ impl PlatformNode {
             );
             let decision = self.admission.try_admit(task)?;
             if !decision.admitted {
-                return Err(NodeError::AdmissionRejected { reason: decision.reason });
+                return Err(NodeError::AdmissionRejected {
+                    reason: decision.reason,
+                });
             }
         } else if let Some(server) = self.nda_server {
             // Compositional NDA admission: current NDA children + the new
@@ -347,8 +355,13 @@ impl PlatformNode {
             u64::from(manifest.memory_kib()) * 1024,
         );
         self.monitors.insert(instance, TaskMonitor::new(spec));
-        self.instances
-            .insert(instance, Instance { manifest, state: LifecycleState::Installed });
+        self.instances.insert(
+            instance,
+            Instance {
+                manifest,
+                state: LifecycleState::Installed,
+            },
+        );
         Ok(instance)
     }
 
@@ -358,9 +371,15 @@ impl PlatformNode {
     ///
     /// [`NodeError::UnknownInstance`] or [`NodeError::BadTransition`].
     pub fn transition(&mut self, id: InstanceId, to: LifecycleState) -> Result<(), NodeError> {
-        let inst = self.instances.get_mut(&id).ok_or(NodeError::UnknownInstance(id))?;
+        let inst = self
+            .instances
+            .get_mut(&id)
+            .ok_or(NodeError::UnknownInstance(id))?;
         if !inst.state.can_transition_to(to) {
-            return Err(NodeError::BadTransition { from: inst.state, to });
+            return Err(NodeError::BadTransition {
+                from: inst.state,
+                to,
+            });
         }
         inst.state = to;
         if to == LifecycleState::Stopped {
@@ -371,14 +390,11 @@ impl PlatformNode {
             }
             // Release the process group only when no other live instance of
             // the app remains.
-            let others = self
-                .instances
-                .iter()
-                .any(|(other, i)| {
-                    *other != id
-                        && i.manifest.id() == manifest.id()
-                        && i.state != LifecycleState::Stopped
-                });
+            let others = self.instances.iter().any(|(other, i)| {
+                *other != id
+                    && i.manifest.id() == manifest.id()
+                    && i.state != LifecycleState::Stopped
+            });
             if !others {
                 self.processes.release(manifest.id());
             }
@@ -454,7 +470,10 @@ mod tests {
     fn memory_gate() {
         let mut node = domain_node();
         let big = manifest(1, 1.0, node.ecu().ram_kib() + 1);
-        assert!(matches!(node.install(big, false), Err(NodeError::OutOfMemory { .. })));
+        assert!(matches!(
+            node.install(big, false),
+            Err(NodeError::OutOfMemory { .. })
+        ));
         assert_eq!(node.memory_used_kib(), 0);
     }
 
@@ -473,8 +492,7 @@ mod tests {
 
     #[test]
     fn wcet_beyond_period_rejected_on_slow_cpu() {
-        let mut node =
-            PlatformNode::new(EcuSpec::of_class(EcuId(0), "weak", EcuClass::LowEnd));
+        let mut node = PlatformNode::new(EcuSpec::of_class(EcuId(0), "weak", EcuClass::LowEnd));
         // 160 MIPS * 10 ms = 1.6 MI budget; ask for 5 MI.
         let err = node.launch(manifest(1, 5.0, 64)).unwrap_err();
         assert!(matches!(err, NodeError::AdmissionRejected { .. }));
@@ -490,7 +508,10 @@ mod tests {
         ));
         // Staged updates pass allow_second_instance = true.
         let second = node.install(manifest(1, 1.0, 64), true).unwrap();
-        assert_eq!(node.instance(second).unwrap().state, LifecycleState::Installed);
+        assert_eq!(
+            node.instance(second).unwrap().state,
+            LifecycleState::Installed
+        );
     }
 
     #[test]
@@ -525,7 +546,10 @@ mod tests {
         let mut node = domain_node(); // Domain class has no GPU
         let mut m = manifest(1, 1.0, 64);
         m.model.needs_gpu = true;
-        assert!(matches!(node.install(m, false), Err(NodeError::MissingGpu(_))));
+        assert!(matches!(
+            node.install(m, false),
+            Err(NodeError::MissingGpu(_))
+        ));
     }
 
     #[test]
@@ -536,7 +560,10 @@ mod tests {
         let server = PeriodicServer::new(SimDuration::from_millis(4), SimDuration::from_millis(10));
         node.configure_nda_server(server).unwrap();
         assert!(node.nda_server().is_some());
-        assert!((node.utilization() - 0.4).abs() < 1e-9, "budget reserved as host task");
+        assert!(
+            (node.utilization() - 0.4).abs() < 1e-9,
+            "budget reserved as host task"
+        );
         // Duplicate configuration refused.
         assert!(node.configure_nda_server(server).is_err());
 
@@ -552,7 +579,10 @@ mod tests {
         node.launch(nda(11, 12.0)).unwrap();
         // Third NDA app exceeds the 40% server bandwidth: refused.
         let err = node.launch(nda(12, 24.0)).unwrap_err();
-        assert!(matches!(err, NodeError::AdmissionRejected { .. }), "{err:?}");
+        assert!(
+            matches!(err, NodeError::AdmissionRejected { .. }),
+            "{err:?}"
+        );
         // NDA admission never touched the deterministic utilization.
         assert_eq!(node.utilization(), u_after_first);
         // Deterministic apps still admit against the remaining 60%.

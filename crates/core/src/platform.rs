@@ -15,9 +15,7 @@ use dynplat_hw::EcuSpec;
 use dynplat_model::ir::{AppModel, PortKind};
 use dynplat_security::authz::{AccessControlMatrix, Permission};
 use dynplat_security::master::UpdateMaster;
-use dynplat_security::package::{
-    InstallGate, KeyRegistry, PackageError, SignedPackage, Version,
-};
+use dynplat_security::package::{InstallGate, KeyRegistry, PackageError, SignedPackage, Version};
 use dynplat_security::sha256::sha256;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -56,7 +54,10 @@ impl fmt::Display for PlatformError {
             PlatformError::Node(e) => write!(f, "node: {e}"),
             PlatformError::Package(e) => write!(f, "package: {e}"),
             PlatformError::NoUpdateMaster(e) => {
-                write!(f, "{e} cannot verify packages and no update master is configured")
+                write!(
+                    f,
+                    "{e} cannot verify packages and no update master is configured"
+                )
             }
             PlatformError::Unauthorized { client, service } => {
                 write!(f, "{client} is not authorized on {service}")
@@ -167,7 +168,10 @@ impl DynamicPlatform {
             let package = self.gate.accept(signed, &self.registry)?;
             Ok((package.version, digest))
         } else {
-            let master = self.master.as_ref().ok_or(PlatformError::NoUpdateMaster(ecu))?;
+            let master = self
+                .master
+                .as_ref()
+                .ok_or(PlatformError::NoUpdateMaster(ecu))?;
             let (package, voucher) = master.verify_for(signed, ecu)?;
             debug_assert_eq!(voucher.package_digest, digest);
             Ok((package.version, digest))
@@ -204,7 +208,10 @@ impl DynamicPlatform {
         ecu: EcuId,
         manifest: AppManifest,
     ) -> Result<InstanceId, PlatformError> {
-        let node = self.nodes.get_mut(&ecu).ok_or(PlatformError::UnknownEcu(ecu))?;
+        let node = self
+            .nodes
+            .get_mut(&ecu)
+            .ok_or(PlatformError::UnknownEcu(ecu))?;
         let instance = node.launch(manifest.clone())?;
         self.announce(now, ecu, &manifest);
         Ok(instance)
@@ -311,7 +318,9 @@ impl DynamicPlatform {
         for service in withdrawals {
             self.directory.apply(
                 SimTime::ZERO.max(now),
-                &SdEntry::StopOffer { instance: ServiceInstance::new(service, 0) },
+                &SdEntry::StopOffer {
+                    instance: ServiceInstance::new(service, 0),
+                },
             );
         }
         Ok(stopped)
@@ -336,7 +345,9 @@ impl DynamicPlatform {
                 for service in manifest.provides() {
                     self.directory.apply(
                         now,
-                        &SdEntry::StopOffer { instance: ServiceInstance::new(*service, 0) },
+                        &SdEntry::StopOffer {
+                            instance: ServiceInstance::new(*service, 0),
+                        },
                     );
                 }
             }
@@ -380,8 +391,7 @@ mod tests {
     }
 
     fn signed_package(app: u32, authority: &KeyPair, counter: u64) -> SignedPackage {
-        let package =
-            UpdatePackage::new(AppId(app), Version::new(1, 0, 0), counter, vec![1, 2, 3]);
+        let package = UpdatePackage::new(AppId(app), Version::new(1, 0, 0), counter, vec![1, 2, 3]);
         SignedPackage::create(&package, authority)
     }
 
@@ -416,7 +426,10 @@ mod tests {
         let err = platform
             .deploy(SimTime::ZERO, EcuId(1), model(1, vec![], vec![]), &signed)
             .unwrap_err();
-        assert!(matches!(err, PlatformError::Package(PackageError::UntrustedSigner(_))));
+        assert!(matches!(
+            err,
+            PlatformError::Package(PackageError::UntrustedSigner(_))
+        ));
     }
 
     #[test]
@@ -464,7 +477,12 @@ mod tests {
         let now = SimTime::ZERO;
         let signed = signed_package(1, &authority, 1);
         platform
-            .deploy(now, EcuId(1), model(1, vec![ServiceId(10)], vec![]), &signed)
+            .deploy(
+                now,
+                EcuId(1),
+                model(1, vec![ServiceId(10)], vec![]),
+                &signed,
+            )
             .unwrap();
 
         let err = platform
@@ -497,7 +515,12 @@ mod tests {
         let now = SimTime::ZERO;
         let signed = signed_package(1, &authority, 1);
         platform
-            .deploy(now, EcuId(1), model(1, vec![ServiceId(10)], vec![]), &signed)
+            .deploy(
+                now,
+                EcuId(1),
+                model(1, vec![ServiceId(10)], vec![]),
+                &signed,
+            )
             .unwrap();
         assert_eq!(platform.stop_app(now, AppId(1)).unwrap(), 1);
         assert!(platform.directory().find(now, ServiceId(10)).is_empty());
@@ -523,7 +546,10 @@ mod tests {
         let consumer = model(
             2,
             vec![],
-            vec![ConsumedPort { service: ServiceId(10), kind: PortKind::Event(EventGroupId(1)) }],
+            vec![ConsumedPort {
+                service: ServiceId(10),
+                kind: PortKind::Event(EventGroupId(1)),
+            }],
         );
         platform
             .deploy(now, EcuId(2), consumer, &signed_package(2, &authority, 2))

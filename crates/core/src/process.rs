@@ -14,14 +14,11 @@
 //!   mixing ASIL levels is refused.
 
 use dynplat_common::{AppId, Asil};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of an OS process group on one node.
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessGroupId(pub u32);
 
 impl fmt::Display for ProcessGroupId {
@@ -50,7 +47,11 @@ pub enum ProcessError {
 impl fmt::Display for ProcessError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ProcessError::NoIsolationPossible { app, asil, resident } => write!(
+            ProcessError::NoIsolationPossible {
+                app,
+                asil,
+                resident,
+            } => write!(
                 f,
                 "cannot place {app} ({asil}) next to {resident} apps without an MMU"
             ),
@@ -62,7 +63,7 @@ impl fmt::Display for ProcessError {
 impl std::error::Error for ProcessError {}
 
 /// Per-node process-group allocator.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ProcessManager {
     mmu: bool,
     next_group: u32,
@@ -122,7 +123,11 @@ impl ProcessManager {
             // One unprotected group; only homogeneous ASIL allowed.
             if let Some((&gid, &resident)) = self.group_asil.iter().next() {
                 if resident != asil {
-                    return Err(ProcessError::NoIsolationPossible { app, asil, resident });
+                    return Err(ProcessError::NoIsolationPossible {
+                        app,
+                        asil,
+                        resident,
+                    });
                 }
                 self.assignment.insert(app, gid);
                 return Ok(gid);
@@ -216,7 +221,10 @@ mod tests {
     fn duplicate_assignment_rejected() {
         let mut pm = ProcessManager::new(true);
         pm.assign(AppId(1), Asil::A).unwrap();
-        assert_eq!(pm.assign(AppId(1), Asil::A), Err(ProcessError::AlreadyAssigned(AppId(1))));
+        assert_eq!(
+            pm.assign(AppId(1), Asil::A),
+            Err(ProcessError::AlreadyAssigned(AppId(1)))
+        );
     }
 
     #[test]

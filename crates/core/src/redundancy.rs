@@ -14,12 +14,11 @@
 
 use dynplat_common::time::{SimDuration, SimTime};
 use dynplat_common::{AppId, EcuId, InstanceId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Role of one replica in the group.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Role {
     /// Actively producing outputs.
     Master,
@@ -63,7 +62,7 @@ impl fmt::Display for RedundancyError {
 
 impl std::error::Error for RedundancyError {}
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 struct Replica {
     ecu: EcuId,
     role: Role,
@@ -71,7 +70,7 @@ struct Replica {
 }
 
 /// Heartbeat-supervised master/slave group for one application.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RedundancyGroup {
     app: AppId,
     heartbeat_period: SimDuration,
@@ -93,7 +92,10 @@ impl RedundancyGroup {
     ///
     /// Panics if `heartbeat_period` is zero.
     pub fn new(app: AppId, heartbeat_period: SimDuration) -> Self {
-        assert!(!heartbeat_period.is_zero(), "heartbeat period must be non-zero");
+        assert!(
+            !heartbeat_period.is_zero(),
+            "heartbeat period must be non-zero"
+        );
         RedundancyGroup {
             app,
             heartbeat_period,
@@ -135,11 +137,22 @@ impl RedundancyGroup {
         if self.replicas.contains_key(&instance) {
             return Err(RedundancyError::DuplicateReplica(instance));
         }
-        let role = if self.master().is_none() { Role::Master } else { Role::Slave };
+        let role = if self.master().is_none() {
+            Role::Master
+        } else {
+            Role::Slave
+        };
         if role == Role::Master {
             self.master_since = now;
         }
-        self.replicas.insert(instance, Replica { ecu, role, last_heartbeat: now });
+        self.replicas.insert(
+            instance,
+            Replica {
+                ecu,
+                role,
+                last_heartbeat: now,
+            },
+        );
         Ok(role)
     }
 
@@ -158,7 +171,10 @@ impl RedundancyGroup {
 
     /// Healthy replica count (master + slaves).
     pub fn healthy(&self) -> usize {
-        self.replicas.values().filter(|r| r.role != Role::Failed).count()
+        self.replicas
+            .values()
+            .filter(|r| r.role != Role::Failed)
+            .count()
     }
 
     /// Number of failovers so far.
@@ -240,7 +256,11 @@ impl RedundancyGroup {
     /// # Errors
     ///
     /// [`RedundancyError::AllReplicasFailed`].
-    pub fn fail_ecu(&mut self, now: SimTime, ecu: EcuId) -> Result<Option<InstanceId>, RedundancyError> {
+    pub fn fail_ecu(
+        &mut self,
+        now: SimTime,
+        ecu: EcuId,
+    ) -> Result<Option<InstanceId>, RedundancyError> {
         let mut lost_master = false;
         for r in self.replicas.values_mut() {
             if r.ecu == ecu && r.role != Role::Failed {
@@ -383,8 +403,7 @@ mod tests {
         // Detection bound = heartbeat period * tolerated misses; verify the
         // mechanism honors it for two configurations.
         for (period_ms, misses) in [(10u64, 2u32), (2, 2)] {
-            let mut g = RedundancyGroup::new(AppId(1), ms(period_ms))
-                .with_tolerated_misses(misses);
+            let mut g = RedundancyGroup::new(AppId(1), ms(period_ms)).with_tolerated_misses(misses);
             g.register(t(0), InstanceId(0), EcuId(0)).unwrap();
             g.register(t(0), InstanceId(1), EcuId(1)).unwrap();
             // Master dies at t=0; slave beats every period; supervise at

@@ -13,26 +13,25 @@
 
 use dynplat_common::time::SimDuration;
 use dynplat_security::sha256::sha256;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// One synchronized entry: version and value (`None` = tombstone).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 struct Entry {
     version: u64,
     value: Option<Vec<u8>>,
 }
 
 /// Versioned application state on one replica.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ReplicaState {
     version: u64,
     entries: BTreeMap<String, Entry>,
 }
 
 /// An incremental state transfer: all entries newer than `from_version`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Delta {
     /// Version the receiver must already have.
     pub from_version: u64,
@@ -68,7 +67,7 @@ impl Delta {
 }
 
 /// A full state snapshot (bootstrap of a brand-new replica).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Snapshot {
     state: ReplicaState,
 }
@@ -138,8 +137,13 @@ impl ReplicaState {
     /// Writes a key.
     pub fn set(&mut self, key: impl Into<String>, value: Vec<u8>) {
         self.version += 1;
-        self.entries
-            .insert(key.into(), Entry { version: self.version, value: Some(value) });
+        self.entries.insert(
+            key.into(),
+            Entry {
+                version: self.version,
+                value: Some(value),
+            },
+        );
     }
 
     /// Deletes a key (recorded as a tombstone so the deletion syncs).
@@ -148,8 +152,13 @@ impl ReplicaState {
             return false;
         }
         self.version += 1;
-        self.entries
-            .insert(key.to_owned(), Entry { version: self.version, value: None });
+        self.entries.insert(
+            key.to_owned(),
+            Entry {
+                version: self.version,
+                value: None,
+            },
+        );
         true
     }
 
@@ -161,7 +170,11 @@ impl ReplicaState {
             .filter(|(_, e)| e.version > from_version)
             .map(|(k, e)| (k.clone(), e.clone()))
             .collect();
-        Delta { from_version, to_version: self.version, entries }
+        Delta {
+            from_version,
+            to_version: self.version,
+            entries,
+        }
     }
 
     /// Applies a delta produced by a peer at the same history.
@@ -173,7 +186,10 @@ impl ReplicaState {
     /// first.
     pub fn apply_delta(&mut self, delta: &Delta) -> Result<(), SyncError> {
         if self.version < delta.from_version {
-            return Err(SyncError::VersionGap { have: self.version, need: delta.from_version });
+            return Err(SyncError::VersionGap {
+                have: self.version,
+                need: delta.from_version,
+            });
         }
         for (key, entry) in &delta.entries {
             let newer = self
@@ -190,7 +206,9 @@ impl ReplicaState {
 
     /// Captures a full snapshot.
     pub fn snapshot(&self) -> Snapshot {
-        Snapshot { state: self.clone() }
+        Snapshot {
+            state: self.clone(),
+        }
     }
 
     /// Replaces this state with a snapshot (bootstrap).

@@ -23,11 +23,10 @@ use crate::platform::{DynamicPlatform, PlatformError};
 use dynplat_common::time::{SimDuration, SimTime};
 use dynplat_common::{AppId, EcuId, InstanceId};
 use dynplat_sim::jitter::ClockModel;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Which mechanism produced a report.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum UpdateStrategy {
     /// 4-phase staged update.
     Staged,
@@ -38,7 +37,7 @@ pub enum UpdateStrategy {
 }
 
 /// Outcome metrics of one update.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct UpdateReport {
     /// Mechanism used.
     pub strategy: UpdateStrategy,
@@ -55,7 +54,7 @@ pub struct UpdateReport {
 }
 
 /// Tunable costs of the staged procedure.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StagedParams {
     /// Time to initialize the new instance.
     pub start_duration: SimDuration,
@@ -139,7 +138,7 @@ pub fn staged_update(
 }
 
 /// Tunable costs of the stop–restart procedure.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StopRestartParams {
     /// Time to stop and tear down the old version.
     pub stop_duration: SimDuration,
@@ -277,7 +276,10 @@ impl std::fmt::Display for PathError {
         match self {
             PathError::DependencyCycle(a) => write!(f, "dependency cycle through {a}"),
             PathError::IncompatibleStep { consumer, provider } => {
-                write!(f, "updating would break {consumer} -> {provider} compatibility")
+                write!(
+                    f,
+                    "updating would break {consumer} -> {provider} compatibility"
+                )
             }
         }
     }
@@ -387,7 +389,10 @@ mod tests {
     fn staged_update_has_zero_outage_and_positive_overlap() {
         let mut p = platform();
         let now = SimTime::ZERO;
-        p.node_mut(EcuId(1)).unwrap().launch(manifest(1, Version::new(1, 0, 0))).unwrap();
+        p.node_mut(EcuId(1))
+            .unwrap()
+            .launch(manifest(1, Version::new(1, 0, 0)))
+            .unwrap();
         let report = staged_update(
             &mut p,
             now,
@@ -413,7 +418,10 @@ mod tests {
     #[test]
     fn staged_update_keeps_a_serving_instance_at_every_phase() {
         let mut p = platform();
-        p.node_mut(EcuId(1)).unwrap().launch(manifest(1, Version::new(1, 0, 0))).unwrap();
+        p.node_mut(EcuId(1))
+            .unwrap()
+            .launch(manifest(1, Version::new(1, 0, 0)))
+            .unwrap();
         // Spot-check by re-running and inspecting after each platform
         // mutation is covered by the zero-outage metric; here we at least
         // verify both instances coexist mid-procedure by memory accounting.
@@ -441,7 +449,10 @@ mod tests {
                 .ram_kib(300)
                 .build(),
         );
-        p.node_mut(EcuId(1)).unwrap().launch(manifest(1, Version::new(1, 0, 0))).unwrap();
+        p.node_mut(EcuId(1))
+            .unwrap()
+            .launch(manifest(1, Version::new(1, 0, 0)))
+            .unwrap();
         let err = staged_update(
             &mut p,
             SimTime::ZERO,
@@ -451,13 +462,19 @@ mod tests {
             &StagedParams::default(),
         )
         .unwrap_err();
-        assert!(matches!(err, PlatformError::Node(crate::node::NodeError::OutOfMemory { .. })));
+        assert!(matches!(
+            err,
+            PlatformError::Node(crate::node::NodeError::OutOfMemory { .. })
+        ));
     }
 
     #[test]
     fn stop_restart_has_outage() {
         let mut p = platform();
-        p.node_mut(EcuId(1)).unwrap().launch(manifest(7, Version::new(1, 0, 0))).unwrap();
+        p.node_mut(EcuId(1))
+            .unwrap()
+            .launch(manifest(7, Version::new(1, 0, 0)))
+            .unwrap();
         let report = stop_restart_update(
             &mut p,
             SimTime::ZERO,
@@ -499,7 +516,7 @@ mod tests {
 
         let skewed: BTreeMap<EcuId, ClockModel> = [
             (EcuId(0), ClockModel::new(0, 0.0)),
-            (EcuId(1), ClockModel::new(2_000_000, 0.0)),  // +2 ms
+            (EcuId(1), ClockModel::new(2_000_000, 0.0)), // +2 ms
             (EcuId(2), ClockModel::new(-3_000_000, 0.0)), // -3 ms
         ]
         .into_iter()
@@ -542,7 +559,10 @@ mod tests {
         let err = update_path(&apps, &deps, |_, _, _| false).unwrap_err();
         assert_eq!(
             err,
-            PathError::IncompatibleStep { consumer: AppId(1), provider: AppId(2) }
+            PathError::IncompatibleStep {
+                consumer: AppId(1),
+                provider: AppId(2)
+            }
         );
     }
 

@@ -13,10 +13,9 @@ use dynplat_common::{BusId, EcuId};
 use dynplat_hw::ecu::{EcuClass, EcuSpec};
 use dynplat_hw::topology::{BusKind, BusSpec, HwTopology};
 use dynplat_model::ir::{AppModel, Deployment, MappingChoice, SystemModel};
-use serde::{Deserialize, Serialize};
 
 /// Comparable summary of one architecture.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ArchitectureSummary {
     /// Label ("federated" / "consolidated").
     pub label: String,
@@ -54,25 +53,33 @@ pub fn federated_architecture(apps: &[AppModel]) -> (SystemModel, ArchitectureSu
     for (i, app) in apps.iter().enumerate() {
         let id = EcuId(i as u16);
         // Pick the cheapest class that can host this one function.
-        let ecu = [EcuClass::LowEnd, EcuClass::Domain, EcuClass::HighPerformance]
-            .into_iter()
-            .map(|class| EcuSpec::of_class(id, format!("ecu-{}", app.name), class))
-            .find(|ecu| {
-                let fits_mem = app.memory_kib <= ecu.ram_kib();
-                let fits_cpu =
-                    !app.kind.is_deterministic() || app.wcet_on(ecu.cpu()) <= app.period;
-                let fits_gpu = !app.needs_gpu || ecu.has_gpu();
-                fits_mem && fits_cpu && fits_gpu
-            })
-            .unwrap_or_else(|| {
-                EcuSpec::of_class(id, format!("ecu-{}", app.name), EcuClass::HighPerformance)
-            });
+        let ecu = [
+            EcuClass::LowEnd,
+            EcuClass::Domain,
+            EcuClass::HighPerformance,
+        ]
+        .into_iter()
+        .map(|class| EcuSpec::of_class(id, format!("ecu-{}", app.name), class))
+        .find(|ecu| {
+            let fits_mem = app.memory_kib <= ecu.ram_kib();
+            let fits_cpu = !app.kind.is_deterministic() || app.wcet_on(ecu.cpu()) <= app.period;
+            let fits_gpu = !app.needs_gpu || ecu.has_gpu();
+            fits_mem && fits_cpu && fits_gpu
+        })
+        .unwrap_or_else(|| {
+            EcuSpec::of_class(id, format!("ecu-{}", app.name), EcuClass::HighPerformance)
+        });
         topology.add_ecu(ecu).expect("fresh ids");
         attached.push(id);
         deployment.mapping.insert(app.id, MappingChoice::Fixed(id));
     }
     topology
-        .add_bus(BusSpec::new(BusId(0), "backbone", BusKind::can_500k(), attached))
+        .add_bus(BusSpec::new(
+            BusId(0),
+            "backbone",
+            BusKind::can_500k(),
+            attached,
+        ))
         .expect("fresh bus");
     let model = SystemModel {
         hardware: topology,
@@ -106,12 +113,21 @@ pub fn consolidated_architecture(
     for i in 0..pool {
         let id = EcuId(i);
         topology
-            .add_ecu(EcuSpec::of_class(id, format!("platform-{i}"), EcuClass::HighPerformance))
+            .add_ecu(EcuSpec::of_class(
+                id,
+                format!("platform-{i}"),
+                EcuClass::HighPerformance,
+            ))
             .expect("fresh ids");
         attached.push(id);
     }
     topology
-        .add_bus(BusSpec::new(BusId(0), "backbone", BusKind::ethernet_1g(), attached.clone()))
+        .add_bus(BusSpec::new(
+            BusId(0),
+            "backbone",
+            BusKind::ethernet_1g(),
+            attached.clone(),
+        ))
         .expect("fresh bus");
     let mut deployment = Deployment::default();
     for app in apps {
@@ -143,7 +159,11 @@ mod tests {
         AppModel {
             id: AppId(id),
             name: format!("f{id}"),
-            kind: if det { AppKind::Deterministic } else { AppKind::NonDeterministic },
+            kind: if det {
+                AppKind::Deterministic
+            } else {
+                AppKind::NonDeterministic
+            },
             asil: Asil::B,
             provides: vec![],
             consumes: vec![],
@@ -155,7 +175,9 @@ mod tests {
     }
 
     fn fleet(n: u32) -> Vec<AppModel> {
-        (0..n).map(|i| function(i + 1, i % 3 != 0, 1.0 + (i % 4) as f64, 256)).collect()
+        (0..n)
+            .map(|i| function(i + 1, i % 3 != 0, 1.0 + (i % 4) as f64, 256))
+            .collect()
     }
 
     #[test]
@@ -173,7 +195,10 @@ mod tests {
         // a small pool of platform ECUs.
         let apps = fleet(24);
         let (_, federated) = federated_architecture(&apps);
-        let cfg = DseConfig { iterations: 1500, ..Default::default() };
+        let cfg = DseConfig {
+            iterations: 1500,
+            ..Default::default()
+        };
         let (_, assignment, consolidated) = consolidated_architecture(&apps, 4, &cfg);
         assert!(consolidated.feasible, "consolidated must verify");
         assert!(consolidated.ecus < federated.ecus);

@@ -3,14 +3,13 @@
 use dynplat_common::{AppId, EcuId};
 use dynplat_model::ir::SystemModel;
 use dynplat_model::verify::{verify, Violation};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A concrete app → ECU mapping.
 pub type Assignment = BTreeMap<AppId, EcuId>;
 
 /// Objective values of one design point.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Objectives {
     /// Number of hard violations (0 = feasible).
     pub violations: usize,
@@ -104,10 +103,12 @@ system {
     #[test]
     fn consolidated_uses_fewer_ecus_at_higher_utilization() {
         let m = model();
-        let together: Assignment =
-            [(AppId(1), EcuId(0)), (AppId(2), EcuId(0))].into_iter().collect();
-        let split: Assignment =
-            [(AppId(1), EcuId(0)), (AppId(2), EcuId(1))].into_iter().collect();
+        let together: Assignment = [(AppId(1), EcuId(0)), (AppId(2), EcuId(0))]
+            .into_iter()
+            .collect();
+        let split: Assignment = [(AppId(1), EcuId(0)), (AppId(2), EcuId(1))]
+            .into_iter()
+            .collect();
         let o_together = evaluate(&m, &together);
         let o_split = evaluate(&m, &split);
         assert!(o_together.is_feasible() && o_split.is_feasible());
@@ -123,7 +124,9 @@ system {
         let mut m = model();
         // Blow up memory so any single-ECU placement violates.
         m.applications[0].memory_kib = 999_999_999;
-        let a: Assignment = [(AppId(1), EcuId(0)), (AppId(2), EcuId(1))].into_iter().collect();
+        let a: Assignment = [(AppId(1), EcuId(0)), (AppId(2), EcuId(1))]
+            .into_iter()
+            .collect();
         let o = evaluate(&m, &a);
         assert!(!o.is_feasible());
         assert!(o.fitness() > 1e8);
@@ -133,7 +136,9 @@ system {
     fn utilization_accounting() {
         let m = model();
         // 3 MI on 1200 MIPS = 2.5 ms per 10 ms = 0.25 utilization.
-        let a: Assignment = [(AppId(1), EcuId(0)), (AppId(2), EcuId(0))].into_iter().collect();
+        let a: Assignment = [(AppId(1), EcuId(0)), (AppId(2), EcuId(0))]
+            .into_iter()
+            .collect();
         let o = evaluate(&m, &a);
         assert!((o.peak_utilization - 0.5).abs() < 1e-9);
         assert!((o.mean_utilization - 0.5).abs() < 1e-9);

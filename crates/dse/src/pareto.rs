@@ -1,10 +1,9 @@
 //! Cost/utilization Pareto archive.
 
 use crate::objective::{Assignment, Objectives};
-use serde::{Deserialize, Serialize};
 
 /// A feasible design point kept in the archive.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ParetoPoint {
     /// The mapping.
     pub assignment: Assignment,
@@ -16,13 +15,12 @@ pub struct ParetoPoint {
 /// better in at least one (cost ↓, peak utilization ↓).
 fn dominates(a: &Objectives, b: &Objectives) -> bool {
     let no_worse = a.used_cost <= b.used_cost && a.peak_utilization <= b.peak_utilization + 1e-12;
-    let better =
-        a.used_cost < b.used_cost || a.peak_utilization + 1e-12 < b.peak_utilization;
+    let better = a.used_cost < b.used_cost || a.peak_utilization + 1e-12 < b.peak_utilization;
     no_worse && better
 }
 
 /// Archive of mutually non-dominated feasible designs.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ParetoArchive {
     points: Vec<ParetoPoint>,
 }
@@ -39,13 +37,19 @@ impl ParetoArchive {
         if !objectives.is_feasible() {
             return false;
         }
-        if self.points.iter().any(|p| {
-            dominates(&p.objectives, &objectives) || p.objectives == objectives
-        }) {
+        if self
+            .points
+            .iter()
+            .any(|p| dominates(&p.objectives, &objectives) || p.objectives == objectives)
+        {
             return false;
         }
-        self.points.retain(|p| !dominates(&objectives, &p.objectives));
-        self.points.push(ParetoPoint { assignment, objectives });
+        self.points
+            .retain(|p| !dominates(&objectives, &p.objectives));
+        self.points.push(ParetoPoint {
+            assignment,
+            objectives,
+        });
         true
     }
 

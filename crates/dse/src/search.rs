@@ -3,13 +3,12 @@
 use crate::objective::{evaluate, Assignment, Objectives};
 use crate::pareto::ParetoArchive;
 use dynplat_common::rng::seeded_rng;
+use dynplat_common::rng::Rng;
 use dynplat_common::{AppId, EcuId};
 use dynplat_model::ir::SystemModel;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Search configuration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DseConfig {
     /// Candidate evaluations to spend.
     pub iterations: u32,
@@ -99,7 +98,11 @@ pub fn greedy_first_fit(model: &SystemModel) -> DseResult {
     let objectives = evaluate(model, &assignment);
     let mut archive = ParetoArchive::new();
     archive.offer(assignment.clone(), objectives.clone());
-    DseResult { best: Some((assignment, objectives)), evaluations, archive }
+    DseResult {
+        best: Some((assignment, objectives)),
+        evaluations,
+        archive,
+    }
 }
 
 fn random_assignment<R: Rng>(model: &SystemModel, rng: &mut R) -> Assignment {
@@ -125,7 +128,11 @@ pub fn random_search(model: &SystemModel, cfg: &DseConfig) -> DseResult {
             best = Some((a, o));
         }
     }
-    DseResult { best, evaluations: u64::from(cfg.iterations), archive }
+    DseResult {
+        best,
+        evaluations: u64::from(cfg.iterations),
+        archive,
+    }
 }
 
 /// Simulated annealing with a move-one-app neighborhood.
@@ -133,7 +140,11 @@ pub fn simulated_annealing(model: &SystemModel, cfg: &DseConfig) -> DseResult {
     let mut rng = seeded_rng(cfg.seed);
     let apps = app_ids(model);
     if apps.is_empty() {
-        return DseResult { best: None, evaluations: 0, archive: ParetoArchive::new() };
+        return DseResult {
+            best: None,
+            evaluations: 0,
+            archive: ParetoArchive::new(),
+        };
     }
     // Hybrid start: seed the chain with the greedy design when it is
     // feasible (a common DSE warm start), otherwise from a random point.
@@ -170,8 +181,8 @@ pub fn simulated_annealing(model: &SystemModel, cfg: &DseConfig) -> DseResult {
             since_improvement += 1;
         }
         let delta = neighbor_obj.fitness() - current_obj.fitness();
-        let accept = delta <= 0.0
-            || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp());
+        let accept =
+            delta <= 0.0 || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp());
         if accept {
             current = neighbor;
             current_obj = neighbor_obj;
@@ -191,7 +202,11 @@ pub fn simulated_annealing(model: &SystemModel, cfg: &DseConfig) -> DseResult {
         }
         temperature *= cfg.cooling;
     }
-    DseResult { best: Some(best), evaluations, archive }
+    DseResult {
+        best: Some(best),
+        evaluations,
+        archive,
+    }
 }
 
 #[cfg(test)]
@@ -235,7 +250,10 @@ system {
 
     #[test]
     fn random_search_finds_feasible_designs() {
-        let cfg = DseConfig { iterations: 300, ..Default::default() };
+        let cfg = DseConfig {
+            iterations: 300,
+            ..Default::default()
+        };
         let result = random_search(&model(), &cfg);
         assert!(result.found_feasible());
         assert_eq!(result.evaluations, 300);
@@ -245,7 +263,10 @@ system {
     #[test]
     fn annealing_matches_or_beats_random_on_cost() {
         let m = model();
-        let cfg = DseConfig { iterations: 600, ..Default::default() };
+        let cfg = DseConfig {
+            iterations: 600,
+            ..Default::default()
+        };
         let rnd = random_search(&m, &cfg);
         let sa = simulated_annealing(&m, &cfg);
         let (_, rnd_obj) = rnd.best.unwrap();
@@ -266,7 +287,10 @@ system {
     #[test]
     fn search_is_deterministic_per_seed() {
         let m = model();
-        let cfg = DseConfig { iterations: 200, ..Default::default() };
+        let cfg = DseConfig {
+            iterations: 200,
+            ..Default::default()
+        };
         let a = simulated_annealing(&m, &cfg);
         let b = simulated_annealing(&m, &cfg);
         assert_eq!(a.best.map(|(x, _)| x), b.best.map(|(x, _)| x));
@@ -275,7 +299,10 @@ system {
     #[test]
     fn pareto_archive_collects_trade_offs() {
         let m = model();
-        let cfg = DseConfig { iterations: 800, ..Default::default() };
+        let cfg = DseConfig {
+            iterations: 800,
+            ..Default::default()
+        };
         let result = random_search(&m, &cfg);
         // Every archived point is feasible.
         for p in result.archive.points() {

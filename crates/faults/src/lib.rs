@@ -1,0 +1,35 @@
+//! Deterministic fault injection for the dynamic platform (§3.3, §3.4).
+//!
+//! The paper's central argument is that future E/E architectures must
+//! *manage uncertainty* — faults, load transients and partial failures are
+//! the normal case, not the exception. This crate provides the adversary
+//! side of that argument: a seed-driven chaos layer that perturbs the
+//! communication fabric and the ECU fleet in reproducible ways, so that
+//! the platform's robustness machinery (retry/backoff, circuit breaking,
+//! service rebinding, redundancy failover, the degradation ladder) can be
+//! exercised and measured.
+//!
+//! * [`plan`] — declarative [`FaultPlan`]s: stochastic message faults
+//!   (drop, corruption, duplication, delay spikes) and scheduled
+//!   structural faults (bus partitions, babbling idiots, ECU
+//!   crashes/hangs, clock drift);
+//! * [`inject`] — the [`FaultInjector`] decision engine and the
+//!   [`ChaosFabric`] wrapper that applies a plan to a live
+//!   `dynplat_comm::Fabric`, logging every injection both structurally
+//!   and into a `monitor` fault recorder for injected-vs-detected diffs.
+//!
+//! Everything is a pure function of the plan (seed included) and the
+//! send order: two runs of the same plan over the same workload produce
+//! byte-identical outcomes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inject;
+pub mod plan;
+
+pub use inject::{
+    ChaosFabric, FaultInjector, InjectedFault, InjectedFaultKind, InjectionStats, SendVerdict,
+    BABBLE_ID_BASE,
+};
+pub use plan::{BabblingIdiot, BusPartition, ClockDrift, EcuCrash, EcuHang, FaultPlan, PlanError};

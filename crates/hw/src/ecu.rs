@@ -9,11 +9,10 @@
 
 use dynplat_common::time::SimDuration;
 use dynplat_common::EcuId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// CPU attributes of an ECU.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CpuSpec {
     /// Clock frequency in MHz.
     pub freq_mhz: u32,
@@ -30,8 +29,15 @@ impl CpuSpec {
     ///
     /// Panics if any field is zero.
     pub fn new(freq_mhz: u32, cores: u8, mips: u32) -> Self {
-        assert!(freq_mhz > 0 && cores > 0 && mips > 0, "CPU attributes must be non-zero");
-        CpuSpec { freq_mhz, cores, mips }
+        assert!(
+            freq_mhz > 0 && cores > 0 && mips > 0,
+            "CPU attributes must be non-zero"
+        );
+        CpuSpec {
+            freq_mhz,
+            cores,
+            mips,
+        }
     }
 
     /// Time to execute `instructions` million instructions on this CPU,
@@ -49,7 +55,7 @@ impl CpuSpec {
 
 /// Hardware support for cryptographic operations (§4.1: "not all ECUs might
 /// have sufficient power to perform cryptographic operations at runtime").
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum CryptoSupport {
     /// No usable crypto capability: must delegate verification to an update
     /// master (§4.1).
@@ -94,7 +100,7 @@ impl fmt::Display for CryptoSupport {
 }
 
 /// Canonical ECU tiers of the automotive landscape the paper describes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum EcuClass {
     /// Classic body/comfort controller: ≤200 MHz, no MMU, no GPU, software
     /// crypto at best. The "smallest unit of electronics" of §1.
@@ -111,15 +117,30 @@ impl EcuClass {
     pub fn default_spec(self) -> (CpuSpec, u32, bool, CryptoSupport, bool, u32) {
         // (cpu, ram_kib, mmu, crypto, gpu, cost)
         match self {
-            EcuClass::LowEnd => {
-                (CpuSpec::new(160, 1, 160), 512, false, CryptoSupport::None, false, 8)
-            }
-            EcuClass::Domain => {
-                (CpuSpec::new(600, 2, 1_200, ), 16 * 1024, true, CryptoSupport::Accelerator, false, 35)
-            }
-            EcuClass::HighPerformance => {
-                (CpuSpec::new(2_000, 8, 24_000), 4 * 1024 * 1024, true, CryptoSupport::Hsm, true, 220)
-            }
+            EcuClass::LowEnd => (
+                CpuSpec::new(160, 1, 160),
+                512,
+                false,
+                CryptoSupport::None,
+                false,
+                8,
+            ),
+            EcuClass::Domain => (
+                CpuSpec::new(600, 2, 1_200),
+                16 * 1024,
+                true,
+                CryptoSupport::Accelerator,
+                false,
+                35,
+            ),
+            EcuClass::HighPerformance => (
+                CpuSpec::new(2_000, 8, 24_000),
+                4 * 1024 * 1024,
+                true,
+                CryptoSupport::Hsm,
+                true,
+                220,
+            ),
         }
     }
 }
@@ -135,7 +156,7 @@ impl fmt::Display for EcuClass {
 }
 
 /// A fully attributed ECU model.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EcuSpec {
     id: EcuId,
     name: String,
@@ -207,8 +228,14 @@ impl fmt::Display for EcuSpec {
         write!(
             f,
             "{} ({}): {} MHz x{}, {} KiB RAM, mmu={}, crypto={}, gpu={}",
-            self.name, self.id, self.cpu.freq_mhz, self.cpu.cores, self.ram_kib, self.mmu,
-            self.crypto, self.gpu
+            self.name,
+            self.id,
+            self.cpu.freq_mhz,
+            self.cpu.cores,
+            self.ram_kib,
+            self.mmu,
+            self.crypto,
+            self.gpu
         )
     }
 }
@@ -229,7 +256,16 @@ pub struct EcuSpecBuilder {
 impl EcuSpecBuilder {
     fn new(id: EcuId, name: impl Into<String>) -> Self {
         let (cpu, ram_kib, mmu, crypto, gpu, cost) = EcuClass::Domain.default_spec();
-        EcuSpecBuilder { id, name: name.into(), cpu, ram_kib, mmu, crypto, gpu, cost }
+        EcuSpecBuilder {
+            id,
+            name: name.into(),
+            cpu,
+            ram_kib,
+            mmu,
+            crypto,
+            gpu,
+            cost,
+        }
     }
 
     /// Applies all presets of `class`, keeping id and name.
@@ -305,7 +341,10 @@ mod tests {
         let (dom, ..) = EcuClass::Domain.default_spec();
         let (hp, ..) = EcuClass::HighPerformance.default_spec();
         assert!(lo.mips < dom.mips && dom.mips < hp.mips);
-        assert!(lo.freq_mhz <= 200, "paper: current ECUs are 200 MHz or less");
+        assert!(
+            lo.freq_mhz <= 200,
+            "paper: current ECUs are 200 MHz or less"
+        );
     }
 
     #[test]

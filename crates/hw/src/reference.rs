@@ -103,7 +103,12 @@ pub fn reference_vehicle() -> HwTopology {
             buses::BACKBONE,
             "backbone",
             BusKind::ethernet_1g(),
-            [ecus::GATEWAY, ecus::PLATFORM_A, ecus::PLATFORM_B, ecus::HEAD_UNIT],
+            [
+                ecus::GATEWAY,
+                ecus::PLATFORM_A,
+                ecus::PLATFORM_B,
+                ecus::HEAD_UNIT,
+            ],
         ),
     ];
     HwTopology::from_parts(ecus, buses_list).expect("reference vehicle is consistent")
@@ -151,7 +156,10 @@ mod tests {
     #[test]
     fn bus_ids_constants_are_consistent() {
         let topo = reference_vehicle();
-        assert_eq!(topo.bus(buses::BACKBONE).unwrap().kind.bitrate(), 1_000_000_000);
+        assert_eq!(
+            topo.bus(buses::BACKBONE).unwrap().kind.bitrate(),
+            1_000_000_000
+        );
         assert_eq!(topo.bus(buses::BODY_CAN).unwrap().kind.bitrate(), 500_000);
     }
 }

@@ -7,12 +7,11 @@
 
 use crate::ecu::EcuSpec;
 use dynplat_common::{BusId, EcuId};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 /// The physical layer of a bus segment, with its headline rate in bit/s.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum BusKind {
     /// Controller Area Network; classic rates are 125/250/500 kbit/s, 1 Mbit/s.
     Can {
@@ -50,17 +49,23 @@ impl BusKind {
 
     /// 10 Mbit/s FlexRay.
     pub const fn flexray_10m() -> BusKind {
-        BusKind::FlexRay { bitrate: 10_000_000 }
+        BusKind::FlexRay {
+            bitrate: 10_000_000,
+        }
     }
 
     /// 100 Mbit/s automotive Ethernet.
     pub const fn ethernet_100m() -> BusKind {
-        BusKind::Ethernet { bitrate: 100_000_000 }
+        BusKind::Ethernet {
+            bitrate: 100_000_000,
+        }
     }
 
     /// 1 Gbit/s automotive Ethernet.
     pub const fn ethernet_1g() -> BusKind {
-        BusKind::Ethernet { bitrate: 1_000_000_000 }
+        BusKind::Ethernet {
+            bitrate: 1_000_000_000,
+        }
     }
 }
 
@@ -75,7 +80,7 @@ impl fmt::Display for BusKind {
 }
 
 /// A bus segment and its attached ECUs.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BusSpec {
     /// Segment identifier.
     pub id: BusId,
@@ -95,12 +100,17 @@ impl BusSpec {
         kind: BusKind,
         attached: impl IntoIterator<Item = EcuId>,
     ) -> Self {
-        BusSpec { id, name: name.into(), kind, attached: attached.into_iter().collect() }
+        BusSpec {
+            id,
+            name: name.into(),
+            kind,
+            attached: attached.into_iter().collect(),
+        }
     }
 }
 
 /// A hop-by-hop path between two ECUs, as a sequence of buses.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Route {
     /// Buses traversed in order; empty means source and destination are the
     /// same ECU (local delivery).
@@ -146,7 +156,7 @@ impl fmt::Display for TopologyError {
 impl std::error::Error for TopologyError {}
 
 /// The complete hardware architecture: ECUs plus the interconnecting network.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct HwTopology {
     ecus: BTreeMap<EcuId, EcuSpec>,
     buses: BTreeMap<BusId, BusSpec>,
@@ -236,7 +246,9 @@ impl HwTopology {
 
     /// Buses the given ECU is attached to.
     pub fn buses_of(&self, ecu: EcuId) -> impl Iterator<Item = &BusSpec> {
-        self.buses.values().filter(move |b| b.attached.contains(&ecu))
+        self.buses
+            .values()
+            .filter(move |b| b.attached.contains(&ecu))
     }
 
     /// `true` if `ecu` bridges two or more buses.
@@ -314,7 +326,12 @@ mod tests {
         ];
         let buses = [
             BusSpec::new(BusId(0), "can0", BusKind::can_500k(), [EcuId(0), EcuId(1)]),
-            BusSpec::new(BusId(1), "eth0", BusKind::ethernet_100m(), [EcuId(1), EcuId(2)]),
+            BusSpec::new(
+                BusId(1),
+                "eth0",
+                BusKind::ethernet_100m(),
+                [EcuId(1), EcuId(2)],
+            ),
         ];
         HwTopology::from_parts(ecus, buses).unwrap()
     }
@@ -346,15 +363,25 @@ mod tests {
     #[test]
     fn disconnected_ecus_have_no_route() {
         let mut t = three_ecu_two_bus();
-        t.add_ecu(EcuSpec::of_class(EcuId(9), "island", EcuClass::LowEnd)).unwrap();
-        assert_eq!(t.route(EcuId(0), EcuId(9)), Err(TopologyError::NoRoute(EcuId(0), EcuId(9))));
+        t.add_ecu(EcuSpec::of_class(EcuId(9), "island", EcuClass::LowEnd))
+            .unwrap();
+        assert_eq!(
+            t.route(EcuId(0), EcuId(9)),
+            Err(TopologyError::NoRoute(EcuId(0), EcuId(9)))
+        );
     }
 
     #[test]
     fn unknown_endpoints_are_rejected() {
         let t = three_ecu_two_bus();
-        assert_eq!(t.route(EcuId(7), EcuId(0)), Err(TopologyError::UnknownEcu(EcuId(7))));
-        assert_eq!(t.route(EcuId(0), EcuId(7)), Err(TopologyError::UnknownEcu(EcuId(7))));
+        assert_eq!(
+            t.route(EcuId(7), EcuId(0)),
+            Err(TopologyError::UnknownEcu(EcuId(7)))
+        );
+        assert_eq!(
+            t.route(EcuId(0), EcuId(7)),
+            Err(TopologyError::UnknownEcu(EcuId(7)))
+        );
     }
 
     #[test]
@@ -363,7 +390,10 @@ mod tests {
         let dup = EcuSpec::of_class(EcuId(0), "dup", EcuClass::LowEnd);
         assert_eq!(t.add_ecu(dup), Err(TopologyError::DuplicateEcu(EcuId(0))));
         let dup_bus = BusSpec::new(BusId(0), "dup", BusKind::can_500k(), [EcuId(0)]);
-        assert_eq!(t.add_bus(dup_bus), Err(TopologyError::DuplicateBus(BusId(0))));
+        assert_eq!(
+            t.add_bus(dup_bus),
+            Err(TopologyError::DuplicateBus(BusId(0)))
+        );
     }
 
     #[test]

@@ -170,7 +170,10 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     match chars.next() {
                         Some('"') => break,
                         Some('\n') | None => {
-                            return Err(ParseError { line, message: "unterminated string".into() })
+                            return Err(ParseError {
+                                line,
+                                message: "unterminated string".into(),
+                            })
                         }
                         Some(c) => s.push(c),
                     }
@@ -196,9 +199,10 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                         break;
                     }
                 }
-                let value: f64 = num
-                    .parse()
-                    .map_err(|_| ParseError { line, message: format!("bad number `{num}`") })?;
+                let value: f64 = num.parse().map_err(|_| ParseError {
+                    line,
+                    message: format!("bad number `{num}`"),
+                })?;
                 out.push((Tok::Number(value, unit), line));
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -214,7 +218,10 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                 out.push((Tok::Ident(s), line));
             }
             other => {
-                return Err(ParseError { line, message: format!("unexpected character `{other}`") })
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
             }
         }
     }
@@ -247,7 +254,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.line(), message: message.into() }
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
     }
 
     fn expect(&mut self, tok: &Tok) -> Result<(), ParseError> {
@@ -327,58 +337,56 @@ impl Parser {
 
     fn data_type(&mut self) -> Result<DataType, ParseError> {
         match self.peek().clone() {
-            Tok::Ident(s) => {
-                match s.as_str() {
-                    "bool" => {
-                        self.bump();
-                        Ok(DataType::Bool)
-                    }
-                    "u8" => {
-                        self.bump();
-                        Ok(DataType::U8)
-                    }
-                    "u16" => {
-                        self.bump();
-                        Ok(DataType::U16)
-                    }
-                    "u32" => {
-                        self.bump();
-                        Ok(DataType::U32)
-                    }
-                    "u64" => {
-                        self.bump();
-                        Ok(DataType::U64)
-                    }
-                    "i64" => {
-                        self.bump();
-                        Ok(DataType::I64)
-                    }
-                    "f64" => {
-                        self.bump();
-                        Ok(DataType::F64)
-                    }
-                    "string" => {
-                        self.bump();
-                        Ok(DataType::Str)
-                    }
-                    "blob" => {
-                        self.bump();
-                        Ok(DataType::Blob)
-                    }
-                    "enum" => {
-                        self.bump();
-                        self.expect(&Tok::LParen)?;
-                        let mut variants = vec![self.ident()?];
-                        while self.peek() == &Tok::Pipe {
-                            self.bump();
-                            variants.push(self.ident()?);
-                        }
-                        self.expect(&Tok::RParen)?;
-                        Ok(DataType::Enum(variants))
-                    }
-                    other => Err(self.err(format!("unknown type `{other}`"))),
+            Tok::Ident(s) => match s.as_str() {
+                "bool" => {
+                    self.bump();
+                    Ok(DataType::Bool)
                 }
-            }
+                "u8" => {
+                    self.bump();
+                    Ok(DataType::U8)
+                }
+                "u16" => {
+                    self.bump();
+                    Ok(DataType::U16)
+                }
+                "u32" => {
+                    self.bump();
+                    Ok(DataType::U32)
+                }
+                "u64" => {
+                    self.bump();
+                    Ok(DataType::U64)
+                }
+                "i64" => {
+                    self.bump();
+                    Ok(DataType::I64)
+                }
+                "f64" => {
+                    self.bump();
+                    Ok(DataType::F64)
+                }
+                "string" => {
+                    self.bump();
+                    Ok(DataType::Str)
+                }
+                "blob" => {
+                    self.bump();
+                    Ok(DataType::Blob)
+                }
+                "enum" => {
+                    self.bump();
+                    self.expect(&Tok::LParen)?;
+                    let mut variants = vec![self.ident()?];
+                    while self.peek() == &Tok::Pipe {
+                        self.bump();
+                        variants.push(self.ident()?);
+                    }
+                    self.expect(&Tok::RParen)?;
+                    Ok(DataType::Enum(variants))
+                }
+                other => Err(self.err(format!("unknown type `{other}`"))),
+            },
             Tok::LBracket => {
                 self.bump();
                 let elem = self.data_type()?;
@@ -553,7 +561,13 @@ impl Parser {
                 let response = self.data_type()?;
                 let qos = self.qos()?;
                 self.expect(&Tok::RBrace)?;
-                methods.push(MethodDef { id, name, request, response, qos });
+                methods.push(MethodDef {
+                    id,
+                    name,
+                    request,
+                    response,
+                    qos,
+                });
             } else if self.eat_kw("event") {
                 let name = self.string()?;
                 self.expect(&Tok::LBrace)?;
@@ -563,7 +577,12 @@ impl Parser {
                 let payload = self.data_type()?;
                 let qos = self.qos()?;
                 self.expect(&Tok::RBrace)?;
-                events.push(EventDef { id, name, payload, qos });
+                events.push(EventDef {
+                    id,
+                    name,
+                    payload,
+                    qos,
+                });
             } else if self.eat_kw("stream") {
                 let name = self.string()?;
                 self.expect(&Tok::LBrace)?;
@@ -573,7 +592,12 @@ impl Parser {
                 let frame = self.data_type()?;
                 let qos = self.qos()?;
                 self.expect(&Tok::RBrace)?;
-                streams.push(StreamDef { id, name, frame, qos });
+                streams.push(StreamDef {
+                    id,
+                    name,
+                    frame,
+                    qos,
+                });
             } else {
                 return Err(self.err(format!(
                     "expected `method`/`event`/`stream`, found {}",
@@ -582,7 +606,15 @@ impl Parser {
             }
         }
         self.expect(&Tok::RBrace)?;
-        Ok(ServiceInterface { id, name, owner, version, methods, events, streams })
+        Ok(ServiceInterface {
+            id,
+            name,
+            owner,
+            version,
+            methods,
+            events,
+            streams,
+        })
     }
 
     // -- applications ----------------------------------------------------------
@@ -872,7 +904,11 @@ pub fn print_model(model: &SystemModel) -> String {
     s.push_str("  deployment {\n");
     for (app, choice) in &model.deployment.mapping {
         let replicas = model.deployment.replicas_of(*app);
-        let suffix = if replicas > 1 { format!(" replicas {replicas}") } else { String::new() };
+        let suffix = if replicas > 1 {
+            format!(" replicas {replicas}")
+        } else {
+            String::new()
+        };
         match choice {
             MappingChoice::Fixed(e) => {
                 s.push_str(&format!("    app {} on {}{}\n", app.raw(), e.raw(), suffix));
@@ -943,7 +979,10 @@ system {
         assert_eq!(iface.events.len(), 1);
         assert_eq!(iface.streams.len(), 1);
         assert!(iface.events[0].qos.critical);
-        assert_eq!(iface.events[0].qos.max_latency, Some(SimDuration::from_millis(10)));
+        assert_eq!(
+            iface.events[0].qos.max_latency,
+            Some(SimDuration::from_millis(10))
+        );
         let hmi = model.application(AppId(2)).unwrap();
         assert_eq!(hmi.consumes.len(), 2);
         assert!(hmi.needs_gpu);
@@ -954,8 +993,8 @@ system {
     fn roundtrip_print_parse() {
         let model = parse_model(DEMO).unwrap();
         let printed = print_model(&model);
-        let reparsed = parse_model(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let reparsed =
+            parse_model(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         assert_eq!(reparsed, model);
     }
 

@@ -39,7 +39,9 @@ pub fn middleware_config(
 ) -> Vec<SdEntry> {
     let mut entries = Vec::new();
     for app in &model.applications {
-        let Some(&host) = assignment.get(&app.id) else { continue };
+        let Some(&host) = assignment.get(&app.id) else {
+            continue;
+        };
         for service in &app.provides {
             if let Some(iface) = model.interface(*service) {
                 entries.push(SdEntry::Offer {
@@ -52,7 +54,9 @@ pub fn middleware_config(
         }
     }
     for app in &model.applications {
-        let Some(&host) = assignment.get(&app.id) else { continue };
+        let Some(&host) = assignment.get(&app.id) else {
+            continue;
+        };
         for port in &app.consumes {
             if let PortKind::Event(group) | PortKind::Stream(group) = port.kind {
                 entries.push(SdEntry::Subscribe {
@@ -79,9 +83,16 @@ pub fn task_sets(
         if !app.kind.is_deterministic() {
             continue;
         }
-        let Some(&ecu_id) = assignment.get(&app.id) else { continue };
-        let Some(ecu) = model.hardware.ecu(ecu_id) else { continue };
-        let wcet = app.wcet_on(ecu.cpu()).max(SimDuration::from_nanos(1)).min(app.period);
+        let Some(&ecu_id) = assignment.get(&app.id) else {
+            continue;
+        };
+        let Some(ecu) = model.hardware.ecu(ecu_id) else {
+            continue;
+        };
+        let wcet = app
+            .wcet_on(ecu.cpu())
+            .max(SimDuration::from_nanos(1))
+            .min(app.period);
         let task = TaskSpec::periodic(TaskId(app.id.raw()), app.name.clone(), app.period, wcet);
         out.entry(ecu_id).or_default().push(task);
     }
@@ -142,8 +153,14 @@ pub fn code_stubs(model: &SystemModel) -> String {
             ));
         }
         for e in &iface.events {
-            out.push_str(&format!("    /// Emit event `{}` ({}).\n", e.name, e.payload));
-            out.push_str(&format!("    fn emit_{}(&mut self) -> Value;\n", snake(&e.name)));
+            out.push_str(&format!(
+                "    /// Emit event `{}` ({}).\n",
+                e.name, e.payload
+            ));
+            out.push_str(&format!(
+                "    fn emit_{}(&mut self) -> Value;\n",
+                snake(&e.name)
+            ));
         }
         out.push_str("}\n\n");
     }
@@ -236,17 +253,34 @@ system {
             .filter(|e| matches!(e, SdEntry::Subscribe { .. }))
             .count();
         assert_eq!(offers, 1);
-        assert_eq!(subs, 1, "only the event port subscribes; methods bind on demand");
+        assert_eq!(
+            subs, 1,
+            "only the event port subscribes; methods bind on demand"
+        );
         match &entries[0] {
-            SdEntry::Offer { instance, host, version, .. } => {
+            SdEntry::Offer {
+                instance,
+                host,
+                version,
+                ..
+            } => {
                 assert_eq!(instance.service, ServiceId(10));
                 assert_eq!(*host, EcuId(1));
                 assert_eq!(*version, 2);
             }
             other => panic!("expected offer, got {other:?}"),
         }
-        match entries.iter().find(|e| matches!(e, SdEntry::Subscribe { .. })).unwrap() {
-            SdEntry::Subscribe { group, subscriber, host, .. } => {
+        match entries
+            .iter()
+            .find(|e| matches!(e, SdEntry::Subscribe { .. }))
+            .unwrap()
+        {
+            SdEntry::Subscribe {
+                group,
+                subscriber,
+                host,
+                ..
+            } => {
                 assert_eq!(*group, EventGroupId(1));
                 assert_eq!(*subscriber, AppId(2));
                 assert_eq!(*host, EcuId(2));

@@ -5,11 +5,10 @@ use dynplat_common::time::SimDuration;
 use dynplat_common::value::DataType;
 use dynplat_common::{AppId, AppKind, Asil, EcuId, EventGroupId, MethodId, ServiceId};
 use dynplat_hw::HwTopology;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// An RPC method of a service interface.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MethodDef {
     /// Method identifier within the service.
     pub id: MethodId,
@@ -24,7 +23,7 @@ pub struct MethodDef {
 }
 
 /// An event (notification topic) of a service interface.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EventDef {
     /// Event group identifier.
     pub id: EventGroupId,
@@ -37,7 +36,7 @@ pub struct EventDef {
 }
 
 /// A stream of a service interface.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StreamDef {
     /// Stream identifier (shares the event-group id space).
     pub id: EventGroupId,
@@ -51,7 +50,7 @@ pub struct StreamDef {
 
 /// A service interface with a designated owner (§2.1: "we assume an owner
 /// for every interface, who controls interface description, version, etc.").
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ServiceInterface {
     /// Service identifier.
     pub id: ServiceId,
@@ -88,7 +87,7 @@ impl ServiceInterface {
 }
 
 /// Which part of a service a consumer binds to.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PortKind {
     /// Subscribe to an event group.
     Event(EventGroupId),
@@ -99,7 +98,7 @@ pub enum PortKind {
 }
 
 /// A consumed port: this app uses that part of that service.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ConsumedPort {
     /// The providing service.
     pub service: ServiceId,
@@ -109,7 +108,7 @@ pub struct ConsumedPort {
 
 /// An application model (§1.1: the app is the smallest unit of addition and
 /// update).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AppModel {
     /// Application identifier.
     pub id: AppId,
@@ -144,7 +143,7 @@ impl AppModel {
 /// Mapping variability for one application (§2.3: "it can be necessary to
 /// include variances in the model and not define every mapping … uniquely.
 /// The final mapping might only be applied in the vehicle on the road.").
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MappingChoice {
     /// Pinned to one ECU.
     Fixed(EcuId),
@@ -164,14 +163,13 @@ impl MappingChoice {
 
 /// The deployment model: per-app mapping choices plus fail-operational
 /// replica requirements (§3.3).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Deployment {
     /// Mapping choice per application.
     pub mapping: BTreeMap<AppId, MappingChoice>,
     /// Required replica count per application; absent means 1 (no
     /// redundancy). Fail-operational functions (§3.3) demand ≥ 2 replicas
     /// on distinct ECUs.
-    #[serde(default)]
     pub replicas: BTreeMap<AppId, u8>,
 }
 
@@ -226,7 +224,7 @@ impl Deployment {
 }
 
 /// The complete system model the DSLs describe.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SystemModel {
     /// Hardware architecture.
     pub hardware: HwTopology,
@@ -264,8 +262,10 @@ mod tests {
     fn variant_enumeration() {
         let mut d = Deployment::default();
         d.mapping.insert(AppId(1), MappingChoice::Fixed(EcuId(0)));
-        d.mapping.insert(AppId(2), MappingChoice::AnyOf(vec![EcuId(0), EcuId(1)]));
-        d.mapping.insert(AppId(3), MappingChoice::AnyOf(vec![EcuId(1), EcuId(2)]));
+        d.mapping
+            .insert(AppId(2), MappingChoice::AnyOf(vec![EcuId(0), EcuId(1)]));
+        d.mapping
+            .insert(AppId(3), MappingChoice::AnyOf(vec![EcuId(1), EcuId(2)]));
         assert_eq!(d.variant_count(), 4);
         let variants = d.variants(100);
         assert_eq!(variants.len(), 4);

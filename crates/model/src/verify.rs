@@ -9,19 +9,18 @@
 
 use crate::ir::{AppModel, PortKind, SystemModel};
 use dynplat_common::time::SimDuration;
+use dynplat_common::TaskId;
 use dynplat_common::{AppId, BusId, EcuId, ServiceId};
+use dynplat_hw::BusKind;
 use dynplat_net::can_frame_time;
 use dynplat_net::ethernet::ethernet_frame_time;
-use dynplat_hw::BusKind;
 use dynplat_sched::rta;
 use dynplat_sched::task::{TaskSet, TaskSpec};
-use dynplat_common::TaskId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A single verification finding.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Violation {
     /// A reference points at a non-existent entity.
     DanglingReference {
@@ -181,10 +180,7 @@ fn check_references(model: &SystemModel, out: &mut Vec<Violation>) {
                 }),
                 Some(iface) if iface.owner != app.id => out.push(Violation::OwnershipMismatch {
                     service: *service,
-                    detail: format!(
-                        "provided by {} but owned by {}",
-                        app.id, iface.owner
-                    ),
+                    detail: format!("provided by {} but owned by {}", app.id, iface.owner),
                 }),
                 Some(_) => {}
             }
@@ -292,7 +288,10 @@ fn check_resources(
         }
         for app in &apps {
             if app.needs_gpu && !ecu.has_gpu() {
-                out.push(Violation::MissingGpu { app: app.id, ecu: ecu.id() });
+                out.push(Violation::MissingGpu {
+                    app: app.id,
+                    ecu: ecu.id(),
+                });
             }
         }
         // Deterministic schedulability on this CPU.
@@ -307,16 +306,19 @@ fn check_resources(
             .collect();
         if !det.is_empty() {
             let dm = rta::assign_deadline_monotonic(&det);
-            let over = det
-                .tasks()
-                .iter()
-                .any(|t| model.application(AppId(t.id.raw())).is_some_and(|a| {
-                    a.wcet_on(ecu.cpu()) > a.period
-                }));
+            let over = det.tasks().iter().any(|t| {
+                model
+                    .application(AppId(t.id.raw()))
+                    .is_some_and(|a| a.wcet_on(ecu.cpu()) > a.period)
+            });
             if over || !rta::is_schedulable(&dm) {
                 out.push(Violation::Unschedulable {
                     ecu: ecu.id(),
-                    utilization: if over { f64::INFINITY } else { det.utilization() },
+                    utilization: if over {
+                        f64::INFINITY
+                    } else {
+                        det.utilization()
+                    },
                 });
             }
         }
@@ -330,18 +332,29 @@ fn check_communication(
 ) {
     let mut bus_demand: BTreeMap<BusId, u64> = BTreeMap::new();
     for app in &model.applications {
-        let Some(&consumer_ecu) = assignment.get(&app.id) else { continue };
+        let Some(&consumer_ecu) = assignment.get(&app.id) else {
+            continue;
+        };
         for port in &app.consumes {
-            let Some(provider) = model.provider_of(port.service) else { continue };
-            let Some(&provider_ecu) = assignment.get(&provider.id) else { continue };
+            let Some(provider) = model.provider_of(port.service) else {
+                continue;
+            };
+            let Some(&provider_ecu) = assignment.get(&provider.id) else {
+                continue;
+            };
             let route = match model.hardware.route(provider_ecu, consumer_ecu) {
                 Ok(r) => r,
                 Err(_) => {
-                    out.push(Violation::NoRoute { consumer: app.id, provider: provider.id });
+                    out.push(Violation::NoRoute {
+                        consumer: app.id,
+                        provider: provider.id,
+                    });
                     continue;
                 }
             };
-            let iface = model.interface(port.service).expect("checked by references");
+            let iface = model
+                .interface(port.service)
+                .expect("checked by references");
             let (qos, size_hint) = match port.kind {
                 PortKind::Event(e) => {
                     let Some(def) = iface.event(e) else { continue };
@@ -349,9 +362,13 @@ fn check_communication(
                 }
                 PortKind::Method(m) => {
                     let Some(def) = iface.method(m) else { continue };
-                    (def.qos, def.request.encoded_size_bounds().1.max(
-                        def.response.encoded_size_bounds().1,
-                    ))
+                    (
+                        def.qos,
+                        def.request
+                            .encoded_size_bounds()
+                            .1
+                            .max(def.response.encoded_size_bounds().1),
+                    )
                 }
                 PortKind::Stream(s) => {
                     let Some(def) = iface.stream(s) else { continue };
@@ -395,11 +412,19 @@ fn check_communication(
         }
     }
     for (bus_id, demand) in bus_demand {
-        let capacity = model.hardware.bus(bus_id).map(|b| b.kind.bitrate()).unwrap_or(0);
+        let capacity = model
+            .hardware
+            .bus(bus_id)
+            .map(|b| b.kind.bitrate())
+            .unwrap_or(0);
         // Streams may use at most 75% of a segment, leaving headroom for
         // control traffic.
         if demand * 4 > capacity * 3 {
-            out.push(Violation::BandwidthOverflow { bus: bus_id, demand, capacity });
+            out.push(Violation::BandwidthOverflow {
+                bus: bus_id,
+                demand,
+                capacity,
+            });
         }
     }
 }
@@ -407,7 +432,9 @@ fn check_communication(
 /// `true` if `ecu` could host `app` on its own (memory, CPU, GPU) — the
 /// per-candidate feasibility used by replica planning.
 fn candidate_feasible(model: &SystemModel, app: &AppModel, ecu: EcuId) -> bool {
-    let Some(spec) = model.hardware.ecu(ecu) else { return false };
+    let Some(spec) = model.hardware.ecu(ecu) else {
+        return false;
+    };
     if app.memory_kib > spec.ram_kib() {
         return false;
     }
@@ -551,9 +578,13 @@ system {
         let mut model = base_model();
         model.interfaces[0].owner = AppId(99);
         let v = verify(&model, &fixed_assignment(&model));
-        assert!(v.iter().any(|x| matches!(x, Violation::DanglingReference { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::DanglingReference { .. })));
         // Ownership mismatch too: app1 provides a service it no longer owns.
-        assert!(v.iter().any(|x| matches!(x, Violation::OwnershipMismatch { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::OwnershipMismatch { .. })));
     }
 
     #[test]
@@ -564,7 +595,10 @@ system {
         let v = verify(&model, &fixed_assignment(&model));
         assert!(v.iter().any(|x| matches!(
             x,
-            Violation::AsilDependency { consumer: AppId(2), provider: AppId(1) }
+            Violation::AsilDependency {
+                consumer: AppId(2),
+                provider: AppId(1)
+            }
         )));
     }
 
@@ -573,18 +607,28 @@ system {
         let mut model = base_model();
         model.applications[0].memory_kib = 10 * 1024 * 1024; // 10 GiB
         let v = verify(&model, &fixed_assignment(&model));
-        assert!(v.iter().any(|x| matches!(x, Violation::MemoryOverflow { ecu: EcuId(1), .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::MemoryOverflow { ecu: EcuId(1), .. })));
     }
 
     #[test]
     fn mmu_isolation_required_for_co_location() {
         let mut model = base_model();
         // Map both apps onto the MMU-less low-end ECU.
-        model.deployment.mapping.insert(AppId(1), crate::ir::MappingChoice::Fixed(EcuId(0)));
-        model.deployment.mapping.insert(AppId(2), crate::ir::MappingChoice::Fixed(EcuId(0)));
+        model
+            .deployment
+            .mapping
+            .insert(AppId(1), crate::ir::MappingChoice::Fixed(EcuId(0)));
+        model
+            .deployment
+            .mapping
+            .insert(AppId(2), crate::ir::MappingChoice::Fixed(EcuId(0)));
         let assignment = fixed_assignment(&model);
         let v = verify(&model, &assignment);
-        assert!(v.iter().any(|x| matches!(x, Violation::MissingMmuIsolation { ecu: EcuId(0) })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::MissingMmuIsolation { ecu: EcuId(0) })));
     }
 
     #[test]
@@ -594,7 +638,9 @@ system {
         // hopeless at 500 MI.
         model.applications[0].work_mi = 500.0;
         let v = verify(&model, &fixed_assignment(&model));
-        assert!(v.iter().any(|x| matches!(x, Violation::Unschedulable { ecu: EcuId(1), .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::Unschedulable { ecu: EcuId(1), .. })));
     }
 
     #[test]
@@ -602,7 +648,13 @@ system {
         let mut model = base_model();
         model.applications[0].needs_gpu = true; // mapped on ecu1 (no GPU)
         let v = verify(&model, &fixed_assignment(&model));
-        assert!(v.iter().any(|x| matches!(x, Violation::MissingGpu { app: AppId(1), ecu: EcuId(1) })));
+        assert!(v.iter().any(|x| matches!(
+            x,
+            Violation::MissingGpu {
+                app: AppId(1),
+                ecu: EcuId(1)
+            }
+        )));
     }
 
     #[test]
@@ -628,7 +680,8 @@ system {
         .unwrap();
         let v = verify(&model, &fixed_assignment(&model));
         assert!(
-            v.iter().any(|x| matches!(x, Violation::BandwidthOverflow { bus: BusId(0), .. })),
+            v.iter()
+                .any(|x| matches!(x, Violation::BandwidthOverflow { bus: BusId(0), .. })),
             "2 Mbit/s stream cannot cross a 500 kbit/s CAN: {v:?}"
         );
         // Moving to Ethernet resolves it.
@@ -644,7 +697,9 @@ system { hardware {
         .unwrap()
         .hardware;
         let v = verify(&model, &fixed_assignment(&model));
-        assert!(!v.iter().any(|x| matches!(x, Violation::BandwidthOverflow { .. })));
+        assert!(!v
+            .iter()
+            .any(|x| matches!(x, Violation::BandwidthOverflow { .. })));
     }
 
     #[test]
@@ -652,20 +707,26 @@ system { hardware {
         let mut model = base_model();
         // Demand 100 us latency for the event across CAN+Ethernet route by
         // moving consumer to ecu0 side: provider ecu1 -> consumer ecu0 via CAN.
-        model.deployment.mapping.insert(AppId(2), crate::ir::MappingChoice::Fixed(EcuId(0)));
-        model.interfaces[0].events[0].qos.max_latency =
-            Some(SimDuration::from_micros(100));
+        model
+            .deployment
+            .mapping
+            .insert(AppId(2), crate::ir::MappingChoice::Fixed(EcuId(0)));
+        model.interfaces[0].events[0].qos.max_latency = Some(SimDuration::from_micros(100));
         let v = verify(&model, &fixed_assignment(&model));
-        assert!(v.iter().any(|x| matches!(x, Violation::LatencyInfeasible { .. })), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::LatencyInfeasible { .. })),
+            "{v:?}"
+        );
     }
 
     #[test]
     fn all_variants_classified() {
         let mut model = base_model();
-        model
-            .deployment
-            .mapping
-            .insert(AppId(2), crate::ir::MappingChoice::AnyOf(vec![EcuId(0), EcuId(2)]));
+        model.deployment.mapping.insert(
+            AppId(2),
+            crate::ir::MappingChoice::AnyOf(vec![EcuId(0), EcuId(2)]),
+        );
         let results = verify_all_variants(&model, 16);
         assert_eq!(results.len(), 2);
         // Variant mapping hmi on the MMU-less body ECU with ctrl elsewhere
@@ -703,7 +764,10 @@ system {
         .unwrap();
         assert_eq!(model.deployment.replicas_of(AppId(1)), 2);
         let assignment = fixed_assignment(&model);
-        assert!(verify(&model, &assignment).is_empty(), "two high ECUs suffice");
+        assert!(
+            verify(&model, &assignment).is_empty(),
+            "two high ECUs suffice"
+        );
         // Planner skips the infeasible low-end candidate.
         let plan = crate::verify::plan_replicas(&model, AppId(1)).unwrap();
         assert_eq!(plan, vec![EcuId(0), EcuId(1)]);
@@ -712,10 +776,17 @@ system {
         // (memory + CPU), so only two feasible candidates exist.
         model.deployment.require_replicas(AppId(1), 3);
         let v = verify(&model, &assignment);
-        assert!(v.iter().any(|x| matches!(
-            x,
-            Violation::InsufficientReplicaCandidates { app: AppId(1), required: 3, feasible: 2 }
-        )), "{v:?}");
+        assert!(
+            v.iter().any(|x| matches!(
+                x,
+                Violation::InsufficientReplicaCandidates {
+                    app: AppId(1),
+                    required: 3,
+                    feasible: 2
+                }
+            )),
+            "{v:?}"
+        );
         assert!(crate::verify::plan_replicas(&model, AppId(1)).is_none());
         // The DSL round-trips the replica requirement.
         let printed = crate::dsl::print_model(&model);
@@ -725,7 +796,11 @@ system {
 
     #[test]
     fn violations_render_human_readably() {
-        let v = Violation::MemoryOverflow { ecu: EcuId(1), demand_kib: 100, capacity_kib: 50 };
+        let v = Violation::MemoryOverflow {
+            ecu: EcuId(1),
+            demand_kib: 100,
+            capacity_kib: 50,
+        };
         assert!(v.to_string().contains("100 KiB"));
     }
 }

@@ -9,10 +9,8 @@
 //! when a sample leaves the adaptive band, or when the mean itself crosses
 //! a configured fraction of the hard bound.
 
-use serde::{Deserialize, Serialize};
-
 /// Verdict for one ingested sample.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DriftVerdict {
     /// Within the adaptive band and below the warning line.
     Normal,
@@ -25,7 +23,7 @@ pub enum DriftVerdict {
 
 /// EWMA/EWMV drift detector over a scalar metric (response time in
 /// nanoseconds, memory in bytes, …).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DriftDetector {
     alpha: f64,
     sigma_k: f64,
@@ -53,7 +51,10 @@ impl DriftDetector {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0, 1]");
         assert!(sigma_k > 0.0, "sigma_k must be positive");
         assert!(hard_bound > 0.0, "hard bound must be positive");
-        assert!((0.0..=1.0).contains(&warn_fraction), "warn fraction in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&warn_fraction),
+            "warn fraction in [0, 1]"
+        );
         DriftDetector {
             alpha,
             sigma_k,
@@ -107,8 +108,7 @@ impl DriftDetector {
         // Update estimates (outliers included, with the same weight — a
         // persistent shift must eventually move the mean).
         self.mean += self.alpha * deviation;
-        self.variance =
-            (1.0 - self.alpha) * (self.variance + self.alpha * deviation * deviation);
+        self.variance = (1.0 - self.alpha) * (self.variance + self.alpha * deviation * deviation);
         if self.mean > self.warn_fraction * self.hard_bound {
             DriftVerdict::Drifting
         } else if is_outlier {
@@ -124,7 +124,7 @@ impl DriftDetector {
 mod tests {
     use super::*;
     use dynplat_common::rng::seeded_rng;
-    use rand::Rng;
+    use dynplat_common::rng::Rng;
 
     fn noisy(rng: &mut impl Rng, center: f64, spread: f64) -> f64 {
         center + rng.gen_range(-spread..spread)
@@ -181,7 +181,11 @@ mod tests {
     fn warm_up_produces_no_outliers() {
         let mut d = DriftDetector::for_bound(1_000.0);
         for v in [10.0, 500.0, 20.0, 300.0, 15.0] {
-            assert_ne!(d.ingest(v), DriftVerdict::Outlier, "warm-up suppresses outliers");
+            assert_ne!(
+                d.ingest(v),
+                DriftVerdict::Outlier,
+                "warm-up suppresses outliers"
+            );
         }
     }
 
@@ -195,7 +199,11 @@ mod tests {
         for _ in 0..400 {
             d.ingest(noisy(&mut rng, 5_000.0, 10.0));
         }
-        assert!((d.mean() - 5_000.0).abs() < 200.0, "mean tracked the shift: {}", d.mean());
+        assert!(
+            (d.mean() - 5_000.0).abs() < 200.0,
+            "mean tracked the shift: {}",
+            d.mean()
+        );
     }
 
     #[test]

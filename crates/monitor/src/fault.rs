@@ -2,12 +2,11 @@
 
 use dynplat_common::time::SimTime;
 use dynplat_common::TaskId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// What went wrong.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FaultKind {
     /// Inter-activation time left the declared period tolerance.
     PeriodViolation,
@@ -19,6 +18,30 @@ pub enum FaultKind {
     MemoryOverrun,
     /// The task stopped producing activations (watchdog).
     Silence,
+    /// A message never reached its destination (dropped, partitioned or
+    /// crowded out by a babbling sender).
+    MessageLoss,
+    /// A message arrived with a failed integrity check.
+    MessageCorruption,
+    /// An ECU crashed or hung; everything it hosted went silent.
+    NodeFailure,
+    /// A node's clock ran measurably fast or slow against the fleet.
+    ClockDrift,
+}
+
+impl FaultKind {
+    /// Every fault class, in declaration order (stable report layout).
+    pub const ALL: [FaultKind; 9] = [
+        FaultKind::PeriodViolation,
+        FaultKind::DeadlineMiss,
+        FaultKind::JitterViolation,
+        FaultKind::MemoryOverrun,
+        FaultKind::Silence,
+        FaultKind::MessageLoss,
+        FaultKind::MessageCorruption,
+        FaultKind::NodeFailure,
+        FaultKind::ClockDrift,
+    ];
 }
 
 impl fmt::Display for FaultKind {
@@ -29,12 +52,16 @@ impl fmt::Display for FaultKind {
             FaultKind::JitterViolation => write!(f, "jitter violation"),
             FaultKind::MemoryOverrun => write!(f, "memory overrun"),
             FaultKind::Silence => write!(f, "task silent"),
+            FaultKind::MessageLoss => write!(f, "message loss"),
+            FaultKind::MessageCorruption => write!(f, "message corruption"),
+            FaultKind::NodeFailure => write!(f, "node failure"),
+            FaultKind::ClockDrift => write!(f, "clock drift"),
         }
     }
 }
 
 /// One detected fault, with the conditions that led to it.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Fault {
     /// Detection time.
     pub time: SimTime,
@@ -48,7 +75,7 @@ pub struct Fault {
 
 /// Bounded in-memory fault store: keeps the most recent `capacity` faults,
 /// counts everything (the recording half of §3.4).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FaultRecorder {
     capacity: usize,
     faults: Vec<Fault>,
@@ -63,7 +90,11 @@ impl FaultRecorder {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be non-zero");
-        FaultRecorder { capacity, faults: Vec::new(), counts: BTreeMap::new() }
+        FaultRecorder {
+            capacity,
+            faults: Vec::new(),
+            counts: BTreeMap::new(),
+        }
     }
 
     /// Records a fault.
@@ -89,6 +120,12 @@ impl FaultRecorder {
     /// Total faults ever recorded.
     pub fn total(&self) -> u64 {
         self.counts.values().sum()
+    }
+
+    /// Per-kind totals over the recorder's whole lifetime (not just the
+    /// retained window) — the counters surfaced by diagnostic reports.
+    pub fn counts(&self) -> &BTreeMap<FaultKind, u64> {
+        &self.counts
     }
 
     /// Drains retained faults for transfer to the backend; counters are

@@ -6,15 +6,14 @@
 //! [`DiagnosticReport`] is the transfer unit; [`CertificationDataSet`]
 //! aggregates response-time histograms over a fleet of reports.
 
-use crate::fault::Fault;
+use crate::fault::{Fault, FaultKind, FaultRecorder};
 use crate::task::TaskMonitor;
 use dynplat_common::time::{SimDuration, SimTime};
-use dynplat_common::{TaskId, VehicleId};
-use serde::{Deserialize, Serialize};
+use dynplat_common::{DegradationLevel, TaskId, VehicleId};
 use std::collections::BTreeMap;
 
 /// Snapshot of one task's health, as shipped to the backend.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TaskHealth {
     /// Task identifier.
     pub task: TaskId,
@@ -46,8 +45,17 @@ impl From<&TaskMonitor> for TaskHealth {
     }
 }
 
+/// One degradation-ladder transition, as logged by the platform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegradationTransition {
+    /// When the platform switched levels.
+    pub time: SimTime,
+    /// The level entered.
+    pub level: DegradationLevel,
+}
+
 /// One vehicle's diagnostic upload.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DiagnosticReport {
     /// Reporting vehicle.
     pub vehicle: VehicleId,
@@ -57,6 +65,10 @@ pub struct DiagnosticReport {
     pub tasks: Vec<TaskHealth>,
     /// Faults drained from the recorder.
     pub faults: Vec<Fault>,
+    /// Lifetime per-kind fault totals (survive recorder drains).
+    pub fault_counts: BTreeMap<FaultKind, u64>,
+    /// Degradation-level transitions since the previous report.
+    pub degradation: Vec<DegradationTransition>,
 }
 
 impl DiagnosticReport {
@@ -72,19 +84,58 @@ impl DiagnosticReport {
             captured_at,
             tasks: monitors.iter().map(|m| TaskHealth::from(*m)).collect(),
             faults,
+            fault_counts: BTreeMap::new(),
+            degradation: Vec::new(),
         }
+    }
+
+    /// Attaches the recorder's lifetime per-kind counters (builder style).
+    pub fn with_fault_counts(mut self, recorder: &FaultRecorder) -> Self {
+        self.fault_counts = recorder.counts().clone();
+        self
+    }
+
+    /// Attaches degradation-ladder transitions (builder style).
+    pub fn with_degradation(
+        mut self,
+        transitions: impl IntoIterator<Item = (SimTime, DegradationLevel)>,
+    ) -> Self {
+        self.degradation = transitions
+            .into_iter()
+            .map(|(time, level)| DegradationTransition { time, level })
+            .collect();
+        self
     }
 
     /// `true` if the report carries at least one fault.
     pub fn has_faults(&self) -> bool {
         !self.faults.is_empty()
     }
+
+    /// Per-kind counter rows in stable [`FaultKind::ALL`] order, zeros
+    /// skipped — the one table shape shared by the monitoring and chaos
+    /// experiments.
+    pub fn fault_summary(&self) -> Vec<(FaultKind, u64)> {
+        FaultKind::ALL
+            .iter()
+            .filter_map(|k| {
+                let n = self.fault_counts.get(k).copied().unwrap_or(0);
+                (n > 0).then_some((*k, n))
+            })
+            .collect()
+    }
+
+    /// The deepest degradation level the vehicle reached, if any
+    /// transitions were logged.
+    pub fn worst_degradation(&self) -> Option<DegradationLevel> {
+        self.degradation.iter().map(|t| t.level).max()
+    }
 }
 
 /// Fleet-level aggregation: per-task response-time histograms with fixed
 /// bucket width, plus fault totals — the raw material for certification
 /// arguments ("in N·10⁶ activations the 10 ms loop never exceeded 8 ms").
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct CertificationDataSet {
     bucket_width: SimDuration,
     histograms: BTreeMap<TaskId, Vec<u64>>,
@@ -101,7 +152,10 @@ impl CertificationDataSet {
     /// Panics if `bucket_width` is zero.
     pub fn new(bucket_width: SimDuration) -> Self {
         assert!(!bucket_width.is_zero(), "bucket width must be non-zero");
-        CertificationDataSet { bucket_width, ..Default::default() }
+        CertificationDataSet {
+            bucket_width,
+            ..Default::default()
+        }
     }
 
     /// Ingests one diagnostic report.
@@ -177,7 +231,10 @@ mod tests {
             let rel = SimTime::from_millis(k as u64 * 10);
             mon.observe(TaskObservation::Activation(rel), &mut rec);
             mon.observe(
-                TaskObservation::Completion { release: rel, completion: rel + ms(r) },
+                TaskObservation::Completion {
+                    release: rel,
+                    completion: rel + ms(r),
+                },
                 &mut rec,
             );
         }
@@ -187,12 +244,8 @@ mod tests {
     #[test]
     fn report_capture_snapshots_monitors() {
         let mon = monitor_with_history(&[2, 3, 4]);
-        let report = DiagnosticReport::capture(
-            VehicleId(9),
-            SimTime::from_secs(1),
-            &[&mon],
-            vec![],
-        );
+        let report =
+            DiagnosticReport::capture(VehicleId(9), SimTime::from_secs(1), &[&mon], vec![]);
         assert_eq!(report.tasks.len(), 1);
         assert_eq!(report.tasks[0].activations, 3);
         assert_eq!(report.tasks[0].response_max, ms(4));
@@ -210,12 +263,8 @@ mod tests {
             },
             &mut rec,
         );
-        let report = DiagnosticReport::capture(
-            VehicleId(1),
-            SimTime::from_secs(1),
-            &[&mon],
-            rec.drain(),
-        );
+        let report =
+            DiagnosticReport::capture(VehicleId(1), SimTime::from_secs(1), &[&mon], rec.drain());
         assert!(report.has_faults());
         assert_eq!(report.faults[0].kind, FaultKind::DeadlineMiss);
     }
@@ -257,8 +306,44 @@ mod tests {
             captured_at: SimTime::ZERO,
             tasks: vec![],
             faults: vec![fault.clone(), fault],
+            fault_counts: BTreeMap::new(),
+            degradation: vec![],
         };
         set.ingest(&report);
         assert_eq!(set.total_faults(), 2);
+    }
+
+    #[test]
+    fn fault_counts_and_degradation_surface_in_reports() {
+        let mut rec = FaultRecorder::default();
+        for kind in [
+            FaultKind::MessageLoss,
+            FaultKind::MessageLoss,
+            FaultKind::NodeFailure,
+        ] {
+            rec.record(Fault {
+                time: SimTime::ZERO,
+                task: TaskId(1),
+                kind,
+                detail: String::new(),
+            });
+        }
+        let report = DiagnosticReport::capture(VehicleId(1), SimTime::from_secs(1), &[], vec![])
+            .with_fault_counts(&rec)
+            .with_degradation([
+                (SimTime::from_millis(100), DegradationLevel::Degraded),
+                (SimTime::from_millis(900), DegradationLevel::Full),
+            ]);
+        assert_eq!(
+            report.fault_summary(),
+            vec![(FaultKind::MessageLoss, 2), (FaultKind::NodeFailure, 1)]
+        );
+        assert_eq!(report.worst_degradation(), Some(DegradationLevel::Degraded));
+        // Drains do not reset the surfaced counters.
+        let mut rec2 = rec.clone();
+        rec2.drain();
+        let after = DiagnosticReport::capture(VehicleId(1), SimTime::from_secs(2), &[], vec![])
+            .with_fault_counts(&rec2);
+        assert_eq!(after.fault_summary(), report.fault_summary());
     }
 }

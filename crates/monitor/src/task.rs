@@ -8,10 +8,9 @@
 use crate::fault::{Fault, FaultKind, FaultRecorder};
 use dynplat_common::time::{SimDuration, SimTime};
 use dynplat_common::TaskId;
-use serde::{Deserialize, Serialize};
 
 /// Declared bounds a deterministic application promises in its manifest.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MonitorSpec {
     /// Monitored task.
     pub task: TaskId,
@@ -30,7 +29,12 @@ pub struct MonitorSpec {
 impl MonitorSpec {
     /// Creates a spec with a 10% period tolerance and jitter bound equal to
     /// the deadline.
-    pub fn new(task: TaskId, period: SimDuration, deadline: SimDuration, memory_budget: u64) -> Self {
+    pub fn new(
+        task: TaskId,
+        period: SimDuration,
+        deadline: SimDuration,
+        memory_budget: u64,
+    ) -> Self {
         MonitorSpec {
             task,
             period,
@@ -55,7 +59,7 @@ impl MonitorSpec {
 }
 
 /// One raw observation fed to the monitor.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TaskObservation {
     /// The task was activated (job release observed).
     Activation(SimTime),
@@ -71,7 +75,7 @@ pub enum TaskObservation {
 }
 
 /// Online monitor for one task.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TaskMonitor {
     spec: MonitorSpec,
     last_activation: Option<SimTime>,
@@ -157,14 +161,20 @@ impl TaskMonitor {
                             time: t,
                             task: self.spec.task,
                             kind: FaultKind::PeriodViolation,
-                            detail: format!("inter-activation {gap}, expected {} ± {}", self.spec.period, self.spec.period_tolerance),
+                            detail: format!(
+                                "inter-activation {gap}, expected {} ± {}",
+                                self.spec.period, self.spec.period_tolerance
+                            ),
                         });
                         raised += 1;
                     }
                 }
                 self.last_activation = Some(t);
             }
-            TaskObservation::Completion { release, completion } => {
+            TaskObservation::Completion {
+                release,
+                completion,
+            } => {
                 self.completions += 1;
                 let response = completion.saturating_since(release);
                 self.response_min = self.response_min.min(response);
@@ -251,7 +261,10 @@ mod tests {
             assert_eq!(mon.observe(TaskObservation::Activation(t), &mut rec), 0);
             assert_eq!(
                 mon.observe(
-                    TaskObservation::Completion { release: t, completion: t + ms(2) },
+                    TaskObservation::Completion {
+                        release: t,
+                        completion: t + ms(2)
+                    },
                     &mut rec
                 ),
                 0
@@ -268,12 +281,21 @@ mod tests {
     fn period_violation_detected() {
         let mut mon = TaskMonitor::new(spec());
         let mut rec = FaultRecorder::default();
-        mon.observe(TaskObservation::Activation(SimTime::from_millis(0)), &mut rec);
+        mon.observe(
+            TaskObservation::Activation(SimTime::from_millis(0)),
+            &mut rec,
+        );
         // 15 ms gap with 10 ± 1 ms bound.
-        mon.observe(TaskObservation::Activation(SimTime::from_millis(15)), &mut rec);
+        mon.observe(
+            TaskObservation::Activation(SimTime::from_millis(15)),
+            &mut rec,
+        );
         assert_eq!(rec.count(FaultKind::PeriodViolation), 1);
         // Early activation also violates.
-        mon.observe(TaskObservation::Activation(SimTime::from_millis(17)), &mut rec);
+        mon.observe(
+            TaskObservation::Activation(SimTime::from_millis(17)),
+            &mut rec,
+        );
         assert_eq!(rec.count(FaultKind::PeriodViolation), 2);
     }
 
@@ -282,7 +304,13 @@ mod tests {
         let mut mon = TaskMonitor::new(spec());
         let mut rec = FaultRecorder::default();
         let r = SimTime::from_millis(0);
-        mon.observe(TaskObservation::Completion { release: r, completion: r + ms(12) }, &mut rec);
+        mon.observe(
+            TaskObservation::Completion {
+                release: r,
+                completion: r + ms(12),
+            },
+            &mut rec,
+        );
         assert_eq!(rec.count(FaultKind::DeadlineMiss), 1);
         assert!(!rec.faults()[0].detail.is_empty());
     }
@@ -292,9 +320,21 @@ mod tests {
         let mut mon = TaskMonitor::new(spec()); // jitter bound 4 ms
         let mut rec = FaultRecorder::default();
         let r0 = SimTime::from_millis(0);
-        mon.observe(TaskObservation::Completion { release: r0, completion: r0 + ms(1) }, &mut rec);
+        mon.observe(
+            TaskObservation::Completion {
+                release: r0,
+                completion: r0 + ms(1),
+            },
+            &mut rec,
+        );
         let r1 = SimTime::from_millis(10);
-        mon.observe(TaskObservation::Completion { release: r1, completion: r1 + ms(8) }, &mut rec);
+        mon.observe(
+            TaskObservation::Completion {
+                release: r1,
+                completion: r1 + ms(8),
+            },
+            &mut rec,
+        );
         assert_eq!(rec.count(FaultKind::JitterViolation), 1);
         assert_eq!(mon.observed_jitter(), ms(7));
     }
@@ -303,9 +343,15 @@ mod tests {
     fn memory_overrun_detected() {
         let mut mon = TaskMonitor::new(spec());
         let mut rec = FaultRecorder::default();
-        mon.observe(TaskObservation::Memory(SimTime::from_millis(1), 4096), &mut rec);
+        mon.observe(
+            TaskObservation::Memory(SimTime::from_millis(1), 4096),
+            &mut rec,
+        );
         assert_eq!(rec.count(FaultKind::MemoryOverrun), 0);
-        mon.observe(TaskObservation::Memory(SimTime::from_millis(2), 5000), &mut rec);
+        mon.observe(
+            TaskObservation::Memory(SimTime::from_millis(2), 5000),
+            &mut rec,
+        );
         assert_eq!(rec.count(FaultKind::MemoryOverrun), 1);
         assert_eq!(mon.memory_peak(), 5000);
     }
@@ -316,7 +362,10 @@ mod tests {
         let mut rec = FaultRecorder::default();
         // Never activated: liveness passes (not our responsibility).
         assert!(mon.check_liveness(SimTime::from_millis(100), &mut rec));
-        mon.observe(TaskObservation::Activation(SimTime::from_millis(0)), &mut rec);
+        mon.observe(
+            TaskObservation::Activation(SimTime::from_millis(0)),
+            &mut rec,
+        );
         assert!(mon.check_liveness(SimTime::from_millis(20), &mut rec));
         assert!(!mon.check_liveness(SimTime::from_millis(30), &mut rec));
         assert_eq!(rec.count(FaultKind::Silence), 1);

@@ -12,10 +12,9 @@ use crate::tsn::GateControlList;
 use crate::TrafficClass;
 use dynplat_common::time::{SimDuration, SimTime};
 use dynplat_common::MessageId;
-use serde::{Deserialize, Serialize};
 
 /// A periodic Ethernet flow for response-time analysis.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EthFlowSpec {
     /// Flow identifier.
     pub id: MessageId,
@@ -30,12 +29,17 @@ pub struct EthFlowSpec {
 impl EthFlowSpec {
     /// Creates a flow.
     pub fn new(id: MessageId, payload: usize, priority: u32, period: SimDuration) -> Self {
-        EthFlowSpec { id, payload, priority, period }
+        EthFlowSpec {
+            id,
+            payload,
+            priority,
+            period,
+        }
     }
 }
 
 /// Per-flow analysis result.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EthWcrt {
     /// The analyzed flow.
     pub id: MessageId,
@@ -59,7 +63,10 @@ impl EthernetAnalysis {
     /// Panics if `bitrate` is zero or any period is zero.
     pub fn new(bitrate: u64, flows: Vec<EthFlowSpec>) -> Self {
         assert!(bitrate > 0, "bitrate must be non-zero");
-        assert!(flows.iter().all(|f| !f.period.is_zero()), "periods must be non-zero");
+        assert!(
+            flows.iter().all(|f| !f.period.is_zero()),
+            "periods must be non-zero"
+        );
         EthernetAnalysis { bitrate, flows }
     }
 
@@ -97,7 +104,9 @@ impl EthernetAnalysis {
                 let hp: Vec<&EthFlowSpec> = self
                     .flows
                     .iter()
-                    .filter(|o| o.priority < f.priority || (o.priority == f.priority && o.id != f.id))
+                    .filter(|o| {
+                        o.priority < f.priority || (o.priority == f.priority && o.id != f.id)
+                    })
                     .collect();
                 let mut w = blocking;
                 let wcrt = loop {
@@ -105,8 +114,7 @@ impl EthernetAnalysis {
                         .iter()
                         .map(|o| {
                             let c_o = ethernet_frame_time(o.payload, self.bitrate);
-                            let releases =
-                                (w + eps).as_nanos().div_ceil(o.period.as_nanos());
+                            let releases = (w + eps).as_nanos().div_ceil(o.period.as_nanos());
                             c_o * releases
                         })
                         .sum();
@@ -190,7 +198,11 @@ mod tests {
         let rts = analysis.response_times();
         let c1 = ethernet_frame_time(64, MBIT100);
         let c3 = ethernet_frame_time(1500, MBIT100);
-        assert_eq!(rts[0].wcrt, Some(c3 + c1), "blocked by the largest lower frame");
+        assert_eq!(
+            rts[0].wcrt,
+            Some(c3 + c1),
+            "blocked by the largest lower frame"
+        );
         assert!(analysis.is_schedulable());
     }
 

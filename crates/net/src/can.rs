@@ -18,7 +18,6 @@
 use crate::{Arbiter, Frame, Grant, Transmission};
 use dynplat_common::time::{SimDuration, SimTime};
 use dynplat_common::MessageId;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 const EXPOSED_CONTROL_BITS: u64 = 34;
@@ -55,7 +54,11 @@ impl CanArbiter {
     /// Panics if `bitrate` is zero.
     pub fn new(bitrate: u64) -> Self {
         assert!(bitrate > 0, "bitrate must be non-zero");
-        CanArbiter { bitrate, queue: Vec::new(), seq: 0 }
+        CanArbiter {
+            bitrate,
+            queue: Vec::new(),
+            seq: 0,
+        }
     }
 }
 
@@ -79,7 +82,12 @@ impl Arbiter for CanArbiter {
         };
         let (_, _, arrival, frame) = self.queue.swap_remove(best);
         let end = now + can_frame_time(frame.payload, self.bitrate);
-        Grant::Tx(Transmission { frame, arrival, start: now, end })
+        Grant::Tx(Transmission {
+            frame,
+            arrival,
+            start: now,
+            end,
+        })
     }
 
     fn pending(&self) -> usize {
@@ -88,7 +96,7 @@ impl Arbiter for CanArbiter {
 }
 
 /// A periodic CAN message for response-time analysis.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CanMessageSpec {
     /// Flow identifier (= arbitration id; lower is more urgent).
     pub id: MessageId,
@@ -103,12 +111,17 @@ pub struct CanMessageSpec {
 impl CanMessageSpec {
     /// Creates a jitter-free periodic message.
     pub fn periodic(id: MessageId, payload: usize, period: SimDuration) -> Self {
-        CanMessageSpec { id, payload, period, jitter: SimDuration::ZERO }
+        CanMessageSpec {
+            id,
+            payload,
+            period,
+            jitter: SimDuration::ZERO,
+        }
     }
 }
 
 /// Result of the worst-case response-time analysis for one message.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CanWcrt {
     /// The analyzed message.
     pub id: MessageId,
@@ -171,8 +184,11 @@ impl CanAnalysis {
                     .map(|k| can_frame_time(k.payload, self.bitrate))
                     .max()
                     .unwrap_or(SimDuration::ZERO);
-                let hp: Vec<&CanMessageSpec> =
-                    self.messages.iter().filter(|k| k.id.raw() < m.id.raw()).collect();
+                let hp: Vec<&CanMessageSpec> = self
+                    .messages
+                    .iter()
+                    .filter(|k| k.id.raw() < m.id.raw())
+                    .collect();
 
                 let mut w = blocking;
                 let wcrt = loop {
@@ -207,14 +223,14 @@ impl CanAnalysis {
 
 /// Convenience: generate `n` periodic messages with descending priority and
 /// evenly spread periods, as used by workload generators.
-pub fn uniform_message_set(n: usize, payload: usize, base_period: SimDuration) -> Vec<CanMessageSpec> {
+pub fn uniform_message_set(
+    n: usize,
+    payload: usize,
+    base_period: SimDuration,
+) -> Vec<CanMessageSpec> {
     (0..n)
         .map(|i| {
-            CanMessageSpec::periodic(
-                MessageId(i as u32),
-                payload,
-                base_period * (1 + i as u64),
-            )
+            CanMessageSpec::periodic(MessageId(i as u32), payload, base_period * (1 + i as u64))
         })
         .collect()
 }
@@ -248,9 +264,18 @@ mod tests {
     fn lower_id_wins_contention() {
         let mut bus = CanArbiter::new(KBIT500);
         let events = vec![
-            TxEvent { arrival: SimTime::ZERO, frame: Frame::new(MessageId(0x200), 8) },
-            TxEvent { arrival: SimTime::ZERO, frame: Frame::new(MessageId(0x100), 8) },
-            TxEvent { arrival: SimTime::ZERO, frame: Frame::new(MessageId(0x001), 8) },
+            TxEvent {
+                arrival: SimTime::ZERO,
+                frame: Frame::new(MessageId(0x200), 8),
+            },
+            TxEvent {
+                arrival: SimTime::ZERO,
+                frame: Frame::new(MessageId(0x100), 8),
+            },
+            TxEvent {
+                arrival: SimTime::ZERO,
+                frame: Frame::new(MessageId(0x001), 8),
+            },
         ];
         let done = simulate(&mut bus, events);
         // All three contend at t=0: pure priority order.
@@ -264,7 +289,10 @@ mod tests {
         let mut bus = CanArbiter::new(KBIT500);
         let c = can_frame_time(8, KBIT500);
         let events = vec![
-            TxEvent { arrival: SimTime::ZERO, frame: Frame::new(MessageId(0x700), 8) },
+            TxEvent {
+                arrival: SimTime::ZERO,
+                frame: Frame::new(MessageId(0x700), 8),
+            },
             // Urgent frame arrives mid-transmission; must wait for completion.
             TxEvent {
                 arrival: SimTime::ZERO + c / 2,
@@ -367,7 +395,11 @@ mod tests {
 
     #[test]
     fn utilization_formula() {
-        let msgs = vec![CanMessageSpec::periodic(MessageId(1), 8, SimDuration::from_millis(1))];
+        let msgs = vec![CanMessageSpec::periodic(
+            MessageId(1),
+            8,
+            SimDuration::from_millis(1),
+        )];
         let analysis = CanAnalysis::new(KBIT500, msgs);
         let u = analysis.utilization();
         assert!((u - 0.27).abs() < 1e-9, "got {u}");

@@ -49,7 +49,10 @@ impl FifoPort {
     /// Panics if `bitrate` is zero.
     pub fn new(bitrate: u64) -> Self {
         assert!(bitrate > 0, "bitrate must be non-zero");
-        FifoPort { bitrate, queue: VecDeque::new() }
+        FifoPort {
+            bitrate,
+            queue: VecDeque::new(),
+        }
     }
 }
 
@@ -62,7 +65,12 @@ impl Arbiter for FifoPort {
         match self.queue.pop_front() {
             Some((arrival, frame)) => {
                 let end = now + ethernet_frame_time(frame.payload, self.bitrate);
-                Grant::Tx(Transmission { frame, arrival, start: now, end })
+                Grant::Tx(Transmission {
+                    frame,
+                    arrival,
+                    start: now,
+                    end,
+                })
             }
             None => Grant::Idle,
         }
@@ -92,7 +100,11 @@ impl StrictPriorityPort {
     /// Panics if `bitrate` is zero.
     pub fn new(bitrate: u64) -> Self {
         assert!(bitrate > 0, "bitrate must be non-zero");
-        StrictPriorityPort { bitrate, queue: Vec::new(), seq: 0 }
+        StrictPriorityPort {
+            bitrate,
+            queue: Vec::new(),
+            seq: 0,
+        }
     }
 }
 
@@ -115,7 +127,12 @@ impl Arbiter for StrictPriorityPort {
         };
         let (_, _, arrival, frame) = self.queue.swap_remove(best);
         let end = now + ethernet_frame_time(frame.payload, self.bitrate);
-        Grant::Tx(Transmission { frame, arrival, start: now, end })
+        Grant::Tx(Transmission {
+            frame,
+            arrival,
+            start: now,
+            end,
+        })
     }
 
     fn pending(&self) -> usize {
@@ -164,8 +181,14 @@ mod tests {
     fn fifo_keeps_arrival_order_regardless_of_priority() {
         let mut port = FifoPort::new(MBIT100);
         let events = vec![
-            TxEvent { arrival: SimTime::ZERO, frame: Frame::new(MessageId(1), 1500).with_priority(7) },
-            TxEvent { arrival: SimTime::ZERO, frame: Frame::new(MessageId(2), 64).with_priority(0) },
+            TxEvent {
+                arrival: SimTime::ZERO,
+                frame: Frame::new(MessageId(1), 1500).with_priority(7),
+            },
+            TxEvent {
+                arrival: SimTime::ZERO,
+                frame: Frame::new(MessageId(2), 64).with_priority(0),
+            },
         ];
         let done = simulate(&mut port, events);
         assert_eq!(done[0].frame.id, MessageId(1), "FIFO ignores priority");
@@ -176,9 +199,18 @@ mod tests {
     fn strict_priority_preempts_queue_order() {
         let mut port = StrictPriorityPort::new(MBIT100);
         let events = vec![
-            TxEvent { arrival: SimTime::ZERO, frame: Frame::new(MessageId(1), 1500).with_priority(7) },
-            TxEvent { arrival: SimTime::ZERO, frame: Frame::new(MessageId(2), 1500).with_priority(7) },
-            TxEvent { arrival: SimTime::ZERO, frame: Frame::new(MessageId(3), 64).with_priority(0) },
+            TxEvent {
+                arrival: SimTime::ZERO,
+                frame: Frame::new(MessageId(1), 1500).with_priority(7),
+            },
+            TxEvent {
+                arrival: SimTime::ZERO,
+                frame: Frame::new(MessageId(2), 1500).with_priority(7),
+            },
+            TxEvent {
+                arrival: SimTime::ZERO,
+                frame: Frame::new(MessageId(3), 64).with_priority(0),
+            },
         ];
         let done = simulate(&mut port, events);
         // All three contend at t=0: the urgent frame goes first, bulk
@@ -231,7 +263,10 @@ mod tests {
         let done = simulate(&mut port, events);
         let urgent = done.iter().find(|t| t.frame.id == MessageId(1)).unwrap();
         let bulk_time = ethernet_frame_time(1500, MBIT100);
-        assert!(urgent.latency() >= bulk_time * 50, "FIFO should make urgent wait out the backlog");
+        assert!(
+            urgent.latency() >= bulk_time * 50,
+            "FIFO should make urgent wait out the backlog"
+        );
     }
 
     #[test]

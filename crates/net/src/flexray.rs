@@ -17,11 +17,10 @@
 use crate::{Arbiter, Frame, Grant, Transmission};
 use dynplat_common::time::{SimDuration, SimTime};
 use dynplat_common::MessageId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Static configuration of a FlexRay cluster (single channel).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FlexRayConfig {
     /// Raw bit rate in bit/s (canonically 10 Mbit/s).
     pub bitrate: u64,
@@ -87,7 +86,7 @@ impl FlexRayConfig {
 }
 
 /// Assignment of messages to static slots.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SlotAssignment {
     slots: BTreeMap<MessageId, u16>,
 }
@@ -173,7 +172,11 @@ impl FlexRayBus {
                 let cycle = self.config.cycle();
                 let mut k = now.as_nanos() / cycle.as_nanos();
                 loop {
-                    let used = if k == self.dyn_cycle { self.dyn_used } else { 0 };
+                    let used = if k == self.dyn_cycle {
+                        self.dyn_used
+                    } else {
+                        0
+                    };
                     if used + need <= u64::from(self.config.minislots) {
                         let seg_start = SimTime::from_nanos(k * cycle.as_nanos())
                             + self.config.dynamic_offset()
@@ -183,8 +186,7 @@ impl FlexRayBus {
                         }
                         // Segment position already passed within this cycle.
                         if now <= SimTime::from_nanos(k * cycle.as_nanos()) + cycle
-                            && seg_start + self.config.minislot_len * need
-                                > now
+                            && seg_start + self.config.minislot_len * need > now
                             && now >= seg_start
                         {
                             // We are inside the usable window; start now,
@@ -192,8 +194,9 @@ impl FlexRayBus {
                             let seg0 = SimTime::from_nanos(k * cycle.as_nanos())
                                 + self.config.dynamic_offset();
                             let into = now.saturating_since(seg0);
-                            let slot_idx =
-                                into.as_nanos().div_ceil(self.config.minislot_len.as_nanos());
+                            let slot_idx = into
+                                .as_nanos()
+                                .div_ceil(self.config.minislot_len.as_nanos());
                             if slot_idx + need <= u64::from(self.config.minislots) {
                                 return Some(seg0 + self.config.minislot_len * slot_idx);
                             }
@@ -204,7 +207,6 @@ impl FlexRayBus {
             }
         }
     }
-
 }
 
 impl Arbiter for FlexRayBus {
@@ -259,7 +261,12 @@ impl Arbiter for FlexRayBus {
             }
             self.dyn_used = self.dyn_used.max(first + need);
         }
-        Grant::Tx(Transmission { frame, arrival, start, end: start + tx })
+        Grant::Tx(Transmission {
+            frame,
+            arrival,
+            start,
+            end: start + tx,
+        })
     }
 
     fn pending(&self) -> usize {
@@ -287,7 +294,10 @@ mod tests {
     fn next_slot_start_wraps_to_next_cycle() {
         let c = cfg();
         // Slot 2 starts at 100 us into each 5 ms cycle.
-        assert_eq!(c.next_slot_start(SimTime::ZERO, 2), SimTime::from_micros(100));
+        assert_eq!(
+            c.next_slot_start(SimTime::ZERO, 2),
+            SimTime::from_micros(100)
+        );
         assert_eq!(
             c.next_slot_start(SimTime::from_micros(101), 2),
             SimTime::from_micros(100) + SimDuration::from_millis(5)
@@ -312,7 +322,10 @@ mod tests {
         let mut bus = FlexRayBus::new(cfg(), assignment);
         let done = simulate(
             &mut bus,
-            vec![TxEvent { arrival: SimTime::ZERO, frame: Frame::new(MessageId(1), 16) }],
+            vec![TxEvent {
+                arrival: SimTime::ZERO,
+                frame: Frame::new(MessageId(1), 16),
+            }],
         );
         // Slot 4 starts at 200 us.
         assert_eq!(done[0].start, SimTime::from_micros(200));
@@ -355,7 +368,10 @@ mod tests {
         assert_eq!(done.len(), 60, "all frames eventually transmit");
         for tx in &done {
             let into_cycle = tx.start % c.cycle();
-            assert!(into_cycle >= c.dynamic_offset(), "dynamic frame in static segment");
+            assert!(
+                into_cycle >= c.dynamic_offset(),
+                "dynamic frame in static segment"
+            );
             let end_into = tx.end % c.cycle();
             assert!(
                 end_into.is_zero() || end_into <= c.cycle(),
@@ -376,11 +392,21 @@ mod tests {
         let done = simulate(
             &mut bus,
             vec![
-                TxEvent { arrival: SimTime::ZERO, frame: Frame::new(MessageId(9), 32).with_priority(9) },
-                TxEvent { arrival: SimTime::ZERO, frame: Frame::new(MessageId(2), 32).with_priority(2) },
+                TxEvent {
+                    arrival: SimTime::ZERO,
+                    frame: Frame::new(MessageId(9), 32).with_priority(9),
+                },
+                TxEvent {
+                    arrival: SimTime::ZERO,
+                    frame: Frame::new(MessageId(2), 32).with_priority(2),
+                },
             ],
         );
-        assert_eq!(done[0].frame.id, MessageId(2), "lower id wins minislot order");
+        assert_eq!(
+            done[0].frame.id,
+            MessageId(2),
+            "lower id wins minislot order"
+        );
         assert!(done[1].start >= done[0].end);
     }
 
@@ -391,7 +417,10 @@ mod tests {
         let mut bus = FlexRayBus::new(c, SlotAssignment::new());
         let done = simulate(
             &mut bus,
-            vec![TxEvent { arrival: SimTime::ZERO, frame: Frame::new(MessageId(1), 5000) }],
+            vec![TxEvent {
+                arrival: SimTime::ZERO,
+                frame: Frame::new(MessageId(1), 5000),
+            }],
         );
         assert!(done.is_empty());
         assert_eq!(bus.pending(), 0);

@@ -71,10 +71,9 @@ pub use tsn::{GateControlList, GateWindow, TsnGatedPort};
 
 use dynplat_common::time::SimTime;
 use dynplat_common::MessageId;
-use serde::{Deserialize, Serialize};
 
 /// Traffic class of a frame, deciding which isolation mechanism applies.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TrafficClass {
     /// Deterministic-application traffic with a deadline (scheduled/ST).
     Critical,
@@ -86,7 +85,7 @@ pub enum TrafficClass {
 }
 
 /// A frame queued for transmission.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Frame {
     /// Flow identifier. On CAN this doubles as the arbitration identifier.
     pub id: MessageId,
@@ -102,7 +101,12 @@ pub struct Frame {
 impl Frame {
     /// Creates a best-effort frame with priority equal to its raw id.
     pub fn new(id: MessageId, payload: usize) -> Self {
-        Frame { id, payload, priority: id.raw(), class: TrafficClass::BestEffort }
+        Frame {
+            id,
+            payload,
+            priority: id.raw(),
+            class: TrafficClass::BestEffort,
+        }
     }
 
     /// Sets the priority (lower = more urgent).
@@ -119,7 +123,7 @@ impl Frame {
 }
 
 /// A frame together with its arrival time at the egress queue.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TxEvent {
     /// When the frame becomes ready to send.
     pub arrival: SimTime,
@@ -128,7 +132,7 @@ pub struct TxEvent {
 }
 
 /// A granted transmission: the frame occupies the medium in `[start, end)`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Transmission {
     /// The transmitted frame.
     pub frame: Frame,
@@ -206,7 +210,11 @@ pub fn simulate<A: Arbiter>(arbiter: &mut A, mut events: Vec<TxEvent>) -> Vec<Tr
         if arrived {
             // (Re-)poll as soon as the medium is free; an earlier poll than a
             // pending WaitUntil is always safe (poll re-evaluates).
-            let t = if free_at > next_time { free_at } else { next_time };
+            let t = if free_at > next_time {
+                free_at
+            } else {
+                next_time
+            };
             poll_at = Some(poll_at.map_or(t, |p| p.min(t)));
         }
 

@@ -11,10 +11,9 @@
 use crate::ethernet::ethernet_frame_time;
 use crate::{Arbiter, Frame, Grant, TrafficClass, Transmission};
 use dynplat_common::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One open-gate window within the gating cycle.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GateWindow {
     /// Traffic class whose gate is open.
     pub class: TrafficClass,
@@ -27,7 +26,11 @@ pub struct GateWindow {
 impl GateWindow {
     /// Creates a window.
     pub fn new(class: TrafficClass, offset: SimDuration, length: SimDuration) -> Self {
-        GateWindow { class, offset, length }
+        GateWindow {
+            class,
+            offset,
+            length,
+        }
     }
 }
 
@@ -58,7 +61,7 @@ impl std::fmt::Display for GclError {
 impl std::error::Error for GclError {}
 
 /// A repeating gate control list: which class may transmit when.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GateControlList {
     cycle: SimDuration,
     windows: Vec<GateWindow>,
@@ -138,7 +141,12 @@ impl GateControlList {
     /// lasting `tx` may start such that it completes within its window
     /// (guard band). Returns `None` if no window of the class can ever fit
     /// a transmission of that length.
-    pub fn earliest_fit(&self, now: SimTime, class: TrafficClass, tx: SimDuration) -> Option<SimTime> {
+    pub fn earliest_fit(
+        &self,
+        now: SimTime,
+        class: TrafficClass,
+        tx: SimDuration,
+    ) -> Option<SimTime> {
         let fits_any = self
             .windows
             .iter()
@@ -192,7 +200,13 @@ impl TsnGatedPort {
     /// Panics if `bitrate` is zero.
     pub fn new(bitrate: u64, gcl: GateControlList) -> Self {
         assert!(bitrate > 0, "bitrate must be non-zero");
-        TsnGatedPort { bitrate, gcl, queue: Vec::new(), seq: 0, dropped: 0 }
+        TsnGatedPort {
+            bitrate,
+            gcl,
+            queue: Vec::new(),
+            seq: 0,
+            dropped: 0,
+        }
     }
 
     /// Frames discarded because no gate window can ever fit them.
@@ -225,12 +239,12 @@ impl Arbiter for TsnGatedPort {
             match self.gcl.earliest_fit(now, frame.class, tx) {
                 Some(start) if start == now => {
                     let key = (*prio, *seq);
-                    if now_best.map_or(true, |bk| key < bk) {
+                    if now_best.is_none_or(|bk| key < bk) {
                         now_best = Some(key);
                     }
                 }
                 Some(start) => {
-                    if future_best.map_or(true, |b| start < b) {
+                    if future_best.is_none_or(|b| start < b) {
                         future_best = Some(start);
                     }
                 }
@@ -249,7 +263,12 @@ impl Arbiter for TsnGatedPort {
                 .expect("chosen frame is in the queue");
             let (_, _, arrival, frame) = self.queue.swap_remove(idx);
             let tx = ethernet_frame_time(frame.payload, self.bitrate);
-            return Grant::Tx(Transmission { frame, arrival, start: now, end: now + tx });
+            return Grant::Tx(Transmission {
+                frame,
+                arrival,
+                start: now,
+                end: now + tx,
+            });
         }
         match future_best {
             Some(t) => Grant::WaitUntil(t),
@@ -279,9 +298,21 @@ mod tests {
         GateControlList::new(
             ms(1),
             vec![
-                GateWindow::new(TrafficClass::Critical, SimDuration::ZERO, SimDuration::from_micros(300)),
-                GateWindow::new(TrafficClass::Stream, SimDuration::from_micros(300), SimDuration::from_micros(350)),
-                GateWindow::new(TrafficClass::BestEffort, SimDuration::from_micros(650), SimDuration::from_micros(350)),
+                GateWindow::new(
+                    TrafficClass::Critical,
+                    SimDuration::ZERO,
+                    SimDuration::from_micros(300),
+                ),
+                GateWindow::new(
+                    TrafficClass::Stream,
+                    SimDuration::from_micros(300),
+                    SimDuration::from_micros(350),
+                ),
+                GateWindow::new(
+                    TrafficClass::BestEffort,
+                    SimDuration::from_micros(650),
+                    SimDuration::from_micros(350),
+                ),
             ],
         )
         .unwrap()
@@ -295,14 +326,26 @@ mod tests {
         );
         let too_long = GateControlList::new(
             ms(1),
-            vec![GateWindow::new(TrafficClass::Critical, SimDuration::from_micros(900), SimDuration::from_micros(200))],
+            vec![GateWindow::new(
+                TrafficClass::Critical,
+                SimDuration::from_micros(900),
+                SimDuration::from_micros(200),
+            )],
         );
         assert_eq!(too_long, Err(GclError::WindowBeyondCycle(0)));
         let overlap = GateControlList::new(
             ms(1),
             vec![
-                GateWindow::new(TrafficClass::Critical, SimDuration::ZERO, SimDuration::from_micros(500)),
-                GateWindow::new(TrafficClass::Stream, SimDuration::from_micros(400), SimDuration::from_micros(100)),
+                GateWindow::new(
+                    TrafficClass::Critical,
+                    SimDuration::ZERO,
+                    SimDuration::from_micros(500),
+                ),
+                GateWindow::new(
+                    TrafficClass::Stream,
+                    SimDuration::from_micros(400),
+                    SimDuration::from_micros(100),
+                ),
             ],
         );
         assert_eq!(overlap, Err(GclError::OverlappingWindows(0, 1)));
@@ -327,7 +370,11 @@ mod tests {
     fn oversized_frame_never_fits() {
         let gcl = demo_gcl();
         assert_eq!(
-            gcl.earliest_fit(SimTime::ZERO, TrafficClass::Critical, SimDuration::from_micros(301)),
+            gcl.earliest_fit(
+                SimTime::ZERO,
+                TrafficClass::Critical,
+                SimDuration::from_micros(301)
+            ),
             None
         );
     }
@@ -354,7 +401,10 @@ mod tests {
             });
         }
         let done = simulate(&mut port, events);
-        for tx in done.iter().filter(|t| t.frame.class == TrafficClass::Critical) {
+        for tx in done
+            .iter()
+            .filter(|t| t.frame.class == TrafficClass::Critical)
+        {
             // Critical frame transmits within its own cycle's window.
             assert!(
                 tx.latency() <= SimDuration::from_micros(300),
@@ -364,7 +414,12 @@ mod tests {
             );
         }
         // Best-effort traffic still makes progress.
-        assert!(done.iter().filter(|t| t.frame.class == TrafficClass::BestEffort).count() > 10);
+        assert!(
+            done.iter()
+                .filter(|t| t.frame.class == TrafficClass::BestEffort)
+                .count()
+                > 10
+        );
     }
 
     #[test]

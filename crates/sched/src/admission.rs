@@ -11,11 +11,10 @@ use crate::edf::is_edf_schedulable;
 use crate::rta;
 use crate::task::{TaskSet, TaskSpec};
 use dynplat_common::TaskId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which schedulability test gates admission.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum AdmissionTest {
     /// Fixed-priority response-time analysis (exact for FP scheduling).
     #[default]
@@ -31,7 +30,7 @@ pub enum AdmissionTest {
 }
 
 /// Outcome of an admission request.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AdmissionDecision {
     /// The task that was tested.
     pub task: TaskId,
@@ -93,7 +92,10 @@ impl AdmissionController {
 
     /// Creates a controller with an explicit test.
     pub fn with_test(test: AdmissionTest) -> Self {
-        AdmissionController { test, admitted: TaskSet::new() }
+        AdmissionController {
+            test,
+            admitted: TaskSet::new(),
+        }
     }
 
     /// The currently admitted task set.
@@ -142,15 +144,30 @@ impl AdmissionController {
                 if candidate.utilization() <= limit {
                     (true, String::new())
                 } else {
-                    (false, format!("utilization {:.3} above {limit:.3}", candidate.utilization()))
+                    (
+                        false,
+                        format!(
+                            "utilization {:.3} above {limit:.3}",
+                            candidate.utilization()
+                        ),
+                    )
                 }
             }
         };
-        let utilization = if ok { candidate.utilization() } else { self.admitted.utilization() };
+        let utilization = if ok {
+            candidate.utilization()
+        } else {
+            self.admitted.utilization()
+        };
         if ok {
             self.admitted = candidate;
         }
-        Ok(AdmissionDecision { task: id, admitted: ok, utilization, reason })
+        Ok(AdmissionDecision {
+            task: id,
+            admitted: ok,
+            utilization,
+            reason,
+        })
     }
 
     /// Removes an admitted task (application stopped or updated away).
@@ -159,7 +176,9 @@ impl AdmissionController {
     ///
     /// Returns [`AdmissionError::UnknownTask`] if absent.
     pub fn release(&mut self, id: TaskId) -> Result<TaskSpec, AdmissionError> {
-        self.admitted.remove(id).ok_or(AdmissionError::UnknownTask(id))
+        self.admitted
+            .remove(id)
+            .ok_or(AdmissionError::UnknownTask(id))
     }
 }
 
@@ -221,7 +240,10 @@ mod tests {
         let a = t(1, 4, 1).with_deadline(ms(2));
         let b = t(2, 4, 2).with_deadline(ms(2));
         assert!(naive.try_admit(a.clone()).unwrap().admitted);
-        assert!(naive.try_admit(b.clone()).unwrap().admitted, "unsound test admits");
+        assert!(
+            naive.try_admit(b.clone()).unwrap().admitted,
+            "unsound test admits"
+        );
 
         let mut sound = AdmissionController::with_test(AdmissionTest::Edf);
         assert!(sound.try_admit(a).unwrap().admitted);
@@ -241,7 +263,15 @@ mod tests {
     fn rta_test_uses_dm_priorities() {
         // Even with unhelpful user priorities, admission reorders by DM.
         let mut ctrl = AdmissionController::new();
-        assert!(ctrl.try_admit(t(1, 50, 20).with_priority(0)).unwrap().admitted);
-        assert!(ctrl.try_admit(t(2, 5, 2).with_priority(9)).unwrap().admitted);
+        assert!(
+            ctrl.try_admit(t(1, 50, 20).with_priority(0))
+                .unwrap()
+                .admitted
+        );
+        assert!(
+            ctrl.try_admit(t(2, 5, 2).with_priority(9))
+                .unwrap()
+                .admitted
+        );
     }
 }

@@ -112,8 +112,9 @@ mod tests {
 
     #[test]
     fn demand_bound_values() {
-        let set: TaskSet =
-            [TaskSpec::periodic(TaskId(1), "a", ms(10), ms(3)).with_deadline(ms(5))].into_iter().collect();
+        let set: TaskSet = [TaskSpec::periodic(TaskId(1), "a", ms(10), ms(3)).with_deadline(ms(5))]
+            .into_iter()
+            .collect();
         assert_eq!(demand_bound(&set, ms(4)), SimDuration::ZERO);
         assert_eq!(demand_bound(&set, ms(5)), ms(3));
         assert_eq!(demand_bound(&set, ms(14)), ms(3));

@@ -17,10 +17,9 @@
 use crate::task::{TaskSet, TaskSpec};
 use crate::tt::{self, TtSchedule, TtSynthesisError};
 use dynplat_common::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Where schedule synthesis runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SynthesisBackend {
     /// On the ECU: incremental insertion only.
     Local,
@@ -33,7 +32,7 @@ pub enum SynthesisBackend {
 }
 
 /// Result of one synthesis request.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SynthesisOutcome {
     /// The new schedule.
     pub schedule: TtSchedule,
@@ -73,7 +72,10 @@ impl ScheduleManager {
     /// Forwards synthesis errors for the initial set.
     pub fn with_initial(set: TaskSet) -> Result<Self, TtSynthesisError> {
         let schedule = tt::synthesize(&set)?;
-        Ok(ScheduleManager { tasks: set, schedule })
+        Ok(ScheduleManager {
+            tasks: set,
+            schedule,
+        })
     }
 
     /// The current schedule.
@@ -118,8 +120,8 @@ impl ScheduleManager {
                 candidate_set.push(task);
                 let new_schedule = tt::synthesize(&candidate_set)?;
                 let disturbance = tt::disturbance(&self.schedule, &new_schedule);
-                let latency = round_trip
-                    + CLOUD_COST_PER_ENTRY * (new_schedule.entries().len() as u64);
+                let latency =
+                    round_trip + CLOUD_COST_PER_ENTRY * (new_schedule.entries().len() as u64);
                 self.tasks = candidate_set;
                 self.schedule = new_schedule;
                 Ok(SynthesisOutcome {

@@ -10,10 +10,9 @@
 use crate::task::{TaskSet, TaskSpec};
 use dynplat_common::time::SimDuration;
 use dynplat_common::TaskId;
-use serde::{Deserialize, Serialize};
 
 /// Analysis result for one task.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RtaResult {
     /// The analyzed task.
     pub id: TaskId,
@@ -51,9 +50,7 @@ pub fn response_times(set: &TaskSet) -> Vec<RtaResult> {
             let hp: Vec<&TaskSpec> = set
                 .tasks()
                 .iter()
-                .filter(|j| {
-                    (j.priority, j.id.raw()) < (task.priority, task.id.raw())
-                })
+                .filter(|j| (j.priority, j.id.raw()) < (task.priority, task.id.raw()))
                 .collect();
             let mut r = task.wcet;
             let wcrt = loop {
@@ -70,7 +67,11 @@ pub fn response_times(set: &TaskSet) -> Vec<RtaResult> {
                 }
                 r = r_next;
             };
-            RtaResult { id: task.id, wcrt, deadline: task.deadline }
+            RtaResult {
+                id: task.id,
+                wcrt,
+                deadline: task.deadline,
+            }
         })
         .collect()
 }
@@ -110,7 +111,9 @@ mod tests {
     #[test]
     fn textbook_example() {
         // Classic three-task example: T=(7,12,20), C=(3,3,5), RM priorities.
-        let set: TaskSet = [t(1, 7, 3, 0), t(2, 12, 3, 1), t(3, 20, 5, 2)].into_iter().collect();
+        let set: TaskSet = [t(1, 7, 3, 0), t(2, 12, 3, 1), t(3, 20, 5, 2)]
+            .into_iter()
+            .collect();
         let rts = response_times(&set);
         assert_eq!(rts[0].wcrt, Some(ms(3)));
         assert_eq!(rts[1].wcrt, Some(ms(6)));
@@ -121,7 +124,9 @@ mod tests {
 
     #[test]
     fn unschedulable_low_priority_task_detected() {
-        let set: TaskSet = [t(1, 4, 2, 0), t(2, 8, 4, 1), t(3, 16, 2, 2)].into_iter().collect();
+        let set: TaskSet = [t(1, 4, 2, 0), t(2, 8, 4, 1), t(3, 16, 2, 2)]
+            .into_iter()
+            .collect();
         // U = 0.5 + 0.5 + 0.125 > 1: lowest task cannot fit.
         let rts = response_times(&set);
         assert!(rts[0].is_schedulable());

@@ -84,8 +84,7 @@ pub fn slack_at(set: &TaskSet, factor: f64) -> Vec<(dynplat_common::TaskId, Opti
         .into_iter()
         .map(|r| {
             let margin = r.wcrt.map(|w| {
-                (r.deadline.as_nanos() as f64 - w.as_nanos() as f64)
-                    / r.deadline.as_nanos() as f64
+                (r.deadline.as_nanos() as f64 - w.as_nanos() as f64) / r.deadline.as_nanos() as f64
             });
             (r.id, margin)
         })
@@ -118,7 +117,7 @@ mod tests {
     fn nearly_full_set_has_little_headroom() {
         let set: TaskSet = [t(1, 10, 4), t(2, 20, 8)].into_iter().collect(); // U = 0.8
         let f = critical_scaling_factor(&set, 0.001);
-        assert!(f >= 1.0 && f < 1.3, "got {f}");
+        assert!((1.0..1.3).contains(&f), "got {f}");
         // The scaled set at the reported factor is indeed schedulable...
         assert!(rta::is_schedulable(&scaled(&set, f)));
         // ...and slightly above it is not.
@@ -139,8 +138,14 @@ mod tests {
     #[test]
     fn slack_shrinks_with_scaling() {
         let set: TaskSet = [t(1, 10, 2), t(2, 20, 4)].into_iter().collect();
-        let at_1: Vec<f64> = slack_at(&set, 1.0).into_iter().filter_map(|(_, m)| m).collect();
-        let at_2: Vec<f64> = slack_at(&set, 2.0).into_iter().filter_map(|(_, m)| m).collect();
+        let at_1: Vec<f64> = slack_at(&set, 1.0)
+            .into_iter()
+            .filter_map(|(_, m)| m)
+            .collect();
+        let at_2: Vec<f64> = slack_at(&set, 2.0)
+            .into_iter()
+            .filter_map(|(_, m)| m)
+            .collect();
         assert_eq!(at_1.len(), 2);
         assert_eq!(at_2.len(), 2);
         for (a, b) in at_1.iter().zip(&at_2) {
@@ -152,8 +157,6 @@ mod tests {
     fn factor_is_monotone_in_load() {
         let light: TaskSet = [t(1, 100, 2)].into_iter().collect();
         let heavy: TaskSet = [t(1, 100, 40)].into_iter().collect();
-        assert!(
-            critical_scaling_factor(&light, 0.01) > critical_scaling_factor(&heavy, 0.01)
-        );
+        assert!(critical_scaling_factor(&light, 0.01) > critical_scaling_factor(&heavy, 0.01));
     }
 }

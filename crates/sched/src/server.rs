@@ -14,10 +14,9 @@ use crate::edf::demand_bound;
 use crate::task::{TaskSet, TaskSpec};
 use dynplat_common::time::SimDuration;
 use dynplat_common::TaskId;
-use serde::{Deserialize, Serialize};
 
 /// A periodic resource: `budget` units of CPU guaranteed every `period`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PeriodicServer {
     /// Guaranteed execution budget per replenishment period.
     pub budget: SimDuration,
@@ -160,18 +159,23 @@ mod tests {
     fn admits_light_child_rejects_heavy() {
         let server = PeriodicServer::new(ms(4), ms(10)); // 40% bandwidth
         let analysis = ServerAnalysis::new(server);
-        let light: TaskSet =
-            [TaskSpec::periodic(TaskId(1), "l", ms(100), ms(10))].into_iter().collect();
+        let light: TaskSet = [TaskSpec::periodic(TaskId(1), "l", ms(100), ms(10))]
+            .into_iter()
+            .collect();
         assert!(analysis.admits(&light));
-        let heavy: TaskSet =
-            [TaskSpec::periodic(TaskId(1), "h", ms(10), ms(5))].into_iter().collect();
+        let heavy: TaskSet = [TaskSpec::periodic(TaskId(1), "h", ms(10), ms(5))]
+            .into_iter()
+            .collect();
         assert!(!analysis.admits(&heavy), "50% demand exceeds 40% bandwidth");
         // Bandwidth is necessary but not sufficient: tight deadline fails too.
-        let tight: TaskSet = [TaskSpec::periodic(TaskId(1), "t", ms(100), ms(3))
-            .with_deadline(ms(5))]
-        .into_iter()
-        .collect();
-        assert!(!analysis.admits(&tight), "deadline shorter than worst-case blackout");
+        let tight: TaskSet =
+            [TaskSpec::periodic(TaskId(1), "t", ms(100), ms(3)).with_deadline(ms(5))]
+                .into_iter()
+                .collect();
+        assert!(
+            !analysis.admits(&tight),
+            "deadline shorter than worst-case blackout"
+        );
     }
 
     #[test]
@@ -182,8 +186,9 @@ mod tests {
 
     #[test]
     fn minimal_budget_search() {
-        let child: TaskSet =
-            [TaskSpec::periodic(TaskId(1), "c", ms(50), ms(5))].into_iter().collect();
+        let child: TaskSet = [TaskSpec::periodic(TaskId(1), "c", ms(50), ms(5))]
+            .into_iter()
+            .collect();
         let analysis = ServerAnalysis::new(PeriodicServer::new(ms(1), ms(10)));
         let min = analysis.minimal_budget(&child, ms(1)).unwrap();
         assert!(min >= ms(2) && min <= ms(10), "got {min}");

@@ -25,7 +25,6 @@ use dynplat_common::rng::seeded_rng;
 use dynplat_common::time::{SimDuration, SimTime};
 use dynplat_common::{AppKind, TaskId};
 use dynplat_sim::jitter::ExecutionModel;
-use serde::{Deserialize, Serialize};
 
 /// Scheduling policy under simulation.
 #[derive(Clone, Debug)]
@@ -42,7 +41,7 @@ pub enum Policy {
 }
 
 /// Configuration of one simulation run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SchedSimConfig {
     /// Simulated horizon.
     pub horizon: SimDuration,
@@ -67,7 +66,7 @@ impl Default for SchedSimConfig {
 }
 
 /// Per-task outcome statistics.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TaskStats {
     /// Task identifier.
     pub id: TaskId,
@@ -106,7 +105,7 @@ impl TaskStats {
 }
 
 /// Results of a simulation run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SchedStats {
     /// Statistics per task, in task-set order.
     pub tasks: Vec<TaskStats>,
@@ -124,7 +123,9 @@ impl SchedStats {
             .tasks
             .iter()
             .filter(|t| t.kind == AppKind::Deterministic)
-            .fold((0u64, 0u64), |(m, a), t| (m + t.deadline_misses, a + t.activations));
+            .fold((0u64, 0u64), |(m, a), t| {
+                (m + t.deadline_misses, a + t.activations)
+            });
         if act == 0 {
             0.0
         } else {
@@ -227,14 +228,22 @@ fn collect_stats(set: &TaskSet, jobs: &[Job], horizon: SimTime) -> SchedStats {
                     }
                 }
             }
-            let mean = if completions > 0 { rsum / completions } else { SimDuration::ZERO };
+            let mean = if completions > 0 {
+                rsum / completions
+            } else {
+                SimDuration::ZERO
+            };
             TaskStats {
                 id: task.id,
                 kind: task.kind,
                 activations: mine.len() as u64,
                 completions,
                 deadline_misses: misses,
-                response_min: if completions > 0 { rmin } else { SimDuration::ZERO },
+                response_min: if completions > 0 {
+                    rmin
+                } else {
+                    SimDuration::ZERO
+                },
                 response_max: rmax,
                 response_mean: mean,
             }
@@ -261,11 +270,7 @@ fn run_fifo(jobs: &mut [Job], horizon: SimTime) {
 
 /// Preemptive fixed-priority simulation over `jobs` (sorted by release).
 /// Returns the busy segments `(start, end)` consumed by these jobs.
-fn run_fp(
-    set: &TaskSet,
-    jobs: &mut [Job],
-    horizon: SimTime,
-) -> Vec<(SimTime, SimTime)> {
+fn run_fp(set: &TaskSet, jobs: &mut [Job], horizon: SimTime) -> Vec<(SimTime, SimTime)> {
     let prio = |job: &Job| {
         let task = &set.tasks()[job.task_idx];
         (task.priority, task.id.raw(), job.index_in_task)
@@ -292,8 +297,7 @@ fn run_fp(
                 }
             }
             Some(j) => {
-                let next_release =
-                    jobs.get(next).map_or(SimTime::MAX, |x| x.release);
+                let next_release = jobs.get(next).map_or(SimTime::MAX, |x| x.release);
                 let fin = t + jobs[j].remaining;
                 let until = fin.min(next_release).min(horizon);
                 let ran = until.saturating_since(t);
@@ -345,7 +349,7 @@ fn run_in_intervals(jobs: &mut [Job], intervals: &[(SimTime, SimTime)], horizon:
                 break;
             }
             job.remaining -= run;
-            lo = lo + run;
+            lo += run;
             if job.remaining.is_zero() {
                 job.completed = Some(lo);
                 job_iter += 1;
@@ -372,8 +376,7 @@ fn apply_server_budget(
                 period_idx = my_period;
                 used_in_period = SimDuration::ZERO;
             }
-            let period_end =
-                SimTime::from_nanos((my_period + 1) * server.period.as_nanos());
+            let period_end = SimTime::from_nanos((my_period + 1) * server.period.as_nanos());
             let budget_left = server.budget.saturating_sub(used_in_period);
             if budget_left.is_zero() {
                 cur = period_end;
@@ -473,9 +476,10 @@ pub fn simulate_schedule(set: &TaskSet, policy: &Policy, cfg: &SchedSimConfig) -
             nda.sort_by_key(|j| (j.release, j.task_idx));
             run_in_intervals(&mut nda, &idle, horizon);
             for done in nda {
-                if let Some(job) = jobs.iter_mut().find(|j| {
-                    j.task_idx == done.task_idx && j.index_in_task == done.index_in_task
-                }) {
+                if let Some(job) = jobs
+                    .iter_mut()
+                    .find(|j| j.task_idx == done.task_idx && j.index_in_task == done.index_in_task)
+                {
                     *job = done;
                 }
             }
@@ -490,14 +494,18 @@ pub fn simulate_schedule(set: &TaskSet, policy: &Policy, cfg: &SchedSimConfig) -
                 .filter(|(_, t)| t.kind == AppKind::Deterministic)
                 .map(|(i, _)| i)
                 .collect();
-            let mut da_jobs: Vec<Job> =
-                jobs.iter().filter(|j| da_idx.contains(&j.task_idx)).cloned().collect();
+            let mut da_jobs: Vec<Job> = jobs
+                .iter()
+                .filter(|j| da_idx.contains(&j.task_idx))
+                .cloned()
+                .collect();
             da_jobs.sort_by_key(|j| (j.release, j.task_idx));
             let busy = run_fp(set, &mut da_jobs, horizon);
             for done in &da_jobs {
-                if let Some(job) = jobs.iter_mut().find(|j| {
-                    j.task_idx == done.task_idx && j.index_in_task == done.index_in_task
-                }) {
+                if let Some(job) = jobs
+                    .iter_mut()
+                    .find(|j| j.task_idx == done.task_idx && j.index_in_task == done.index_in_task)
+                {
                     *job = done.clone();
                 }
             }
@@ -511,9 +519,10 @@ pub fn simulate_schedule(set: &TaskSet, policy: &Policy, cfg: &SchedSimConfig) -
             nda.sort_by_key(|j| (j.release, j.task_idx));
             run_in_intervals(&mut nda, &usable, horizon);
             for done in nda {
-                if let Some(job) = jobs.iter_mut().find(|j| {
-                    j.task_idx == done.task_idx && j.index_in_task == done.index_in_task
-                }) {
+                if let Some(job) = jobs
+                    .iter_mut()
+                    .find(|j| j.task_idx == done.task_idx && j.index_in_task == done.index_in_task)
+                {
                     *job = done;
                 }
             }
@@ -544,7 +553,10 @@ mod tests {
     }
 
     fn cfg() -> SchedSimConfig {
-        SchedSimConfig { horizon: SimDuration::from_millis(400), ..Default::default() }
+        SchedSimConfig {
+            horizon: SimDuration::from_millis(400),
+            ..Default::default()
+        }
     }
 
     fn mixed_set() -> TaskSet {
@@ -619,21 +631,28 @@ mod tests {
     fn higher_nda_load_degrades_fifo_more() {
         let light: TaskSet = [da(1, 10, 2), nda(50, 40, 5)].into_iter().collect();
         let heavy: TaskSet = [da(1, 10, 2), nda(50, 40, 30)].into_iter().collect();
-        let light_miss = simulate_schedule(&light, &Policy::NonPreemptiveFifo, &cfg())
-            .deterministic_miss_rate();
-        let heavy_miss = simulate_schedule(&heavy, &Policy::NonPreemptiveFifo, &cfg())
-            .deterministic_miss_rate();
+        let light_miss =
+            simulate_schedule(&light, &Policy::NonPreemptiveFifo, &cfg()).deterministic_miss_rate();
+        let heavy_miss =
+            simulate_schedule(&heavy, &Policy::NonPreemptiveFifo, &cfg()).deterministic_miss_rate();
         assert!(heavy_miss > light_miss);
     }
 
     #[test]
     fn fp_matches_rta_bound() {
-        let set: TaskSet = [da(1, 10, 2), da(2, 20, 5), da(3, 40, 8)].into_iter().collect();
+        let set: TaskSet = [da(1, 10, 2), da(2, 20, 5), da(3, 40, 8)]
+            .into_iter()
+            .collect();
         let rts = crate::rta::response_times(&set);
         let stats = simulate_schedule(
             &set,
             &Policy::FixedPriorityPreemptive,
-            &SchedSimConfig { horizon: ms(400), bcet_frac: 1.0, exec_sigma: 0.0, seed: 7 },
+            &SchedSimConfig {
+                horizon: ms(400),
+                bcet_frac: 1.0,
+                exec_sigma: 0.0,
+                seed: 7,
+            },
         );
         for (r, s) in rts.iter().zip(&stats.tasks) {
             let bound = r.wcrt.expect("schedulable");

@@ -7,11 +7,10 @@
 
 use dynplat_common::time::{hyperperiod, SimDuration};
 use dynplat_common::{AppKind, TaskId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A periodic task.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TaskSpec {
     /// Task identifier.
     pub id: TaskId,
@@ -72,7 +71,10 @@ impl TaskSpec {
     ///
     /// Panics if `deadline` is zero or smaller than the WCET.
     pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
-        assert!(!deadline.is_zero() && deadline >= self.wcet, "invalid deadline");
+        assert!(
+            !deadline.is_zero() && deadline >= self.wcet,
+            "invalid deadline"
+        );
         self.deadline = deadline;
         self
     }
@@ -106,7 +108,7 @@ impl fmt::Display for TaskSpec {
 }
 
 /// An ordered collection of tasks bound to one CPU.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TaskSet {
     tasks: Vec<TaskSpec>,
 }
@@ -169,12 +171,16 @@ impl TaskSet {
 
     /// Only the deterministic tasks.
     pub fn deterministic(&self) -> impl Iterator<Item = &TaskSpec> {
-        self.tasks.iter().filter(|t| t.kind == AppKind::Deterministic)
+        self.tasks
+            .iter()
+            .filter(|t| t.kind == AppKind::Deterministic)
     }
 
     /// Only the non-deterministic tasks.
     pub fn non_deterministic(&self) -> impl Iterator<Item = &TaskSpec> {
-        self.tasks.iter().filter(|t| t.kind == AppKind::NonDeterministic)
+        self.tasks
+            .iter()
+            .filter(|t| t.kind == AppKind::NonDeterministic)
     }
 }
 

@@ -18,11 +18,10 @@
 use crate::task::{TaskSet, TaskSpec};
 use dynplat_common::time::{SimDuration, SimTime};
 use dynplat_common::TaskId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One non-preemptive execution slot within the hyperperiod.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TtEntry {
     /// The task this slot belongs to.
     pub task: TaskId,
@@ -73,7 +72,7 @@ impl fmt::Display for TtSynthesisError {
 impl std::error::Error for TtSynthesisError {}
 
 /// A complete time-triggered table repeating every hyperperiod.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TtSchedule {
     hyperperiod: SimDuration,
     entries: Vec<TtEntry>,
@@ -87,11 +86,11 @@ impl TtSchedule {
     /// # Errors
     ///
     /// Returns a description of the first overlapping pair found.
-    pub fn from_entries(
-        hyperperiod: SimDuration,
-        entries: Vec<TtEntry>,
-    ) -> Result<Self, String> {
-        let mut schedule = TtSchedule { hyperperiod, entries };
+    pub fn from_entries(hyperperiod: SimDuration, entries: Vec<TtEntry>) -> Result<Self, String> {
+        let mut schedule = TtSchedule {
+            hyperperiod,
+            entries,
+        };
         schedule.sort();
         for pair in schedule.entries.windows(2) {
             if pair[0].end() > pair[1].start {
@@ -135,7 +134,9 @@ impl TtSchedule {
             return None;
         }
         let off = t % self.hyperperiod;
-        self.entries.iter().find(|e| e.start <= off && off < e.end())
+        self.entries
+            .iter()
+            .find(|e| e.start <= off && off < e.end())
     }
 
     /// Structural validation against the task set that produced it.
@@ -148,10 +149,7 @@ impl TtSchedule {
         sorted.sort_by_key(|e| e.start);
         for pair in sorted.windows(2) {
             if pair[0].end() > pair[1].start {
-                return Err(format!(
-                    "slots overlap: {:?} and {:?}",
-                    pair[0], pair[1]
-                ));
+                return Err(format!("slots overlap: {:?} and {:?}", pair[0], pair[1]));
             }
         }
         for e in &self.entries {
@@ -161,7 +159,10 @@ impl TtSchedule {
         }
         for task in set.tasks() {
             if self.hyperperiod % task.period != SimDuration::ZERO {
-                return Err(format!("hyperperiod not a multiple of {}'s period", task.id));
+                return Err(format!(
+                    "hyperperiod not a multiple of {}'s period",
+                    task.id
+                ));
             }
             let jobs = self.hyperperiod / task.period;
             let mut seen = vec![false; jobs as usize];
@@ -241,21 +242,24 @@ impl TtSchedule {
     /// Panics if `new_hp` is not a multiple of the current hyperperiod.
     pub fn expand_to(&self, new_hp: SimDuration) -> TtSchedule {
         if self.hyperperiod.is_zero() {
-            return TtSchedule { hyperperiod: new_hp, entries: Vec::new() };
+            return TtSchedule {
+                hyperperiod: new_hp,
+                entries: Vec::new(),
+            };
         }
         assert!(
             new_hp % self.hyperperiod == SimDuration::ZERO,
             "new hyperperiod must be a multiple of the current one"
         );
         let reps = new_hp / self.hyperperiod;
-        let jobs_per_rep: std::collections::BTreeMap<TaskId, u64> = self
-            .entries
-            .iter()
-            .fold(std::collections::BTreeMap::new(), |mut m, e| {
-                let c = m.entry(e.task).or_insert(0);
-                *c = (*c).max(e.job + 1);
-                m
-            });
+        let jobs_per_rep: std::collections::BTreeMap<TaskId, u64> =
+            self.entries
+                .iter()
+                .fold(std::collections::BTreeMap::new(), |mut m, e| {
+                    let c = m.entry(e.task).or_insert(0);
+                    *c = (*c).max(e.job + 1);
+                    m
+                });
         let mut entries = Vec::with_capacity(self.entries.len() * reps as usize);
         for rep in 0..reps {
             for e in &self.entries {
@@ -267,7 +271,10 @@ impl TtSchedule {
                 });
             }
         }
-        let mut out = TtSchedule { hyperperiod: new_hp, entries };
+        let mut out = TtSchedule {
+            hyperperiod: new_hp,
+            entries,
+        };
         out.sort();
         out
     }
@@ -285,7 +292,10 @@ pub fn synthesize(set: &TaskSet) -> Result<TtSchedule, TtSynthesisError> {
     if set.utilization() > 1.0 + 1e-12 {
         return Err(TtSynthesisError::OverUtilized);
     }
-    let mut schedule = TtSchedule { hyperperiod: set.hyperperiod(), entries: Vec::new() };
+    let mut schedule = TtSchedule {
+        hyperperiod: set.hyperperiod(),
+        entries: Vec::new(),
+    };
     let mut tasks: Vec<&TaskSpec> = set.tasks().iter().collect();
     tasks.sort_by_key(|t| (t.period, t.id.raw()));
     for task in tasks {
@@ -383,10 +393,16 @@ mod tests {
     fn slot_lookup() {
         let set: TaskSet = [t(1, 4, 2)].into_iter().collect();
         let schedule = synthesize(&set).unwrap();
-        assert_eq!(schedule.slot_at(SimTime::from_millis(0)).unwrap().task, TaskId(1));
+        assert_eq!(
+            schedule.slot_at(SimTime::from_millis(0)).unwrap().task,
+            TaskId(1)
+        );
         assert!(schedule.slot_at(SimTime::from_millis(3)).is_none());
         // Repeats every hyperperiod.
-        assert_eq!(schedule.slot_at(SimTime::from_millis(9)).unwrap().task, TaskId(1));
+        assert_eq!(
+            schedule.slot_at(SimTime::from_millis(9)).unwrap().task,
+            TaskId(1)
+        );
     }
 
     #[test]
@@ -395,7 +411,11 @@ mod tests {
         let base = synthesize(&set).unwrap();
         let new_task = t(3, 8, 1);
         let grown = insert_incremental(&base, &new_task).unwrap();
-        assert_eq!(disturbance(&base, &grown), 0, "incremental mode must not move slots");
+        assert_eq!(
+            disturbance(&base, &grown),
+            0,
+            "incremental mode must not move slots"
+        );
         let mut full_set = set.clone();
         full_set.push(new_task);
         grown.validate(&full_set).unwrap();
@@ -438,7 +458,10 @@ mod tests {
         bigger.push(t(3, 4, 1));
         let full = synthesize(&bigger).unwrap();
         full.validate(&bigger).unwrap();
-        assert!(disturbance(&base, &full) > 0, "full resynthesis moves old slots");
+        assert!(
+            disturbance(&base, &full) > 0,
+            "full resynthesis moves old slots"
+        );
     }
 
     #[test]
@@ -446,7 +469,7 @@ mod tests {
         let set: TaskSet = [t(1, 4, 1)].into_iter().collect();
         let mut schedule = synthesize(&set).unwrap();
         schedule.entries[0].start = ms(3); // outside [0, 4-1] window start is fine but overlaps? job0 window is [0,4]; start=3, end=4 ok.
-        // Make it actually invalid: shift beyond deadline window.
+                                           // Make it actually invalid: shift beyond deadline window.
         schedule.entries[0].start = ms(4);
         assert!(schedule.validate(&set).is_err());
     }
@@ -464,11 +487,9 @@ mod tests {
 
     #[test]
     fn offsets_are_respected() {
-        let set: TaskSet = [
-            TaskSpec::periodic(TaskId(1), "a", ms(10), ms(2)).with_offset(ms(5)),
-        ]
-        .into_iter()
-        .collect();
+        let set: TaskSet = [TaskSpec::periodic(TaskId(1), "a", ms(10), ms(2)).with_offset(ms(5))]
+            .into_iter()
+            .collect();
         let schedule = synthesize(&set).unwrap();
         assert!(schedule.entries()[0].start >= ms(5));
         schedule.validate(&set).unwrap();

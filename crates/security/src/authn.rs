@@ -16,7 +16,6 @@
 
 use crate::sha256::{ct_eq, derive_key, hmac_sha256};
 use dynplat_common::{AppId, ServiceId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -57,7 +56,7 @@ impl fmt::Display for AuthError {
 impl std::error::Error for AuthError {}
 
 /// A principal: either a client application or a service provider.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Principal {
     /// A client application.
     Client(AppId),
@@ -67,7 +66,7 @@ pub enum Principal {
 
 /// A session grant: the session key for the client plus a ticket that
 /// proves the grant to the service.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SessionGrant {
     /// Fresh symmetric session key.
     pub session_key: [u8; 32],
@@ -124,7 +123,11 @@ impl KeyServer {
         material.extend_from_slice(&session_id.to_be_bytes());
         let session_key = hmac_sha256(&derive_key(client_key, "session"), &material);
         let ticket = ticket_tag(service_key, client, service, session_id, &session_key);
-        Ok(SessionGrant { session_key, ticket, session_id })
+        Ok(SessionGrant {
+            session_key,
+            ticket,
+            session_id,
+        })
     }
 }
 
@@ -158,7 +161,13 @@ pub fn service_accept_ticket(
     service: ServiceId,
     grant: &SessionGrant,
 ) -> Result<SecureChannel, AuthError> {
-    let expect = ticket_tag(service_key, client, service, grant.session_id, &grant.session_key);
+    let expect = ticket_tag(
+        service_key,
+        client,
+        service,
+        grant.session_id,
+        &grant.session_key,
+    );
     if !ct_eq(&expect, &grant.ticket) {
         return Err(AuthError::BadTicket);
     }
@@ -166,7 +175,7 @@ pub fn service_accept_ticket(
 }
 
 /// An authenticated message: payload, counter and truncated MAC.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AuthenticatedMessage {
     /// Application payload.
     pub payload: Vec<u8>,
@@ -187,14 +196,22 @@ pub struct SecureChannel {
 impl SecureChannel {
     /// Creates a channel over an established session key.
     pub fn new(session_key: [u8; 32]) -> Self {
-        SecureChannel { key: session_key, send_counter: 0, recv_counter: 0 }
+        SecureChannel {
+            key: session_key,
+            send_counter: 0,
+            recv_counter: 0,
+        }
     }
 
     /// Wraps a payload for sending.
     pub fn seal(&mut self, payload: &[u8]) -> AuthenticatedMessage {
         self.send_counter += 1;
         let tag = message_tag(&self.key, self.send_counter, payload);
-        AuthenticatedMessage { payload: payload.to_vec(), counter: self.send_counter, tag }
+        AuthenticatedMessage {
+            payload: payload.to_vec(),
+            counter: self.send_counter,
+            tag,
+        }
     }
 
     /// Verifies and unwraps a received message.
@@ -209,7 +226,10 @@ impl SecureChannel {
             return Err(AuthError::BadTag);
         }
         if msg.counter <= self.recv_counter {
-            return Err(AuthError::Replay { got: msg.counter, last: self.recv_counter });
+            return Err(AuthError::Replay {
+                got: msg.counter,
+                last: self.recv_counter,
+            });
         }
         self.recv_counter = msg.counter;
         Ok(msg.payload.clone())
@@ -257,8 +277,14 @@ mod tests {
     #[test]
     fn unknown_principals_are_refused() {
         let (mut ks, _, client, service) = setup();
-        assert_eq!(ks.grant_session(AppId(99), service), Err(AuthError::UnknownPrincipal));
-        assert_eq!(ks.grant_session(client, ServiceId(99)), Err(AuthError::UnknownPrincipal));
+        assert_eq!(
+            ks.grant_session(AppId(99), service),
+            Err(AuthError::UnknownPrincipal)
+        );
+        assert_eq!(
+            ks.grant_session(client, ServiceId(99)),
+            Err(AuthError::UnknownPrincipal)
+        );
     }
 
     #[test]

@@ -10,12 +10,11 @@
 //! can detect staleness.
 
 use dynplat_common::{AppId, MethodId, ServiceId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// What a client is allowed to do on a service.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Permission {
     /// Subscribe to an event group.
     Subscribe,
@@ -39,7 +38,7 @@ impl fmt::Display for Permission {
 }
 
 /// Outcome of an access check, with the reason for auditability.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum AccessDecision {
     /// Granted by an explicit rule.
     Granted,
@@ -57,7 +56,7 @@ impl AccessDecision {
 }
 
 /// The (client, service, permission) relation, versioned for distribution.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct AccessControlMatrix {
     rules: BTreeSet<(AppId, ServiceId, Permission)>,
     version: u64,
@@ -92,7 +91,12 @@ impl AccessControlMatrix {
     }
 
     /// Checks whether `client` may perform `permission` on `service`.
-    pub fn check(&self, client: AppId, service: ServiceId, permission: Permission) -> AccessDecision {
+    pub fn check(
+        &self,
+        client: AppId,
+        service: ServiceId,
+        permission: Permission,
+    ) -> AccessDecision {
         if self.rules.contains(&(client, service, permission)) {
             return AccessDecision::Granted;
         }
@@ -139,7 +143,10 @@ mod tests {
     #[test]
     fn deny_by_default() {
         let m = AccessControlMatrix::new();
-        assert_eq!(m.check(AppId(1), ServiceId(1), Permission::Subscribe), AccessDecision::Denied);
+        assert_eq!(
+            m.check(AppId(1), ServiceId(1), Permission::Subscribe),
+            AccessDecision::Denied
+        );
         assert!(m.is_empty());
     }
 
@@ -171,9 +178,15 @@ mod tests {
         let d = m.check(AppId(7), ServiceId(2), Permission::Subscribe);
         assert_eq!(d, AccessDecision::GrantedByWildcard);
         assert!(d.is_granted());
-        assert_eq!(m.wildcard_grants().collect::<Vec<_>>(), vec![(AppId(7), ServiceId(2))]);
+        assert_eq!(
+            m.wildcard_grants().collect::<Vec<_>>(),
+            vec![(AppId(7), ServiceId(2))]
+        );
         // Wildcard on one service grants nothing on another.
-        assert_eq!(m.check(AppId(7), ServiceId(3), Permission::Subscribe), AccessDecision::Denied);
+        assert_eq!(
+            m.check(AppId(7), ServiceId(3), Permission::Subscribe),
+            AccessDecision::Denied
+        );
     }
 
     #[test]
@@ -198,7 +211,9 @@ mod tests {
         b.grant(AppId(2), ServiceId(3), Permission::Stream);
         a.merge(&b);
         assert_eq!(a.len(), 3);
-        assert!(a.check(AppId(2), ServiceId(2), Permission::Stream).is_granted());
+        assert!(a
+            .check(AppId(2), ServiceId(2), Permission::Stream)
+            .is_granted());
         assert!(a.version() > b.version());
         // Merging identical content is a no-op for the version.
         let v = a.version();

@@ -15,11 +15,10 @@
 use crate::package::{KeyRegistry, PackageError, SignedPackage, UpdatePackage};
 use crate::sha256::{ct_eq, hmac_sha256, sha256};
 use dynplat_common::EcuId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// MAC-based proof that a master verified a package for a specific ECU.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Voucher {
     /// The ECU this voucher addresses.
     pub ecu: EcuId,
@@ -40,7 +39,10 @@ pub struct UpdateMaster {
 impl UpdateMaster {
     /// Creates a master trusting `registry`.
     pub fn new(registry: KeyRegistry) -> Self {
-        UpdateMaster { registry, psk: BTreeMap::new() }
+        UpdateMaster {
+            registry,
+            psk: BTreeMap::new(),
+        }
     }
 
     /// Establishes the trust relationship with a weak ECU (factory
@@ -67,11 +69,21 @@ impl UpdateMaster {
         signed: &SignedPackage,
         ecu: EcuId,
     ) -> Result<(UpdatePackage, Voucher), PackageError> {
-        let psk = self.psk.get(&ecu).ok_or(PackageError::UntrustedSigner([0; 8]))?;
+        let psk = self
+            .psk
+            .get(&ecu)
+            .ok_or(PackageError::UntrustedSigner([0; 8]))?;
         let package = signed.verify(&self.registry)?;
         let package_digest = sha256(&signed.package_bytes);
         let tag = voucher_tag(psk, ecu, &package_digest);
-        Ok((package, Voucher { ecu, package_digest, tag }))
+        Ok((
+            package,
+            Voucher {
+                ecu,
+                package_digest,
+                tag,
+            },
+        ))
     }
 }
 

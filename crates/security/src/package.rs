@@ -10,14 +10,11 @@
 use crate::sign::{KeyPair, PublicKey, Signature};
 use dynplat_common::codec::{ByteReader, ByteWriter, CodecError};
 use dynplat_common::AppId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A semantic application version.
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Version {
     /// Major version (breaking interface changes).
     pub major: u16,
@@ -30,14 +27,17 @@ pub struct Version {
 impl Version {
     /// Creates a version.
     pub const fn new(major: u16, minor: u16, patch: u16) -> Self {
-        Version { major, minor, patch }
+        Version {
+            major,
+            minor,
+            patch,
+        }
     }
 
     /// `true` if a consumer built against `required` can bind to this
     /// provider version (same major, at least the required minor).
     pub fn is_compatible_with(self, required: Version) -> bool {
-        self.major == required.major
-            && (self.minor, self.patch) >= (required.minor, required.patch)
+        self.major == required.major && (self.minor, self.patch) >= (required.minor, required.patch)
     }
 }
 
@@ -48,7 +48,7 @@ impl fmt::Display for Version {
 }
 
 /// An unsigned update package.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct UpdatePackage {
     /// Application being shipped.
     pub app: AppId,
@@ -66,7 +66,13 @@ pub struct UpdatePackage {
 impl UpdatePackage {
     /// Creates a package.
     pub fn new(app: AppId, version: Version, release_counter: u64, payload: Vec<u8>) -> Self {
-        UpdatePackage { app, version, release_counter, payload, metadata: BTreeMap::new() }
+        UpdatePackage {
+            app,
+            version,
+            release_counter,
+            payload,
+            metadata: BTreeMap::new(),
+        }
     }
 
     /// Adds a metadata entry (builder style).
@@ -113,7 +119,13 @@ impl UpdatePackage {
             let v = r.take_string()?;
             metadata.insert(k, v);
         }
-        Ok(UpdatePackage { app, version, release_counter, payload, metadata })
+        Ok(UpdatePackage {
+            app,
+            version,
+            release_counter,
+            payload,
+            metadata,
+        })
     }
 }
 
@@ -140,7 +152,10 @@ impl fmt::Display for PackageError {
         match self {
             PackageError::UntrustedSigner(id) => write!(f, "untrusted signer {id:02x?}"),
             PackageError::BadSignature => write!(f, "signature verification failed"),
-            PackageError::ReplayOrRollback { got, expected_above } => {
+            PackageError::ReplayOrRollback {
+                got,
+                expected_above,
+            } => {
                 write!(f, "release counter {got} not above {expected_above}")
             }
             PackageError::Malformed(e) => write!(f, "malformed package: {e}"),
@@ -158,7 +173,7 @@ impl From<CodecError> for PackageError {
 }
 
 /// A package plus its authority signature.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SignedPackage {
     /// Canonical package bytes (the signed surface).
     pub package_bytes: Vec<u8>,
@@ -173,7 +188,11 @@ impl SignedPackage {
     pub fn create(package: &UpdatePackage, authority: &KeyPair) -> Self {
         let package_bytes = package.to_bytes();
         let signature = authority.sign(&package_bytes);
-        SignedPackage { package_bytes, signature, signer: authority.public().key_id() }
+        SignedPackage {
+            package_bytes,
+            signature,
+            signer: authority.public().key_id(),
+        }
     }
 
     /// Verifies against `registry` and decodes the package.
@@ -263,7 +282,8 @@ impl InstallGate {
                 expected_above: last,
             });
         }
-        self.last_counter.insert(package.app, package.release_counter);
+        self.last_counter
+            .insert(package.app, package.release_counter);
         Ok(package)
     }
 }
@@ -339,7 +359,10 @@ mod tests {
         let signed = SignedPackage::create(&sample_package(), &authority);
         assert!(signed.verify(&registry).is_ok());
         assert!(registry.revoke(authority.public().key_id()));
-        assert!(matches!(signed.verify(&registry), Err(PackageError::UntrustedSigner(_))));
+        assert!(matches!(
+            signed.verify(&registry),
+            Err(PackageError::UntrustedSigner(_))
+        ));
         assert!(!registry.revoke(authority.public().key_id()));
     }
 
@@ -360,15 +383,22 @@ mod tests {
         // Replaying v2 or rolling back to v1 both fail.
         assert!(matches!(
             gate.accept(&s2, &registry),
-            Err(PackageError::ReplayOrRollback { got: 2, expected_above: 2 })
+            Err(PackageError::ReplayOrRollback {
+                got: 2,
+                expected_above: 2
+            })
         ));
         assert!(matches!(
             gate.accept(&s1, &registry),
-            Err(PackageError::ReplayOrRollback { got: 1, expected_above: 2 })
+            Err(PackageError::ReplayOrRollback {
+                got: 1,
+                expected_above: 2
+            })
         ));
         // Other apps are unaffected.
         let other = UpdatePackage::new(AppId(8), Version::new(1, 0, 0), 1, vec![1]);
-        gate.accept(&SignedPackage::create(&other, &authority), &registry).unwrap();
+        gate.accept(&SignedPackage::create(&other, &authority), &registry)
+            .unwrap();
     }
 
     #[test]

@@ -9,7 +9,6 @@
 //! cryptographic dependencies into the offline build (DESIGN.md §5).
 
 use crate::sha256::{hmac_sha256, sha256};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The field prime `2^61 − 1` (Mersenne).
@@ -43,7 +42,7 @@ fn reduce_order(bytes: &[u8]) -> u64 {
 }
 
 /// A public verification key.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PublicKey(pub u64);
 
 impl fmt::Debug for PublicKey {
@@ -73,7 +72,7 @@ impl PublicKey {
 }
 
 /// A signature: challenge `e` and response `s`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Signature {
     /// Hash challenge.
     pub e: u64,
@@ -96,7 +95,10 @@ impl Signature {
         let mut s = [0u8; 8];
         e.copy_from_slice(&bytes[..8]);
         s.copy_from_slice(&bytes[8..]);
-        Signature { e: u64::from_be_bytes(e), s: u64::from_be_bytes(s) }
+        Signature {
+            e: u64::from_be_bytes(e),
+            s: u64::from_be_bytes(s),
+        }
     }
 }
 
@@ -108,7 +110,7 @@ fn challenge(r: u64, message: &[u8]) -> u64 {
 }
 
 /// A signing key pair.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct KeyPair {
     secret: u64,
     public: PublicKey,
@@ -178,8 +180,14 @@ mod tests {
         let kp = KeyPair::from_seed(b"k");
         let msg = b"m";
         let sig = kp.sign(msg);
-        let bad_e = Signature { e: sig.e ^ 1, s: sig.s };
-        let bad_s = Signature { e: sig.e, s: sig.s ^ 1 };
+        let bad_e = Signature {
+            e: sig.e ^ 1,
+            s: sig.s,
+        };
+        let bad_s = Signature {
+            e: sig.e,
+            s: sig.s ^ 1,
+        };
         assert!(!kp.public().verify(msg, &bad_e));
         assert!(!kp.public().verify(msg, &bad_s));
     }

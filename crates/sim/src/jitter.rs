@@ -12,9 +12,8 @@
 //!   "requires high accuracy clock synchronization".
 
 use dynplat_common::rng::truncated_normal_factor;
+use dynplat_common::rng::Rng;
 use dynplat_common::time::{SimDuration, SimTime};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Stochastic execution-time model for a task.
 ///
@@ -38,7 +37,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(sample >= SimDuration::from_micros(800));
 /// assert!(sample <= SimDuration::from_micros(1000));
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ExecutionModel {
     bcet: SimDuration,
     wcet: SimDuration,
@@ -96,7 +95,7 @@ impl ExecutionModel {
 ///
 /// Offset may be negative (the clock runs behind). Drift accumulates with
 /// elapsed global time, modeling crystal-oscillator tolerance.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ClockModel {
     offset_ns: i64,
     drift_ppm: f64,
@@ -104,12 +103,18 @@ pub struct ClockModel {
 
 impl ClockModel {
     /// A perfect clock (zero offset, zero drift).
-    pub const PERFECT: ClockModel = ClockModel { offset_ns: 0, drift_ppm: 0.0 };
+    pub const PERFECT: ClockModel = ClockModel {
+        offset_ns: 0,
+        drift_ppm: 0.0,
+    };
 
     /// Creates a clock with a fixed offset (ns, may be negative) and a drift
     /// rate in parts per million.
     pub fn new(offset_ns: i64, drift_ppm: f64) -> Self {
-        ClockModel { offset_ns, drift_ppm }
+        ClockModel {
+            offset_ns,
+            drift_ppm,
+        }
     }
 
     /// The configured offset in nanoseconds.
@@ -158,9 +163,17 @@ impl Default for ClockModel {
 
 /// Draws a random clock per ECU: offset uniform in `±max_offset`, drift
 /// uniform in `±max_drift_ppm`.
-pub fn random_clock<R: Rng>(rng: &mut R, max_offset: SimDuration, max_drift_ppm: f64) -> ClockModel {
+pub fn random_clock<R: Rng>(
+    rng: &mut R,
+    max_offset: SimDuration,
+    max_drift_ppm: f64,
+) -> ClockModel {
     let off_range = max_offset.as_nanos() as i64;
-    let offset = if off_range == 0 { 0 } else { rng.gen_range(-off_range..=off_range) };
+    let offset = if off_range == 0 {
+        0
+    } else {
+        rng.gen_range(-off_range..=off_range)
+    };
     let drift = if max_drift_ppm == 0.0 {
         0.0
     } else {
@@ -200,7 +213,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "bcet must not exceed wcet")]
     fn inverted_bounds_panic() {
-        ExecutionModel::new(SimDuration::from_micros(2), SimDuration::from_micros(1), 0.1);
+        ExecutionModel::new(
+            SimDuration::from_micros(2),
+            SimDuration::from_micros(1),
+            0.1,
+        );
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl<S> PartialOrd for QueuedEvent<S> {
 impl<S> Ord for QueuedEvent<S> {
     // Reverse ordering: the BinaryHeap is a max-heap, we want earliest first.
     fn cmp(&self, other: &Self) -> Ordering {
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -98,7 +101,12 @@ impl<S> std::fmt::Debug for Simulation<S> {
 impl<S> Simulation<S> {
     /// Creates an empty simulation at time zero.
     pub fn new() -> Self {
-        Simulation { now: SimTime::ZERO, queue: BinaryHeap::new(), seq: 0, executed: 0 }
+        Simulation {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            executed: 0,
+        }
     }
 
     /// The current simulated time.
@@ -125,10 +133,18 @@ impl<S> Simulation<S> {
     where
         F: FnOnce(&mut S, &mut Simulation<S>) + 'static,
     {
-        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(QueuedEvent { time: at, seq, action: Box::new(action) });
+        self.queue.push(QueuedEvent {
+            time: at,
+            seq,
+            action: Box::new(action),
+        });
     }
 
     /// Schedules `action` at `delay` after the current time.
@@ -209,7 +225,10 @@ pub fn schedule_periodic<S, F>(
     S: 'static,
     F: FnMut(&mut S, &mut Simulation<S>) -> bool + 'static,
 {
-    assert!(!period.is_zero(), "periodic activity needs a non-zero period");
+    assert!(
+        !period.is_zero(),
+        "periodic activity needs a non-zero period"
+    );
     tick(sim, start, period, action);
 }
 

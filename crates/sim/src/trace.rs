@@ -7,12 +7,11 @@
 //! monitoring substrate's statistics.
 
 use dynplat_common::time::SimTime;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// One trace record.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEntry {
     /// Simulated time at which the event happened.
     pub time: SimTime,
@@ -42,7 +41,7 @@ impl fmt::Display for TraceEntry {
 /// assert_eq!(trace.count("task.activate"), 2);
 /// assert_eq!(trace.len(), 2);
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Trace {
     entries: Vec<TraceEntry>,
     counters: BTreeMap<String, u64>,
@@ -59,7 +58,11 @@ impl Trace {
     /// (counters still count everything) — the "fault recorder ring buffer"
     /// shape used by the monitoring substrate.
     pub fn with_capacity_limit(capacity: usize) -> Self {
-        Trace { entries: Vec::new(), counters: BTreeMap::new(), capacity: Some(capacity) }
+        Trace {
+            entries: Vec::new(),
+            counters: BTreeMap::new(),
+            capacity: Some(capacity),
+        }
     }
 
     /// Appends an entry.
@@ -71,7 +74,11 @@ impl Trace {
     ) {
         let category = category.into();
         *self.counters.entry(category.clone()).or_insert(0) += 1;
-        self.entries.push(TraceEntry { time, category, message: message.into() });
+        self.entries.push(TraceEntry {
+            time,
+            category,
+            message: message.into(),
+        });
         if let Some(cap) = self.capacity {
             if self.entries.len() > cap {
                 let excess = self.entries.len() - cap;
@@ -92,7 +99,10 @@ impl Trace {
     }
 
     /// Retained entries of one category.
-    pub fn entries_in<'a>(&'a self, category: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+    pub fn entries_in<'a>(
+        &'a self,
+        category: &'a str,
+    ) -> impl Iterator<Item = &'a TraceEntry> + 'a {
         self.entries.iter().filter(move |e| e.category == category)
     }
 

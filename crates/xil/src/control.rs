@@ -2,10 +2,8 @@
 //! first-order plant — the canonical automotive control function used as
 //! the system under test at every XiL level.
 
-use serde::{Deserialize, Serialize};
-
 /// Discrete PID controller.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PidController {
     /// Proportional gain.
     pub kp: f64,
@@ -22,14 +20,25 @@ pub struct PidController {
 impl PidController {
     /// Creates a controller with the given gains and output limit.
     pub fn new(kp: f64, ki: f64, kd: f64, output_limit: f64) -> Self {
-        PidController { kp, ki, kd, output_limit, integral: 0.0, last_error: 0.0 }
+        PidController {
+            kp,
+            ki,
+            kd,
+            output_limit,
+            integral: 0.0,
+            last_error: 0.0,
+        }
     }
 
     /// One control step at sample time `dt` seconds.
     pub fn step(&mut self, setpoint: f64, measured: f64, dt: f64) -> f64 {
         let error = setpoint - measured;
         self.integral += error * dt;
-        let derivative = if dt > 0.0 { (error - self.last_error) / dt } else { 0.0 };
+        let derivative = if dt > 0.0 {
+            (error - self.last_error) / dt
+        } else {
+            0.0
+        };
         self.last_error = error;
         let raw = self.kp * error + self.ki * self.integral + self.kd * derivative;
         // Anti-windup: clamp and back off the integral when saturated.
@@ -49,7 +58,7 @@ impl PidController {
 
 /// First-order plant: `v' = (u * gain - v) / tau` (speed responding to a
 /// drive command against drag).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FirstOrderPlant {
     /// Steady-state gain.
     pub gain: f64,
@@ -62,7 +71,11 @@ impl FirstOrderPlant {
     /// Creates a plant at rest.
     pub fn new(gain: f64, tau: f64) -> Self {
         assert!(tau > 0.0, "time constant must be positive");
-        FirstOrderPlant { gain, tau, state: 0.0 }
+        FirstOrderPlant {
+            gain,
+            tau,
+            state: 0.0,
+        }
     }
 
     /// Current output.
@@ -84,7 +97,7 @@ impl FirstOrderPlant {
 }
 
 /// Controller + plant closed loop: the unit every XiL level executes.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct VirtualControlUnit {
     /// The controller under test.
     pub controller: PidController,

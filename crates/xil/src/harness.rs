@@ -4,11 +4,10 @@ use crate::control::VirtualControlUnit;
 use crate::level::TestLevel;
 use dynplat_common::time::SimDuration;
 use dynplat_common::Asil;
-use serde::{Deserialize, Serialize};
 
 /// One closed-loop test case: drive the unit to `setpoint` for `steps`
 /// samples; pass when the final tracking error is within `tolerance`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TestCase {
     /// Name for reports.
     pub name: String,
@@ -23,12 +22,17 @@ pub struct TestCase {
 impl TestCase {
     /// Creates a test case.
     pub fn new(name: impl Into<String>, setpoint: f64, steps: u32, tolerance: f64) -> Self {
-        TestCase { name: name.into(), setpoint, steps, tolerance }
+        TestCase {
+            name: name.into(),
+            setpoint,
+            steps,
+            tolerance,
+        }
     }
 }
 
 /// Result of one test case.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TestOutcome {
     /// Test name.
     pub name: String,
@@ -41,7 +45,7 @@ pub struct TestOutcome {
 }
 
 /// Aggregated result of a suite run at one level.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TestRunReport {
     /// Level the suite ran at.
     pub level: TestLevel,
@@ -65,7 +69,7 @@ impl TestRunReport {
 
 /// Fault injection request: flip the unit to its buggy variant from a given
 /// sample onward.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FaultInjection {
     /// Sample index at which the defect becomes active.
     pub at_step: u32,
@@ -82,7 +86,10 @@ pub struct TestHarness {
 impl TestHarness {
     /// Creates a harness over the unit under test.
     pub fn new(unit: VirtualControlUnit) -> Self {
-        TestHarness { unit, buggy_unit: None }
+        TestHarness {
+            unit,
+            buggy_unit: None,
+        }
     }
 
     /// Configures the defective variant used by fault injection.
@@ -100,7 +107,11 @@ impl TestHarness {
             wall += level.step_cost() * u64::from(steps);
             outcomes.push(outcome);
         }
-        TestRunReport { level, outcomes, wall_clock: wall }
+        TestRunReport {
+            level,
+            outcomes,
+            wall_clock: wall,
+        }
     }
 
     /// Certification-style effort estimate: suite cost scaled by the
@@ -268,8 +279,12 @@ mod tests {
         let h = harness();
         let case = TestCase::new("repro", 30.0, 10_000, 0.5);
         let injection = FaultInjection { at_step: 2_000 };
-        let mil = h.reproduce_error(TestLevel::Mil, &case, injection, 5.0).unwrap();
-        let hil = h.reproduce_error(TestLevel::Hil, &case, injection, 5.0).unwrap();
+        let mil = h
+            .reproduce_error(TestLevel::Mil, &case, injection, 5.0)
+            .unwrap();
+        let hil = h
+            .reproduce_error(TestLevel::Hil, &case, injection, 5.0)
+            .unwrap();
         assert_eq!(mil.1, hil.1, "same defect, same detection step");
         assert!(mil.0 < hil.0 / 10, "MiL {} vs HiL {}", mil.0, hil.0);
     }
@@ -280,7 +295,9 @@ mod tests {
         // Injection after the scenario ends: never observable.
         let case = TestCase::new("late", 30.0, 100, 0.5);
         let injection = FaultInjection { at_step: 99 };
-        assert!(h.reproduce_error(TestLevel::Mil, &case, injection, 1e9).is_none());
+        assert!(h
+            .reproduce_error(TestLevel::Mil, &case, injection, 1e9)
+            .is_none());
     }
 
     #[test]

@@ -1,11 +1,10 @@
 //! Test-level cost models.
 
 use dynplat_common::time::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The X in XiL: what artifact is in the loop.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TestLevel {
     /// Model in the loop: the control *model* simulated on a PC.
     Mil,
@@ -26,9 +25,9 @@ impl TestLevel {
     /// and run much faster than real time; HiL is bound to real time.
     pub fn step_cost(self) -> SimDuration {
         match self {
-            TestLevel::Mil => SimDuration::from_micros(20),  // 50x real time
+            TestLevel::Mil => SimDuration::from_micros(20), // 50x real time
             TestLevel::Sil => SimDuration::from_micros(100), // 10x real time
-            TestLevel::Hil => SimDuration::from_millis(1),   // real time
+            TestLevel::Hil => SimDuration::from_millis(1),  // real time
         }
     }
 
@@ -36,7 +35,7 @@ impl TestLevel {
     pub fn setup_cost(self) -> SimDuration {
         match self {
             TestLevel::Mil => SimDuration::from_secs(1),
-            TestLevel::Sil => SimDuration::from_secs(15),  // compile + link
+            TestLevel::Sil => SimDuration::from_secs(15), // compile + link
             TestLevel::Hil => SimDuration::from_secs(240), // flash + boot
         }
     }

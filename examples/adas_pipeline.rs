@@ -116,7 +116,11 @@ fn run_scenario(label: &str, fabric: &mut Fabric) {
         stream_stats.max_decodable_latency,
         stream_stats.jitter
     );
-    println!("fusion RPC    : {} calls, worst round trip {}", rpc_stats.len(), worst_rtt);
+    println!(
+        "fusion RPC    : {} calls, worst round trip {}",
+        rpc_stats.len(),
+        worst_rtt
+    );
     println!(
         "brake events  : {} sent, worst latency {}, {} misses of the {} deadline",
         brake_lat.len(),

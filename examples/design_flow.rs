@@ -6,11 +6,11 @@
 //!
 //! Run with: `cargo run --example design_flow`
 
+use dynplat::common::time::SimDuration;
 use dynplat::dse::search::{simulated_annealing, DseConfig};
 use dynplat::model::dsl::{parse_model, print_model};
 use dynplat::model::generate::{access_matrix, code_stubs, middleware_config, task_sets};
 use dynplat::model::verify::verify_all_variants;
-use dynplat::common::time::SimDuration;
 use dynplat::sched::tt;
 
 const VEHICLE: &str = r#"
@@ -80,8 +80,10 @@ fn main() {
     println!("\nvariant verification: {clean}/{} clean", results.len());
     for (assignment, violations) in &results {
         if !violations.is_empty() {
-            let placed: Vec<String> =
-                assignment.iter().map(|(a, e)| format!("{a}->{e}")).collect();
+            let placed: Vec<String> = assignment
+                .iter()
+                .map(|(a, e)| format!("{a}->{e}"))
+                .collect();
             println!("  [{}]", placed.join(" "));
             for v in violations {
                 println!("     {v}");
@@ -90,7 +92,10 @@ fn main() {
     }
 
     // 3. Explore the deployment space for the cheapest feasible design.
-    let cfg = DseConfig { iterations: 1000, ..Default::default() };
+    let cfg = DseConfig {
+        iterations: 1000,
+        ..Default::default()
+    };
     let result = simulated_annealing(&model, &cfg);
     let (assignment, objectives) = result.best.expect("search produced a design");
     println!(
@@ -107,7 +112,10 @@ fn main() {
 
     // 4. Generate the deployment artifacts.
     let matrix = access_matrix(&model);
-    println!("\naccess-control matrix: {} rules (deny-by-default)", matrix.len());
+    println!(
+        "\naccess-control matrix: {} rules (deny-by-default)",
+        matrix.len()
+    );
     let sd = middleware_config(&model, &assignment, SimDuration::from_secs(5));
     println!("middleware bootstrap: {} SD entries", sd.len());
     let sets = task_sets(&model, &assignment);
@@ -121,7 +129,9 @@ fn main() {
         // 5. Synthesize the backend time-triggered schedule (§3.1).
         match tt::synthesize(set) {
             Ok(schedule) => {
-                schedule.validate(set).expect("synthesized schedule is valid");
+                schedule
+                    .validate(set)
+                    .expect("synthesized schedule is valid");
                 println!(
                     "  TT schedule: {} slots, table utilization {:.3}",
                     schedule.entries().len(),

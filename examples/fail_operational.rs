@@ -38,7 +38,11 @@ fn main() {
     // Three high-performance platform ECUs, one replica each.
     let mut platform = DynamicPlatform::new(KeyRegistry::new());
     for i in 0..3u16 {
-        platform.add_node(EcuSpec::of_class(EcuId(i), format!("platform-{i}"), EcuClass::HighPerformance));
+        platform.add_node(EcuSpec::of_class(
+            EcuId(i),
+            format!("platform-{i}"),
+            EcuClass::HighPerformance,
+        ));
     }
 
     let heartbeat = SimDuration::from_millis(20);
@@ -47,7 +51,9 @@ fn main() {
     for i in 0..3u16 {
         let node = platform.node_mut(EcuId(i)).expect("node exists");
         let instance = node.launch(trajectory_app()).expect("replica deploys");
-        let role = group.register(SimTime::ZERO, instance, EcuId(i)).expect("registers");
+        let role = group
+            .register(SimTime::ZERO, instance, EcuId(i))
+            .expect("registers");
         replicas.push((instance, EcuId(i)));
         println!("replica {instance} on ecu{i}: {role}");
     }

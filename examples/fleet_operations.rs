@@ -14,27 +14,44 @@
 use dynplat::common::rng::seeded_rng;
 use dynplat::common::time::SimDuration;
 use dynplat::common::{AppId, TaskId, VehicleId};
-use dynplat::core::campaign::{
-    CampaignPolicy, UpdateCampaign, UpdateRequirements, VehicleConfig,
-};
+use dynplat::core::campaign::{CampaignPolicy, UpdateCampaign, UpdateRequirements, VehicleConfig};
 use dynplat::hw::reference::{ecus, reference_vehicle};
 use dynplat::monitor::anomaly::{DriftDetector, DriftVerdict};
 use dynplat::sched::sensitivity::critical_scaling_factor;
 use dynplat::sched::task::{TaskSet, TaskSpec};
 use dynplat::security::package::Version;
-use rand::Rng;
+use dynplat_common::rng::Rng;
 use std::collections::BTreeMap;
 
 fn main() {
     // -- 1. configuration headroom -------------------------------------------
     let vehicle = reference_vehicle();
     let platform_a = vehicle.ecu(ecus::PLATFORM_A).expect("reference ECU");
-    println!("reference vehicle: {} ECUs, platform host = {}", vehicle.ecu_count(), platform_a);
+    println!(
+        "reference vehicle: {} ECUs, platform host = {}",
+        vehicle.ecu_count(),
+        platform_a
+    );
 
     let deployed: TaskSet = [
-        TaskSpec::periodic(TaskId(1), "lane-keep", SimDuration::from_millis(20), SimDuration::from_millis(4)),
-        TaskSpec::periodic(TaskId(2), "fusion", SimDuration::from_millis(33), SimDuration::from_millis(8)),
-        TaskSpec::periodic(TaskId(3), "planner", SimDuration::from_millis(100), SimDuration::from_millis(15)),
+        TaskSpec::periodic(
+            TaskId(1),
+            "lane-keep",
+            SimDuration::from_millis(20),
+            SimDuration::from_millis(4),
+        ),
+        TaskSpec::periodic(
+            TaskId(2),
+            "fusion",
+            SimDuration::from_millis(33),
+            SimDuration::from_millis(8),
+        ),
+        TaskSpec::periodic(
+            TaskId(3),
+            "planner",
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(15),
+        ),
     ]
     .into_iter()
     .collect();
@@ -84,7 +101,8 @@ fn main() {
             let minor = if rng.gen_bool(0.95) { 3 } else { 2 };
             v.installed.insert(AppId(1), Version::new(2, minor, 0));
             // Fusion dependency at various patch levels.
-            v.installed.insert(AppId(2), Version::new(1, rng.gen_range(0..4), 0));
+            v.installed
+                .insert(AppId(2), Version::new(1, rng.gen_range(0..4), 0));
             v
         })
         .collect();

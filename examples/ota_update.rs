@@ -14,8 +14,7 @@ use dynplat::common::time::{SimDuration, SimTime};
 use dynplat::common::{AppId, AppKind, Asil, EcuId};
 use dynplat::core::app::AppManifest;
 use dynplat::core::update::{
-    centralized_switch_update, staged_update, stop_restart_update, StagedParams,
-    StopRestartParams,
+    centralized_switch_update, staged_update, stop_restart_update, StagedParams, StopRestartParams,
 };
 use dynplat::core::DynamicPlatform;
 use dynplat::hw::ecu::{EcuClass, EcuSpec};
@@ -58,7 +57,10 @@ fn main() {
 
     let mut tampered = signed.clone();
     tampered.package_bytes[100] ^= 0x01;
-    println!("tampered copy rejected: {:?}", tampered.verify(&registry).err().unwrap());
+    println!(
+        "tampered copy rejected: {:?}",
+        tampered.verify(&registry).err().unwrap()
+    );
 
     // -- update master for the crypto-less ECU -------------------------------
     let psk = [0x42u8; 32];
@@ -67,11 +69,18 @@ fn main() {
     m1.enroll(EcuId(0), psk);
     m2.enroll(EcuId(0), psk);
     let mut masters = RedundantMasters::new(vec![m1, m2]);
-    let (_, voucher) = masters.verify_for(&signed, EcuId(0)).expect("master verifies");
+    let (_, voucher) = masters
+        .verify_for(&signed, EcuId(0))
+        .expect("master verifies");
     let weak = WeakEcuVerifier::new(EcuId(0), psk);
-    println!("weak ECU accepts master voucher: {}", weak.accept(&signed.package_bytes, &voucher));
+    println!(
+        "weak ECU accepts master voucher: {}",
+        weak.accept(&signed.package_bytes, &voucher)
+    );
     masters.fail(0);
-    let (_, voucher) = masters.verify_for(&signed, EcuId(0)).expect("backup master serves");
+    let (_, voucher) = masters
+        .verify_for(&signed, EcuId(0))
+        .expect("backup master serves");
     println!(
         "after primary master failure, backup voucher still accepted: {}",
         weak.accept(&signed.package_bytes, &voucher)
@@ -96,7 +105,10 @@ fn main() {
         &StagedParams::default(),
     )
     .expect("staged update");
-    println!("\nstaged update    : outage {}, overlap {}", staged.outage, staged.overlap);
+    println!(
+        "\nstaged update    : outage {}, overlap {}",
+        staged.outage, staged.overlap
+    );
     for (phase, at) in &staged.phases {
         println!("  {at}: {phase}");
     }
@@ -109,7 +121,10 @@ fn main() {
         &StopRestartParams::default(),
     )
     .expect("stop-restart update");
-    println!("stop-restart     : outage {} (service down the whole window)", naive.outage);
+    println!(
+        "stop-restart     : outage {} (service down the whole window)",
+        naive.outage
+    );
 
     // -- the fragile centralized switch ---------------------------------------
     let commanded = SimTime::from_secs(200);
@@ -128,5 +143,8 @@ fn main() {
         );
     }
     let (failed, _) = centralized_switch_update(&BTreeMap::new(), commanded, true);
-    println!("centralized switch with failed coordinator: phases {:?}", failed.phases);
+    println!(
+        "centralized switch with failed coordinator: phases {:?}",
+        failed.phases
+    );
 }

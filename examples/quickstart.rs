@@ -52,28 +52,37 @@ fn main() {
     let mut provider = app(1, "speed-sensor", AppKind::Deterministic, Asil::C);
     provider.provides = vec![SPEED_SERVICE];
     let mut consumer = app(2, "hmi", AppKind::NonDeterministic, Asil::Qm);
-    consumer.consumes =
-        vec![ConsumedPort { service: SPEED_SERVICE, kind: PortKind::Event(SPEED_EVENT) }];
+    consumer.consumes = vec![ConsumedPort {
+        service: SPEED_SERVICE,
+        kind: PortKind::Event(SPEED_EVENT),
+    }];
 
     let now = SimTime::ZERO;
     for (ecu, model, counter) in [(EcuId(1), provider, 1u64), (EcuId(2), consumer, 2)] {
-        let package =
-            UpdatePackage::new(model.id, Version::new(1, 0, 0), counter, vec![0xEC; 64]);
+        let package = UpdatePackage::new(model.id, Version::new(1, 0, 0), counter, vec![0xEC; 64]);
         let signed = SignedPackage::create(&package, &authority);
-        let instance = platform.deploy(now, ecu, model.clone(), &signed).expect("deploys");
+        let instance = platform
+            .deploy(now, ecu, model.clone(), &signed)
+            .expect("deploys");
         println!("deployed {:12} on {} as {}", model.name, ecu, instance);
     }
 
     // 4. Authorization is deny-by-default; grant the HMI its subscription.
     let denied = platform.bind(now, AppId(2), SPEED_SERVICE, Permission::Subscribe);
-    println!("bind before grant: {:?}", denied.err().map(|e| e.to_string()));
+    println!(
+        "bind before grant: {:?}",
+        denied.err().map(|e| e.to_string())
+    );
     let mut matrix = AccessControlMatrix::new();
     matrix.grant(AppId(2), SPEED_SERVICE, Permission::Subscribe);
     platform.set_access_matrix(matrix);
     let offer = platform
         .bind(now, AppId(2), SPEED_SERVICE, Permission::Subscribe)
         .expect("authorized binding succeeds");
-    println!("bind after grant: offer from {} v{}", offer.host, offer.version);
+    println!(
+        "bind after grant: offer from {} v{}",
+        offer.host, offer.version
+    );
 
     // 5. Push ten speed events through the network fabric and measure.
     let mut fabric = Fabric::new(

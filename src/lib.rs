@@ -22,6 +22,7 @@
 //! | [`net`] | `dynplat-net` | CAN / FlexRay / Ethernet / TSN |
 //! | [`sched`] | `dynplat-sched` | RTA, EDF, TT synthesis, servers, admission |
 //! | [`comm`] | `dynplat-comm` | SOME/IP-style middleware & fabric |
+//! | [`faults`] | `dynplat-faults` | seed-driven fault injection & chaos fabric |
 //! | [`model`] | `dynplat-model` | DSLs, verification engine, generators |
 //! | [`security`] | `dynplat-security` | packages, update master, authn/authz |
 //! | [`monitor`] | `dynplat-monitor` | runtime monitoring, fault recording |
@@ -74,6 +75,7 @@ pub use dynplat_comm as comm;
 pub use dynplat_common as common;
 pub use dynplat_core as core;
 pub use dynplat_dse as dse;
+pub use dynplat_faults as faults;
 pub use dynplat_hw as hw;
 pub use dynplat_model as model;
 pub use dynplat_monitor as monitor;

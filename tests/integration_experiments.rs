@@ -25,7 +25,11 @@ fn ms(v: u64) -> SimDuration {
 fn e1_shape_consolidation_wins_at_scale() {
     let apps = dynplat_bench_functions(24);
     let (_, fed) = federated_architecture(&apps);
-    let cfg = DseConfig { iterations: 600, seed: 7, ..Default::default() };
+    let cfg = DseConfig {
+        iterations: 600,
+        seed: 7,
+        ..Default::default()
+    };
     let (_, _, cons) = consolidated_architecture(&apps, 3, &cfg);
     assert!(cons.feasible);
     assert!(cons.ecus < fed.ecus);
@@ -40,7 +44,11 @@ fn dynplat_bench_functions(n: u32) -> Vec<dynplat::model::ir::AppModel> {
         .map(|i| dynplat::model::ir::AppModel {
             id: AppId(i + 1),
             name: format!("fn{}", i + 1),
-            kind: if i % 3 != 2 { AppKind::Deterministic } else { AppKind::NonDeterministic },
+            kind: if i % 3 != 2 {
+                AppKind::Deterministic
+            } else {
+                AppKind::NonDeterministic
+            },
             asil: Asil::ALL[(i % 5) as usize],
             provides: vec![],
             consumes: vec![],
@@ -63,16 +71,25 @@ fn e2_shape_isolation_protects_deterministic_apps() {
     ]
     .into_iter()
     .collect();
-    let cfg = SchedSimConfig { horizon: ms(400), ..Default::default() };
+    let cfg = SchedSimConfig {
+        horizon: ms(400),
+        ..Default::default()
+    };
     let fifo = simulate_schedule(&set, &Policy::NonPreemptiveFifo, &cfg);
-    assert!(fifo.deterministic_miss_rate() > 0.1, "baseline must interfere");
+    assert!(
+        fifo.deterministic_miss_rate() > 0.1,
+        "baseline must interfere"
+    );
     for policy in [
         Policy::FixedPriorityPreemptive,
         Policy::FpWithServer(PeriodicServer::new(ms(5), ms(10))),
     ] {
         let stats = simulate_schedule(&set, &policy, &cfg);
         assert_eq!(stats.deterministic_miss_rate(), 0.0, "{policy:?}");
-        assert!(stats.non_deterministic_throughput() > 0, "{policy:?} starves NDA");
+        assert!(
+            stats.non_deterministic_throughput() > 0,
+            "{policy:?} starves NDA"
+        );
     }
 }
 
@@ -100,21 +117,39 @@ fn e4_shape_urgent_frame_isolation() {
         events
     };
     let urgent = |done: Vec<dynplat::net::Transmission>| {
-        done.into_iter().find(|t| t.frame.id == MessageId(1)).expect("delivered").latency()
+        done.into_iter()
+            .find(|t| t.frame.id == MessageId(1))
+            .expect("delivered")
+            .latency()
     };
 
     let fifo_small = urgent(simulate(&mut FifoPort::new(MBIT100), scenario(50)));
     let fifo_large = urgent(simulate(&mut FifoPort::new(MBIT100), scenario(500)));
-    assert!(fifo_large > fifo_small * 5, "FIFO latency grows with backlog");
+    assert!(
+        fifo_large > fifo_small * 5,
+        "FIFO latency grows with backlog"
+    );
 
     let bound = ethernet_frame_time(1500, MBIT100) + ethernet_frame_time(64, MBIT100);
-    let prio = urgent(simulate(&mut StrictPriorityPort::new(MBIT100), scenario(500)));
+    let prio = urgent(simulate(
+        &mut StrictPriorityPort::new(MBIT100),
+        scenario(500),
+    ));
     assert!(prio <= bound, "802.1p bounded by one frame of blocking");
 
     let gcl = GateControlList::mixed_criticality(ms(1), 0.3);
-    let tsn_small = urgent(simulate(&mut TsnGatedPort::new(MBIT100, gcl.clone()), scenario(50)));
-    let tsn_large = urgent(simulate(&mut TsnGatedPort::new(MBIT100, gcl), scenario(500)));
-    assert_eq!(tsn_small, tsn_large, "TSN critical latency is load-independent");
+    let tsn_small = urgent(simulate(
+        &mut TsnGatedPort::new(MBIT100, gcl.clone()),
+        scenario(50),
+    ));
+    let tsn_large = urgent(simulate(
+        &mut TsnGatedPort::new(MBIT100, gcl),
+        scenario(500),
+    ));
+    assert_eq!(
+        tsn_small, tsn_large,
+        "TSN critical latency is load-independent"
+    );
 }
 
 /// E5: staged update zero outage; stop-restart outage > 0 (already covered
@@ -166,7 +201,10 @@ fn e10_shape_admission_soundness_gap() {
     let mut naive =
         AdmissionController::with_test(AdmissionTest::UtilizationOnly { limit_milli: 1000 });
     assert!(naive.try_admit(a.clone()).unwrap().admitted);
-    assert!(naive.try_admit(b.clone()).unwrap().admitted, "unsound admit");
+    assert!(
+        naive.try_admit(b.clone()).unwrap().admitted,
+        "unsound admit"
+    );
     assert!(!dynplat::sched::edf::is_edf_schedulable(naive.admitted()));
     let mut exact = AdmissionController::with_test(AdmissionTest::Edf);
     assert!(exact.try_admit(a).unwrap().admitted);

@@ -19,7 +19,12 @@ fn mixed_topology() -> HwTopology {
         ],
         [
             BusSpec::new(BusId(0), "can0", BusKind::can_500k(), [EcuId(0), EcuId(1)]),
-            BusSpec::new(BusId(1), "eth0", BusKind::ethernet_100m(), [EcuId(1), EcuId(2)]),
+            BusSpec::new(
+                BusId(1),
+                "eth0",
+                BusKind::ethernet_100m(),
+                [EcuId(1), EcuId(2)],
+            ),
         ],
     )
     .expect("valid topology")
@@ -82,7 +87,11 @@ fn fabric_respects_can_wcrt_analysis_under_periodic_load() {
     }
     let done = fabric.run(sends, |_| vec![]);
     for d in &done {
-        let flow = id_of_flow.iter().find(|(u, _)| *u == d.id).expect("known send").1;
+        let flow = id_of_flow
+            .iter()
+            .find(|(u, _)| *u == d.id)
+            .expect("known send")
+            .1;
         let bound = bounds
             .iter()
             .find(|b| b.id == flow)
@@ -142,7 +151,12 @@ fn tsn_swap_changes_best_effort_but_not_critical_behavior() {
             EcuSpec::of_class(EcuId(0), "a", EcuClass::Domain),
             EcuSpec::of_class(EcuId(1), "b", EcuClass::Domain),
         ],
-        [BusSpec::new(BusId(0), "eth0", BusKind::ethernet_100m(), [EcuId(0), EcuId(1)])],
+        [BusSpec::new(
+            BusId(0),
+            "eth0",
+            BusKind::ethernet_100m(),
+            [EcuId(0), EcuId(1)],
+        )],
     )
     .expect("valid");
 

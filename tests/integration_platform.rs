@@ -46,9 +46,13 @@ system {
 
 fn fixture() -> (SystemModel, BTreeMap<AppId, EcuId>) {
     let model = parse_model(VEHICLE).expect("model parses");
-    let assignment: BTreeMap<AppId, EcuId> =
-        [(AppId(1), EcuId(1)), (AppId(3), EcuId(2))].into_iter().collect();
-    assert!(verify(&model, &assignment).is_empty(), "fixture model must verify");
+    let assignment: BTreeMap<AppId, EcuId> = [(AppId(1), EcuId(1)), (AppId(3), EcuId(2))]
+        .into_iter()
+        .collect();
+    assert!(
+        verify(&model, &assignment).is_empty(),
+        "fixture model must verify"
+    );
     (model, assignment)
 }
 
@@ -70,12 +74,8 @@ fn deploy_all(
     authority: &KeyPair,
 ) {
     for (k, app) in model.applications.iter().enumerate() {
-        let package = UpdatePackage::new(
-            app.id,
-            Version::new(1, 0, 0),
-            k as u64 + 1,
-            vec![0xAA; 128],
-        );
+        let package =
+            UpdatePackage::new(app.id, Version::new(1, 0, 0), k as u64 + 1, vec![0xAA; 128]);
         let signed = SignedPackage::create(&package, authority);
         platform
             .deploy(SimTime::ZERO, assignment[&app.id], app.clone(), &signed)
@@ -102,8 +102,12 @@ fn model_to_running_platform() {
     assert_eq!(subs[0].subscriber, AppId(3));
 
     // The model-derived matrix authorizes exactly the declared binding.
-    assert!(platform.bind(now, AppId(3), ServiceId(10), Permission::Subscribe).is_ok());
-    assert!(platform.bind(now, AppId(1), ServiceId(10), Permission::Subscribe).is_err());
+    assert!(platform
+        .bind(now, AppId(3), ServiceId(10), Permission::Subscribe)
+        .is_ok());
+    assert!(platform
+        .bind(now, AppId(1), ServiceId(10), Permission::Subscribe)
+        .is_err());
 
     // Generated task sets are schedulable and synthesizable per ECU.
     for (ecu, set) in task_sets(&model, &assignment) {
@@ -144,7 +148,10 @@ fn staged_update_preserves_service_through_the_whole_procedure() {
     let node = platform.node(EcuId(1)).expect("node");
     let serving = node.serving_instances_of(AppId(1));
     assert_eq!(serving.len(), 1);
-    assert_eq!(node.instance(serving[0]).expect("inst").manifest.version, Version::new(1, 1, 0));
+    assert_eq!(
+        node.instance(serving[0]).expect("inst").manifest.version,
+        Version::new(1, 1, 0)
+    );
 }
 
 #[test]
@@ -163,7 +170,9 @@ fn redundancy_group_survives_ecu_loss_with_platform_state_in_sync() {
             .expect("node")
             .launch(manifest.clone())
             .expect("replica deploys");
-        group.register(SimTime::ZERO, instance, ecu).expect("registers");
+        group
+            .register(SimTime::ZERO, instance, ecu)
+            .expect("registers");
     }
 
     let t = SimTime::from_millis(500);
@@ -173,7 +182,10 @@ fn redundancy_group_survives_ecu_loss_with_platform_state_in_sync() {
     assert!(promoted.is_some());
     assert_eq!(group.healthy(), 1);
     // The promoted replica is the one the platform still serves.
-    let still_serving = platform.node(EcuId(3)).expect("node").serving_instances_of(AppId(3));
+    let still_serving = platform
+        .node(EcuId(3))
+        .expect("node")
+        .serving_instances_of(AppId(3));
     assert_eq!(still_serving.len(), 1);
     assert_eq!(group.master(), Some(still_serving[0]));
 }
@@ -195,7 +207,10 @@ fn monitoring_detects_injected_runtime_faults() {
             let t = SimTime::from_millis(k * 10);
             monitor.observe(TaskObservation::Activation(t), &mut faults);
             monitor.observe(
-                TaskObservation::Completion { release: t, completion: t + SimDuration::from_millis(2) },
+                TaskObservation::Completion {
+                    release: t,
+                    completion: t + SimDuration::from_millis(2),
+                },
                 &mut faults,
             );
         }
@@ -203,7 +218,10 @@ fn monitoring_detects_injected_runtime_faults() {
         // ...then a deadline overrun and a memory spike.
         let t = SimTime::from_millis(500);
         monitor.observe(
-            TaskObservation::Completion { release: t, completion: t + SimDuration::from_millis(15) },
+            TaskObservation::Completion {
+                release: t,
+                completion: t + SimDuration::from_millis(15),
+            },
             &mut faults,
         );
         monitor.observe(TaskObservation::Memory(t, 10 * 1024 * 1024), &mut faults);
@@ -223,7 +241,10 @@ fn monitoring_detects_injected_runtime_faults() {
     assert!(report.has_faults());
     assert_eq!(report.tasks[0].task, TaskId(instance.raw() as u32));
     assert_eq!(report.tasks[0].activations, 50);
-    assert_eq!(report.tasks[0].completions, 51, "50 healthy + 1 late completion");
+    assert_eq!(
+        report.tasks[0].completions, 51,
+        "50 healthy + 1 late completion"
+    );
 }
 
 #[test]
@@ -243,9 +264,16 @@ fn lifecycle_is_consistent_after_stop_and_redeploy() {
     let app = model.application(AppId(3)).expect("present").clone();
     let package = UpdatePackage::new(AppId(3), Version::new(1, 0, 1), 10, vec![0xBB; 64]);
     let signed = SignedPackage::create(&package, &authority);
-    let instance = platform.deploy(now, EcuId(3), app, &signed).expect("redeploys");
+    let instance = platform
+        .deploy(now, EcuId(3), app, &signed)
+        .expect("redeploys");
     assert_eq!(
-        platform.node(EcuId(3)).expect("node").instance(instance).expect("inst").state,
+        platform
+            .node(EcuId(3))
+            .expect("node")
+            .instance(instance)
+            .expect("inst")
+            .state,
         LifecycleState::Running
     );
 }

@@ -9,7 +9,9 @@ use dynplat::model::generate::access_matrix;
 use dynplat::security::authn::{service_accept_ticket, KeyServer, Principal, SecureChannel};
 use dynplat::security::authz::Permission;
 use dynplat::security::master::{UpdateMaster, WeakEcuVerifier};
-use dynplat::security::package::{KeyRegistry, PackageError, SignedPackage, UpdatePackage, Version};
+use dynplat::security::package::{
+    KeyRegistry, PackageError, SignedPackage, UpdatePackage, Version,
+};
 use dynplat::security::sign::KeyPair;
 
 const MODEL: &str = r#"
@@ -48,7 +50,9 @@ fn model_derived_matrix_drives_platform_authorization() {
         &UpdatePackage::new(AppId(1), Version::new(1, 0, 0), 1, vec![1]),
         &authority,
     );
-    platform.deploy(SimTime::ZERO, EcuId(1), app, &signed).expect("deploys");
+    platform
+        .deploy(SimTime::ZERO, EcuId(1), app, &signed)
+        .expect("deploys");
 
     // The declared consumer may call; an undeclared app may not; even the
     // declared consumer may not subscribe (it only declared the method).
@@ -60,7 +64,9 @@ fn model_derived_matrix_drives_platform_authorization() {
     assert!(platform
         .bind(now, AppId(99), ServiceId(5), Permission::Call(MethodId(1)))
         .is_err());
-    assert!(platform.bind(now, AppId(2), ServiceId(5), Permission::Subscribe).is_err());
+    assert!(platform
+        .bind(now, AppId(2), ServiceId(5), Permission::Subscribe)
+        .is_err());
 }
 
 #[test]
@@ -73,13 +79,18 @@ fn authenticated_session_carries_an_authorized_call() {
     key_server.enroll(Principal::Client(AppId(2)), client_key);
     key_server.enroll(Principal::Service(ServiceId(5)), service_key);
 
-    let grant = key_server.grant_session(AppId(2), ServiceId(5)).expect("granted");
+    let grant = key_server
+        .grant_session(AppId(2), ServiceId(5))
+        .expect("granted");
     let mut service_side =
         service_accept_ticket(&service_key, AppId(2), ServiceId(5), &grant).expect("ticket ok");
     let mut client_side = SecureChannel::new(grant.session_key);
 
     let request = client_side.seal(b"lock(true)");
-    assert_eq!(service_side.open(&request).expect("authentic"), b"lock(true)");
+    assert_eq!(
+        service_side.open(&request).expect("authentic"),
+        b"lock(true)"
+    );
     // Replay of the same message is rejected.
     assert!(service_side.open(&request).is_err());
 }
@@ -107,7 +118,9 @@ fn weak_ecu_install_path_uses_master_end_to_end() {
         &authority,
     );
     // Platform-level install succeeds through the master...
-    platform.deploy(SimTime::ZERO, EcuId(0), app, &signed).expect("weak ECU deploys");
+    platform
+        .deploy(SimTime::ZERO, EcuId(0), app, &signed)
+        .expect("weak ECU deploys");
     // ...and the voucher the master issues is verifiable by the weak ECU's
     // own HMAC check (the symmetric re-authentication of §4.1).
     let (_, voucher) = master.verify_for(&signed, EcuId(0)).expect("verifies");
@@ -132,7 +145,9 @@ fn rollback_is_refused_across_the_whole_platform() {
         &UpdatePackage::new(AppId(1), Version::new(2, 0, 0), 5, vec![2]),
         &authority,
     );
-    platform.deploy(SimTime::ZERO, EcuId(1), app.clone(), &v2).expect("v2 deploys");
+    platform
+        .deploy(SimTime::ZERO, EcuId(1), app.clone(), &v2)
+        .expect("v2 deploys");
     platform.stop_app(SimTime::ZERO, AppId(1)).expect("stopped");
 
     // An older, but correctly signed, package must be refused.
@@ -140,7 +155,9 @@ fn rollback_is_refused_across_the_whole_platform() {
         &UpdatePackage::new(AppId(1), Version::new(1, 0, 0), 3, vec![1]),
         &authority,
     );
-    let err = platform.deploy(SimTime::ZERO, EcuId(1), app, &v1).unwrap_err();
+    let err = platform
+        .deploy(SimTime::ZERO, EcuId(1), app, &v1)
+        .unwrap_err();
     assert!(matches!(
         err,
         dynplat::core::PlatformError::Package(PackageError::ReplayOrRollback { .. })
@@ -162,16 +179,22 @@ fn runtime_permission_update_takes_effect_without_redeploy() {
         &UpdatePackage::new(AppId(1), Version::new(1, 0, 0), 1, vec![1]),
         &authority,
     );
-    platform.deploy(SimTime::ZERO, EcuId(1), app, &signed).expect("deploys");
+    platform
+        .deploy(SimTime::ZERO, EcuId(1), app, &signed)
+        .expect("deploys");
 
     // The diagnosis logger gets a wildcard at runtime (§4.2's data-logger
     // scenario) — auditable through the matrix, no redeploy needed.
     let logger = AppId(42);
-    assert!(platform.bind(SimTime::ZERO, logger, ServiceId(5), Permission::Subscribe).is_err());
+    assert!(platform
+        .bind(SimTime::ZERO, logger, ServiceId(5), Permission::Subscribe)
+        .is_err());
     let mut pack = dynplat::security::authz::AccessControlMatrix::new();
     pack.grant(logger, ServiceId(5), Permission::All);
     platform.merge_permissions(&pack);
-    assert!(platform.bind(SimTime::ZERO, logger, ServiceId(5), Permission::Subscribe).is_ok());
+    assert!(platform
+        .bind(SimTime::ZERO, logger, ServiceId(5), Permission::Subscribe)
+        .is_ok());
 
     let _ = SimDuration::ZERO;
 }

@@ -1,12 +1,16 @@
 //! Property-based tests, part 2: TSN/FlexRay media invariants, Ethernet
 //! analysis soundness, replica state synchronization, update campaigns,
 //! typed endpoints and update paths.
+//!
+//! Implemented as seeded-random loop tests on `dynplat::common::rng` (no
+//! external property-testing dependency).
 
+use dynplat::comm::endpoint::{ClientProxy, ServiceSkeleton};
+use dynplat::common::ids::ServiceInstance;
+use dynplat::common::rng::{seeded_rng, split_seed, Rng, SplitMix64};
 use dynplat::common::time::{SimDuration, SimTime};
 use dynplat::common::value::{DataType, Value};
 use dynplat::common::{AppId, EventGroupId, MessageId, MethodId, ServiceId, VehicleId};
-use dynplat::common::ids::ServiceInstance;
-use dynplat::comm::endpoint::{ClientProxy, ServiceSkeleton};
 use dynplat::core::campaign::{
     CampaignPolicy, UpdateCampaign, UpdateRequirements, VehicleConfig, VehicleOutcome,
 };
@@ -19,37 +23,42 @@ use dynplat::net::tsn::{GateControlList, GateWindow, TsnGatedPort};
 use dynplat::net::{simulate, Frame, TrafficClass, TxEvent};
 use dynplat::security::authz::{AccessControlMatrix, Permission};
 use dynplat::security::package::Version;
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 const MBIT100: u64 = 100_000_000;
+const SUITE_SEED: u64 = 0x5EED_0002;
+const CASES: u64 = 64;
 
-fn arb_gcl() -> impl Strategy<Value = GateControlList> {
+/// One deterministic RNG per (test, case) pair.
+fn case_rng(test: u64, case: u64) -> SplitMix64 {
+    seeded_rng(split_seed(split_seed(SUITE_SEED, test), case))
+}
+
+fn arb_gcl(rng: &mut SplitMix64) -> GateControlList {
     // Cycle 1 ms, three non-overlapping windows with random split points.
-    (50u64..400, 450u64..700)
-        .prop_map(|(a, b)| {
-            GateControlList::new(
-                SimDuration::from_millis(1),
-                vec![
-                    GateWindow::new(
-                        TrafficClass::Critical,
-                        SimDuration::ZERO,
-                        SimDuration::from_micros(a),
-                    ),
-                    GateWindow::new(
-                        TrafficClass::Stream,
-                        SimDuration::from_micros(a),
-                        SimDuration::from_micros(b - a),
-                    ),
-                    GateWindow::new(
-                        TrafficClass::BestEffort,
-                        SimDuration::from_micros(b),
-                        SimDuration::from_micros(1000 - b),
-                    ),
-                ],
-            )
-            .expect("constructed windows are valid")
-        })
+    let a = rng.gen_range(50u64..400);
+    let b = rng.gen_range(450u64..700);
+    GateControlList::new(
+        SimDuration::from_millis(1),
+        vec![
+            GateWindow::new(
+                TrafficClass::Critical,
+                SimDuration::ZERO,
+                SimDuration::from_micros(a),
+            ),
+            GateWindow::new(
+                TrafficClass::Stream,
+                SimDuration::from_micros(a),
+                SimDuration::from_micros(b - a),
+            ),
+            GateWindow::new(
+                TrafficClass::BestEffort,
+                SimDuration::from_micros(b),
+                SimDuration::from_micros(1000 - b),
+            ),
+        ],
+    )
+    .expect("constructed windows are valid")
 }
 
 fn class_of(i: usize) -> TrafficClass {
@@ -60,21 +69,19 @@ fn class_of(i: usize) -> TrafficClass {
     }
 }
 
-proptest! {
-    // --------------------------------------------------------------- TSN --
+// ------------------------------------------------------------------- TSN --
 
-    #[test]
-    fn tsn_transmissions_always_respect_their_class_windows(
-        gcl in arb_gcl(),
-        arrivals in prop::collection::vec((0u64..5_000, 1usize..1200), 1..40),
-    ) {
+#[test]
+fn tsn_transmissions_always_respect_their_class_windows() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let gcl = arb_gcl(&mut rng);
+        let n = rng.gen_range(1usize..40);
         let mut port = TsnGatedPort::new(MBIT100, gcl.clone());
-        let events: Vec<TxEvent> = arrivals
-            .iter()
-            .enumerate()
-            .map(|(i, &(t_us, payload))| TxEvent {
-                arrival: SimTime::from_micros(t_us),
-                frame: Frame::new(MessageId(i as u32), payload)
+        let events: Vec<TxEvent> = (0..n)
+            .map(|i| TxEvent {
+                arrival: SimTime::from_micros(rng.gen_range(0u64..5_000)),
+                frame: Frame::new(MessageId(i as u32), rng.gen_range(1usize..1200))
                     .with_priority(i as u32)
                     .with_class(class_of(i)),
             })
@@ -87,74 +94,84 @@ proptest! {
             let window = gcl
                 .windows()
                 .iter()
-                .find(|w| w.class == tx.frame.class && w.offset <= off_start
-                    && off_start < w.offset + w.length)
+                .find(|w| {
+                    w.class == tx.frame.class
+                        && w.offset <= off_start
+                        && off_start < w.offset + w.length
+                })
                 .expect("transmission starts inside a window of its class");
             let end_off = off_start + (tx.end.saturating_since(tx.start));
-            prop_assert!(
+            assert!(
                 end_off <= window.offset + window.length,
-                "guard band violated: ends at {end_off} past window end"
+                "case {case}: guard band violated: ends at {end_off} past window end"
             );
         }
         // Nothing overlaps.
         let mut sorted = done.clone();
         sorted.sort_by_key(|t| t.start);
         for pair in sorted.windows(2) {
-            prop_assert!(pair[1].start >= pair[0].end);
+            assert!(pair[1].start >= pair[0].end, "case {case}");
         }
     }
+}
 
-    // ----------------------------------------------------------- FlexRay --
+// --------------------------------------------------------------- FlexRay --
 
-    #[test]
-    fn flexray_static_frames_stay_in_their_slots(
-        payloads in prop::collection::vec(1usize..32, 1..10),
-        arrival_us in prop::collection::vec(0u64..20_000, 1..10),
-    ) {
+#[test]
+fn flexray_static_frames_stay_in_their_slots() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let n = rng.gen_range(1usize..10);
         let config = FlexRayConfig::typical_10mbit();
         let mut assignment = SlotAssignment::new();
-        let n = payloads.len().min(arrival_us.len());
         for i in 0..n {
-            assignment.assign(MessageId(i as u32), i as u16).expect("distinct slots");
+            assignment
+                .assign(MessageId(i as u32), i as u16)
+                .expect("distinct slots");
         }
         let mut bus = FlexRayBus::new(config.clone(), assignment);
         let events: Vec<TxEvent> = (0..n)
             .map(|i| TxEvent {
-                arrival: SimTime::from_micros(arrival_us[i]),
-                frame: Frame::new(MessageId(i as u32), payloads[i]),
+                arrival: SimTime::from_micros(rng.gen_range(0u64..20_000)),
+                frame: Frame::new(MessageId(i as u32), rng.gen_range(1usize..32)),
             })
             .collect();
         let done = simulate(&mut bus, events);
-        prop_assert_eq!(done.len(), n);
+        assert_eq!(done.len(), n, "case {case}");
         for tx in &done {
             let slot = tx.frame.id.raw() as u64;
             let off = tx.start % config.cycle();
             let slot_start = config.static_slot_len * slot;
-            prop_assert_eq!(off, slot_start, "static frame must start exactly at its slot");
-            prop_assert!(tx.start >= tx.arrival);
+            assert_eq!(
+                off, slot_start,
+                "case {case}: static frame must start at its slot"
+            );
+            assert!(tx.start >= tx.arrival, "case {case}");
         }
     }
+}
 
-    // ------------------------------------------------- Ethernet analysis --
+// ----------------------------------------------------- Ethernet analysis --
 
-    #[test]
-    fn ethernet_simulation_never_beats_the_analysis(
-        specs in prop::collection::vec((64usize..1500, 2u64..10), 2..5),
-    ) {
-        let flows: Vec<EthFlowSpec> = specs
-            .iter()
-            .enumerate()
-            .map(|(i, &(payload, period_ms))| {
+#[test]
+fn ethernet_simulation_never_beats_the_analysis() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let n = rng.gen_range(2usize..5);
+        let flows: Vec<EthFlowSpec> = (0..n)
+            .map(|i| {
                 EthFlowSpec::new(
                     MessageId(i as u32),
-                    payload,
+                    rng.gen_range(64usize..1500),
                     i as u32,
-                    SimDuration::from_millis(period_ms),
+                    SimDuration::from_millis(rng.gen_range(2u64..10)),
                 )
             })
             .collect();
         let analysis = EthernetAnalysis::new(MBIT100, flows.clone());
-        prop_assume!(analysis.is_schedulable());
+        if !analysis.is_schedulable() {
+            continue;
+        }
         let bounds = analysis.response_times();
         let mut port = StrictPriorityPort::new(MBIT100);
         let mut events = Vec::new();
@@ -174,22 +191,26 @@ proptest! {
                 .find(|b| b.id == tx.frame.id)
                 .and_then(|b| b.wcrt)
                 .expect("schedulable");
-            prop_assert!(tx.latency() <= bound);
+            assert!(tx.latency() <= bound, "case {case}");
         }
     }
+}
 
-    // ------------------------------------------------------- state sync --
+// ------------------------------------------------------------ state sync --
 
-    #[test]
-    fn replica_sync_converges_under_random_operations(
-        ops in prop::collection::vec((0u8..3, 0u8..8, any::<u8>()), 1..60),
-        sync_every in 1usize..10,
-    ) {
+#[test]
+fn replica_sync_converges_under_random_operations() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let n_ops = rng.gen_range(1usize..60);
+        let sync_every = rng.gen_range(1usize..10);
         let mut primary = ReplicaState::new();
         let mut standby = ReplicaState::new();
         let mut last_sync = 0u64;
-        for (i, &(op, key, byte)) in ops.iter().enumerate() {
-            let key = format!("k{key}");
+        for i in 0..n_ops {
+            let op = rng.gen_range(0u8..3);
+            let key = format!("k{}", rng.gen_range(0u8..8));
+            let byte: u8 = rng.gen();
             match op {
                 0 | 1 => primary.set(key, vec![byte]),
                 _ => {
@@ -198,27 +219,31 @@ proptest! {
             }
             if i % sync_every == 0 {
                 let delta = primary.delta_since(last_sync);
-                standby.apply_delta(&delta).expect("contiguous deltas apply");
+                standby
+                    .apply_delta(&delta)
+                    .expect("contiguous deltas apply");
                 last_sync = standby.version();
-                prop_assert_eq!(standby.digest(), primary.digest());
+                assert_eq!(standby.digest(), primary.digest(), "case {case}");
             }
         }
         // Final catch-up always converges.
         let delta = primary.delta_since(last_sync);
         standby.apply_delta(&delta).expect("applies");
-        prop_assert_eq!(standby.digest(), primary.digest());
-        prop_assert_eq!(standby.version(), primary.version());
+        assert_eq!(standby.digest(), primary.digest(), "case {case}");
+        assert_eq!(standby.version(), primary.version(), "case {case}");
     }
+}
 
-    // --------------------------------------------------------- campaign --
+// -------------------------------------------------------------- campaign --
 
-    #[test]
-    fn campaign_accounting_is_conserved(
-        fleet_size in 1usize..120,
-        failure_pct in 0u32..50,
-        bad_fraction in 0u32..50,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn campaign_accounting_is_conserved() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let fleet_size = rng.gen_range(1usize..120);
+        let failure_pct = rng.gen_range(0u32..50);
+        let bad_fraction = rng.gen_range(0u32..50);
+        let seed: u64 = rng.gen();
         let fleet: Vec<VehicleConfig> = (0..fleet_size)
             .map(|i| {
                 let mut v = VehicleConfig::new(VehicleId(i as u32), 4096, 0.5);
@@ -245,41 +270,63 @@ proptest! {
             });
         let report = campaign.run(&fleet);
         // Conservation: every vehicle has exactly one outcome.
-        prop_assert_eq!(report.outcomes.len(), fleet_size);
+        assert_eq!(report.outcomes.len(), fleet_size, "case {case}");
         let attempted: usize = report.waves.iter().map(|w| w.attempted).sum();
         let untouched = report
             .outcomes
             .values()
             .filter(|o| **o == VehicleOutcome::NotAttempted)
             .count();
-        prop_assert_eq!(attempted + untouched, fleet_size);
-        prop_assert_eq!(
+        assert_eq!(attempted + untouched, fleet_size, "case {case}");
+        assert_eq!(
             report.updated() + report.failed() + report.rejected(),
-            attempted
+            attempted,
+            "case {case}"
         );
         // A halted campaign never attempts later waves.
         if report.halted {
-            prop_assert!(report.waves.len() < 3 || untouched == 0);
+            assert!(report.waves.len() < 3 || untouched == 0, "case {case}");
         } else {
-            prop_assert_eq!(untouched, 0);
+            assert_eq!(untouched, 0, "case {case}");
         }
     }
+}
 
-    // --------------------------------------------------------- endpoint --
+// -------------------------------------------------------------- endpoint --
 
-    #[test]
-    fn endpoint_roundtrips_random_record_payloads(
-        fields in prop::collection::vec(("[a-z]{1,5}", any::<u32>()), 1..6),
-    ) {
+#[test]
+fn endpoint_roundtrips_random_record_payloads() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let n = rng.gen_range(1usize..6);
+        let fields: Vec<(String, u32)> = (0..n)
+            .map(|i| {
+                let len = rng.gen_range(1usize..5);
+                let mut name: String = (0..len)
+                    .map(|_| rng.gen_range(b'a'..=b'z') as char)
+                    .collect();
+                name.push_str(&i.to_string());
+                (name, rng.gen::<u32>())
+            })
+            .collect();
         let req_ty = DataType::Record(
-            fields.iter().map(|(n, _)| (n.clone(), DataType::U32)).collect(),
+            fields
+                .iter()
+                .map(|(n, _)| (n.clone(), DataType::U32))
+                .collect(),
         );
         let args = Value::Record(
-            fields.iter().map(|(n, v)| (n.clone(), Value::U32(*v))).collect(),
+            fields
+                .iter()
+                .map(|(n, v)| (n.clone(), Value::U32(*v)))
+                .collect(),
         );
         let resp_ty = DataType::U64;
-        let mut skel = ServiceSkeleton::new(ServiceInstance::new(ServiceId(9), 0), 1)
-            .method(MethodId(1), req_ty.clone(), resp_ty.clone(), |v| {
+        let mut skel = ServiceSkeleton::new(ServiceInstance::new(ServiceId(9), 0), 1).method(
+            MethodId(1),
+            req_ty.clone(),
+            resp_ty.clone(),
+            |v| {
                 let sum: u64 = match v {
                     Value::Record(fs) => fs
                         .iter()
@@ -289,30 +336,35 @@ proptest! {
                     _ => 0,
                 };
                 Value::U64(sum)
-            });
+            },
+        );
         let mut matrix = AccessControlMatrix::new();
         matrix.grant(AppId(1), ServiceId(9), Permission::Call(MethodId(1)));
         let mut proxy = ClientProxy::new(AppId(1), 1);
-        let request = proxy.request(ServiceId(9), MethodId(1), &req_ty, &args).expect("conforms");
+        let request = proxy
+            .request(ServiceId(9), MethodId(1), &req_ty, &args)
+            .expect("conforms");
         let response = skel.handle(AppId(1), &request, &matrix).expect("handled");
         let value = proxy.parse_response(&response, &resp_ty).expect("ok");
         let expected: u64 = fields.iter().map(|(_, v)| u64::from(*v)).sum();
-        prop_assert_eq!(value, Value::U64(expected));
+        assert_eq!(value, Value::U64(expected), "case {case}");
     }
+}
 
-    // ------------------------------------------------------ update path --
+// ----------------------------------------------------------- update path --
 
-    #[test]
-    fn update_path_is_a_valid_topological_order(
-        n in 2usize..8,
-        edges in prop::collection::vec((0usize..8, 0usize..8), 0..12),
-    ) {
+#[test]
+fn update_path_is_a_valid_topological_order() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
+        let n = rng.gen_range(2usize..8);
+        let n_edges = rng.gen_range(0usize..12);
         let apps: Vec<AppId> = (0..n).map(|i| AppId(i as u32)).collect();
         // Forward edges only (consumer -> provider with lower index): acyclic.
-        let deps: Vec<(AppId, AppId)> = edges
-            .iter()
-            .filter_map(|&(a, b)| {
-                let (a, b) = (a % n, b % n);
+        let deps: Vec<(AppId, AppId)> = (0..n_edges)
+            .filter_map(|_| {
+                let a = rng.gen_range(0usize..8) % n;
+                let b = rng.gen_range(0usize..8) % n;
                 if a > b {
                     Some((AppId(a as u32), AppId(b as u32)))
                 } else {
@@ -321,28 +373,35 @@ proptest! {
             })
             .collect();
         let order = update_path(&apps, &deps, |_, _, _| true).expect("acyclic plans");
-        prop_assert_eq!(order.len(), n);
+        assert_eq!(order.len(), n, "case {case}");
         for &(consumer, provider) in &deps {
             let pi = order.iter().position(|&a| a == provider).expect("present");
             let ci = order.iter().position(|&a| a == consumer).expect("present");
-            prop_assert!(pi < ci, "provider {provider} must update before {consumer}");
+            assert!(
+                pi < ci,
+                "case {case}: {provider} must update before {consumer}"
+            );
         }
     }
+}
 
-    // ------------------------------------------------------------- misc --
+// ------------------------------------------------------------------ misc --
 
-    #[test]
-    fn event_group_ids_survive_endpoint_notifications(
-        group in any::<u16>(),
-        speed in any::<i32>(),
-    ) {
+#[test]
+fn event_group_ids_survive_endpoint_notifications() {
+    for case in 0..CASES {
+        let mut rng = case_rng(8, case);
+        let group: u16 = rng.gen();
+        let speed: i32 = rng.gen::<u32>() as i32;
         let ty = DataType::record([("v", DataType::F64)]);
         let skel = ServiceSkeleton::new(ServiceInstance::new(ServiceId(1), 0), 1)
             .event(EventGroupId(group), ty.clone());
         let payload = Value::record([("v", Value::F64(f64::from(speed)))]);
-        let datagram = skel.notify(EventGroupId(group), &payload).expect("conforms");
+        let datagram = skel
+            .notify(EventGroupId(group), &payload)
+            .expect("conforms");
         let (g, v) = ClientProxy::parse_notification(&datagram, &ty).expect("decodes");
-        prop_assert_eq!(g, EventGroupId(group));
-        prop_assert_eq!(v, payload);
+        assert_eq!(g, EventGroupId(group), "case {case}");
+        assert_eq!(v, payload, "case {case}");
     }
 }
