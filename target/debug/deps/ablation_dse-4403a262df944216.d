@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dse-4403a262df944216.d: crates/bench/src/bin/ablation_dse.rs
+
+/root/repo/target/debug/deps/ablation_dse-4403a262df944216: crates/bench/src/bin/ablation_dse.rs
+
+crates/bench/src/bin/ablation_dse.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dse-507c17ae7f06dbaa.d: crates/bench/src/bin/ablation_dse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dse-507c17ae7f06dbaa.rmeta: crates/bench/src/bin/ablation_dse.rs Cargo.toml
+
+crates/bench/src/bin/ablation_dse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dse-686a79cb6a587dd4.d: crates/bench/src/bin/ablation_dse.rs
+
+/root/repo/target/debug/deps/ablation_dse-686a79cb6a587dd4: crates/bench/src/bin/ablation_dse.rs
+
+crates/bench/src/bin/ablation_dse.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dse-768d20f6854b01b5.d: crates/bench/src/bin/ablation_dse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dse-768d20f6854b01b5.rmeta: crates/bench/src/bin/ablation_dse.rs Cargo.toml
+
+crates/bench/src/bin/ablation_dse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dse-f6365e11fc58439f.d: crates/bench/src/bin/ablation_dse.rs
+
+/root/repo/target/debug/deps/ablation_dse-f6365e11fc58439f: crates/bench/src/bin/ablation_dse.rs
+
+crates/bench/src/bin/ablation_dse.rs:

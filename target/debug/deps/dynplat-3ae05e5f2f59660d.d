@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynplat-3ae05e5f2f59660d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynplat-3ae05e5f2f59660d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynplat-51d43e303dbd163b.d: src/lib.rs
+
+/root/repo/target/debug/deps/dynplat-51d43e303dbd163b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynplat-6e9b89506f4ba636.d: src/lib.rs
+
+/root/repo/target/debug/deps/dynplat-6e9b89506f4ba636: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dynplat-b7c4da3a2802cacf.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdynplat-b7c4da3a2802cacf.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdynplat-b7c4da3a2802cacf.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dynplat-fccf8e2b899c8f4b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdynplat-fccf8e2b899c8f4b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdynplat-fccf8e2b899c8f4b.rmeta: src/lib.rs
+
+src/lib.rs:

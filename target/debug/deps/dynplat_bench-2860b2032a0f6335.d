@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dynplat_bench-2860b2032a0f6335.d: crates/bench/src/lib.rs crates/bench/src/chaos.rs
+
+/root/repo/target/debug/deps/libdynplat_bench-2860b2032a0f6335.rlib: crates/bench/src/lib.rs crates/bench/src/chaos.rs
+
+/root/repo/target/debug/deps/libdynplat_bench-2860b2032a0f6335.rmeta: crates/bench/src/lib.rs crates/bench/src/chaos.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chaos.rs:

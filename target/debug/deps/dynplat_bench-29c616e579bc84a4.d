@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynplat_bench-29c616e579bc84a4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dynplat_bench-29c616e579bc84a4: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dynplat_bench-3edf5629e0af5180.d: crates/bench/src/lib.rs crates/bench/src/chaos.rs
+
+/root/repo/target/debug/deps/dynplat_bench-3edf5629e0af5180: crates/bench/src/lib.rs crates/bench/src/chaos.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chaos.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dynplat_bench-d663b5bf024a4750.d: crates/bench/src/lib.rs crates/bench/src/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynplat_bench-d663b5bf024a4750.rmeta: crates/bench/src/lib.rs crates/bench/src/chaos.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

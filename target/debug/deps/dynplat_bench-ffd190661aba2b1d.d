@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dynplat_bench-ffd190661aba2b1d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdynplat_bench-ffd190661aba2b1d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdynplat_bench-ffd190661aba2b1d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dynplat_comm-15eeae0faa1cefe9.d: crates/comm/src/lib.rs crates/comm/src/endpoint.rs crates/comm/src/fabric.rs crates/comm/src/paradigm.rs crates/comm/src/qos.rs crates/comm/src/retry.rs crates/comm/src/sd.rs crates/comm/src/wire.rs
+
+/root/repo/target/debug/deps/libdynplat_comm-15eeae0faa1cefe9.rlib: crates/comm/src/lib.rs crates/comm/src/endpoint.rs crates/comm/src/fabric.rs crates/comm/src/paradigm.rs crates/comm/src/qos.rs crates/comm/src/retry.rs crates/comm/src/sd.rs crates/comm/src/wire.rs
+
+/root/repo/target/debug/deps/libdynplat_comm-15eeae0faa1cefe9.rmeta: crates/comm/src/lib.rs crates/comm/src/endpoint.rs crates/comm/src/fabric.rs crates/comm/src/paradigm.rs crates/comm/src/qos.rs crates/comm/src/retry.rs crates/comm/src/sd.rs crates/comm/src/wire.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/endpoint.rs:
+crates/comm/src/fabric.rs:
+crates/comm/src/paradigm.rs:
+crates/comm/src/qos.rs:
+crates/comm/src/retry.rs:
+crates/comm/src/sd.rs:
+crates/comm/src/wire.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dynplat_comm-72b02c58d9bf4596.d: crates/comm/src/lib.rs crates/comm/src/endpoint.rs crates/comm/src/fabric.rs crates/comm/src/paradigm.rs crates/comm/src/qos.rs crates/comm/src/retry.rs crates/comm/src/sd.rs crates/comm/src/wire.rs
+
+/root/repo/target/debug/deps/dynplat_comm-72b02c58d9bf4596: crates/comm/src/lib.rs crates/comm/src/endpoint.rs crates/comm/src/fabric.rs crates/comm/src/paradigm.rs crates/comm/src/qos.rs crates/comm/src/retry.rs crates/comm/src/sd.rs crates/comm/src/wire.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/endpoint.rs:
+crates/comm/src/fabric.rs:
+crates/comm/src/paradigm.rs:
+crates/comm/src/qos.rs:
+crates/comm/src/retry.rs:
+crates/comm/src/sd.rs:
+crates/comm/src/wire.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dynplat_comm-ed20634e89d6d0f6.d: crates/comm/src/lib.rs crates/comm/src/endpoint.rs crates/comm/src/fabric.rs crates/comm/src/paradigm.rs crates/comm/src/qos.rs crates/comm/src/retry.rs crates/comm/src/sd.rs crates/comm/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynplat_comm-ed20634e89d6d0f6.rmeta: crates/comm/src/lib.rs crates/comm/src/endpoint.rs crates/comm/src/fabric.rs crates/comm/src/paradigm.rs crates/comm/src/qos.rs crates/comm/src/retry.rs crates/comm/src/sd.rs crates/comm/src/wire.rs Cargo.toml
+
+crates/comm/src/lib.rs:
+crates/comm/src/endpoint.rs:
+crates/comm/src/fabric.rs:
+crates/comm/src/paradigm.rs:
+crates/comm/src/qos.rs:
+crates/comm/src/retry.rs:
+crates/comm/src/sd.rs:
+crates/comm/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dynplat_common-023b6913774c92b9.d: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/criticality.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/value.rs
+
+/root/repo/target/debug/deps/dynplat_common-023b6913774c92b9: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/criticality.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/value.rs
+
+crates/common/src/lib.rs:
+crates/common/src/codec.rs:
+crates/common/src/criticality.rs:
+crates/common/src/ids.rs:
+crates/common/src/rng.rs:
+crates/common/src/time.rs:
+crates/common/src/value.rs:

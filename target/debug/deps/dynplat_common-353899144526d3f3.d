@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dynplat_common-353899144526d3f3.d: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/criticality.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynplat_common-353899144526d3f3.rmeta: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/criticality.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/value.rs Cargo.toml
+
+crates/common/src/lib.rs:
+crates/common/src/codec.rs:
+crates/common/src/criticality.rs:
+crates/common/src/ids.rs:
+crates/common/src/rng.rs:
+crates/common/src/time.rs:
+crates/common/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

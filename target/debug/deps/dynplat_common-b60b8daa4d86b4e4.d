@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dynplat_common-b60b8daa4d86b4e4.d: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/criticality.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/value.rs
+
+/root/repo/target/debug/deps/libdynplat_common-b60b8daa4d86b4e4.rlib: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/criticality.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/value.rs
+
+/root/repo/target/debug/deps/libdynplat_common-b60b8daa4d86b4e4.rmeta: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/criticality.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/value.rs
+
+crates/common/src/lib.rs:
+crates/common/src/codec.rs:
+crates/common/src/criticality.rs:
+crates/common/src/ids.rs:
+crates/common/src/rng.rs:
+crates/common/src/time.rs:
+crates/common/src/value.rs:

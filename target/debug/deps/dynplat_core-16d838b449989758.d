@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dynplat_core-16d838b449989758.d: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/campaign.rs crates/core/src/degradation.rs crates/core/src/node.rs crates/core/src/platform.rs crates/core/src/process.rs crates/core/src/redundancy.rs crates/core/src/sync.rs crates/core/src/update.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynplat_core-16d838b449989758.rmeta: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/campaign.rs crates/core/src/degradation.rs crates/core/src/node.rs crates/core/src/platform.rs crates/core/src/process.rs crates/core/src/redundancy.rs crates/core/src/sync.rs crates/core/src/update.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/app.rs:
+crates/core/src/campaign.rs:
+crates/core/src/degradation.rs:
+crates/core/src/node.rs:
+crates/core/src/platform.rs:
+crates/core/src/process.rs:
+crates/core/src/redundancy.rs:
+crates/core/src/sync.rs:
+crates/core/src/update.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dynplat_core-2d793daabb981c24.d: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/campaign.rs crates/core/src/degradation.rs crates/core/src/node.rs crates/core/src/platform.rs crates/core/src/process.rs crates/core/src/redundancy.rs crates/core/src/sync.rs crates/core/src/update.rs
+
+/root/repo/target/debug/deps/libdynplat_core-2d793daabb981c24.rlib: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/campaign.rs crates/core/src/degradation.rs crates/core/src/node.rs crates/core/src/platform.rs crates/core/src/process.rs crates/core/src/redundancy.rs crates/core/src/sync.rs crates/core/src/update.rs
+
+/root/repo/target/debug/deps/libdynplat_core-2d793daabb981c24.rmeta: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/campaign.rs crates/core/src/degradation.rs crates/core/src/node.rs crates/core/src/platform.rs crates/core/src/process.rs crates/core/src/redundancy.rs crates/core/src/sync.rs crates/core/src/update.rs
+
+crates/core/src/lib.rs:
+crates/core/src/app.rs:
+crates/core/src/campaign.rs:
+crates/core/src/degradation.rs:
+crates/core/src/node.rs:
+crates/core/src/platform.rs:
+crates/core/src/process.rs:
+crates/core/src/redundancy.rs:
+crates/core/src/sync.rs:
+crates/core/src/update.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dynplat_core-dd7ea1c38aae440b.d: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/campaign.rs crates/core/src/degradation.rs crates/core/src/node.rs crates/core/src/platform.rs crates/core/src/process.rs crates/core/src/redundancy.rs crates/core/src/sync.rs crates/core/src/update.rs
+
+/root/repo/target/debug/deps/dynplat_core-dd7ea1c38aae440b: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/campaign.rs crates/core/src/degradation.rs crates/core/src/node.rs crates/core/src/platform.rs crates/core/src/process.rs crates/core/src/redundancy.rs crates/core/src/sync.rs crates/core/src/update.rs
+
+crates/core/src/lib.rs:
+crates/core/src/app.rs:
+crates/core/src/campaign.rs:
+crates/core/src/degradation.rs:
+crates/core/src/node.rs:
+crates/core/src/platform.rs:
+crates/core/src/process.rs:
+crates/core/src/redundancy.rs:
+crates/core/src/sync.rs:
+crates/core/src/update.rs:

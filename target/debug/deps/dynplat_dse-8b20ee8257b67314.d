@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dynplat_dse-8b20ee8257b67314.d: crates/dse/src/lib.rs crates/dse/src/consolidate.rs crates/dse/src/objective.rs crates/dse/src/pareto.rs crates/dse/src/search.rs
+
+/root/repo/target/debug/deps/libdynplat_dse-8b20ee8257b67314.rlib: crates/dse/src/lib.rs crates/dse/src/consolidate.rs crates/dse/src/objective.rs crates/dse/src/pareto.rs crates/dse/src/search.rs
+
+/root/repo/target/debug/deps/libdynplat_dse-8b20ee8257b67314.rmeta: crates/dse/src/lib.rs crates/dse/src/consolidate.rs crates/dse/src/objective.rs crates/dse/src/pareto.rs crates/dse/src/search.rs
+
+crates/dse/src/lib.rs:
+crates/dse/src/consolidate.rs:
+crates/dse/src/objective.rs:
+crates/dse/src/pareto.rs:
+crates/dse/src/search.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dynplat_dse-90765e10c7d93d3f.d: crates/dse/src/lib.rs crates/dse/src/consolidate.rs crates/dse/src/objective.rs crates/dse/src/pareto.rs crates/dse/src/search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynplat_dse-90765e10c7d93d3f.rmeta: crates/dse/src/lib.rs crates/dse/src/consolidate.rs crates/dse/src/objective.rs crates/dse/src/pareto.rs crates/dse/src/search.rs Cargo.toml
+
+crates/dse/src/lib.rs:
+crates/dse/src/consolidate.rs:
+crates/dse/src/objective.rs:
+crates/dse/src/pareto.rs:
+crates/dse/src/search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynplat_dse-bb0e3a70156dbd97.d: crates/dse/src/lib.rs crates/dse/src/consolidate.rs crates/dse/src/objective.rs crates/dse/src/pareto.rs crates/dse/src/search.rs
+
+/root/repo/target/debug/deps/dynplat_dse-bb0e3a70156dbd97: crates/dse/src/lib.rs crates/dse/src/consolidate.rs crates/dse/src/objective.rs crates/dse/src/pareto.rs crates/dse/src/search.rs
+
+crates/dse/src/lib.rs:
+crates/dse/src/consolidate.rs:
+crates/dse/src/objective.rs:
+crates/dse/src/pareto.rs:
+crates/dse/src/search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynplat_faults-448239311a81df12.d: crates/faults/src/lib.rs crates/faults/src/inject.rs crates/faults/src/plan.rs
+
+/root/repo/target/debug/deps/libdynplat_faults-448239311a81df12.rlib: crates/faults/src/lib.rs crates/faults/src/inject.rs crates/faults/src/plan.rs
+
+/root/repo/target/debug/deps/libdynplat_faults-448239311a81df12.rmeta: crates/faults/src/lib.rs crates/faults/src/inject.rs crates/faults/src/plan.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/inject.rs:
+crates/faults/src/plan.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dynplat_faults-9de708bfb74b1a24.d: crates/faults/src/lib.rs crates/faults/src/inject.rs crates/faults/src/plan.rs
+
+/root/repo/target/debug/deps/dynplat_faults-9de708bfb74b1a24: crates/faults/src/lib.rs crates/faults/src/inject.rs crates/faults/src/plan.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/inject.rs:
+crates/faults/src/plan.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dynplat_faults-a76f9868763604aa.d: crates/faults/src/lib.rs crates/faults/src/inject.rs crates/faults/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynplat_faults-a76f9868763604aa.rmeta: crates/faults/src/lib.rs crates/faults/src/inject.rs crates/faults/src/plan.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+crates/faults/src/inject.rs:
+crates/faults/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

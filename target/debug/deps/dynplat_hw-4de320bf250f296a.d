@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dynplat_hw-4de320bf250f296a.d: crates/hw/src/lib.rs crates/hw/src/ecu.rs crates/hw/src/reference.rs crates/hw/src/topology.rs
+
+/root/repo/target/debug/deps/dynplat_hw-4de320bf250f296a: crates/hw/src/lib.rs crates/hw/src/ecu.rs crates/hw/src/reference.rs crates/hw/src/topology.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/ecu.rs:
+crates/hw/src/reference.rs:
+crates/hw/src/topology.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dynplat_hw-a075524cf11e2f64.d: crates/hw/src/lib.rs crates/hw/src/ecu.rs crates/hw/src/reference.rs crates/hw/src/topology.rs
+
+/root/repo/target/debug/deps/libdynplat_hw-a075524cf11e2f64.rlib: crates/hw/src/lib.rs crates/hw/src/ecu.rs crates/hw/src/reference.rs crates/hw/src/topology.rs
+
+/root/repo/target/debug/deps/libdynplat_hw-a075524cf11e2f64.rmeta: crates/hw/src/lib.rs crates/hw/src/ecu.rs crates/hw/src/reference.rs crates/hw/src/topology.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/ecu.rs:
+crates/hw/src/reference.rs:
+crates/hw/src/topology.rs:

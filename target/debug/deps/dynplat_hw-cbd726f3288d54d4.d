@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dynplat_hw-cbd726f3288d54d4.d: crates/hw/src/lib.rs crates/hw/src/ecu.rs crates/hw/src/reference.rs crates/hw/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynplat_hw-cbd726f3288d54d4.rmeta: crates/hw/src/lib.rs crates/hw/src/ecu.rs crates/hw/src/reference.rs crates/hw/src/topology.rs Cargo.toml
+
+crates/hw/src/lib.rs:
+crates/hw/src/ecu.rs:
+crates/hw/src/reference.rs:
+crates/hw/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

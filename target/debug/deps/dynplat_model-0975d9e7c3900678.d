@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynplat_model-0975d9e7c3900678.d: crates/model/src/lib.rs crates/model/src/dsl.rs crates/model/src/generate.rs crates/model/src/ir.rs crates/model/src/verify.rs
+
+/root/repo/target/debug/deps/dynplat_model-0975d9e7c3900678: crates/model/src/lib.rs crates/model/src/dsl.rs crates/model/src/generate.rs crates/model/src/ir.rs crates/model/src/verify.rs
+
+crates/model/src/lib.rs:
+crates/model/src/dsl.rs:
+crates/model/src/generate.rs:
+crates/model/src/ir.rs:
+crates/model/src/verify.rs:

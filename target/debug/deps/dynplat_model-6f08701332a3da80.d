@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dynplat_model-6f08701332a3da80.d: crates/model/src/lib.rs crates/model/src/dsl.rs crates/model/src/generate.rs crates/model/src/ir.rs crates/model/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynplat_model-6f08701332a3da80.rmeta: crates/model/src/lib.rs crates/model/src/dsl.rs crates/model/src/generate.rs crates/model/src/ir.rs crates/model/src/verify.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/dsl.rs:
+crates/model/src/generate.rs:
+crates/model/src/ir.rs:
+crates/model/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

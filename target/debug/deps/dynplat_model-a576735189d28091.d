@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dynplat_model-a576735189d28091.d: crates/model/src/lib.rs crates/model/src/dsl.rs crates/model/src/generate.rs crates/model/src/ir.rs crates/model/src/verify.rs
+
+/root/repo/target/debug/deps/libdynplat_model-a576735189d28091.rlib: crates/model/src/lib.rs crates/model/src/dsl.rs crates/model/src/generate.rs crates/model/src/ir.rs crates/model/src/verify.rs
+
+/root/repo/target/debug/deps/libdynplat_model-a576735189d28091.rmeta: crates/model/src/lib.rs crates/model/src/dsl.rs crates/model/src/generate.rs crates/model/src/ir.rs crates/model/src/verify.rs
+
+crates/model/src/lib.rs:
+crates/model/src/dsl.rs:
+crates/model/src/generate.rs:
+crates/model/src/ir.rs:
+crates/model/src/verify.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dynplat_monitor-2ee87afc633fcb66.d: crates/monitor/src/lib.rs crates/monitor/src/anomaly.rs crates/monitor/src/fault.rs crates/monitor/src/report.rs crates/monitor/src/task.rs
+
+/root/repo/target/debug/deps/libdynplat_monitor-2ee87afc633fcb66.rlib: crates/monitor/src/lib.rs crates/monitor/src/anomaly.rs crates/monitor/src/fault.rs crates/monitor/src/report.rs crates/monitor/src/task.rs
+
+/root/repo/target/debug/deps/libdynplat_monitor-2ee87afc633fcb66.rmeta: crates/monitor/src/lib.rs crates/monitor/src/anomaly.rs crates/monitor/src/fault.rs crates/monitor/src/report.rs crates/monitor/src/task.rs
+
+crates/monitor/src/lib.rs:
+crates/monitor/src/anomaly.rs:
+crates/monitor/src/fault.rs:
+crates/monitor/src/report.rs:
+crates/monitor/src/task.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynplat_monitor-472f3206c3da0d1d.d: crates/monitor/src/lib.rs crates/monitor/src/anomaly.rs crates/monitor/src/fault.rs crates/monitor/src/report.rs crates/monitor/src/task.rs
+
+/root/repo/target/debug/deps/dynplat_monitor-472f3206c3da0d1d: crates/monitor/src/lib.rs crates/monitor/src/anomaly.rs crates/monitor/src/fault.rs crates/monitor/src/report.rs crates/monitor/src/task.rs
+
+crates/monitor/src/lib.rs:
+crates/monitor/src/anomaly.rs:
+crates/monitor/src/fault.rs:
+crates/monitor/src/report.rs:
+crates/monitor/src/task.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dynplat_monitor-7ae9d23f7c623c3a.d: crates/monitor/src/lib.rs crates/monitor/src/anomaly.rs crates/monitor/src/fault.rs crates/monitor/src/report.rs crates/monitor/src/task.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynplat_monitor-7ae9d23f7c623c3a.rmeta: crates/monitor/src/lib.rs crates/monitor/src/anomaly.rs crates/monitor/src/fault.rs crates/monitor/src/report.rs crates/monitor/src/task.rs Cargo.toml
+
+crates/monitor/src/lib.rs:
+crates/monitor/src/anomaly.rs:
+crates/monitor/src/fault.rs:
+crates/monitor/src/report.rs:
+crates/monitor/src/task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dynplat_monitor-f444830538171f31.d: crates/monitor/src/lib.rs crates/monitor/src/anomaly.rs crates/monitor/src/fault.rs crates/monitor/src/report.rs crates/monitor/src/task.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynplat_monitor-f444830538171f31.rmeta: crates/monitor/src/lib.rs crates/monitor/src/anomaly.rs crates/monitor/src/fault.rs crates/monitor/src/report.rs crates/monitor/src/task.rs Cargo.toml
+
+crates/monitor/src/lib.rs:
+crates/monitor/src/anomaly.rs:
+crates/monitor/src/fault.rs:
+crates/monitor/src/report.rs:
+crates/monitor/src/task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

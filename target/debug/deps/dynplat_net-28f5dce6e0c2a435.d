@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dynplat_net-28f5dce6e0c2a435.d: crates/net/src/lib.rs crates/net/src/analysis.rs crates/net/src/can.rs crates/net/src/ethernet.rs crates/net/src/flexray.rs crates/net/src/tsn.rs
+
+/root/repo/target/debug/deps/dynplat_net-28f5dce6e0c2a435: crates/net/src/lib.rs crates/net/src/analysis.rs crates/net/src/can.rs crates/net/src/ethernet.rs crates/net/src/flexray.rs crates/net/src/tsn.rs
+
+crates/net/src/lib.rs:
+crates/net/src/analysis.rs:
+crates/net/src/can.rs:
+crates/net/src/ethernet.rs:
+crates/net/src/flexray.rs:
+crates/net/src/tsn.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dynplat_net-41a0201a6cd47caf.d: crates/net/src/lib.rs crates/net/src/analysis.rs crates/net/src/can.rs crates/net/src/ethernet.rs crates/net/src/flexray.rs crates/net/src/tsn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynplat_net-41a0201a6cd47caf.rmeta: crates/net/src/lib.rs crates/net/src/analysis.rs crates/net/src/can.rs crates/net/src/ethernet.rs crates/net/src/flexray.rs crates/net/src/tsn.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/analysis.rs:
+crates/net/src/can.rs:
+crates/net/src/ethernet.rs:
+crates/net/src/flexray.rs:
+crates/net/src/tsn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dynplat_net-5c7f6b17bc438105.d: crates/net/src/lib.rs crates/net/src/analysis.rs crates/net/src/can.rs crates/net/src/ethernet.rs crates/net/src/flexray.rs crates/net/src/tsn.rs
+
+/root/repo/target/debug/deps/libdynplat_net-5c7f6b17bc438105.rlib: crates/net/src/lib.rs crates/net/src/analysis.rs crates/net/src/can.rs crates/net/src/ethernet.rs crates/net/src/flexray.rs crates/net/src/tsn.rs
+
+/root/repo/target/debug/deps/libdynplat_net-5c7f6b17bc438105.rmeta: crates/net/src/lib.rs crates/net/src/analysis.rs crates/net/src/can.rs crates/net/src/ethernet.rs crates/net/src/flexray.rs crates/net/src/tsn.rs
+
+crates/net/src/lib.rs:
+crates/net/src/analysis.rs:
+crates/net/src/can.rs:
+crates/net/src/ethernet.rs:
+crates/net/src/flexray.rs:
+crates/net/src/tsn.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dynplat_sched-6ddd8bdd412b9eb2.d: crates/sched/src/lib.rs crates/sched/src/admission.rs crates/sched/src/edf.rs crates/sched/src/manage.rs crates/sched/src/rta.rs crates/sched/src/sensitivity.rs crates/sched/src/server.rs crates/sched/src/simulate.rs crates/sched/src/task.rs crates/sched/src/tt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynplat_sched-6ddd8bdd412b9eb2.rmeta: crates/sched/src/lib.rs crates/sched/src/admission.rs crates/sched/src/edf.rs crates/sched/src/manage.rs crates/sched/src/rta.rs crates/sched/src/sensitivity.rs crates/sched/src/server.rs crates/sched/src/simulate.rs crates/sched/src/task.rs crates/sched/src/tt.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/admission.rs:
+crates/sched/src/edf.rs:
+crates/sched/src/manage.rs:
+crates/sched/src/rta.rs:
+crates/sched/src/sensitivity.rs:
+crates/sched/src/server.rs:
+crates/sched/src/simulate.rs:
+crates/sched/src/task.rs:
+crates/sched/src/tt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dynplat_sched-b06f67b9bdc32b6d.d: crates/sched/src/lib.rs crates/sched/src/admission.rs crates/sched/src/edf.rs crates/sched/src/manage.rs crates/sched/src/rta.rs crates/sched/src/sensitivity.rs crates/sched/src/server.rs crates/sched/src/simulate.rs crates/sched/src/task.rs crates/sched/src/tt.rs
+
+/root/repo/target/debug/deps/libdynplat_sched-b06f67b9bdc32b6d.rlib: crates/sched/src/lib.rs crates/sched/src/admission.rs crates/sched/src/edf.rs crates/sched/src/manage.rs crates/sched/src/rta.rs crates/sched/src/sensitivity.rs crates/sched/src/server.rs crates/sched/src/simulate.rs crates/sched/src/task.rs crates/sched/src/tt.rs
+
+/root/repo/target/debug/deps/libdynplat_sched-b06f67b9bdc32b6d.rmeta: crates/sched/src/lib.rs crates/sched/src/admission.rs crates/sched/src/edf.rs crates/sched/src/manage.rs crates/sched/src/rta.rs crates/sched/src/sensitivity.rs crates/sched/src/server.rs crates/sched/src/simulate.rs crates/sched/src/task.rs crates/sched/src/tt.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/admission.rs:
+crates/sched/src/edf.rs:
+crates/sched/src/manage.rs:
+crates/sched/src/rta.rs:
+crates/sched/src/sensitivity.rs:
+crates/sched/src/server.rs:
+crates/sched/src/simulate.rs:
+crates/sched/src/task.rs:
+crates/sched/src/tt.rs:

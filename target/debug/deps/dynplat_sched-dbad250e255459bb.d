@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dynplat_sched-dbad250e255459bb.d: crates/sched/src/lib.rs crates/sched/src/admission.rs crates/sched/src/edf.rs crates/sched/src/manage.rs crates/sched/src/rta.rs crates/sched/src/sensitivity.rs crates/sched/src/server.rs crates/sched/src/simulate.rs crates/sched/src/task.rs crates/sched/src/tt.rs
+
+/root/repo/target/debug/deps/dynplat_sched-dbad250e255459bb: crates/sched/src/lib.rs crates/sched/src/admission.rs crates/sched/src/edf.rs crates/sched/src/manage.rs crates/sched/src/rta.rs crates/sched/src/sensitivity.rs crates/sched/src/server.rs crates/sched/src/simulate.rs crates/sched/src/task.rs crates/sched/src/tt.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/admission.rs:
+crates/sched/src/edf.rs:
+crates/sched/src/manage.rs:
+crates/sched/src/rta.rs:
+crates/sched/src/sensitivity.rs:
+crates/sched/src/server.rs:
+crates/sched/src/simulate.rs:
+crates/sched/src/task.rs:
+crates/sched/src/tt.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dynplat_security-8afa195866775c5c.d: crates/security/src/lib.rs crates/security/src/authn.rs crates/security/src/authz.rs crates/security/src/master.rs crates/security/src/package.rs crates/security/src/sha256.rs crates/security/src/sign.rs
+
+/root/repo/target/debug/deps/dynplat_security-8afa195866775c5c: crates/security/src/lib.rs crates/security/src/authn.rs crates/security/src/authz.rs crates/security/src/master.rs crates/security/src/package.rs crates/security/src/sha256.rs crates/security/src/sign.rs
+
+crates/security/src/lib.rs:
+crates/security/src/authn.rs:
+crates/security/src/authz.rs:
+crates/security/src/master.rs:
+crates/security/src/package.rs:
+crates/security/src/sha256.rs:
+crates/security/src/sign.rs:

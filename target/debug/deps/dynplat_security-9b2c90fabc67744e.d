@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dynplat_security-9b2c90fabc67744e.d: crates/security/src/lib.rs crates/security/src/authn.rs crates/security/src/authz.rs crates/security/src/master.rs crates/security/src/package.rs crates/security/src/sha256.rs crates/security/src/sign.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynplat_security-9b2c90fabc67744e.rmeta: crates/security/src/lib.rs crates/security/src/authn.rs crates/security/src/authz.rs crates/security/src/master.rs crates/security/src/package.rs crates/security/src/sha256.rs crates/security/src/sign.rs Cargo.toml
+
+crates/security/src/lib.rs:
+crates/security/src/authn.rs:
+crates/security/src/authz.rs:
+crates/security/src/master.rs:
+crates/security/src/package.rs:
+crates/security/src/sha256.rs:
+crates/security/src/sign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dynplat_security-b67711517062f668.d: crates/security/src/lib.rs crates/security/src/authn.rs crates/security/src/authz.rs crates/security/src/master.rs crates/security/src/package.rs crates/security/src/sha256.rs crates/security/src/sign.rs
+
+/root/repo/target/debug/deps/libdynplat_security-b67711517062f668.rlib: crates/security/src/lib.rs crates/security/src/authn.rs crates/security/src/authz.rs crates/security/src/master.rs crates/security/src/package.rs crates/security/src/sha256.rs crates/security/src/sign.rs
+
+/root/repo/target/debug/deps/libdynplat_security-b67711517062f668.rmeta: crates/security/src/lib.rs crates/security/src/authn.rs crates/security/src/authz.rs crates/security/src/master.rs crates/security/src/package.rs crates/security/src/sha256.rs crates/security/src/sign.rs
+
+crates/security/src/lib.rs:
+crates/security/src/authn.rs:
+crates/security/src/authz.rs:
+crates/security/src/master.rs:
+crates/security/src/package.rs:
+crates/security/src/sha256.rs:
+crates/security/src/sign.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dynplat_sim-0ef7058652c535b9.d: crates/sim/src/lib.rs crates/sim/src/jitter.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/dynplat_sim-0ef7058652c535b9: crates/sim/src/lib.rs crates/sim/src/jitter.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/jitter.rs:
+crates/sim/src/trace.rs:

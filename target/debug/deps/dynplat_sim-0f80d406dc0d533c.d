@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dynplat_sim-0f80d406dc0d533c.d: crates/sim/src/lib.rs crates/sim/src/jitter.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynplat_sim-0f80d406dc0d533c.rmeta: crates/sim/src/lib.rs crates/sim/src/jitter.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/jitter.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

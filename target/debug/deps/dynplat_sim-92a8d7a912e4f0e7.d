@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynplat_sim-92a8d7a912e4f0e7.d: crates/sim/src/lib.rs crates/sim/src/jitter.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libdynplat_sim-92a8d7a912e4f0e7.rlib: crates/sim/src/lib.rs crates/sim/src/jitter.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libdynplat_sim-92a8d7a912e4f0e7.rmeta: crates/sim/src/lib.rs crates/sim/src/jitter.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/jitter.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dynplat_xil-00b71d203c789128.d: crates/xil/src/lib.rs crates/xil/src/control.rs crates/xil/src/harness.rs crates/xil/src/level.rs
+
+/root/repo/target/debug/deps/libdynplat_xil-00b71d203c789128.rlib: crates/xil/src/lib.rs crates/xil/src/control.rs crates/xil/src/harness.rs crates/xil/src/level.rs
+
+/root/repo/target/debug/deps/libdynplat_xil-00b71d203c789128.rmeta: crates/xil/src/lib.rs crates/xil/src/control.rs crates/xil/src/harness.rs crates/xil/src/level.rs
+
+crates/xil/src/lib.rs:
+crates/xil/src/control.rs:
+crates/xil/src/harness.rs:
+crates/xil/src/level.rs:

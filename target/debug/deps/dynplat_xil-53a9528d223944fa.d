@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dynplat_xil-53a9528d223944fa.d: crates/xil/src/lib.rs crates/xil/src/control.rs crates/xil/src/harness.rs crates/xil/src/level.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynplat_xil-53a9528d223944fa.rmeta: crates/xil/src/lib.rs crates/xil/src/control.rs crates/xil/src/harness.rs crates/xil/src/level.rs Cargo.toml
+
+crates/xil/src/lib.rs:
+crates/xil/src/control.rs:
+crates/xil/src/harness.rs:
+crates/xil/src/level.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dynplat_xil-a0db30b121dfa85b.d: crates/xil/src/lib.rs crates/xil/src/control.rs crates/xil/src/harness.rs crates/xil/src/level.rs
+
+/root/repo/target/debug/deps/dynplat_xil-a0db30b121dfa85b: crates/xil/src/lib.rs crates/xil/src/control.rs crates/xil/src/harness.rs crates/xil/src/level.rs
+
+crates/xil/src/lib.rs:
+crates/xil/src/control.rs:
+crates/xil/src/harness.rs:
+crates/xil/src/level.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e10_dse_admission-0a529168e630bd6c.d: crates/bench/src/bin/e10_dse_admission.rs
+
+/root/repo/target/debug/deps/e10_dse_admission-0a529168e630bd6c: crates/bench/src/bin/e10_dse_admission.rs
+
+crates/bench/src/bin/e10_dse_admission.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e10_dse_admission-38cecb201840d868.d: crates/bench/src/bin/e10_dse_admission.rs
+
+/root/repo/target/debug/deps/e10_dse_admission-38cecb201840d868: crates/bench/src/bin/e10_dse_admission.rs
+
+crates/bench/src/bin/e10_dse_admission.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e10_dse_admission-89eb97207de7054d.d: crates/bench/src/bin/e10_dse_admission.rs
+
+/root/repo/target/debug/deps/e10_dse_admission-89eb97207de7054d: crates/bench/src/bin/e10_dse_admission.rs
+
+crates/bench/src/bin/e10_dse_admission.rs:

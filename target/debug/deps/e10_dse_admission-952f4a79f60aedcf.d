@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e10_dse_admission-952f4a79f60aedcf.d: crates/bench/src/bin/e10_dse_admission.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe10_dse_admission-952f4a79f60aedcf.rmeta: crates/bench/src/bin/e10_dse_admission.rs Cargo.toml
+
+crates/bench/src/bin/e10_dse_admission.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e11_xil-209c950101d9379d.d: crates/bench/src/bin/e11_xil.rs
+
+/root/repo/target/debug/deps/e11_xil-209c950101d9379d: crates/bench/src/bin/e11_xil.rs
+
+crates/bench/src/bin/e11_xil.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e11_xil-86b1d15691a29314.d: crates/bench/src/bin/e11_xil.rs
+
+/root/repo/target/debug/deps/e11_xil-86b1d15691a29314: crates/bench/src/bin/e11_xil.rs
+
+crates/bench/src/bin/e11_xil.rs:

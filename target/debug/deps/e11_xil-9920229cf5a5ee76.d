@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e11_xil-9920229cf5a5ee76.d: crates/bench/src/bin/e11_xil.rs
+
+/root/repo/target/debug/deps/e11_xil-9920229cf5a5ee76: crates/bench/src/bin/e11_xil.rs
+
+crates/bench/src/bin/e11_xil.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e11_xil-f121a5efde3eacdd.d: crates/bench/src/bin/e11_xil.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe11_xil-f121a5efde3eacdd.rmeta: crates/bench/src/bin/e11_xil.rs Cargo.toml
+
+crates/bench/src/bin/e11_xil.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e12_chaos-1beceead3fee4e96.d: crates/bench/src/bin/e12_chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe12_chaos-1beceead3fee4e96.rmeta: crates/bench/src/bin/e12_chaos.rs Cargo.toml
+
+crates/bench/src/bin/e12_chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e12_chaos-2a29ba2c766295ea.d: crates/bench/src/bin/e12_chaos.rs
+
+/root/repo/target/debug/deps/e12_chaos-2a29ba2c766295ea: crates/bench/src/bin/e12_chaos.rs
+
+crates/bench/src/bin/e12_chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e12_chaos-515dbeb7cabf9210.d: crates/bench/src/bin/e12_chaos.rs
+
+/root/repo/target/debug/deps/e12_chaos-515dbeb7cabf9210: crates/bench/src/bin/e12_chaos.rs
+
+crates/bench/src/bin/e12_chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e12_chaos-ffc772154ee8702a.d: crates/bench/src/bin/e12_chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe12_chaos-ffc772154ee8702a.rmeta: crates/bench/src/bin/e12_chaos.rs Cargo.toml
+
+crates/bench/src/bin/e12_chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_hw_access-0f71fbe3bb902fd7.d: crates/bench/src/bin/e4_hw_access.rs
+
+/root/repo/target/debug/deps/e4_hw_access-0f71fbe3bb902fd7: crates/bench/src/bin/e4_hw_access.rs
+
+crates/bench/src/bin/e4_hw_access.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_hw_access-f52dd69e7116b08b.d: crates/bench/src/bin/e4_hw_access.rs
+
+/root/repo/target/debug/deps/e4_hw_access-f52dd69e7116b08b: crates/bench/src/bin/e4_hw_access.rs
+
+crates/bench/src/bin/e4_hw_access.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_hw_access-f7cbf98a03606420.d: crates/bench/src/bin/e4_hw_access.rs
+
+/root/repo/target/debug/deps/e4_hw_access-f7cbf98a03606420: crates/bench/src/bin/e4_hw_access.rs
+
+crates/bench/src/bin/e4_hw_access.rs:

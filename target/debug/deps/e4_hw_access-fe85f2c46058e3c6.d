@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_hw_access-fe85f2c46058e3c6.d: crates/bench/src/bin/e4_hw_access.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_hw_access-fe85f2c46058e3c6.rmeta: crates/bench/src/bin/e4_hw_access.rs Cargo.toml
+
+crates/bench/src/bin/e4_hw_access.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

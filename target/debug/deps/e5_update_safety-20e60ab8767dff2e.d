@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_update_safety-20e60ab8767dff2e.d: crates/bench/src/bin/e5_update_safety.rs
+
+/root/repo/target/debug/deps/e5_update_safety-20e60ab8767dff2e: crates/bench/src/bin/e5_update_safety.rs
+
+crates/bench/src/bin/e5_update_safety.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_update_safety-23fb5edaa0b3a672.d: crates/bench/src/bin/e5_update_safety.rs
+
+/root/repo/target/debug/deps/e5_update_safety-23fb5edaa0b3a672: crates/bench/src/bin/e5_update_safety.rs
+
+crates/bench/src/bin/e5_update_safety.rs:

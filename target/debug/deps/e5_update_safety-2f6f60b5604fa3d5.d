@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_update_safety-2f6f60b5604fa3d5.d: crates/bench/src/bin/e5_update_safety.rs
+
+/root/repo/target/debug/deps/e5_update_safety-2f6f60b5604fa3d5: crates/bench/src/bin/e5_update_safety.rs
+
+crates/bench/src/bin/e5_update_safety.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e5_update_safety-5ce64e05e497dce5.d: crates/bench/src/bin/e5_update_safety.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe5_update_safety-5ce64e05e497dce5.rmeta: crates/bench/src/bin/e5_update_safety.rs Cargo.toml
+
+crates/bench/src/bin/e5_update_safety.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_failover-105fb63eeacb4e6d.d: crates/bench/src/bin/e6_failover.rs
+
+/root/repo/target/debug/deps/e6_failover-105fb63eeacb4e6d: crates/bench/src/bin/e6_failover.rs
+
+crates/bench/src/bin/e6_failover.rs:

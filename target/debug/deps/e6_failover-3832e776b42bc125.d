@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e6_failover-3832e776b42bc125.d: crates/bench/src/bin/e6_failover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_failover-3832e776b42bc125.rmeta: crates/bench/src/bin/e6_failover.rs Cargo.toml
+
+crates/bench/src/bin/e6_failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_failover-5260661bd27d5e85.d: crates/bench/src/bin/e6_failover.rs
+
+/root/repo/target/debug/deps/e6_failover-5260661bd27d5e85: crates/bench/src/bin/e6_failover.rs
+
+crates/bench/src/bin/e6_failover.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e6_failover-b3c28fc51431fcaa.d: crates/bench/src/bin/e6_failover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_failover-b3c28fc51431fcaa.rmeta: crates/bench/src/bin/e6_failover.rs Cargo.toml
+
+crates/bench/src/bin/e6_failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

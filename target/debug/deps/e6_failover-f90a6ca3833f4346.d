@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_failover-f90a6ca3833f4346.d: crates/bench/src/bin/e6_failover.rs
+
+/root/repo/target/debug/deps/e6_failover-f90a6ca3833f4346: crates/bench/src/bin/e6_failover.rs
+
+crates/bench/src/bin/e6_failover.rs:

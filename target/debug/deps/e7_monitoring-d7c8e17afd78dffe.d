@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e7_monitoring-d7c8e17afd78dffe.d: crates/bench/src/bin/e7_monitoring.rs
+
+/root/repo/target/debug/deps/e7_monitoring-d7c8e17afd78dffe: crates/bench/src/bin/e7_monitoring.rs
+
+crates/bench/src/bin/e7_monitoring.rs:

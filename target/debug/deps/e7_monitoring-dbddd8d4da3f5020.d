@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e7_monitoring-dbddd8d4da3f5020.d: crates/bench/src/bin/e7_monitoring.rs
+
+/root/repo/target/debug/deps/e7_monitoring-dbddd8d4da3f5020: crates/bench/src/bin/e7_monitoring.rs
+
+crates/bench/src/bin/e7_monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e7_monitoring-fa85eb0f8511a3a4.d: crates/bench/src/bin/e7_monitoring.rs
+
+/root/repo/target/debug/deps/e7_monitoring-fa85eb0f8511a3a4: crates/bench/src/bin/e7_monitoring.rs
+
+crates/bench/src/bin/e7_monitoring.rs:

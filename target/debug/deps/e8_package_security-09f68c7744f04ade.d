@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e8_package_security-09f68c7744f04ade.d: crates/bench/src/bin/e8_package_security.rs
+
+/root/repo/target/debug/deps/e8_package_security-09f68c7744f04ade: crates/bench/src/bin/e8_package_security.rs
+
+crates/bench/src/bin/e8_package_security.rs:

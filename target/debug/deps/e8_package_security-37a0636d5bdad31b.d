@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e8_package_security-37a0636d5bdad31b.d: crates/bench/src/bin/e8_package_security.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe8_package_security-37a0636d5bdad31b.rmeta: crates/bench/src/bin/e8_package_security.rs Cargo.toml
+
+crates/bench/src/bin/e8_package_security.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

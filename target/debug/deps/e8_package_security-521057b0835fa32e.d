@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e8_package_security-521057b0835fa32e.d: crates/bench/src/bin/e8_package_security.rs
+
+/root/repo/target/debug/deps/e8_package_security-521057b0835fa32e: crates/bench/src/bin/e8_package_security.rs
+
+crates/bench/src/bin/e8_package_security.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e8_package_security-7d15a8deea97094a.d: crates/bench/src/bin/e8_package_security.rs
+
+/root/repo/target/debug/deps/e8_package_security-7d15a8deea97094a: crates/bench/src/bin/e8_package_security.rs
+
+crates/bench/src/bin/e8_package_security.rs:

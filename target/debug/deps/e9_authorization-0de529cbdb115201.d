@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e9_authorization-0de529cbdb115201.d: crates/bench/src/bin/e9_authorization.rs
+
+/root/repo/target/debug/deps/e9_authorization-0de529cbdb115201: crates/bench/src/bin/e9_authorization.rs
+
+crates/bench/src/bin/e9_authorization.rs:

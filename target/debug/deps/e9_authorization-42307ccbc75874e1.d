@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e9_authorization-42307ccbc75874e1.d: crates/bench/src/bin/e9_authorization.rs
+
+/root/repo/target/debug/deps/e9_authorization-42307ccbc75874e1: crates/bench/src/bin/e9_authorization.rs
+
+crates/bench/src/bin/e9_authorization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e9_authorization-708c369c1bb2ef4b.d: crates/bench/src/bin/e9_authorization.rs
+
+/root/repo/target/debug/deps/e9_authorization-708c369c1bb2ef4b: crates/bench/src/bin/e9_authorization.rs
+
+crates/bench/src/bin/e9_authorization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e9_authorization-8a74c4efefe386c4.d: crates/bench/src/bin/e9_authorization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe9_authorization-8a74c4efefe386c4.rmeta: crates/bench/src/bin/e9_authorization.rs Cargo.toml
+
+crates/bench/src/bin/e9_authorization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_consolidation-994554d6352a8e7e.d: crates/bench/src/bin/fig1_consolidation.rs
+
+/root/repo/target/debug/deps/fig1_consolidation-994554d6352a8e7e: crates/bench/src/bin/fig1_consolidation.rs
+
+crates/bench/src/bin/fig1_consolidation.rs:

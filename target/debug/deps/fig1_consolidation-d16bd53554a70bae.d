@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_consolidation-d16bd53554a70bae.d: crates/bench/src/bin/fig1_consolidation.rs
+
+/root/repo/target/debug/deps/fig1_consolidation-d16bd53554a70bae: crates/bench/src/bin/fig1_consolidation.rs
+
+crates/bench/src/bin/fig1_consolidation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_consolidation-e8e0a6c63a5dfd12.d: crates/bench/src/bin/fig1_consolidation.rs
+
+/root/repo/target/debug/deps/fig1_consolidation-e8e0a6c63a5dfd12: crates/bench/src/bin/fig1_consolidation.rs
+
+crates/bench/src/bin/fig1_consolidation.rs:

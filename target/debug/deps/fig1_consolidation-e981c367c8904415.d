@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_consolidation-e981c367c8904415.d: crates/bench/src/bin/fig1_consolidation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_consolidation-e981c367c8904415.rmeta: crates/bench/src/bin/fig1_consolidation.rs Cargo.toml
+
+crates/bench/src/bin/fig1_consolidation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

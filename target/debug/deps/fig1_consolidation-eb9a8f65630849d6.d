@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_consolidation-eb9a8f65630849d6.d: crates/bench/src/bin/fig1_consolidation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_consolidation-eb9a8f65630849d6.rmeta: crates/bench/src/bin/fig1_consolidation.rs Cargo.toml
+
+crates/bench/src/bin/fig1_consolidation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_interference-0daa21b95def128a.d: crates/bench/src/bin/fig2_interference.rs
+
+/root/repo/target/debug/deps/fig2_interference-0daa21b95def128a: crates/bench/src/bin/fig2_interference.rs
+
+crates/bench/src/bin/fig2_interference.rs:

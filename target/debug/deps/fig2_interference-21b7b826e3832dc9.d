@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_interference-21b7b826e3832dc9.d: crates/bench/src/bin/fig2_interference.rs
+
+/root/repo/target/debug/deps/fig2_interference-21b7b826e3832dc9: crates/bench/src/bin/fig2_interference.rs
+
+crates/bench/src/bin/fig2_interference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_interference-5614d33140bb6142.d: crates/bench/src/bin/fig2_interference.rs
+
+/root/repo/target/debug/deps/fig2_interference-5614d33140bb6142: crates/bench/src/bin/fig2_interference.rs
+
+crates/bench/src/bin/fig2_interference.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_interference-5f8244d74fb83a91.d: crates/bench/src/bin/fig2_interference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_interference-5f8244d74fb83a91.rmeta: crates/bench/src/bin/fig2_interference.rs Cargo.toml
+
+crates/bench/src/bin/fig2_interference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_paradigms-348c77755f862826.d: crates/bench/src/bin/fig3_paradigms.rs
+
+/root/repo/target/debug/deps/fig3_paradigms-348c77755f862826: crates/bench/src/bin/fig3_paradigms.rs
+
+crates/bench/src/bin/fig3_paradigms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_paradigms-513d036338cbcfb6.d: crates/bench/src/bin/fig3_paradigms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_paradigms-513d036338cbcfb6.rmeta: crates/bench/src/bin/fig3_paradigms.rs Cargo.toml
+
+crates/bench/src/bin/fig3_paradigms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

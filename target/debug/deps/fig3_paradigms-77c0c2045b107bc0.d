@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_paradigms-77c0c2045b107bc0.d: crates/bench/src/bin/fig3_paradigms.rs
+
+/root/repo/target/debug/deps/fig3_paradigms-77c0c2045b107bc0: crates/bench/src/bin/fig3_paradigms.rs
+
+crates/bench/src/bin/fig3_paradigms.rs:

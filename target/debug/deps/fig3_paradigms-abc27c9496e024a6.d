@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_paradigms-abc27c9496e024a6.d: crates/bench/src/bin/fig3_paradigms.rs
+
+/root/repo/target/debug/deps/fig3_paradigms-abc27c9496e024a6: crates/bench/src/bin/fig3_paradigms.rs
+
+crates/bench/src/bin/fig3_paradigms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_experiments-143414f178ab8870.d: tests/integration_experiments.rs
+
+/root/repo/target/debug/deps/integration_experiments-143414f178ab8870: tests/integration_experiments.rs
+
+tests/integration_experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_experiments-7cf1575cc2056964.d: tests/integration_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_experiments-7cf1575cc2056964.rmeta: tests/integration_experiments.rs Cargo.toml
+
+tests/integration_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

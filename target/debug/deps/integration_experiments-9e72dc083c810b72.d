@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_experiments-9e72dc083c810b72.d: tests/integration_experiments.rs
+
+/root/repo/target/debug/deps/integration_experiments-9e72dc083c810b72: tests/integration_experiments.rs
+
+tests/integration_experiments.rs:

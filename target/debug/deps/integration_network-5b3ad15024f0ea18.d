@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_network-5b3ad15024f0ea18.d: tests/integration_network.rs
+
+/root/repo/target/debug/deps/integration_network-5b3ad15024f0ea18: tests/integration_network.rs
+
+tests/integration_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_network-6a8511dbe31b05eb.d: tests/integration_network.rs
+
+/root/repo/target/debug/deps/integration_network-6a8511dbe31b05eb: tests/integration_network.rs
+
+tests/integration_network.rs:

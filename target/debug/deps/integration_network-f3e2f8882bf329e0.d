@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_network-f3e2f8882bf329e0.d: tests/integration_network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_network-f3e2f8882bf329e0.rmeta: tests/integration_network.rs Cargo.toml
+
+tests/integration_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

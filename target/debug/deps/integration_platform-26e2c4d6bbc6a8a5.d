@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_platform-26e2c4d6bbc6a8a5.d: tests/integration_platform.rs
+
+/root/repo/target/debug/deps/integration_platform-26e2c4d6bbc6a8a5: tests/integration_platform.rs
+
+tests/integration_platform.rs:

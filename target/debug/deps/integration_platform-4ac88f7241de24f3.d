@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_platform-4ac88f7241de24f3.d: tests/integration_platform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_platform-4ac88f7241de24f3.rmeta: tests/integration_platform.rs Cargo.toml
+
+tests/integration_platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_platform-d935239e02cfe70d.d: tests/integration_platform.rs
+
+/root/repo/target/debug/deps/integration_platform-d935239e02cfe70d: tests/integration_platform.rs
+
+tests/integration_platform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_security-22e8f9035f93afcb.d: tests/integration_security.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_security-22e8f9035f93afcb.rmeta: tests/integration_security.rs Cargo.toml
+
+tests/integration_security.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_security-432c06b98d2f6cd6.d: tests/integration_security.rs
+
+/root/repo/target/debug/deps/integration_security-432c06b98d2f6cd6: tests/integration_security.rs
+
+tests/integration_security.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_security-9bed773a1883afdc.d: tests/integration_security.rs
+
+/root/repo/target/debug/deps/integration_security-9bed773a1883afdc: tests/integration_security.rs
+
+tests/integration_security.rs:

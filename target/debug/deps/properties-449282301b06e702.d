@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-449282301b06e702.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-449282301b06e702: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-589a294c46b37246.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-589a294c46b37246: tests/properties.rs
+
+tests/properties.rs:

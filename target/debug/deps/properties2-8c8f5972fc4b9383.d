@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties2-8c8f5972fc4b9383.d: tests/properties2.rs
+
+/root/repo/target/debug/deps/properties2-8c8f5972fc4b9383: tests/properties2.rs
+
+tests/properties2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties2-b26825f99c764878.d: tests/properties2.rs
+
+/root/repo/target/debug/deps/properties2-b26825f99c764878: tests/properties2.rs
+
+tests/properties2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties2-ccd8f399a8adc254.d: tests/properties2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties2-ccd8f399a8adc254.rmeta: tests/properties2.rs Cargo.toml
+
+tests/properties2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-5909a371e11ed589.d: crates/bench/tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-5909a371e11ed589.rmeta: crates/bench/tests/robustness.rs Cargo.toml
+
+crates/bench/tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

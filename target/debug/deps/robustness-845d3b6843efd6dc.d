@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-845d3b6843efd6dc.d: crates/bench/tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-845d3b6843efd6dc: crates/bench/tests/robustness.rs
+
+crates/bench/tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adas_pipeline-5774c87353db5da0.d: examples/adas_pipeline.rs
+
+/root/repo/target/debug/examples/adas_pipeline-5774c87353db5da0: examples/adas_pipeline.rs
+
+examples/adas_pipeline.rs:

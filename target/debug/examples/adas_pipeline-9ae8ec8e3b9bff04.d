@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adas_pipeline-9ae8ec8e3b9bff04.d: examples/adas_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadas_pipeline-9ae8ec8e3b9bff04.rmeta: examples/adas_pipeline.rs Cargo.toml
+
+examples/adas_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

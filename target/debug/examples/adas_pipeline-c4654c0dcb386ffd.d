@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adas_pipeline-c4654c0dcb386ffd.d: examples/adas_pipeline.rs
+
+/root/repo/target/debug/examples/adas_pipeline-c4654c0dcb386ffd: examples/adas_pipeline.rs
+
+examples/adas_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_flow-073ddb846118577b.d: examples/design_flow.rs
+
+/root/repo/target/debug/examples/design_flow-073ddb846118577b: examples/design_flow.rs
+
+examples/design_flow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/design_flow-a4d42220eee0da64.d: examples/design_flow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdesign_flow-a4d42220eee0da64.rmeta: examples/design_flow.rs Cargo.toml
+
+examples/design_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

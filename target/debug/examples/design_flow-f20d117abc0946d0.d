@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_flow-f20d117abc0946d0.d: examples/design_flow.rs
+
+/root/repo/target/debug/examples/design_flow-f20d117abc0946d0: examples/design_flow.rs
+
+examples/design_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fail_operational-0a32b5e15643c810.d: examples/fail_operational.rs
+
+/root/repo/target/debug/examples/fail_operational-0a32b5e15643c810: examples/fail_operational.rs
+
+examples/fail_operational.rs:

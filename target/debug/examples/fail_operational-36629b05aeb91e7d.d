@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fail_operational-36629b05aeb91e7d.d: examples/fail_operational.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfail_operational-36629b05aeb91e7d.rmeta: examples/fail_operational.rs Cargo.toml
+
+examples/fail_operational.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

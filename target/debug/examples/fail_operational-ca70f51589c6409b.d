@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fail_operational-ca70f51589c6409b.d: examples/fail_operational.rs
+
+/root/repo/target/debug/examples/fail_operational-ca70f51589c6409b: examples/fail_operational.rs
+
+examples/fail_operational.rs:

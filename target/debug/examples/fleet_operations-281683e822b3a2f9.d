@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_operations-281683e822b3a2f9.d: examples/fleet_operations.rs
+
+/root/repo/target/debug/examples/fleet_operations-281683e822b3a2f9: examples/fleet_operations.rs
+
+examples/fleet_operations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_operations-b915cccd65c7ef18.d: examples/fleet_operations.rs
+
+/root/repo/target/debug/examples/fleet_operations-b915cccd65c7ef18: examples/fleet_operations.rs
+
+examples/fleet_operations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fleet_operations-e2cd5c682fd0f245.d: examples/fleet_operations.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfleet_operations-e2cd5c682fd0f245.rmeta: examples/fleet_operations.rs Cargo.toml
+
+examples/fleet_operations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ota_update-01c89e3700ef84dd.d: examples/ota_update.rs Cargo.toml
+
+/root/repo/target/debug/examples/libota_update-01c89e3700ef84dd.rmeta: examples/ota_update.rs Cargo.toml
+
+examples/ota_update.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ota_update-0bec478c16a3829c.d: examples/ota_update.rs
+
+/root/repo/target/debug/examples/ota_update-0bec478c16a3829c: examples/ota_update.rs
+
+examples/ota_update.rs:

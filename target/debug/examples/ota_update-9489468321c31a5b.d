@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ota_update-9489468321c31a5b.d: examples/ota_update.rs
+
+/root/repo/target/debug/examples/ota_update-9489468321c31a5b: examples/ota_update.rs
+
+examples/ota_update.rs:

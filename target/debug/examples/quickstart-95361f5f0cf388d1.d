@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-95361f5f0cf388d1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-95361f5f0cf388d1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e38ecd338493c659.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e38ecd338493c659: examples/quickstart.rs
+
+examples/quickstart.rs:

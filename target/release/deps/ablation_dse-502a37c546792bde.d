@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_dse-502a37c546792bde.d: crates/bench/src/bin/ablation_dse.rs
+
+/root/repo/target/release/deps/ablation_dse-502a37c546792bde: crates/bench/src/bin/ablation_dse.rs
+
+crates/bench/src/bin/ablation_dse.rs:

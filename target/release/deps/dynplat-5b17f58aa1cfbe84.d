@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dynplat-5b17f58aa1cfbe84.d: src/lib.rs
+
+/root/repo/target/release/deps/libdynplat-5b17f58aa1cfbe84.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdynplat-5b17f58aa1cfbe84.rmeta: src/lib.rs
+
+src/lib.rs:

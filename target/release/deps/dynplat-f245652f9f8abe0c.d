@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dynplat-f245652f9f8abe0c.d: src/lib.rs
+
+/root/repo/target/release/deps/libdynplat-f245652f9f8abe0c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdynplat-f245652f9f8abe0c.rmeta: src/lib.rs
+
+src/lib.rs:

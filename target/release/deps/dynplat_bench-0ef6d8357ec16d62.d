@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dynplat_bench-0ef6d8357ec16d62.d: crates/bench/src/lib.rs crates/bench/src/chaos.rs
+
+/root/repo/target/release/deps/libdynplat_bench-0ef6d8357ec16d62.rlib: crates/bench/src/lib.rs crates/bench/src/chaos.rs
+
+/root/repo/target/release/deps/libdynplat_bench-0ef6d8357ec16d62.rmeta: crates/bench/src/lib.rs crates/bench/src/chaos.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chaos.rs:

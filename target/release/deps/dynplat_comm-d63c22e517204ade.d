@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dynplat_comm-d63c22e517204ade.d: crates/comm/src/lib.rs crates/comm/src/endpoint.rs crates/comm/src/fabric.rs crates/comm/src/paradigm.rs crates/comm/src/qos.rs crates/comm/src/retry.rs crates/comm/src/sd.rs crates/comm/src/wire.rs
+
+/root/repo/target/release/deps/libdynplat_comm-d63c22e517204ade.rlib: crates/comm/src/lib.rs crates/comm/src/endpoint.rs crates/comm/src/fabric.rs crates/comm/src/paradigm.rs crates/comm/src/qos.rs crates/comm/src/retry.rs crates/comm/src/sd.rs crates/comm/src/wire.rs
+
+/root/repo/target/release/deps/libdynplat_comm-d63c22e517204ade.rmeta: crates/comm/src/lib.rs crates/comm/src/endpoint.rs crates/comm/src/fabric.rs crates/comm/src/paradigm.rs crates/comm/src/qos.rs crates/comm/src/retry.rs crates/comm/src/sd.rs crates/comm/src/wire.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/endpoint.rs:
+crates/comm/src/fabric.rs:
+crates/comm/src/paradigm.rs:
+crates/comm/src/qos.rs:
+crates/comm/src/retry.rs:
+crates/comm/src/sd.rs:
+crates/comm/src/wire.rs:

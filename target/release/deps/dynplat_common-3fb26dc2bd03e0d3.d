@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dynplat_common-3fb26dc2bd03e0d3.d: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/criticality.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/value.rs
+
+/root/repo/target/release/deps/libdynplat_common-3fb26dc2bd03e0d3.rlib: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/criticality.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/value.rs
+
+/root/repo/target/release/deps/libdynplat_common-3fb26dc2bd03e0d3.rmeta: crates/common/src/lib.rs crates/common/src/codec.rs crates/common/src/criticality.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/value.rs
+
+crates/common/src/lib.rs:
+crates/common/src/codec.rs:
+crates/common/src/criticality.rs:
+crates/common/src/ids.rs:
+crates/common/src/rng.rs:
+crates/common/src/time.rs:
+crates/common/src/value.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dynplat_core-75de07a6469fb17a.d: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/campaign.rs crates/core/src/degradation.rs crates/core/src/node.rs crates/core/src/platform.rs crates/core/src/process.rs crates/core/src/redundancy.rs crates/core/src/sync.rs crates/core/src/update.rs
+
+/root/repo/target/release/deps/libdynplat_core-75de07a6469fb17a.rlib: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/campaign.rs crates/core/src/degradation.rs crates/core/src/node.rs crates/core/src/platform.rs crates/core/src/process.rs crates/core/src/redundancy.rs crates/core/src/sync.rs crates/core/src/update.rs
+
+/root/repo/target/release/deps/libdynplat_core-75de07a6469fb17a.rmeta: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/campaign.rs crates/core/src/degradation.rs crates/core/src/node.rs crates/core/src/platform.rs crates/core/src/process.rs crates/core/src/redundancy.rs crates/core/src/sync.rs crates/core/src/update.rs
+
+crates/core/src/lib.rs:
+crates/core/src/app.rs:
+crates/core/src/campaign.rs:
+crates/core/src/degradation.rs:
+crates/core/src/node.rs:
+crates/core/src/platform.rs:
+crates/core/src/process.rs:
+crates/core/src/redundancy.rs:
+crates/core/src/sync.rs:
+crates/core/src/update.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dynplat_dse-9c678b1a4d04a6b1.d: crates/dse/src/lib.rs crates/dse/src/consolidate.rs crates/dse/src/objective.rs crates/dse/src/pareto.rs crates/dse/src/search.rs
+
+/root/repo/target/release/deps/libdynplat_dse-9c678b1a4d04a6b1.rlib: crates/dse/src/lib.rs crates/dse/src/consolidate.rs crates/dse/src/objective.rs crates/dse/src/pareto.rs crates/dse/src/search.rs
+
+/root/repo/target/release/deps/libdynplat_dse-9c678b1a4d04a6b1.rmeta: crates/dse/src/lib.rs crates/dse/src/consolidate.rs crates/dse/src/objective.rs crates/dse/src/pareto.rs crates/dse/src/search.rs
+
+crates/dse/src/lib.rs:
+crates/dse/src/consolidate.rs:
+crates/dse/src/objective.rs:
+crates/dse/src/pareto.rs:
+crates/dse/src/search.rs:

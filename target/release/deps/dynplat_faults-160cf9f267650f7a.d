@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dynplat_faults-160cf9f267650f7a.d: crates/faults/src/lib.rs crates/faults/src/inject.rs crates/faults/src/plan.rs
+
+/root/repo/target/release/deps/libdynplat_faults-160cf9f267650f7a.rlib: crates/faults/src/lib.rs crates/faults/src/inject.rs crates/faults/src/plan.rs
+
+/root/repo/target/release/deps/libdynplat_faults-160cf9f267650f7a.rmeta: crates/faults/src/lib.rs crates/faults/src/inject.rs crates/faults/src/plan.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/inject.rs:
+crates/faults/src/plan.rs:

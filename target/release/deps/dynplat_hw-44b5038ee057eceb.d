@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dynplat_hw-44b5038ee057eceb.d: crates/hw/src/lib.rs crates/hw/src/ecu.rs crates/hw/src/reference.rs crates/hw/src/topology.rs
+
+/root/repo/target/release/deps/libdynplat_hw-44b5038ee057eceb.rlib: crates/hw/src/lib.rs crates/hw/src/ecu.rs crates/hw/src/reference.rs crates/hw/src/topology.rs
+
+/root/repo/target/release/deps/libdynplat_hw-44b5038ee057eceb.rmeta: crates/hw/src/lib.rs crates/hw/src/ecu.rs crates/hw/src/reference.rs crates/hw/src/topology.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/ecu.rs:
+crates/hw/src/reference.rs:
+crates/hw/src/topology.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dynplat_model-3f5f8f048d2b2f9b.d: crates/model/src/lib.rs crates/model/src/dsl.rs crates/model/src/generate.rs crates/model/src/ir.rs crates/model/src/verify.rs
+
+/root/repo/target/release/deps/libdynplat_model-3f5f8f048d2b2f9b.rlib: crates/model/src/lib.rs crates/model/src/dsl.rs crates/model/src/generate.rs crates/model/src/ir.rs crates/model/src/verify.rs
+
+/root/repo/target/release/deps/libdynplat_model-3f5f8f048d2b2f9b.rmeta: crates/model/src/lib.rs crates/model/src/dsl.rs crates/model/src/generate.rs crates/model/src/ir.rs crates/model/src/verify.rs
+
+crates/model/src/lib.rs:
+crates/model/src/dsl.rs:
+crates/model/src/generate.rs:
+crates/model/src/ir.rs:
+crates/model/src/verify.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dynplat_monitor-58b6a566726056f5.d: crates/monitor/src/lib.rs crates/monitor/src/anomaly.rs crates/monitor/src/fault.rs crates/monitor/src/report.rs crates/monitor/src/task.rs
+
+/root/repo/target/release/deps/libdynplat_monitor-58b6a566726056f5.rlib: crates/monitor/src/lib.rs crates/monitor/src/anomaly.rs crates/monitor/src/fault.rs crates/monitor/src/report.rs crates/monitor/src/task.rs
+
+/root/repo/target/release/deps/libdynplat_monitor-58b6a566726056f5.rmeta: crates/monitor/src/lib.rs crates/monitor/src/anomaly.rs crates/monitor/src/fault.rs crates/monitor/src/report.rs crates/monitor/src/task.rs
+
+crates/monitor/src/lib.rs:
+crates/monitor/src/anomaly.rs:
+crates/monitor/src/fault.rs:
+crates/monitor/src/report.rs:
+crates/monitor/src/task.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dynplat_net-f2843f1815d6029d.d: crates/net/src/lib.rs crates/net/src/analysis.rs crates/net/src/can.rs crates/net/src/ethernet.rs crates/net/src/flexray.rs crates/net/src/tsn.rs
+
+/root/repo/target/release/deps/libdynplat_net-f2843f1815d6029d.rlib: crates/net/src/lib.rs crates/net/src/analysis.rs crates/net/src/can.rs crates/net/src/ethernet.rs crates/net/src/flexray.rs crates/net/src/tsn.rs
+
+/root/repo/target/release/deps/libdynplat_net-f2843f1815d6029d.rmeta: crates/net/src/lib.rs crates/net/src/analysis.rs crates/net/src/can.rs crates/net/src/ethernet.rs crates/net/src/flexray.rs crates/net/src/tsn.rs
+
+crates/net/src/lib.rs:
+crates/net/src/analysis.rs:
+crates/net/src/can.rs:
+crates/net/src/ethernet.rs:
+crates/net/src/flexray.rs:
+crates/net/src/tsn.rs:

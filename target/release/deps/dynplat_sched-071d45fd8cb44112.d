@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dynplat_sched-071d45fd8cb44112.d: crates/sched/src/lib.rs crates/sched/src/admission.rs crates/sched/src/edf.rs crates/sched/src/manage.rs crates/sched/src/rta.rs crates/sched/src/sensitivity.rs crates/sched/src/server.rs crates/sched/src/simulate.rs crates/sched/src/task.rs crates/sched/src/tt.rs
+
+/root/repo/target/release/deps/libdynplat_sched-071d45fd8cb44112.rlib: crates/sched/src/lib.rs crates/sched/src/admission.rs crates/sched/src/edf.rs crates/sched/src/manage.rs crates/sched/src/rta.rs crates/sched/src/sensitivity.rs crates/sched/src/server.rs crates/sched/src/simulate.rs crates/sched/src/task.rs crates/sched/src/tt.rs
+
+/root/repo/target/release/deps/libdynplat_sched-071d45fd8cb44112.rmeta: crates/sched/src/lib.rs crates/sched/src/admission.rs crates/sched/src/edf.rs crates/sched/src/manage.rs crates/sched/src/rta.rs crates/sched/src/sensitivity.rs crates/sched/src/server.rs crates/sched/src/simulate.rs crates/sched/src/task.rs crates/sched/src/tt.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/admission.rs:
+crates/sched/src/edf.rs:
+crates/sched/src/manage.rs:
+crates/sched/src/rta.rs:
+crates/sched/src/sensitivity.rs:
+crates/sched/src/server.rs:
+crates/sched/src/simulate.rs:
+crates/sched/src/task.rs:
+crates/sched/src/tt.rs:

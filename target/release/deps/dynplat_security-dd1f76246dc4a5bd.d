@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dynplat_security-dd1f76246dc4a5bd.d: crates/security/src/lib.rs crates/security/src/authn.rs crates/security/src/authz.rs crates/security/src/master.rs crates/security/src/package.rs crates/security/src/sha256.rs crates/security/src/sign.rs
+
+/root/repo/target/release/deps/libdynplat_security-dd1f76246dc4a5bd.rlib: crates/security/src/lib.rs crates/security/src/authn.rs crates/security/src/authz.rs crates/security/src/master.rs crates/security/src/package.rs crates/security/src/sha256.rs crates/security/src/sign.rs
+
+/root/repo/target/release/deps/libdynplat_security-dd1f76246dc4a5bd.rmeta: crates/security/src/lib.rs crates/security/src/authn.rs crates/security/src/authz.rs crates/security/src/master.rs crates/security/src/package.rs crates/security/src/sha256.rs crates/security/src/sign.rs
+
+crates/security/src/lib.rs:
+crates/security/src/authn.rs:
+crates/security/src/authz.rs:
+crates/security/src/master.rs:
+crates/security/src/package.rs:
+crates/security/src/sha256.rs:
+crates/security/src/sign.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dynplat_sim-7d3a1281eb20d313.d: crates/sim/src/lib.rs crates/sim/src/jitter.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libdynplat_sim-7d3a1281eb20d313.rlib: crates/sim/src/lib.rs crates/sim/src/jitter.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libdynplat_sim-7d3a1281eb20d313.rmeta: crates/sim/src/lib.rs crates/sim/src/jitter.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/jitter.rs:
+crates/sim/src/trace.rs:

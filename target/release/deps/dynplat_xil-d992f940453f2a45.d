@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dynplat_xil-d992f940453f2a45.d: crates/xil/src/lib.rs crates/xil/src/control.rs crates/xil/src/harness.rs crates/xil/src/level.rs
+
+/root/repo/target/release/deps/libdynplat_xil-d992f940453f2a45.rlib: crates/xil/src/lib.rs crates/xil/src/control.rs crates/xil/src/harness.rs crates/xil/src/level.rs
+
+/root/repo/target/release/deps/libdynplat_xil-d992f940453f2a45.rmeta: crates/xil/src/lib.rs crates/xil/src/control.rs crates/xil/src/harness.rs crates/xil/src/level.rs
+
+crates/xil/src/lib.rs:
+crates/xil/src/control.rs:
+crates/xil/src/harness.rs:
+crates/xil/src/level.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e10_dse_admission-2a3651748ae33a82.d: crates/bench/src/bin/e10_dse_admission.rs
+
+/root/repo/target/release/deps/e10_dse_admission-2a3651748ae33a82: crates/bench/src/bin/e10_dse_admission.rs
+
+crates/bench/src/bin/e10_dse_admission.rs:

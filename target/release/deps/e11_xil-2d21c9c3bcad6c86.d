@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e11_xil-2d21c9c3bcad6c86.d: crates/bench/src/bin/e11_xil.rs
+
+/root/repo/target/release/deps/e11_xil-2d21c9c3bcad6c86: crates/bench/src/bin/e11_xil.rs
+
+crates/bench/src/bin/e11_xil.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e12_chaos-ee67d020accb4c5a.d: crates/bench/src/bin/e12_chaos.rs
+
+/root/repo/target/release/deps/e12_chaos-ee67d020accb4c5a: crates/bench/src/bin/e12_chaos.rs
+
+crates/bench/src/bin/e12_chaos.rs:

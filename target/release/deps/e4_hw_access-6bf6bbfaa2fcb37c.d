@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e4_hw_access-6bf6bbfaa2fcb37c.d: crates/bench/src/bin/e4_hw_access.rs
+
+/root/repo/target/release/deps/e4_hw_access-6bf6bbfaa2fcb37c: crates/bench/src/bin/e4_hw_access.rs
+
+crates/bench/src/bin/e4_hw_access.rs:

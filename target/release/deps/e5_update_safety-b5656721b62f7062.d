@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e5_update_safety-b5656721b62f7062.d: crates/bench/src/bin/e5_update_safety.rs
+
+/root/repo/target/release/deps/e5_update_safety-b5656721b62f7062: crates/bench/src/bin/e5_update_safety.rs
+
+crates/bench/src/bin/e5_update_safety.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e6_failover-ebe44a5098943aa3.d: crates/bench/src/bin/e6_failover.rs
+
+/root/repo/target/release/deps/e6_failover-ebe44a5098943aa3: crates/bench/src/bin/e6_failover.rs
+
+crates/bench/src/bin/e6_failover.rs:

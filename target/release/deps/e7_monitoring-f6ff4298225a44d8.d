@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e7_monitoring-f6ff4298225a44d8.d: crates/bench/src/bin/e7_monitoring.rs
+
+/root/repo/target/release/deps/e7_monitoring-f6ff4298225a44d8: crates/bench/src/bin/e7_monitoring.rs
+
+crates/bench/src/bin/e7_monitoring.rs:

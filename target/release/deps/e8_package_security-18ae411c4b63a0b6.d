@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e8_package_security-18ae411c4b63a0b6.d: crates/bench/src/bin/e8_package_security.rs
+
+/root/repo/target/release/deps/e8_package_security-18ae411c4b63a0b6: crates/bench/src/bin/e8_package_security.rs
+
+crates/bench/src/bin/e8_package_security.rs:

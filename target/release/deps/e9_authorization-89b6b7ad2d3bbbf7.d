@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e9_authorization-89b6b7ad2d3bbbf7.d: crates/bench/src/bin/e9_authorization.rs
+
+/root/repo/target/release/deps/e9_authorization-89b6b7ad2d3bbbf7: crates/bench/src/bin/e9_authorization.rs
+
+crates/bench/src/bin/e9_authorization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_consolidation-b87065fcbb93cb20.d: crates/bench/src/bin/fig1_consolidation.rs
+
+/root/repo/target/release/deps/fig1_consolidation-b87065fcbb93cb20: crates/bench/src/bin/fig1_consolidation.rs
+
+crates/bench/src/bin/fig1_consolidation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_interference-fce21bf71b4efc6c.d: crates/bench/src/bin/fig2_interference.rs
+
+/root/repo/target/release/deps/fig2_interference-fce21bf71b4efc6c: crates/bench/src/bin/fig2_interference.rs
+
+crates/bench/src/bin/fig2_interference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_paradigms-ddebbf60d33b3f17.d: crates/bench/src/bin/fig3_paradigms.rs
+
+/root/repo/target/release/deps/fig3_paradigms-ddebbf60d33b3f17: crates/bench/src/bin/fig3_paradigms.rs
+
+crates/bench/src/bin/fig3_paradigms.rs:
