@@ -1,0 +1,354 @@
+//! Observability-driven performance benchmark and regression gate.
+//!
+//! Drives the instrumented hot paths — comm publish/deliver (Event, RPC,
+//! Stream) and the scheduler dispatch loop — with wall-clock-calibrated
+//! workloads, then emits the global metrics registry as a machine-readable
+//! `BENCH_*.json` snapshot (schema `dynplat.bench.v1`) plus a
+//! Prometheus-style exposition on stdout.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench [--out PATH] [--check BASELINE] [--quick]
+//! ```
+//!
+//! With `--check`, throughput gauges are compared against the baseline
+//! snapshot; a drop of more than 30% on any gated gauge prints the delta
+//! and exits non-zero. This is the CI perf smoke gate.
+
+use dynplat_bench::Table;
+use dynplat_comm::fabric::Fabric;
+use dynplat_comm::paradigm::{run_rpc, run_stream, EventBus, Publication, RpcCall, StreamSpec};
+use dynplat_comm::sd::{SdEntry, ServiceDirectory};
+use dynplat_common::ids::ServiceInstance;
+use dynplat_common::time::{SimDuration, SimTime};
+use dynplat_common::{AppId, BusId, EcuId, EventGroupId, ServiceId, TaskId};
+use dynplat_hw::ecu::{EcuClass, EcuSpec};
+use dynplat_hw::topology::{BusKind, BusSpec, HwTopology};
+use dynplat_net::TrafficClass;
+use dynplat_obs::MetricsSnapshot;
+use dynplat_sched::simulate::{simulate_schedule, Policy, SchedSimConfig};
+use dynplat_sched::task::{TaskSet, TaskSpec};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Gauges gated by `--check`: current must stay above
+/// `PERF_GATE_RATIO x baseline`.
+const GATED_GAUGES: [&str; 3] = [
+    "bench.comm.publish_ops_per_sec",
+    "bench.comm.deliver_ops_per_sec",
+    "bench.sched.dispatch_ops_per_sec",
+];
+
+/// A gated gauge may drop to 70% of the baseline before the gate trips.
+const PERF_GATE_RATIO: f64 = 0.70;
+
+struct Args {
+    out: Option<String>,
+    check: Option<String>,
+    quick: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: None,
+        check: None,
+        quick: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
+            "--check" => args.check = Some(it.next().ok_or("--check needs a path")?),
+            "--quick" => args.quick = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn four_ecu_ethernet() -> HwTopology {
+    HwTopology::from_parts(
+        [
+            EcuSpec::of_class(EcuId(0), "a", EcuClass::Domain),
+            EcuSpec::of_class(EcuId(1), "b", EcuClass::Domain),
+            EcuSpec::of_class(EcuId(2), "c", EcuClass::Domain),
+            EcuSpec::of_class(EcuId(3), "d", EcuClass::Domain),
+        ],
+        [BusSpec::new(
+            BusId(0),
+            "eth",
+            BusKind::ethernet_100m(),
+            [EcuId(0), EcuId(1), EcuId(2), EcuId(3)],
+        )],
+    )
+    .expect("valid topology")
+}
+
+/// Event paradigm: repeated publish batches fanning out to three
+/// subscribers, until `budget` wall-clock elapses. Returns
+/// `(publications, deliveries, elapsed)`.
+fn run_event_phase(budget: std::time::Duration) -> (u64, u64, std::time::Duration) {
+    let topo = four_ecu_ethernet();
+    let instance = ServiceInstance::new(ServiceId(1), 1);
+    let group = EventGroupId(1);
+    let ttl = SimDuration::from_secs(3600);
+    let mut directory = ServiceDirectory::new();
+    directory.apply(
+        SimTime::ZERO,
+        &SdEntry::Offer {
+            instance,
+            host: EcuId(0),
+            version: 1,
+            ttl,
+        },
+    );
+    for sub in 1..=3u16 {
+        directory.apply(
+            SimTime::ZERO,
+            &SdEntry::Subscribe {
+                instance,
+                group,
+                subscriber: AppId(u32::from(sub)),
+                host: EcuId(sub),
+                ttl,
+            },
+        );
+    }
+    let publications: Vec<Publication> = (0..100u64)
+        .map(|k| Publication {
+            time: SimTime::from_micros(k * 500),
+            instance,
+            group,
+            src: EcuId(0),
+            payload: 256,
+            class: TrafficClass::Critical,
+            priority: 1,
+        })
+        .collect();
+    let (mut published, mut delivered) = (0u64, 0u64);
+    let start = Instant::now();
+    while start.elapsed() < budget {
+        let mut fabric = Fabric::new(topo.clone());
+        let mut bus = EventBus::new(&mut fabric, &directory);
+        let deliveries = bus.publish_all(&publications);
+        published += publications.len() as u64;
+        delivered += deliveries.len() as u64;
+    }
+    (published, delivered, start.elapsed())
+}
+
+/// Message paradigm: RPC round-trip batches. Returns
+/// `(calls, completed, elapsed)`.
+fn run_rpc_phase(budget: std::time::Duration) -> (u64, u64, std::time::Duration) {
+    let topo = four_ecu_ethernet();
+    let calls: Vec<RpcCall> = (0..50u64)
+        .map(|k| RpcCall {
+            time: SimTime::from_micros(k * 1000),
+            client: EcuId(0),
+            server: EcuId(1),
+            request_payload: 64,
+            response_payload: 256,
+            processing: SimDuration::from_micros(100),
+            class: TrafficClass::Critical,
+            priority: 1,
+        })
+        .collect();
+    let (mut issued, mut completed) = (0u64, 0u64);
+    let start = Instant::now();
+    while start.elapsed() < budget {
+        let mut fabric = Fabric::new(topo.clone());
+        let stats = run_rpc(&mut fabric, &calls);
+        issued += calls.len() as u64;
+        completed += stats.len() as u64;
+    }
+    (issued, completed, start.elapsed())
+}
+
+/// Stream paradigm: frame batches. Returns `(sent, delivered, elapsed)`.
+fn run_stream_phase(budget: std::time::Duration) -> (u64, u64, std::time::Duration) {
+    let topo = four_ecu_ethernet();
+    let spec = StreamSpec {
+        start: SimTime::ZERO,
+        frames: 100,
+        interval: SimDuration::from_millis(5),
+        frame_payload: 4096,
+        src: EcuId(0),
+        dst: EcuId(1),
+        class: TrafficClass::Stream,
+        priority: 4,
+    };
+    let (mut sent, mut delivered) = (0u64, 0u64);
+    let start = Instant::now();
+    while start.elapsed() < budget {
+        let mut fabric = Fabric::new(topo.clone());
+        let stats = run_stream(&mut fabric, &spec);
+        sent += stats.sent as u64;
+        delivered += stats.delivered as u64;
+    }
+    (sent, delivered, start.elapsed())
+}
+
+/// Scheduler dispatch: preemptive fixed-priority simulation over a
+/// 20-task set. Returns `(completions, elapsed)`.
+fn run_sched_phase(budget: std::time::Duration) -> (u64, std::time::Duration) {
+    let set: TaskSet = (0..20u32)
+        .map(|i| {
+            TaskSpec::periodic(
+                TaskId(i),
+                format!("t{i}"),
+                SimDuration::from_millis(5 * (u64::from(i % 6) + 1)),
+                SimDuration::from_micros(200),
+            )
+            .with_priority(i)
+        })
+        .collect();
+    let cfg = SchedSimConfig {
+        horizon: SimDuration::from_secs(1),
+        ..Default::default()
+    };
+    let mut completions = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < budget {
+        let stats = simulate_schedule(&set, &Policy::FixedPriorityPreemptive, &cfg);
+        completions += stats.tasks.iter().map(|t| t.completions).sum::<u64>();
+    }
+    (completions, start.elapsed())
+}
+
+fn ops_per_sec(ops: u64, elapsed: std::time::Duration) -> i64 {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        return 0;
+    }
+    (ops as f64 / secs) as i64
+}
+
+/// Compares gated gauges against a baseline snapshot. Returns the list of
+/// regressions as `(name, baseline, current, ratio)`.
+fn gate(
+    current: &MetricsSnapshot,
+    baseline: &MetricsSnapshot,
+) -> Vec<(&'static str, i64, i64, f64)> {
+    let mut regressions = Vec::new();
+    for name in GATED_GAUGES {
+        let Some(&base) = baseline.gauges.get(name) else {
+            continue; // gauge absent from baseline: nothing to gate on
+        };
+        if base <= 0 {
+            continue;
+        }
+        let cur = current.gauges.get(name).copied().unwrap_or(0);
+        let ratio = cur as f64 / base as f64;
+        if ratio < PERF_GATE_RATIO {
+            regressions.push((name, base, cur, ratio));
+        }
+    }
+    regressions
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench: {e}");
+            eprintln!("usage: bench [--out PATH] [--check BASELINE] [--quick]");
+            return ExitCode::from(2);
+        }
+    };
+    let budget = if args.quick {
+        std::time::Duration::from_millis(50)
+    } else {
+        std::time::Duration::from_millis(400)
+    };
+
+    let registry = dynplat_obs::global();
+    registry.reset();
+
+    let (published, event_delivered, event_elapsed) = run_event_phase(budget);
+    let (rpc_calls, rpc_completed, rpc_elapsed) = run_rpc_phase(budget);
+    let (frames_sent, frames_delivered, stream_elapsed) = run_stream_phase(budget);
+    let (dispatch_completions, sched_elapsed) = run_sched_phase(budget);
+
+    let publish_ops = published + rpc_calls + frames_sent;
+    let deliver_ops = event_delivered + rpc_completed + frames_delivered;
+    let comm_elapsed = event_elapsed + rpc_elapsed + stream_elapsed;
+    registry
+        .gauge("bench.comm.publish_ops_per_sec")
+        .set(ops_per_sec(publish_ops, comm_elapsed));
+    registry
+        .gauge("bench.comm.deliver_ops_per_sec")
+        .set(ops_per_sec(deliver_ops, comm_elapsed));
+    registry
+        .gauge("bench.sched.dispatch_ops_per_sec")
+        .set(ops_per_sec(dispatch_completions, sched_elapsed));
+
+    let snapshot = registry.snapshot();
+
+    let table = Table::new(
+        "BENCH — instrumented hot paths (latencies ns)",
+        &["histogram", "count", "p50", "p95", "p99", "max"],
+    );
+    for name in [
+        "comm.event.latency_ns",
+        "comm.rpc.round_trip_ns",
+        "comm.stream.latency_ns",
+        "comm.fabric.latency_ns",
+        "sched.dispatch.response_ns",
+        "sched.dispatch.slack_ns",
+    ] {
+        if let Some(h) = snapshot.histograms.get(name) {
+            table.row(&[
+                name.to_owned(),
+                h.count.to_string(),
+                h.p50.to_string(),
+                h.p95.to_string(),
+                h.p99.to_string(),
+                h.max.to_string(),
+            ]);
+        }
+    }
+    println!();
+    println!("{}", snapshot.to_prometheus());
+
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, snapshot.to_json()) {
+            eprintln!("bench: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("bench: wrote snapshot to {path}");
+    }
+
+    if let Some(path) = &args.check {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench: cannot read baseline {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match MetricsSnapshot::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench: baseline {path} is invalid: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let regressions = gate(&snapshot, &baseline);
+        if !regressions.is_empty() {
+            eprintln!(
+                "bench: PERF REGRESSION (threshold {:.0}% of baseline):",
+                PERF_GATE_RATIO * 100.0
+            );
+            for (name, base, cur, ratio) in &regressions {
+                eprintln!(
+                    "  {name}: baseline {base} -> current {cur} ({:.1}% of baseline)",
+                    ratio * 100.0
+                );
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench: perf gate passed against {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -202,6 +202,11 @@ impl Fabric {
     where
         F: FnMut(&MessageDelivery) -> Vec<MessageSend>,
     {
+        let obs_sends = dynplat_obs::counter!("comm.fabric.sends");
+        let obs_drops = dynplat_obs::counter!("comm.fabric.dropped_unreachable");
+        let obs_deliveries = dynplat_obs::counter!("comm.fabric.deliveries");
+        let obs_latency = dynplat_obs::histogram!("comm.fabric.latency_ns");
+        obs_sends.add(sends.len() as u64);
         let mut heap: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
         let mut payloads: BTreeMap<u64, Event> = BTreeMap::new();
         let mut seq = 0u64;
@@ -232,6 +237,7 @@ impl Fabric {
             match ev {
                 Event::Inject(send) => {
                     let Ok(route) = self.topology.route(send.src, send.dst) else {
+                        obs_drops.inc();
                         continue; // unreachable: drop
                     };
                     if route.is_local() {
@@ -241,8 +247,11 @@ impl Fabric {
                             delivered: now + self.local_delay,
                             hops: 0,
                         };
+                        obs_deliveries.inc();
+                        obs_latency.record(delivery.latency().as_nanos());
                         for extra in on_delivery(&delivery) {
                             let t = extra.time.max(now);
+                            obs_sends.inc();
                             push(&mut heap, &mut payloads, &mut seq, t, Event::Inject(extra));
                         }
                         deliveries.push(delivery);
@@ -341,8 +350,11 @@ impl Fabric {
                             delivered: now,
                             hops: state.route.len(),
                         };
+                        obs_deliveries.inc();
+                        obs_latency.record(delivery.latency().as_nanos());
                         for extra in on_delivery(&delivery) {
                             let t = extra.time.max(now);
+                            obs_sends.inc();
                             push(&mut heap, &mut payloads, &mut seq, t, Event::Inject(extra));
                         }
                         deliveries.push(delivery);

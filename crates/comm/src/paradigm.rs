@@ -61,6 +61,7 @@ impl<'a> EventBus<'a> {
         &mut self,
         publications: &[Publication],
     ) -> Vec<(usize, EcuId, MessageDelivery)> {
+        dynplat_obs::counter!("comm.event.publications").add(publications.len() as u64);
         let mut sends = Vec::new();
         let mut meta: BTreeMap<u64, (usize, EcuId)> = BTreeMap::new();
         let mut next_id = 0u64;
@@ -80,10 +81,17 @@ impl<'a> EventBus<'a> {
                 });
             }
         }
+        dynplat_obs::counter!("comm.event.fanout_sends").add(sends.len() as u64);
         let deliveries = self.fabric.run(sends, |_| vec![]);
+        let obs_delivered = dynplat_obs::counter!("comm.event.delivered");
+        let obs_latency = dynplat_obs::histogram!("comm.event.latency_ns");
         deliveries
             .into_iter()
             .filter_map(|d| meta.get(&d.id).map(|&(idx, host)| (idx, host, d)))
+            .inspect(|(_, _, d)| {
+                obs_delivered.inc();
+                obs_latency.record(d.latency().as_nanos());
+            })
             .collect()
     }
 }
@@ -125,6 +133,7 @@ pub struct RpcStats {
 /// Runs a batch of RPC calls over the fabric (request delivery triggers the
 /// response injection) and reports round-trip statistics.
 pub fn run_rpc(fabric: &mut Fabric, calls: &[RpcCall]) -> Vec<RpcStats> {
+    dynplat_obs::counter!("comm.rpc.calls").add(calls.len() as u64);
     // ids: request = 2k, response = 2k+1.
     let sends: Vec<MessageSend> = calls
         .iter()
@@ -158,6 +167,8 @@ pub fn run_rpc(fabric: &mut Fabric, calls: &[RpcCall]) -> Vec<RpcStats> {
         }
     });
     let by_id: BTreeMap<u64, &MessageDelivery> = deliveries.iter().map(|d| (d.id, d)).collect();
+    let obs_completed = dynplat_obs::counter!("comm.rpc.completed");
+    let obs_rtt = dynplat_obs::histogram!("comm.rpc.round_trip_ns");
     calls
         .iter()
         .enumerate()
@@ -170,6 +181,10 @@ pub fn run_rpc(fabric: &mut Fabric, calls: &[RpcCall]) -> Vec<RpcStats> {
                 request_latency: req.latency(),
                 response_latency: resp.latency(),
             })
+        })
+        .inspect(|s| {
+            obs_completed.inc();
+            obs_rtt.record(s.round_trip.as_nanos());
         })
         .collect()
 }
@@ -225,7 +240,10 @@ pub fn run_stream(fabric: &mut Fabric, spec: &StreamSpec) -> StreamStats {
             priority: spec.priority,
         })
         .collect();
+    dynplat_obs::counter!("comm.stream.frames_sent").add(spec.frames as u64);
     let deliveries = fabric.run(sends, |_| vec![]);
+    let obs_delivered = dynplat_obs::counter!("comm.stream.frames_delivered");
+    let obs_latency = dynplat_obs::histogram!("comm.stream.latency_ns");
     let mut arrival: BTreeMap<u64, &MessageDelivery> =
         deliveries.iter().map(|d| (d.id, d)).collect();
     let mut lat_min = SimDuration::MAX;
@@ -240,6 +258,8 @@ pub fn run_stream(fabric: &mut Fabric, spec: &StreamSpec) -> StreamStats {
         };
         delivered += 1;
         let lat = d.latency();
+        obs_delivered.inc();
+        obs_latency.record(lat.as_nanos());
         lat_min = lat_min.min(lat);
         lat_max = lat_max.max(lat);
         lat_sum += lat;

@@ -120,6 +120,7 @@ impl DegradationManager {
             self.level = target;
             self.below_floor_since = None;
             self.transitions.push((now, target));
+            observe_transition(target);
             return Some(target);
         }
         if self.level == DegradationLevel::Full {
@@ -135,6 +136,7 @@ impl DegradationManager {
                 self.level = next;
                 self.below_floor_since = Some(now);
                 self.transitions.push((now, next));
+                observe_transition(next);
                 return Some(next);
             }
         } else {
@@ -184,6 +186,24 @@ impl Default for DegradationManager {
     fn default() -> Self {
         DegradationManager::new(DegradationConfig::default())
     }
+}
+
+/// Emits one ladder transition into the observability registry: a
+/// transition counter (total plus per direction) and a level gauge
+/// (0 = Full, 1 = Degraded, 2 = LimpHome).
+fn observe_transition(level: DegradationLevel) {
+    dynplat_obs::counter!("core.degradation.transitions").inc();
+    match level {
+        DegradationLevel::Full => dynplat_obs::counter!("core.degradation.to_full").inc(),
+        DegradationLevel::Degraded => dynplat_obs::counter!("core.degradation.to_degraded").inc(),
+        DegradationLevel::LimpHome => dynplat_obs::counter!("core.degradation.to_limp_home").inc(),
+    }
+    let ordinal = match level {
+        DegradationLevel::Full => 0,
+        DegradationLevel::Degraded => 1,
+        DegradationLevel::LimpHome => 2,
+    };
+    dynplat_obs::gauge!("core.degradation.level").set(ordinal);
 }
 
 #[cfg(test)]

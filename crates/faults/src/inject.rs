@@ -238,6 +238,38 @@ impl FaultInjector {
     }
 
     fn log_injection(&mut self, time: SimTime, kind: InjectedFaultKind, detail: String) {
+        dynplat_obs::counter!("faults.injected_total").inc();
+        match kind {
+            InjectedFaultKind::MessageDrop => {
+                dynplat_obs::counter!("faults.injected.message_drop").inc()
+            }
+            InjectedFaultKind::MessageCorruption => {
+                dynplat_obs::counter!("faults.injected.message_corruption").inc()
+            }
+            InjectedFaultKind::MessageDuplicate => {
+                dynplat_obs::counter!("faults.injected.message_duplicate").inc()
+            }
+            InjectedFaultKind::DelaySpike => {
+                dynplat_obs::counter!("faults.injected.delay_spike").inc()
+            }
+            InjectedFaultKind::PartitionLoss => {
+                dynplat_obs::counter!("faults.injected.partition_loss").inc()
+            }
+            InjectedFaultKind::CrashLoss => {
+                dynplat_obs::counter!("faults.injected.crash_loss").inc()
+            }
+            InjectedFaultKind::HangDelay => {
+                dynplat_obs::counter!("faults.injected.hang_delay").inc()
+            }
+            InjectedFaultKind::BabbleStart => {
+                dynplat_obs::counter!("faults.injected.babble_start").inc()
+            }
+            InjectedFaultKind::EcuCrash => dynplat_obs::counter!("faults.injected.ecu_crash").inc(),
+            InjectedFaultKind::EcuHang => dynplat_obs::counter!("faults.injected.ecu_hang").inc(),
+            InjectedFaultKind::ClockDrift => {
+                dynplat_obs::counter!("faults.injected.clock_drift").inc()
+            }
+        }
         if let Some(monitor_kind) = kind.monitor_kind() {
             self.recorder.record(Fault {
                 time,

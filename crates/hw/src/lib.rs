@@ -11,7 +11,7 @@
 //!   controllers) and tomorrow's consolidated platforms;
 //! * [`topology`] — buses and which ECUs attach to them, with multi-hop
 //!   route discovery across gateway ECUs;
-//! * [`reference`] — the canonical transition-era vehicle network used by
+//! * [`mod@reference`] — the canonical transition-era vehicle network used by
 //!   experiments and examples.
 //!
 //! # Examples

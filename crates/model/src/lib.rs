@@ -15,7 +15,7 @@
 //!   §2.3);
 //! * [`dsl`] — a textual syntax with lexer, recursive-descent parser and
 //!   pretty-printer (parse ∘ print = id, property-tested);
-//! * [`verify`] — the verification engine: reference integrity, interface
+//! * [`mod@verify`] — the verification engine: reference integrity, interface
 //!   ownership, ASIL dependency monotonicity, memory/MMU isolation, CPU
 //!   schedulability per ECU, bus bandwidth, and latency feasibility — over
 //!   one concrete deployment or *all* variant combinations;

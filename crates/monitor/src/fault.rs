@@ -1,9 +1,18 @@
 //! Fault records and the bounded fault recorder.
+//!
+//! Per-kind counting is delegated to a [`MetricsRegistry`] rather than a
+//! private map: by default each recorder counts into its own registry
+//! (hermetic, exact per-instance counts), and
+//! [`FaultRecorder::with_registry`] plugs a recorder into a shared
+//! registry — e.g. [`dynplat_obs::global_arc`] — so fault counters show
+//! up in the same snapshot as every other platform metric.
 
 use dynplat_common::time::SimTime;
 use dynplat_common::TaskId;
+use dynplat_obs::{Counter, MetricsRegistry};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// What went wrong.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -30,6 +39,21 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
+    /// The metric name this kind counts under in an obs registry.
+    pub const fn metric_name(self) -> &'static str {
+        match self {
+            FaultKind::PeriodViolation => "monitor.fault.period_violation",
+            FaultKind::DeadlineMiss => "monitor.fault.deadline_miss",
+            FaultKind::JitterViolation => "monitor.fault.jitter_violation",
+            FaultKind::MemoryOverrun => "monitor.fault.memory_overrun",
+            FaultKind::Silence => "monitor.fault.silence",
+            FaultKind::MessageLoss => "monitor.fault.message_loss",
+            FaultKind::MessageCorruption => "monitor.fault.message_corruption",
+            FaultKind::NodeFailure => "monitor.fault.node_failure",
+            FaultKind::ClockDrift => "monitor.fault.clock_drift",
+        }
+    }
+
     /// Every fault class, in declaration order (stable report layout).
     pub const ALL: [FaultKind; 9] = [
         FaultKind::PeriodViolation,
@@ -74,32 +98,55 @@ pub struct Fault {
 }
 
 /// Bounded in-memory fault store: keeps the most recent `capacity` faults,
-/// counts everything (the recording half of §3.4).
+/// counts everything (the recording half of §3.4). Counting is backed by
+/// an obs [`MetricsRegistry`] — private by default, shareable via
+/// [`FaultRecorder::with_registry`].
 #[derive(Clone, Debug)]
 pub struct FaultRecorder {
     capacity: usize,
     faults: Vec<Fault>,
-    counts: BTreeMap<FaultKind, u64>,
+    registry: Arc<MetricsRegistry>,
+    counters: [Arc<Counter>; FaultKind::ALL.len()],
 }
 
 impl FaultRecorder {
-    /// Creates a recorder retaining up to `capacity` faults.
+    /// Creates a recorder retaining up to `capacity` faults, counting
+    /// into its own private registry.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
+        FaultRecorder::with_registry(capacity, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Creates a recorder that counts into `registry` (one counter per
+    /// [`FaultKind::metric_name`]). Several recorders may share a
+    /// registry; their counts then merge, which is exactly what a
+    /// platform-wide snapshot wants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_registry(capacity: usize, registry: Arc<MetricsRegistry>) -> Self {
         assert!(capacity > 0, "capacity must be non-zero");
+        let counters = FaultKind::ALL.map(|k| registry.counter(k.metric_name()));
         FaultRecorder {
             capacity,
             faults: Vec::new(),
-            counts: BTreeMap::new(),
+            registry,
+            counters,
         }
+    }
+
+    /// The registry this recorder counts into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Records a fault.
     pub fn record(&mut self, fault: Fault) {
-        *self.counts.entry(fault.kind).or_insert(0) += 1;
+        self.counters[fault.kind as usize].inc();
         self.faults.push(fault);
         if self.faults.len() > self.capacity {
             let excess = self.faults.len() - self.capacity;
@@ -114,18 +161,25 @@ impl FaultRecorder {
 
     /// Total number of faults of `kind` ever recorded.
     pub fn count(&self, kind: FaultKind) -> u64 {
-        self.counts.get(&kind).copied().unwrap_or(0)
+        self.counters[kind as usize].get()
     }
 
     /// Total faults ever recorded.
     pub fn total(&self) -> u64 {
-        self.counts.values().sum()
+        self.counters.iter().map(|c| c.get()).sum()
     }
 
     /// Per-kind totals over the recorder's whole lifetime (not just the
     /// retained window) — the counters surfaced by diagnostic reports.
-    pub fn counts(&self) -> &BTreeMap<FaultKind, u64> {
-        &self.counts
+    /// Kinds never recorded are omitted.
+    pub fn counts(&self) -> BTreeMap<FaultKind, u64> {
+        FaultKind::ALL
+            .iter()
+            .filter_map(|&k| {
+                let n = self.count(k);
+                (n > 0).then_some((k, n))
+            })
+            .collect()
     }
 
     /// Drains retained faults for transfer to the backend; counters are

@@ -91,7 +91,7 @@ impl DiagnosticReport {
 
     /// Attaches the recorder's lifetime per-kind counters (builder style).
     pub fn with_fault_counts(mut self, recorder: &FaultRecorder) -> Self {
-        self.fault_counts = recorder.counts().clone();
+        self.fault_counts = recorder.counts();
         self
     }
 

@@ -180,6 +180,7 @@ impl TaskMonitor {
                 self.response_min = self.response_min.min(response);
                 self.response_max = self.response_max.max(response);
                 self.response_sum += response;
+                dynplat_obs::histogram!("monitor.task.response_ns").record(response.as_nanos());
                 if response > self.spec.deadline {
                     recorder.record(Fault {
                         time: completion,

@@ -1,0 +1,116 @@
+//! Observability substrate for the dynamic platform (§3.4).
+//!
+//! The paper makes runtime monitoring of "the key parameters of
+//! deterministic applications, such as period, deadline, jitter, memory
+//! usage" a platform duty, and the ROADMAP's north star — "as fast as the
+//! hardware allows" — is unverifiable without a measurement substrate.
+//! This crate is that substrate, dependency-free by construction:
+//!
+//! * [`metrics`] — a [`MetricsRegistry`] of counters, gauges and
+//!   fixed-bucket histograms keyed by static names. Registration locks
+//!   briefly once per call site; every update afterwards is a single
+//!   relaxed atomic, cheap enough for the fabric's delivery loop;
+//! * [`span`] — structured tracing spans with a deterministic logical
+//!   clock (no wall time ⇒ chaos runs stay hermetic), per-thread
+//!   parent/child nesting and a ring-buffer exporter;
+//! * [`snapshot`] — point-in-time copies of a registry with two encoders:
+//!   Prometheus text exposition and the machine-readable `BENCH_*.json`
+//!   shape the CI perf gate diffs against a checked-in baseline;
+//! * [`json`] — the minimal JSON reader backing snapshot round-trips.
+//!
+//! Instrumented crates (`comm`, `sched`, `core`, `faults`, `monitor`,
+//! `bench`) emit into the process-wide [`global`] registry through the
+//! [`counter!`], [`gauge!`] and [`histogram!`] macros, which cache the
+//! resolved handle in a per-call-site `OnceLock`:
+//!
+//! ```
+//! dynplat_obs::counter!("doc.example.events").inc();
+//! dynplat_obs::histogram!("doc.example.latency_ns").record(1_250);
+//! assert!(dynplat_obs::global().snapshot().counters["doc.example.events"] >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod snapshot;
+pub mod span;
+
+pub use metrics::{bucket_bounds, Counter, Gauge, Histogram, MetricsRegistry, BUCKET_COUNT};
+pub use snapshot::{HistogramSnapshot, MetricsSnapshot, SNAPSHOT_SCHEMA};
+pub use span::{SpanGuard, SpanRecord, Tracer};
+
+use std::sync::{Arc, OnceLock};
+
+static GLOBAL: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
+static GLOBAL_TRACER: OnceLock<Tracer> = OnceLock::new();
+
+/// The process-wide registry every instrumented crate emits into.
+pub fn global() -> &'static MetricsRegistry {
+    global_arc()
+}
+
+/// The process-wide registry as a shareable handle (e.g. to back a
+/// `monitor::FaultRecorder`).
+pub fn global_arc() -> &'static Arc<MetricsRegistry> {
+    GLOBAL.get_or_init(|| Arc::new(MetricsRegistry::new()))
+}
+
+/// The process-wide tracer (ring capacity 4096).
+pub fn tracer() -> &'static Tracer {
+    GLOBAL_TRACER.get_or_init(|| Tracer::new(4096))
+}
+
+/// Resolves a counter in the [`global`] registry, caching the handle in a
+/// per-call-site static.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::global().counter($name))
+    }};
+}
+
+/// Resolves a gauge in the [`global`] registry, caching the handle in a
+/// per-call-site static.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::global().gauge($name))
+    }};
+}
+
+/// Resolves a histogram in the [`global`] registry, caching the handle in
+/// a per-call-site static.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::global().histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn macros_hit_the_global_registry() {
+        counter!("obs.test.counter").add(2);
+        gauge!("obs.test.gauge").set(9);
+        histogram!("obs.test.hist").record(123);
+        let snap = crate::global().snapshot();
+        assert!(snap.counters["obs.test.counter"] >= 2);
+        assert_eq!(snap.gauges["obs.test.gauge"], 9);
+        assert!(snap.histograms["obs.test.hist"].count >= 1);
+    }
+
+    #[test]
+    fn global_tracer_is_usable() {
+        crate::tracer().in_span("obs.test.span", || {});
+        assert!(crate::tracer().total_finished() >= 1);
+    }
+}

@@ -1,0 +1,420 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms.
+//!
+//! Design constraints (§3.4 of the paper applied to a host-side
+//! reproduction): instrumentation must be cheap enough to live in the hot
+//! paths of the fabric and the scheduler simulator, deterministic in its
+//! bucket layout, and dependency-free. Every metric is keyed by a
+//! `&'static str` name; registration takes a short-lived lock once per
+//! call site, after which all updates are single atomic operations on a
+//! shared handle.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A gauge: a signed value that can move in both directions.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds (or, with a negative delta, subtracts).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of fixed histogram buckets: a 1–2–5 series per decade from 1 to
+/// 10^18, plus one overflow bucket.
+pub const BUCKET_COUNT: usize = 3 * 19 + 1;
+
+/// The shared, deterministic bucket upper bounds (inclusive): 1, 2, 5, 10,
+/// 20, 50, … 5·10^18, then overflow. Values are typically nanoseconds, so
+/// the range covers 1 ns to ~158 years with ≤ 2.5× quantile error.
+pub fn bucket_bounds() -> &'static [u64; BUCKET_COUNT - 1] {
+    static BOUNDS: std::sync::OnceLock<[u64; BUCKET_COUNT - 1]> = std::sync::OnceLock::new();
+    BOUNDS.get_or_init(|| {
+        let mut b = [0u64; BUCKET_COUNT - 1];
+        let mut i = 0;
+        let mut decade: u64 = 1;
+        while i < BUCKET_COUNT - 1 {
+            for m in [1u64, 2, 5] {
+                if i < BUCKET_COUNT - 1 {
+                    b[i] = m.saturating_mul(decade);
+                    i += 1;
+                }
+            }
+            decade = decade.saturating_mul(10);
+        }
+        b
+    })
+}
+
+/// A fixed-bucket histogram with exact count/sum/min/max and bucketed
+/// quantiles (p50/p95/p99 within one 1–2–5 bucket of the true value).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let bounds = bucket_bounds();
+        let idx = bounds.partition_point(|&b| b < value); // first bound >= value
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`q` in `[0, 1]`), or 0 when empty. The bound is exact for the
+    /// overflow bucket only in the sense of returning [`Histogram::max`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let bounds = bucket_bounds();
+        let mut acc = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            acc += b.load(Ordering::Relaxed);
+            if acc >= target {
+                return if i < bounds.len() {
+                    bounds[i].min(self.max())
+                } else {
+                    self.max()
+                };
+            }
+        }
+        self.max()
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs; the overflow
+    /// bucket reports `u64::MAX` as its bound.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        let bounds = bucket_bounds();
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bounds.get(i).copied().unwrap_or(u64::MAX), n))
+            })
+            .collect()
+    }
+
+    /// Snapshot of this histogram's aggregate state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            buckets: self.nonzero_buckets(),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<&'static str, Arc<Counter>>,
+    gauges: BTreeMap<&'static str, Arc<Gauge>>,
+    histograms: BTreeMap<&'static str, Arc<Histogram>>,
+}
+
+/// The registry: name → metric handle. Handles are `Arc`s, so the lock is
+/// only held while resolving a name; updates through a resolved handle are
+/// lock-free.
+///
+/// # Examples
+///
+/// ```
+/// use dynplat_obs::MetricsRegistry;
+///
+/// let registry = MetricsRegistry::new();
+/// let sends = registry.counter("comm.fabric.sends");
+/// sends.add(3);
+/// let lat = registry.histogram("comm.fabric.latency_ns");
+/// lat.record(1_500);
+/// let snap = registry.snapshot();
+/// assert_eq!(snap.counters["comm.fabric.sends"], 3);
+/// assert_eq!(snap.histograms["comm.fabric.latency_ns"].count, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: RwLock<Inner>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Resolves (creating on first use) the counter `name`.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        if let Some(c) = self.inner.read().expect("registry lock").counters.get(name) {
+            return Arc::clone(c);
+        }
+        let mut inner = self.inner.write().expect("registry lock");
+        Arc::clone(inner.counters.entry(name).or_default())
+    }
+
+    /// Resolves (creating on first use) the gauge `name`.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        if let Some(g) = self.inner.read().expect("registry lock").gauges.get(name) {
+            return Arc::clone(g);
+        }
+        let mut inner = self.inner.write().expect("registry lock");
+        Arc::clone(inner.gauges.entry(name).or_default())
+    }
+
+    /// Resolves (creating on first use) the histogram `name`.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        if let Some(h) = self
+            .inner
+            .read()
+            .expect("registry lock")
+            .histograms
+            .get(name)
+        {
+            return Arc::clone(h);
+        }
+        let mut inner = self.inner.write().expect("registry lock");
+        Arc::clone(inner.histograms.entry(name).or_default())
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.read().expect("registry lock");
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Zeroes every metric *in place*: handles already resolved by call
+    /// sites stay valid, which is what makes back-to-back hermetic bench
+    /// phases possible.
+    pub fn reset(&self) {
+        let inner = self.inner.read().expect("registry lock");
+        for c in inner.counters.values() {
+            c.reset();
+        }
+        for g in inner.gauges.values() {
+            g.reset();
+        }
+        for h in inner.histograms.values() {
+            h.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let r = MetricsRegistry::new();
+        r.counter("a").inc();
+        r.counter("a").add(4);
+        r.gauge("g").set(-3);
+        r.gauge("g").add(1);
+        assert_eq!(r.counter("a").get(), 5);
+        assert_eq!(r.gauge("g").get(), -2);
+    }
+
+    #[test]
+    fn same_name_same_handle() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        assert_eq!(b.get(), 2);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn bucket_bounds_are_strictly_increasing() {
+        let b = bucket_bounds();
+        for w in b.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+        assert_eq!(b[0], 1);
+        assert_eq!(b[b.len() - 1], 5_000_000_000_000_000_000);
+    }
+
+    #[test]
+    fn histogram_quantiles_land_in_correct_buckets() {
+        let h = Histogram::default();
+        // 100 values: 1..=100. p50 -> 50th value = 50, bucket bound 50.
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.quantile(0.5), 50);
+        assert_eq!(h.quantile(0.95), 100);
+        assert_eq!(h.quantile(0.99), 100);
+        assert_eq!(h.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn histogram_quantile_clamped_to_observed_max() {
+        let h = Histogram::default();
+        h.record(3); // bucket bound 5
+        assert_eq!(h.quantile(0.5), 3, "bound must clamp to observed max");
+        assert_eq!(h.quantile(0.0), 3);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_reports_max() {
+        let h = Histogram::default();
+        let big = 6_000_000_000_000_000_000u64; // beyond the last bound
+        h.record(big);
+        assert_eq!(h.quantile(0.99), big);
+        assert_eq!(h.nonzero_buckets(), vec![(u64::MAX, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn reset_zeroes_in_place() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("c");
+        let h = r.histogram("h");
+        c.add(7);
+        h.record(10);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        // The pre-reset handle still feeds the registry.
+        c.inc();
+        assert_eq!(r.snapshot().counters["c"], 1);
+    }
+}

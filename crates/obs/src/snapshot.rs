@@ -1,0 +1,326 @@
+//! Point-in-time metric snapshots and their encoders.
+//!
+//! Two output shapes, one source of truth:
+//!
+//! * **Prometheus exposition** ([`MetricsSnapshot::to_prometheus`]) for
+//!   humans and scrapers — names are sanitized (`.` → `_`), histograms
+//!   are emitted with cumulative `_bucket{le=…}` rows;
+//! * **`BENCH_*.json`** ([`MetricsSnapshot::to_json`] /
+//!   [`MetricsSnapshot::from_json`]) — the machine-readable benchmark
+//!   artifact CI uploads and the perf gate diffs. The JSON round-trips
+//!   losslessly (see tests), so a checked-in baseline can be compared
+//!   field by field.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::{self, JsonValue};
+
+/// Schema tag stamped into every JSON snapshot.
+pub const SNAPSHOT_SCHEMA: &str = "dynplat.bench.v1";
+
+/// Aggregate state of one histogram at snapshot time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Median (bucket upper bound, clamped to `max`).
+    pub p50: u64,
+    /// 95th percentile (bucket upper bound, clamped to `max`).
+    pub p95: u64,
+    /// 99th percentile (bucket upper bound, clamped to `max`).
+    pub p99: u64,
+    /// Non-empty `(upper_bound, count)` buckets; `u64::MAX` = overflow.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of a whole registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram aggregates by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Replaces every character outside `[a-zA-Z0-9_:]` with `_` (Prometheus
+/// metric-name charset).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl MetricsSnapshot {
+    /// Prometheus text exposition of the snapshot.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n}_total counter");
+            let _ = writeln!(out, "{n}_total {value}");
+        }
+        for (name, value) in &self.gauges {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut acc = 0u64;
+            for (bound, count) in &h.buckets {
+                acc += count;
+                if *bound == u64::MAX {
+                    continue; // folded into +Inf below
+                }
+                let _ = writeln!(out, "{n}_bucket{{le=\"{bound}\"}} {acc}");
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        out
+    }
+
+    /// The `BENCH_*.json` encoding (deterministic key order, 2-space
+    /// indent).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{SNAPSHOT_SCHEMA}\",");
+        out.push_str("  \"counters\": {");
+        let mut first = true;
+        for (name, value) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": {}", json::escape(name), value);
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        let mut first = true;
+        for (name, value) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": {}", json::escape(name), value);
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        let mut first = true;
+        for (name, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
+                json::escape(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50,
+                h.p95,
+                h.p99
+            );
+            for (i, (bound, count)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{bound}, {count}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str(if first { "}\n" } else { "\n  }\n" });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a snapshot back from its JSON encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed element.
+    pub fn from_json(input: &str) -> Result<MetricsSnapshot, String> {
+        let doc = json::parse(input).map_err(|e| e.to_string())?;
+        let obj = doc.as_object().ok_or("snapshot must be a JSON object")?;
+        if let Some(schema) = obj.get("schema") {
+            let s = schema.as_str().ok_or("schema must be a string")?;
+            if s != SNAPSHOT_SCHEMA {
+                return Err(format!("unknown snapshot schema {s:?}"));
+            }
+        }
+        let mut snap = MetricsSnapshot::default();
+        if let Some(counters) = obj.get("counters") {
+            let m = counters.as_object().ok_or("counters must be an object")?;
+            for (k, v) in m {
+                let v = v.as_u64().ok_or_else(|| format!("counter {k} not u64"))?;
+                snap.counters.insert(k.clone(), v);
+            }
+        }
+        if let Some(gauges) = obj.get("gauges") {
+            let m = gauges.as_object().ok_or("gauges must be an object")?;
+            for (k, v) in m {
+                let v = v.as_i64().ok_or_else(|| format!("gauge {k} not i64"))?;
+                snap.gauges.insert(k.clone(), v);
+            }
+        }
+        if let Some(histograms) = obj.get("histograms") {
+            let m = histograms
+                .as_object()
+                .ok_or("histograms must be an object")?;
+            for (k, v) in m {
+                let field = |name: &str| -> Result<u64, String> {
+                    v.get(name)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| format!("histogram {k} missing {name}"))
+                };
+                let mut h = HistogramSnapshot {
+                    count: field("count")?,
+                    sum: field("sum")?,
+                    min: field("min")?,
+                    max: field("max")?,
+                    p50: field("p50")?,
+                    p95: field("p95")?,
+                    p99: field("p99")?,
+                    buckets: Vec::new(),
+                };
+                if let Some(buckets) = v.get("buckets") {
+                    for pair in buckets
+                        .as_array()
+                        .ok_or_else(|| format!("histogram {k} buckets must be an array"))?
+                    {
+                        let pair = pair
+                            .as_array()
+                            .ok_or_else(|| format!("histogram {k} bucket must be a pair"))?;
+                        if pair.len() != 2 {
+                            return Err(format!("histogram {k} bucket must be a pair"));
+                        }
+                        let bound = pair[0]
+                            .as_u64()
+                            .ok_or_else(|| format!("histogram {k} bucket bound not u64"))?;
+                        let count = pair[1]
+                            .as_u64()
+                            .ok_or_else(|| format!("histogram {k} bucket count not u64"))?;
+                        h.buckets.push((bound, count));
+                    }
+                }
+                snap.histograms.insert(k.clone(), h);
+            }
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("comm.fabric.sends".into(), 120);
+        snap.counters.insert("sched.dispatch.jobs".into(), 40);
+        snap.gauges.insert("bench.ops_per_sec".into(), -5);
+        snap.histograms.insert(
+            "comm.fabric.latency_ns".into(),
+            HistogramSnapshot {
+                count: 3,
+                sum: 60,
+                min: 10,
+                max: 30,
+                p50: 20,
+                p95: 30,
+                p99: 30,
+                buckets: vec![(10, 1), (20, 1), (50, 1)],
+            },
+        );
+        snap
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let snap = sample();
+        let encoded = snap.to_json();
+        let decoded = MetricsSnapshot::from_json(&encoded).unwrap();
+        assert_eq!(decoded, snap);
+        // And the re-encoding is byte-identical (deterministic order).
+        assert_eq!(decoded.to_json(), encoded);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = MetricsSnapshot::default();
+        let decoded = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("comm_fabric_sends_total 120"));
+        assert!(text.contains("# TYPE bench_ops_per_sec gauge"));
+        assert!(text.contains("bench_ops_per_sec -5"));
+        // Cumulative buckets.
+        assert!(text.contains("comm_fabric_latency_ns_bucket{le=\"10\"} 1"));
+        assert!(text.contains("comm_fabric_latency_ns_bucket{le=\"20\"} 2"));
+        assert!(text.contains("comm_fabric_latency_ns_bucket{le=\"50\"} 3"));
+        assert!(text.contains("comm_fabric_latency_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("comm_fabric_latency_ns_sum 60"));
+        assert!(text.contains("comm_fabric_latency_ns_count 3"));
+    }
+
+    #[test]
+    fn wrong_schema_rejected() {
+        let bad = r#"{"schema": "other.v9", "counters": {}}"#;
+        assert!(MetricsSnapshot::from_json(bad).is_err());
+    }
+
+    #[test]
+    fn malformed_fields_rejected() {
+        assert!(MetricsSnapshot::from_json(r#"{"counters": {"a": "x"}}"#).is_err());
+        assert!(MetricsSnapshot::from_json(r#"{"histograms": {"h": {"count": 1}}}"#).is_err());
+        assert!(MetricsSnapshot::from_json("[]").is_err());
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(HistogramSnapshot::default().mean(), 0.0);
+        let h = HistogramSnapshot {
+            count: 4,
+            sum: 10,
+            ..Default::default()
+        };
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+    }
+}

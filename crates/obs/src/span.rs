@@ -1,0 +1,318 @@
+//! Structured tracing spans with a deterministic logical clock.
+//!
+//! Wall clocks make traces machine-dependent and chaos runs non-hermetic,
+//! so spans here are stamped with ticks of a per-[`Tracer`] logical clock:
+//! every span enter and exit advances the clock by one. Two runs of the
+//! same deterministic workload produce byte-identical span logs.
+//!
+//! Spans nest per thread: a span opened while another span of the same
+//! tracer is active on the same thread records that span as its parent.
+//! Finished spans land in a fixed-capacity ring buffer so long campaigns
+//! keep the most recent window without unbounded growth.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One finished span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id within the tracer (allocation order).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Static span name.
+    pub name: &'static str,
+    /// Logical tick at entry.
+    pub start: u64,
+    /// Logical tick at exit.
+    pub end: u64,
+}
+
+impl SpanRecord {
+    /// Logical duration in ticks.
+    pub fn ticks(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    capacity: usize,
+    records: Vec<SpanRecord>,
+    next: usize,
+    total: u64,
+}
+
+impl Ring {
+    fn push(&mut self, rec: SpanRecord) {
+        self.total += 1;
+        if self.records.len() < self.capacity {
+            self.records.push(rec);
+        } else {
+            self.records[self.next] = rec;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    fn in_order(&self) -> Vec<SpanRecord> {
+        if self.records.len() < self.capacity {
+            self.records.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.capacity);
+            out.extend_from_slice(&self.records[self.next..]);
+            out.extend_from_slice(&self.records[..self.next]);
+            out
+        }
+    }
+}
+
+static NEXT_TRACER_ID: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread stack of `(tracer id, span id)` pairs across all tracers.
+    static ACTIVE: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A span source with a logical clock and a bounded exporter.
+///
+/// # Examples
+///
+/// ```
+/// use dynplat_obs::Tracer;
+///
+/// let tracer = Tracer::new(16);
+/// {
+///     let _outer = tracer.span("campaign");
+///     let _inner = tracer.span("wave");
+/// } // guards drop: inner first, then outer
+/// let spans = tracer.finished();
+/// assert_eq!(spans.len(), 2);
+/// assert_eq!(spans[0].name, "wave");
+/// assert_eq!(spans[0].parent, Some(spans[1].id));
+/// ```
+#[derive(Debug)]
+pub struct Tracer {
+    id: usize,
+    clock: AtomicU64,
+    next_span: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+impl Tracer {
+    /// Creates a tracer retaining the `capacity` most recent spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be non-zero");
+        Tracer {
+            id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
+            clock: AtomicU64::new(0),
+            next_span: AtomicU64::new(0),
+            ring: Mutex::new(Ring {
+                capacity,
+                records: Vec::new(),
+                next: 0,
+                total: 0,
+            }),
+        }
+    }
+
+    /// Current logical tick.
+    pub fn tick(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// Opens a span; it closes (and is exported) when the guard drops.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        let id = self.next_span.fetch_add(1, Ordering::Relaxed);
+        let start = self.clock.fetch_add(1, Ordering::Relaxed);
+        let parent = ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack
+                .iter()
+                .rev()
+                .find(|(t, _)| *t == self.id)
+                .map(|(_, s)| *s);
+            stack.push((self.id, id));
+            parent
+        });
+        SpanGuard {
+            tracer: self,
+            id,
+            parent,
+            name,
+            start,
+        }
+    }
+
+    /// Runs `f` inside a span.
+    pub fn in_span<T>(&self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let _guard = self.span(name);
+        f()
+    }
+
+    /// The retained spans, oldest first.
+    pub fn finished(&self) -> Vec<SpanRecord> {
+        self.ring.lock().expect("ring lock").in_order()
+    }
+
+    /// Total spans ever finished (including those evicted from the ring).
+    pub fn total_finished(&self) -> u64 {
+        self.ring.lock().expect("ring lock").total
+    }
+
+    /// A plain-text dump of the retained spans, one per line:
+    /// `name id parent start end`.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for r in self.finished() {
+            let parent = r.parent.map_or_else(|| "-".to_owned(), |p| p.to_string());
+            out.push_str(&format!(
+                "{} {} {} {} {}\n",
+                r.name, r.id, parent, r.start, r.end
+            ));
+        }
+        out
+    }
+
+    fn close(&self, guard: &SpanGuard<'_>) {
+        let end = self.clock.fetch_add(1, Ordering::Relaxed);
+        ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Usually the top of the stack; search from the end so
+            // out-of-order guard drops stay correct.
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&(t, s)| t == self.id && s == guard.id)
+            {
+                stack.remove(pos);
+            }
+        });
+        self.ring.lock().expect("ring lock").push(SpanRecord {
+            id: guard.id,
+            parent: guard.parent,
+            name: guard.name,
+            start: guard.start,
+            end,
+        });
+    }
+}
+
+/// RAII guard of an open span.
+#[must_use = "a span closes when its guard drops; an unused guard closes immediately"]
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start: u64,
+}
+
+impl SpanGuard<'_> {
+    /// The span's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.tracer.close(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record_parents() {
+        let t = Tracer::new(8);
+        let outer = t.span("outer");
+        let outer_id = outer.id();
+        {
+            let _inner = t.span("inner");
+        }
+        drop(outer);
+        let spans = t.finished();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[0].parent, Some(outer_id));
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].parent, None);
+        // Logical clock: outer enter=0, inner enter=1, inner exit=2, outer exit=3.
+        assert_eq!(spans[0].start, 1);
+        assert_eq!(spans[0].end, 2);
+        assert_eq!(spans[1].start, 0);
+        assert_eq!(spans[1].end, 3);
+    }
+
+    #[test]
+    fn out_of_order_guard_drop_is_safe() {
+        let t = Tracer::new(8);
+        let a = t.span("a");
+        let b = t.span("b");
+        drop(a); // dropped before its child
+        let c = t.span("c");
+        drop(b);
+        drop(c);
+        let spans = t.finished();
+        assert_eq!(spans.len(), 3);
+        // No panic, and the surviving span b still parents c.
+        let b_rec = spans.iter().find(|s| s.name == "b").unwrap();
+        let c_rec = spans.iter().find(|s| s.name == "c").unwrap();
+        assert_eq!(c_rec.parent, Some(b_rec.id));
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let t = Tracer::new(2);
+        for name in ["s0", "s1", "s2", "s3"] {
+            t.in_span(name, || {});
+        }
+        let spans = t.finished();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "s2");
+        assert_eq!(spans[1].name, "s3");
+        assert_eq!(t.total_finished(), 4);
+    }
+
+    #[test]
+    fn two_tracers_do_not_cross_parent() {
+        let t1 = Tracer::new(4);
+        let t2 = Tracer::new(4);
+        let _a = t1.span("a");
+        let b = t2.span("b");
+        // b's parent must come from t2 (none), not from t1's open span.
+        assert!(b.parent.is_none());
+        drop(b);
+        let spans = t2.finished();
+        assert_eq!(spans[0].parent, None);
+    }
+
+    #[test]
+    fn in_span_returns_value_and_dump_formats() {
+        let t = Tracer::new(4);
+        let v = t.in_span("compute", || 41 + 1);
+        assert_eq!(v, 42);
+        let dump = t.dump();
+        assert!(dump.starts_with("compute 0 - 0 1"), "got {dump:?}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let t = Tracer::new(16);
+            t.in_span("a", || {
+                t.in_span("b", || {});
+                t.in_span("c", || {});
+            });
+            t.dump()
+        };
+        assert_eq!(run(), run());
+    }
+}

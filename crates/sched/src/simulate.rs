@@ -198,6 +198,11 @@ fn generate_jobs(set: &TaskSet, cfg: &SchedSimConfig) -> Vec<Job> {
 }
 
 fn collect_stats(set: &TaskSet, jobs: &[Job], horizon: SimTime) -> SchedStats {
+    let obs_activations = dynplat_obs::counter!("sched.dispatch.activations");
+    let obs_completions = dynplat_obs::counter!("sched.dispatch.completions");
+    let obs_misses = dynplat_obs::counter!("sched.dispatch.deadline_misses");
+    let obs_response = dynplat_obs::histogram!("sched.dispatch.response_ns");
+    let obs_slack = dynplat_obs::histogram!("sched.dispatch.slack_ns");
     let tasks = set
         .tasks()
         .iter()
@@ -214,6 +219,8 @@ fn collect_stats(set: &TaskSet, jobs: &[Job], horizon: SimTime) -> SchedStats {
                     Some(t) => {
                         completions += 1;
                         let resp = t.saturating_since(job.release);
+                        obs_response.record(resp.as_nanos());
+                        obs_slack.record(job.deadline.saturating_since(t).as_nanos());
                         rmin = rmin.min(resp);
                         rmax = rmax.max(resp);
                         rsum += resp;
@@ -228,6 +235,9 @@ fn collect_stats(set: &TaskSet, jobs: &[Job], horizon: SimTime) -> SchedStats {
                     }
                 }
             }
+            obs_activations.add(mine.len() as u64);
+            obs_completions.add(completions);
+            obs_misses.add(misses);
             let mean = if completions > 0 {
                 rsum / completions
             } else {

@@ -6,7 +6,7 @@
 //! public-key cryptography. This crate implements the full stack from
 //! scratch (the offline crate set contains no cryptography):
 //!
-//! * [`sha256`] — FIPS 180-4 SHA-256 and RFC 2104 HMAC-SHA256, verified
+//! * [`mod@sha256`] — FIPS 180-4 SHA-256 and RFC 2104 HMAC-SHA256, verified
 //!   against the standard test vectors;
 //! * [`sign`] — a Schnorr-style signature scheme over a 61-bit prime field.
 //!   **This is a simulation stand-in, not production cryptography**: the

@@ -15,4 +15,14 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> cargo test --doc"
+cargo test -q --doc --workspace
+
+echo "==> perf smoke gate (bench vs BENCH_baseline.json)"
+cargo run --release -p dynplat-bench --bin bench -- \
+  --quick --out BENCH_snapshot.json --check BENCH_baseline.json >/dev/null
+
 echo "==> ci.sh: all green"

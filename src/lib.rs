@@ -25,6 +25,7 @@
 //! | [`faults`] | `dynplat-faults` | seed-driven fault injection & chaos fabric |
 //! | [`model`] | `dynplat-model` | DSLs, verification engine, generators |
 //! | [`security`] | `dynplat-security` | packages, update master, authn/authz |
+//! | [`obs`] | `dynplat-obs` | metrics registry, tracing spans, snapshots |
 //! | [`monitor`] | `dynplat-monitor` | runtime monitoring, fault recording |
 //! | [`core`] | `dynplat-core` | **the dynamic platform** |
 //! | [`dse`] | `dynplat-dse` | design-space exploration |
@@ -80,6 +81,7 @@ pub use dynplat_hw as hw;
 pub use dynplat_model as model;
 pub use dynplat_monitor as monitor;
 pub use dynplat_net as net;
+pub use dynplat_obs as obs;
 pub use dynplat_sched as sched;
 pub use dynplat_security as security;
 pub use dynplat_sim as sim;
