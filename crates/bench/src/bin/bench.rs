@@ -1,8 +1,9 @@
 //! Observability-driven performance benchmark and regression gate.
 //!
 //! Drives the instrumented hot paths — comm publish/deliver (Event, RPC,
-//! Stream) and the scheduler dispatch loop — with wall-clock-calibrated
-//! workloads, then emits the global metrics registry as a machine-readable
+//! Stream), topology route resolution, and the scheduler dispatch loop —
+//! with wall-clock-calibrated workloads, then emits the global metrics
+//! registry as a machine-readable
 //! `BENCH_*.json` snapshot (schema `dynplat.bench.v1`) plus a
 //! Prometheus-style exposition on stdout.
 //!
@@ -34,9 +35,10 @@ use std::time::Instant;
 
 /// Gauges gated by `--check`: current must stay above
 /// `PERF_GATE_RATIO x baseline`.
-const GATED_GAUGES: [&str; 3] = [
+const GATED_GAUGES: [&str; 4] = [
     "bench.comm.publish_ops_per_sec",
     "bench.comm.deliver_ops_per_sec",
+    "bench.hw.route_ops_per_sec",
     "bench.sched.dispatch_ops_per_sec",
 ];
 
@@ -189,6 +191,66 @@ fn run_stream_phase(budget: std::time::Duration) -> (u64, u64, std::time::Durati
     (sent, delivered, start.elapsed())
 }
 
+/// A 24-ECU gateway mesh: six CAN/Ethernet leaf segments bridged onto an
+/// Ethernet backbone — routes of one to three hops.
+fn gateway_mesh() -> HwTopology {
+    let mut topo = HwTopology::new();
+    let mut backbone = Vec::new();
+    for seg in 0..6u16 {
+        let gw = EcuId(seg * 4);
+        backbone.push(gw);
+        let mut leaf = vec![gw];
+        topo.add_ecu(EcuSpec::of_class(gw, format!("gw{seg}"), EcuClass::Domain))
+            .expect("fresh ids");
+        for n in 1..4u16 {
+            let id = EcuId(seg * 4 + n);
+            leaf.push(id);
+            topo.add_ecu(EcuSpec::of_class(
+                id,
+                format!("n{seg}-{n}"),
+                EcuClass::LowEnd,
+            ))
+            .expect("fresh ids");
+        }
+        let kind = if seg % 2 == 0 {
+            BusKind::can_500k()
+        } else {
+            BusKind::ethernet_100m()
+        };
+        topo.add_bus(BusSpec::new(BusId(seg), format!("seg{seg}"), kind, leaf))
+            .expect("fresh bus");
+    }
+    topo.add_bus(BusSpec::new(
+        BusId(100),
+        "backbone",
+        BusKind::ethernet_1g(),
+        backbone,
+    ))
+    .expect("fresh bus");
+    topo
+}
+
+/// Route resolution: all-pairs queries over the gateway mesh through the
+/// dense cache, rebuilt each sweep the way `Fabric::new` would. Returns
+/// `(routes_resolved, elapsed)`.
+fn run_route_phase(budget: std::time::Duration) -> (u64, std::time::Duration) {
+    let topo = gateway_mesh();
+    let ecus: Vec<EcuId> = topo.ecus().map(|e| e.id()).collect();
+    let mut resolved = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < budget {
+        let mut cache = dynplat_hw::RouteCache::new(&topo);
+        for &src in &ecus {
+            for &dst in &ecus {
+                if cache.route_buses(src, dst).is_ok() {
+                    resolved += 1;
+                }
+            }
+        }
+    }
+    (resolved, start.elapsed())
+}
+
 /// Scheduler dispatch: preemptive fixed-priority simulation over a
 /// 20-task set. Returns `(completions, elapsed)`.
 fn run_sched_phase(budget: std::time::Duration) -> (u64, std::time::Duration) {
@@ -268,6 +330,7 @@ fn main() -> ExitCode {
     let (published, event_delivered, event_elapsed) = run_event_phase(budget);
     let (rpc_calls, rpc_completed, rpc_elapsed) = run_rpc_phase(budget);
     let (frames_sent, frames_delivered, stream_elapsed) = run_stream_phase(budget);
+    let (routes_resolved, route_elapsed) = run_route_phase(budget);
     let (dispatch_completions, sched_elapsed) = run_sched_phase(budget);
 
     let publish_ops = published + rpc_calls + frames_sent;
@@ -279,6 +342,9 @@ fn main() -> ExitCode {
     registry
         .gauge("bench.comm.deliver_ops_per_sec")
         .set(ops_per_sec(deliver_ops, comm_elapsed));
+    registry
+        .gauge("bench.hw.route_ops_per_sec")
+        .set(ops_per_sec(routes_resolved, route_elapsed));
     registry
         .gauge("bench.sched.dispatch_ops_per_sec")
         .set(ops_per_sec(dispatch_completions, sched_elapsed));

@@ -12,7 +12,9 @@
 use dynplat_bench::{ms, vehicle_functions, Table};
 use dynplat_common::time::SimDuration;
 use dynplat_common::{EcuId, TaskId};
-use dynplat_dse::search::{greedy_first_fit, random_search, simulated_annealing, DseConfig};
+use dynplat_dse::search::{
+    explore, greedy_first_fit, random_search, simulated_annealing, DseConfig,
+};
 use dynplat_hw::ecu::{EcuClass, EcuSpec};
 use dynplat_hw::topology::{BusKind, BusSpec, HwTopology};
 use dynplat_model::ir::{Deployment, MappingChoice, SystemModel};
@@ -88,6 +90,7 @@ fn main() {
             ("greedy", Box::new(|| greedy_first_fit(&model))),
             ("random", Box::new(|| random_search(&model, &cfg))),
             ("annealing", Box::new(|| simulated_annealing(&model, &cfg))),
+            ("annealing-x4", Box::new(|| explore(&model, &cfg))),
         ];
         for (name, run) in runs {
             let start = Instant::now();

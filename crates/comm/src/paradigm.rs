@@ -20,7 +20,6 @@ use dynplat_common::ids::ServiceInstance;
 use dynplat_common::time::{SimDuration, SimTime};
 use dynplat_common::{EcuId, EventGroupId};
 use dynplat_net::TrafficClass;
-use std::collections::BTreeMap;
 
 /// A single publication request.
 #[derive(Clone, Debug)]
@@ -63,13 +62,13 @@ impl<'a> EventBus<'a> {
     ) -> Vec<(usize, EcuId, MessageDelivery)> {
         dynplat_obs::counter!("comm.event.publications").add(publications.len() as u64);
         let mut sends = Vec::new();
-        let mut meta: BTreeMap<u64, (usize, EcuId)> = BTreeMap::new();
-        let mut next_id = 0u64;
+        // Message ids are dense (0..fanout), so the per-send metadata lives
+        // in a Vec indexed by id instead of a BTreeMap.
+        let mut meta: Vec<(usize, EcuId)> = Vec::new();
         for (idx, p) in publications.iter().enumerate() {
             for sub in self.directory.subscribers(p.time, p.instance, p.group) {
-                let id = next_id;
-                next_id += 1;
-                meta.insert(id, (idx, sub.host));
+                let id = meta.len() as u64;
+                meta.push((idx, sub.host));
                 sends.push(MessageSend {
                     id,
                     time: p.time,
@@ -87,7 +86,7 @@ impl<'a> EventBus<'a> {
         let obs_latency = dynplat_obs::histogram!("comm.event.latency_ns");
         deliveries
             .into_iter()
-            .filter_map(|d| meta.get(&d.id).map(|&(idx, host)| (idx, host, d)))
+            .filter_map(|d| meta.get(d.id as usize).map(|&(idx, host)| (idx, host, d)))
             .inspect(|(_, _, d)| {
                 obs_delivered.inc();
                 obs_latency.record(d.latency().as_nanos());
@@ -166,15 +165,21 @@ pub fn run_rpc(fabric: &mut Fabric, calls: &[RpcCall]) -> Vec<RpcStats> {
             vec![]
         }
     });
-    let by_id: BTreeMap<u64, &MessageDelivery> = deliveries.iter().map(|d| (d.id, d)).collect();
+    // Ids are dense in 0..2*calls: index deliveries by id in a Vec.
+    let mut by_id: Vec<Option<&MessageDelivery>> = vec![None; calls.len() * 2];
+    for d in &deliveries {
+        if let Some(slot) = by_id.get_mut(d.id as usize) {
+            *slot = Some(d);
+        }
+    }
     let obs_completed = dynplat_obs::counter!("comm.rpc.completed");
     let obs_rtt = dynplat_obs::histogram!("comm.rpc.round_trip_ns");
     calls
         .iter()
         .enumerate()
         .filter_map(|(k, _)| {
-            let req = by_id.get(&(2 * k as u64))?;
-            let resp = by_id.get(&(2 * k as u64 + 1))?;
+            let req = by_id[2 * k]?;
+            let resp = by_id[2 * k + 1]?;
             Some(RpcStats {
                 call: k,
                 round_trip: resp.delivered.saturating_since(req.sent),
@@ -244,16 +249,21 @@ pub fn run_stream(fabric: &mut Fabric, spec: &StreamSpec) -> StreamStats {
     let deliveries = fabric.run(sends, |_| vec![]);
     let obs_delivered = dynplat_obs::counter!("comm.stream.frames_delivered");
     let obs_latency = dynplat_obs::histogram!("comm.stream.latency_ns");
-    let mut arrival: BTreeMap<u64, &MessageDelivery> =
-        deliveries.iter().map(|d| (d.id, d)).collect();
+    // Frame ids are dense in 0..frames: index arrivals by id in a Vec.
+    let mut arrival: Vec<Option<&MessageDelivery>> = vec![None; spec.frames];
+    for d in &deliveries {
+        if let Some(slot) = arrival.get_mut(d.id as usize) {
+            *slot = Some(d);
+        }
+    }
     let mut lat_min = SimDuration::MAX;
     let mut lat_max = SimDuration::ZERO;
     let mut lat_sum = SimDuration::ZERO;
     let mut delivered = 0usize;
     let mut decodable_at = SimTime::ZERO;
     let mut max_decodable = SimDuration::ZERO;
-    for n in 0..spec.frames {
-        let Some(d) = arrival.remove(&(n as u64)) else {
+    for slot in &arrival {
+        let Some(d) = slot else {
             break; // dependency chain broken: later frames undecodable
         };
         delivered += 1;

@@ -8,7 +8,7 @@
 //! cost and utilization.
 
 use crate::objective::{evaluate, Assignment, Objectives};
-use crate::search::{simulated_annealing, DseConfig};
+use crate::search::{explore, DseConfig};
 use dynplat_common::{BusId, EcuId};
 use dynplat_hw::ecu::{EcuClass, EcuSpec};
 use dynplat_hw::topology::{BusKind, BusSpec, HwTopology};
@@ -141,7 +141,10 @@ pub fn consolidated_architecture(
         applications: apps.to_vec(),
         deployment,
     };
-    let result = simulated_annealing(&model, cfg);
+    // Multi-chain annealing: `cfg.n_chains` parallel chains, still fully
+    // deterministic for a given seed (chain 1 falls back to the classic
+    // single-chain run).
+    let result = explore(&model, cfg);
     let (assignment, objectives) = result
         .best
         .expect("non-empty app set always yields a candidate");

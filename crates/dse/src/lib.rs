@@ -9,9 +9,10 @@
 //! * [`objective`] — feasibility (via the `dynplat-model` verification
 //!   engine) and the optimization objectives: hardware cost of the ECUs
 //!   actually used, peak CPU utilization, and network load;
-//! * [`search`] — three explorers over the deployment space: greedy
-//!   first-fit-decreasing (baseline), uniform random search, and simulated
-//!   annealing with move-one-app neighborhoods;
+//! * [`search`] — explorers over the deployment space: greedy
+//!   first-fit-decreasing (baseline), uniform random search, simulated
+//!   annealing with move-one-app neighborhoods, and deterministic
+//!   multi-chain parallel annealing ([`explore`]);
 //! * [`pareto`] — a cost/utilization Pareto archive of feasible designs;
 //! * [`consolidate`] — the E1 (Fig. 1) experiment substrate: a federated
 //!   one-function-per-ECU architecture vs. consolidation onto platform
@@ -28,4 +29,6 @@ pub mod search;
 pub use consolidate::{consolidated_architecture, federated_architecture, ArchitectureSummary};
 pub use objective::{evaluate, Assignment, Objectives};
 pub use pareto::ParetoArchive;
-pub use search::{greedy_first_fit, random_search, simulated_annealing, DseConfig, DseResult};
+pub use search::{
+    explore, greedy_first_fit, random_search, simulated_annealing, DseConfig, DseResult,
+};

@@ -2,8 +2,8 @@
 
 use crate::objective::{evaluate, Assignment, Objectives};
 use crate::pareto::ParetoArchive;
-use dynplat_common::rng::seeded_rng;
 use dynplat_common::rng::Rng;
+use dynplat_common::rng::{seeded_rng, split_seed};
 use dynplat_common::{AppId, EcuId};
 use dynplat_model::ir::SystemModel;
 
@@ -24,6 +24,10 @@ pub struct DseConfig {
     /// Restart the chain from a random point after a stagnation window
     /// (ablation knob; on by default).
     pub restarts: bool,
+    /// Independent annealing chains run in parallel by [`explore`]
+    /// (`simulated_annealing` always runs exactly one). Chain 0 uses
+    /// `seed` unchanged; chain `k > 0` uses `split_seed(seed, k)`.
+    pub n_chains: u32,
 }
 
 impl Default for DseConfig {
@@ -35,6 +39,7 @@ impl Default for DseConfig {
             cooling: 0.995,
             greedy_seed: true,
             restarts: true,
+            n_chains: 4,
         }
     }
 }
@@ -209,6 +214,64 @@ pub fn simulated_annealing(model: &SystemModel, cfg: &DseConfig) -> DseResult {
     }
 }
 
+/// Multi-chain simulated annealing: `cfg.n_chains` independent chains run
+/// in parallel on scoped OS threads and their results merge into one
+/// [`DseResult`].
+///
+/// Each chain is a full [`simulated_annealing`] run with its own seed —
+/// chain 0 uses `cfg.seed` unchanged (so `n_chains = 1` reproduces the
+/// single-chain result bit-for-bit), chain `k > 0` uses
+/// `split_seed(cfg.seed, k)`. The merge is deterministic: chains are
+/// joined in index order, archives are folded point-by-point through
+/// [`ParetoArchive::offer`], evaluations are summed, and the overall best
+/// is taken by strict fitness improvement so earlier chains win ties.
+/// Repeated invocations with the same model and config therefore produce
+/// identical results regardless of thread scheduling.
+pub fn explore(model: &SystemModel, cfg: &DseConfig) -> DseResult {
+    let n = cfg.n_chains.max(1);
+    if n == 1 {
+        return simulated_annealing(model, cfg);
+    }
+    let chain_results: Vec<DseResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|k| {
+                let chain_cfg = DseConfig {
+                    seed: if k == 0 {
+                        cfg.seed
+                    } else {
+                        split_seed(cfg.seed, u64::from(k))
+                    },
+                    ..cfg.clone()
+                };
+                scope.spawn(move || simulated_annealing(model, &chain_cfg))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("annealing chain panicked"))
+            .collect()
+    });
+    let mut best: Option<(Assignment, Objectives)> = None;
+    let mut evaluations = 0u64;
+    let mut archive = ParetoArchive::new();
+    for result in chain_results {
+        evaluations += result.evaluations;
+        for p in result.archive.points() {
+            archive.offer(p.assignment.clone(), p.objectives.clone());
+        }
+        if let Some((a, o)) = result.best {
+            if best.as_ref().is_none_or(|(_, b)| o.fitness() < b.fitness()) {
+                best = Some((a, o));
+            }
+        }
+    }
+    DseResult {
+        best,
+        evaluations,
+        archive,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,5 +378,53 @@ system {
         let m = parse_model("system { hardware { } deployment { } }").unwrap();
         let result = simulated_annealing(&m, &DseConfig::default());
         assert!(result.best.is_none());
+    }
+
+    #[test]
+    fn explore_single_chain_reproduces_annealing_bit_for_bit() {
+        let m = model();
+        let cfg = DseConfig {
+            iterations: 300,
+            n_chains: 1,
+            ..Default::default()
+        };
+        let single = simulated_annealing(&m, &cfg);
+        let multi = explore(&m, &cfg);
+        assert_eq!(multi.best, single.best);
+        assert_eq!(multi.evaluations, single.evaluations);
+        assert_eq!(multi.archive.points(), single.archive.points());
+    }
+
+    #[test]
+    fn explore_is_reproducible_across_invocations() {
+        let m = model();
+        let cfg = DseConfig {
+            iterations: 300,
+            n_chains: 3,
+            ..Default::default()
+        };
+        let a = explore(&m, &cfg);
+        let b = explore(&m, &cfg);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.archive.points(), b.archive.points());
+    }
+
+    #[test]
+    fn explore_multi_chain_matches_or_beats_single_chain() {
+        let m = model();
+        let cfg = DseConfig {
+            iterations: 300,
+            n_chains: 4,
+            ..Default::default()
+        };
+        let single = simulated_annealing(&m, &cfg);
+        let multi = explore(&m, &cfg);
+        let (_, s) = single.best.unwrap();
+        let (_, p) = multi.best.unwrap();
+        assert!(p.fitness() <= s.fitness() + 1e-9);
+        // Evaluations sum over chains: each chain spends at least
+        // `iterations` evaluations, so the total reflects all four.
+        assert!(multi.evaluations >= u64::from(cfg.iterations) * 4);
     }
 }

@@ -11,6 +11,8 @@
 //!   controllers) and tomorrow's consolidated platforms;
 //! * [`topology`] — buses and which ECUs attach to them, with multi-hop
 //!   route discovery across gateway ECUs;
+//! * [`routes`] — a dense, lazily filled route cache for hot paths that
+//!   resolve the same pairs repeatedly (the communication fabric);
 //! * [`mod@reference`] — the canonical transition-era vehicle network used by
 //!   experiments and examples.
 //!
@@ -32,8 +34,10 @@
 
 pub mod ecu;
 pub mod reference;
+pub mod routes;
 pub mod topology;
 
 pub use ecu::{CpuSpec, CryptoSupport, EcuClass, EcuSpec, EcuSpecBuilder};
 pub use reference::reference_vehicle;
+pub use routes::RouteCache;
 pub use topology::{BusKind, BusSpec, HwTopology, Route, TopologyError};

@@ -1,0 +1,253 @@
+//! Property-based tests, part 3: fast-path equivalence of the fabric event
+//! engine rewrite.
+//!
+//! * the dense [`RouteCache`] agrees with a fresh `HwTopology::route` BFS
+//!   on every pair of every randomized topology, including unreachable
+//!   pairs, unknown endpoints, and after `set_port` swaps on the fabric;
+//! * the fabric conserves messages under randomized load with callback
+//!   injections: every send is either delivered exactly once or was
+//!   unreachable at injection, and completion order is monotone in
+//!   delivery time.
+//!
+//! Implemented as seeded-random loop tests on `dynplat::common::rng` (no
+//! external property-testing dependency).
+
+use dynplat::comm::fabric::{BusPort, Fabric, MessageSend};
+use dynplat::common::rng::{seeded_rng, split_seed, Rng, SplitMix64};
+use dynplat::common::time::SimTime;
+use dynplat::common::{BusId, EcuId};
+use dynplat::hw::ecu::{EcuClass, EcuSpec};
+use dynplat::hw::routes::RouteCache;
+use dynplat::hw::topology::{BusKind, BusSpec, HwTopology, TopologyError};
+use dynplat::net::TrafficClass;
+
+const SUITE_SEED: u64 = 0x5EED_0003;
+const CASES: u64 = 48;
+
+/// One deterministic RNG per (test, case) pair.
+fn case_rng(test: u64, case: u64) -> SplitMix64 {
+    seeded_rng(split_seed(split_seed(SUITE_SEED, test), case))
+}
+
+/// A random topology: 2..14 ECUs, 1..6 buses of mixed media, each attaching
+/// a random subset of at least two ECUs. Isolated ECUs and disconnected
+/// islands arise naturally, so unreachable pairs are covered.
+fn arb_topology(rng: &mut SplitMix64) -> HwTopology {
+    let n_ecus = rng.gen_range(2u64..15) as u16;
+    let mut topo = HwTopology::new();
+    for i in 0..n_ecus {
+        let class = match i % 3 {
+            0 => EcuClass::LowEnd,
+            1 => EcuClass::Domain,
+            _ => EcuClass::HighPerformance,
+        };
+        topo.add_ecu(EcuSpec::of_class(EcuId(i), format!("e{i}"), class))
+            .expect("fresh ids");
+    }
+    let n_buses = rng.gen_range(1u64..7) as u16;
+    for b in 0..n_buses {
+        let kind = match rng.gen_range(0u64..3) {
+            0 => BusKind::can_500k(),
+            1 => BusKind::ethernet_100m(),
+            _ => BusKind::ethernet_1g(),
+        };
+        let mut attached: Vec<EcuId> = (0..n_ecus)
+            .filter(|_| rng.gen_bool(0.4))
+            .map(EcuId)
+            .collect();
+        while attached.len() < 2 {
+            attached.push(EcuId(rng.gen_range(0..u64::from(n_ecus)) as u16));
+        }
+        topo.add_bus(BusSpec::new(BusId(b), format!("b{b}"), kind, attached))
+            .expect("fresh bus");
+    }
+    topo
+}
+
+// ----------------------------------------------------------- route cache --
+
+#[test]
+fn cached_routes_equal_fresh_bfs_on_random_topologies() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let topo = arb_topology(&mut rng);
+        let mut cache = RouteCache::new(&topo);
+        let n = topo.ecu_count() as u16;
+        // All pairs (including self-pairs), plus unknown endpoints; queried
+        // twice so both the BFS fill and the memoized lookup are checked.
+        let mut endpoints: Vec<EcuId> = (0..n).map(EcuId).collect();
+        endpoints.push(EcuId(n + 7)); // unknown
+        for _ in 0..2 {
+            for &src in &endpoints {
+                for &dst in &endpoints {
+                    let fresh = topo.route(src, dst);
+                    let cached = cache.route(src, dst);
+                    assert_eq!(cached, fresh, "case {case}: pair {src}->{dst}");
+                    match cached {
+                        Ok(ref r) if src == dst => assert!(r.is_local()),
+                        Ok(_) => {}
+                        Err(TopologyError::UnknownEcu(e)) => {
+                            assert!(e == src || e == dst);
+                        }
+                        Err(TopologyError::NoRoute(a, b)) => {
+                            assert_eq!((a, b), (src, dst));
+                        }
+                        Err(other) => panic!("unexpected error {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fabric_routing_matches_bfs_reachability_after_port_swaps() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let topo = arb_topology(&mut rng);
+        let n = topo.ecu_count() as u16;
+        let mut fabric = Fabric::new(topo.clone());
+        for round in 0..2u64 {
+            if round == 1 {
+                // Swap every Ethernet bus to the FIFO baseline port: the
+                // cached routes must keep agreeing with fresh BFS across
+                // port reconfiguration.
+                for bus in topo.buses() {
+                    if matches!(bus.kind, BusKind::Ethernet { .. }) {
+                        fabric.set_port(bus.id, BusPort::fifo_for(bus.kind));
+                    }
+                }
+            }
+            let sends: Vec<MessageSend> = (0..40u64)
+                .map(|i| MessageSend {
+                    id: round * 1000 + i,
+                    time: SimTime::from_micros(rng.gen_range(0..5000)),
+                    src: EcuId(rng.gen_range(0..u64::from(n)) as u16),
+                    dst: EcuId(rng.gen_range(0..u64::from(n)) as u16),
+                    payload: rng.gen_range(1..257) as usize,
+                    class: TrafficClass::BestEffort,
+                    priority: rng.gen_range(0..8) as u32,
+                })
+                .collect();
+            let endpoints: std::collections::BTreeMap<u64, (EcuId, EcuId)> =
+                sends.iter().map(|s| (s.id, (s.src, s.dst))).collect();
+            let mut expect_delivered: Vec<u64> = sends
+                .iter()
+                .filter(|s| topo.route(s.src, s.dst).is_ok())
+                .map(|s| s.id)
+                .collect();
+            let done = fabric.run(sends, |_| vec![]);
+            let mut got: Vec<u64> = done.iter().map(|d| d.id).collect();
+            expect_delivered.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(
+                got, expect_delivered,
+                "case {case} round {round}: delivered set != BFS-reachable set"
+            );
+            // Hop counts agree with the fresh BFS route as well.
+            for d in &done {
+                let (src, dst) = endpoints[&d.id];
+                let fresh = topo.route(src, dst).expect("delivered => reachable");
+                assert_eq!(
+                    d.hops,
+                    fresh.hops(),
+                    "case {case} round {round}: hop count diverges for {src}->{dst}"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------- conservation --
+
+#[test]
+fn fabric_conserves_messages_under_randomized_load() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let topo = arb_topology(&mut rng);
+        let n = topo.ecu_count() as u16;
+        let mut fabric = Fabric::new(topo.clone());
+
+        let n_sends = rng.gen_range(1u64..200);
+        let sends: Vec<MessageSend> = (0..n_sends)
+            .map(|i| MessageSend {
+                id: i,
+                time: SimTime::from_micros(rng.gen_range(0..10_000)),
+                src: EcuId(rng.gen_range(0..u64::from(n)) as u16),
+                dst: EcuId(rng.gen_range(0..u64::from(n)) as u16),
+                payload: rng.gen_range(1..129) as usize,
+                class: TrafficClass::BestEffort,
+                priority: rng.gen_range(0..8) as u32,
+            })
+            .collect();
+
+        // A delivery callback injects one follow-up send for every original
+        // message (ids offset by 1_000_000), to a random destination drawn
+        // from a dedicated RNG stream so the choice is deterministic.
+        let mut cb_rng = case_rng(4, case);
+        let mut injected: Vec<MessageSend> = Vec::new();
+        let mut unreachable = sends
+            .iter()
+            .filter(|s| topo.route(s.src, s.dst).is_err())
+            .count();
+        let total_initial = sends.len();
+        let done = fabric.run(sends, |d| {
+            if d.id < 1_000_000 {
+                let dst = EcuId(cb_rng.gen_range(0..u64::from(n)) as u16);
+                let follow = MessageSend {
+                    id: 1_000_000 + d.id,
+                    time: d.delivered,
+                    src: EcuId(cb_rng.gen_range(0..u64::from(n)) as u16),
+                    dst,
+                    payload: 64,
+                    class: TrafficClass::BestEffort,
+                    priority: 3,
+                };
+                injected.push(follow.clone());
+                vec![follow]
+            } else {
+                vec![]
+            }
+        });
+
+        // Conservation: sends == deliveries + dropped_unreachable, counted
+        // from the returned data (the global obs counters are shared across
+        // parallel tests and cannot be asserted on here).
+        unreachable += injected
+            .iter()
+            .filter(|s| topo.route(s.src, s.dst).is_err())
+            .count();
+        let total_sends = total_initial + injected.len();
+        assert_eq!(
+            done.len() + unreachable,
+            total_sends,
+            "case {case}: {} delivered + {unreachable} unreachable != {total_sends} sent",
+            done.len()
+        );
+
+        // Each send delivers at most once.
+        let mut ids: Vec<u64> = done.iter().map(|d| d.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "case {case}: duplicate delivery");
+
+        // Completion order is monotone in delivery time. Local (0-hop)
+        // deliveries are appended at their injection event but stamped
+        // `delivered = now + local_delay` (5 µs default), so compare the
+        // underlying event times.
+        let event_time = |d: &dynplat::comm::fabric::MessageDelivery| {
+            if d.hops == 0 {
+                d.delivered - dynplat::common::time::SimDuration::from_micros(5)
+            } else {
+                d.delivered
+            }
+        };
+        for pair in done.windows(2) {
+            assert!(
+                event_time(&pair[0]) <= event_time(&pair[1]),
+                "case {case}: completion order not monotone"
+            );
+        }
+    }
+}
