@@ -15,6 +15,7 @@ use dynplat_hw::topology::{BusKind, BusSpec, HwTopology};
 use dynplat_model::dsl::parse_model;
 use dynplat_net::can::{CanAnalysis, CanMessageSpec};
 use dynplat_net::TrafficClass;
+use dynplat_obs::TraceCtx;
 use dynplat_sched::rta;
 use dynplat_sched::task::{TaskSet, TaskSpec};
 use dynplat_sched::tt;
@@ -169,6 +170,7 @@ fn bench_fabric(quick: bool) {
                 payload: 256,
                 class: TrafficClass::BestEffort,
                 priority: (i % 4) as u32,
+                trace: TraceCtx::NONE,
             })
             .collect();
         fabric.run(sends, |_| vec![])

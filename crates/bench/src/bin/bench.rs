@@ -28,6 +28,7 @@ use dynplat_hw::ecu::{EcuClass, EcuSpec};
 use dynplat_hw::topology::{BusKind, BusSpec, HwTopology};
 use dynplat_net::TrafficClass;
 use dynplat_obs::MetricsSnapshot;
+use dynplat_obs::TraceCtx;
 use dynplat_sched::simulate::{simulate_schedule, Policy, SchedSimConfig};
 use dynplat_sched::task::{TaskSet, TaskSpec};
 use std::process::ExitCode;
@@ -126,6 +127,7 @@ fn run_event_phase(budget: std::time::Duration) -> (u64, u64, std::time::Duratio
             payload: 256,
             class: TrafficClass::Critical,
             priority: 1,
+            trace: TraceCtx::NONE,
         })
         .collect();
     let (mut published, mut delivered) = (0u64, 0u64);
@@ -154,6 +156,7 @@ fn run_rpc_phase(budget: std::time::Duration) -> (u64, u64, std::time::Duration)
             processing: SimDuration::from_micros(100),
             class: TrafficClass::Critical,
             priority: 1,
+            trace: TraceCtx::NONE,
         })
         .collect();
     let (mut issued, mut completed) = (0u64, 0u64);
@@ -179,6 +182,7 @@ fn run_stream_phase(budget: std::time::Duration) -> (u64, u64, std::time::Durati
         dst: EcuId(1),
         class: TrafficClass::Stream,
         priority: 4,
+        trace: TraceCtx::NONE,
     };
     let (mut sent, mut delivered) = (0u64, 0u64);
     let start = Instant::now();

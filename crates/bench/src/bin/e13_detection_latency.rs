@@ -1,0 +1,67 @@
+//! E13 (§3.4): detection latency — fault injection to first verdict.
+//!
+//! Runs every detection scenario of [`dynplat_bench::detect`] with causal
+//! tracing on and prints, per injected fault kind, the latency from the
+//! first injection to (a) the first non-`Normal` drift verdict of the
+//! RTT-watching detector and (b) the first flight-recorder incident dump.
+//!
+//! Flags:
+//!
+//! * `--horizon-ms N` — campaign horizon per scenario (default 6000);
+//! * `--dump PATH` — write the first frozen flight dump as JSON
+//!   (Chrome-independent `dynplat.flight.v1` schema) for artifact upload.
+//!
+//! Everything is seed-deterministic: running this binary twice prints
+//! byte-identical tables.
+
+use dynplat_bench::detect::{run_all, DetectionOutcome};
+use dynplat_bench::Table;
+use dynplat_common::time::SimDuration;
+
+const SEED: u64 = 0xE13_5EED;
+
+fn main() {
+    let mut horizon = SimDuration::from_millis(6_000);
+    let mut dump_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--horizon-ms" => {
+                let v = args
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .expect("--horizon-ms needs an integer");
+                horizon = SimDuration::from_millis(v);
+            }
+            "--dump" => dump_path = Some(args.next().expect("--dump needs a path")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let table = Table::new(
+        &format!(
+            "E13 — detection latency per injected fault kind (seed {SEED:#x}, horizon {:.1}s)",
+            horizon.as_secs_f64()
+        ),
+        &DetectionOutcome::columns(),
+    );
+    let outcomes = run_all(SEED, horizon);
+    for out in &outcomes {
+        table.row(&out.row());
+    }
+    let captured = outcomes
+        .iter()
+        .filter(|o| o.capture_latency.is_some())
+        .count();
+    println!("# captured {}/{} scenarios", captured, outcomes.len());
+
+    if let Some(path) = dump_path {
+        let dump = outcomes
+            .iter()
+            .flat_map(|o| o.dumps.first())
+            .next()
+            .expect("at least one scenario froze a dump");
+        std::fs::write(&path, dump.to_json()).expect("write flight dump");
+        println!("# first flight dump written to {path}");
+    }
+}

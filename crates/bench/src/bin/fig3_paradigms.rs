@@ -17,6 +17,7 @@ use dynplat_common::{BusId, EcuId};
 use dynplat_hw::ecu::{EcuClass, EcuSpec};
 use dynplat_hw::topology::{BusKind, BusSpec, HwTopology};
 use dynplat_net::{GateControlList, TrafficClass};
+use dynplat_obs::TraceCtx;
 
 fn two_ecu_topology(kind: BusKind) -> HwTopology {
     HwTopology::from_parts(
@@ -71,6 +72,7 @@ fn main() {
                     payload,
                     class: TrafficClass::Critical,
                     priority: 1,
+                    trace: TraceCtx::NONE,
                 })
                 .collect();
             let mut lats: Vec<SimDuration> = fabric
@@ -106,6 +108,7 @@ fn main() {
                     processing: SimDuration::from_micros(100),
                     class: TrafficClass::Critical,
                     priority: 1,
+                    trace: TraceCtx::NONE,
                 })
                 .collect();
             let stats = run_rpc(&mut fabric, &calls);
@@ -150,6 +153,7 @@ fn main() {
                 dst: EcuId(1),
                 class: TrafficClass::Stream,
                 priority: 4,
+                trace: TraceCtx::NONE,
             };
             let stats = run_stream(&mut fabric, &spec);
             table.row(&[

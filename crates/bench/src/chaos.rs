@@ -24,13 +24,16 @@ use dynplat_common::rng::split_seed;
 use dynplat_common::time::{SimDuration, SimTime};
 use dynplat_common::{AppKind, Asil, BusId, DegradationLevel, EcuId, ServiceId, TaskId, VehicleId};
 use dynplat_core::degradation::{DegradationConfig, DegradationManager};
-use dynplat_faults::{ChaosFabric, FaultPlan};
+use dynplat_faults::{ChaosFabric, FaultPlan, InjectedFault};
 use dynplat_hw::ecu::{EcuClass, EcuSpec};
 use dynplat_hw::topology::{BusKind, BusSpec, HwTopology};
+use dynplat_monitor::anomaly::{DriftDetector, DriftVerdict};
 use dynplat_monitor::fault::{Fault, FaultKind, FaultRecorder};
 use dynplat_monitor::report::DiagnosticReport;
 use dynplat_net::TrafficClass;
+use dynplat_obs::{FlightRecorder, TraceCtx};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// The service under test.
 pub const SERVICE: ServiceId = ServiceId(10);
@@ -230,6 +233,14 @@ fn msg_id(app: u64, round: u64, attempt: u64, resp: bool) -> u64 {
     (app << 41) | (round << 9) | (attempt << 1) | u64::from(resp)
 }
 
+/// Trace id of a (app, round) causal chain: the round's base correlation
+/// id, offset so app 0 / round 0 does not collide with the reserved
+/// "untraced" id 0. Attempts are spans within the chain; responses
+/// inherit the request's context.
+fn round_trace(app: u64, round: u64) -> u64 {
+    msg_id(app, round, 0, false) + 1
+}
+
 fn decode_id(id: u64) -> (u64, u64, u64, bool) {
     (
         id >> 41,
@@ -239,15 +250,50 @@ fn decode_id(id: u64) -> (u64, u64, u64, bool) {
     )
 }
 
+/// Everything a traced campaign run observed: the summary plus the raw
+/// material of the E13 detection-latency measurement.
+#[derive(Clone, Debug)]
+pub struct CampaignOutcome {
+    /// The deterministic summary ([`run_campaign`]'s return value).
+    pub summary: CampaignSummary,
+    /// The injector's log: what was injected, and when.
+    pub injections: Vec<InjectedFault>,
+    /// Non-`Normal` verdicts of a [`DriftDetector`] fed the per-round
+    /// control-loop RTT (missed rounds count as the deadline), in time
+    /// order.
+    pub drift_verdicts: Vec<(SimTime, DriftVerdict)>,
+}
+
 /// Runs one campaign to completion.
 ///
 /// # Panics
 ///
 /// Panics if the config's fault plan fails validation.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
+    run_campaign_traced(cfg, None).summary
+}
+
+/// [`run_campaign`] with causal tracing: every request is stamped with a
+/// per-(app, round) [`TraceCtx`] (responses inherit it), the optional
+/// flight recorder sees the full message lifecycle plus every injection
+/// and detection, and a [`DriftDetector`] watches the control loop's RTT.
+///
+/// With `flight == None` and the drift verdicts ignored this is exactly
+/// [`run_campaign`]; the summary is bit-identical either way.
+///
+/// # Panics
+///
+/// Panics if the config's fault plan fails validation.
+pub fn run_campaign_traced(
+    cfg: &CampaignConfig,
+    flight: Option<Arc<FlightRecorder>>,
+) -> CampaignOutcome {
     let mut plan = cfg.plan.clone();
     plan.seed = cfg.seed;
     let mut chaos = ChaosFabric::new(Fabric::new(campaign_topology()), plan);
+    if let Some(fr) = &flight {
+        chaos.attach_flight_recorder(fr.clone());
+    }
 
     // Two providers of the service: primary on the fast Ethernet leg,
     // backup reachable over CAN. Offers outlive the horizon; breaker trips
@@ -299,6 +345,14 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
     let mut breaker = CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown);
     let mut ladder = DegradationManager::new(cfg.degradation);
     let mut detected = FaultRecorder::new(8192);
+    if let Some(fr) = &flight {
+        detected = detected.with_flight(fr.clone());
+        ladder.attach_flight_recorder(fr.clone());
+    }
+    // Watches the DA round-trip time for trends; missed rounds are
+    // ingested as the full deadline (the worst the client can observe).
+    let mut drift = DriftDetector::for_bound(cfg.deadline.as_nanos() as f64);
+    let mut drift_verdicts: Vec<(SimTime, DriftVerdict)> = Vec::new();
 
     let mut summary = CampaignSummary {
         policy_name: cfg.policy_name,
@@ -354,6 +408,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
                         payload: PAYLOAD,
                         class: app.class,
                         priority: app.priority,
+                        trace: TraceCtx::new(round_trace(app.idx, r), u64::from(attempt.number)),
                     });
                     attempt_deadline.insert(id, attempt.deadline);
                     summary.attempts_sent += 1;
@@ -377,6 +432,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
                 payload: PAYLOAD,
                 class,
                 priority,
+                trace: d.trace,
             }]
         });
 
@@ -412,6 +468,15 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
             let ok = earliest.get(&(*round, *app)).is_some_and(|t| t <= deadline);
             if *is_da {
                 summary.da_rounds += 1;
+                let round_start = *deadline - cfg.deadline;
+                let (sample_at, rtt) = match earliest.get(&(*round, *app)) {
+                    Some(t) if *t <= *deadline => (*t, t.saturating_since(round_start)),
+                    _ => (*deadline, cfg.deadline),
+                };
+                let verdict = drift.ingest(rtt.as_nanos() as f64);
+                if verdict != DriftVerdict::Normal {
+                    drift_verdicts.push((sample_at, verdict));
+                }
                 if ok {
                     breaker.on_success();
                     streak_start = None;
@@ -495,7 +560,11 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
         DiagnosticReport::capture(VehicleId(1), SimTime::ZERO + cfg.horizon, &[], faults)
             .with_fault_counts(&detected)
             .with_degradation(summary.transitions.iter().copied());
-    summary
+    CampaignOutcome {
+        summary,
+        injections: chaos.injector().log().to_vec(),
+        drift_verdicts,
+    }
 }
 
 /// Time from first leaving `Full` to the final return to `Full`; `None`

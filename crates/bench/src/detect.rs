@@ -1,0 +1,318 @@
+//! The E13 detection-latency experiment: fault injection to first verdict.
+//!
+//! Each scenario runs the E12 chaos campaign with causal tracing on — an
+//! armed [`FlightRecorder`] wired through the fabric, the injector, the
+//! fault recorder and the degradation ladder — and measures, per injected
+//! fault kind, two latencies from the first injection of that kind:
+//!
+//! * **drift latency** — until the campaign's
+//!   [`DriftDetector`](dynplat_monitor::anomaly::DriftDetector) (watching
+//!   the control loop's round-trip time) first returns a non-`Normal`
+//!   verdict;
+//! * **capture latency** — until the flight recorder first freezes an
+//!   incident dump (triggered by the detection side: deadline misses,
+//!   message loss, ladder transitions, failovers).
+//!
+//! Injection-side events only land in the recorder's ring, never trigger
+//! dumps — otherwise capture latency would trivially be zero. Scenario
+//! onsets scale with the horizon so a tiny smoke run exercises the same
+//! code path as the full experiment.
+//!
+//! `MessageDuplicate` is deliberately absent: a duplicated response is
+//! invisible to every monitor in the stack (no deadline impact, no loss,
+//! no integrity failure), so it has no finite detection latency.
+
+use crate::chaos::{run_campaign_traced, CampaignConfig};
+use dynplat_comm::retry::RetryPolicy;
+use dynplat_common::time::{SimDuration, SimTime};
+use dynplat_common::{BusId, EcuId};
+use dynplat_faults::{BabblingIdiot, FaultPlan, InjectedFaultKind};
+use dynplat_obs::{FlightDump, FlightRecorder};
+use std::sync::Arc;
+
+/// One E13 scenario: a fault plan engineered so its headline fault kind is
+/// guaranteed to produce a detectable signal.
+#[derive(Clone, Copy, Debug)]
+pub struct DetectionScenario {
+    /// Stable scenario label (the table's first column).
+    pub name: &'static str,
+    /// The injected kind whose first log entry marks `t_inject`.
+    pub kind: InjectedFaultKind,
+    /// Retry policy of the deterministic client. Stochastic scenarios run
+    /// single-shot so the loss signal reaches the monitors undiluted.
+    policy: fn() -> RetryPolicy,
+    policy_name: &'static str,
+    plan: fn(u64, SimDuration) -> FaultPlan,
+    /// Circuit-breaker override. E13 measures *detection*, and for slow
+    /// trend faults the breaker's failover heals the symptom within a few
+    /// rounds — faster than any trend detector can accumulate evidence.
+    /// Scenarios that need the symptom to persist raise the threshold so
+    /// mitigation does not mask the measurement.
+    breaker_threshold: Option<u32>,
+}
+
+/// Scheduled faults switch on at one third of the horizon…
+fn onset(horizon: SimDuration) -> SimTime {
+    SimTime::ZERO + horizon / 3
+}
+
+/// …and off at two thirds, leaving room for recovery.
+fn offset(horizon: SimDuration) -> SimTime {
+    SimTime::ZERO + (horizon / 3) * 2
+}
+
+/// The E13 scenario set: every injectable kind with a detectable signal.
+pub fn scenarios() -> Vec<DetectionScenario> {
+    fn single_shot() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+    fn standard() -> RetryPolicy {
+        RetryPolicy::standard()
+    }
+    vec![
+        DetectionScenario {
+            name: "drop-0.85",
+            kind: InjectedFaultKind::MessageDrop,
+            policy: single_shot,
+            policy_name: "none",
+            plan: |seed, _| FaultPlan::quiet(seed).with_message_faults(0.85, 0.0, 0.0),
+            breaker_threshold: None,
+        },
+        DetectionScenario {
+            name: "corrupt-0.8",
+            kind: InjectedFaultKind::MessageCorruption,
+            policy: single_shot,
+            policy_name: "none",
+            plan: |seed, _| FaultPlan::quiet(seed).with_message_faults(0.0, 0.8, 0.0),
+            breaker_threshold: None,
+        },
+        DetectionScenario {
+            name: "spike-80ms",
+            kind: InjectedFaultKind::DelaySpike,
+            policy: single_shot,
+            policy_name: "none",
+            // Every message spikes past the 40 ms round deadline.
+            plan: |seed, _| {
+                FaultPlan::quiet(seed).with_delay_spikes(1.0, SimDuration::from_millis(80))
+            },
+            breaker_threshold: None,
+        },
+        DetectionScenario {
+            name: "partition-eth",
+            kind: InjectedFaultKind::PartitionLoss,
+            policy: standard,
+            policy_name: "standard",
+            plan: |seed, h| FaultPlan::quiet(seed).partition(BusId(1), onset(h), offset(h)),
+            breaker_threshold: None,
+        },
+        DetectionScenario {
+            name: "crash-server",
+            kind: InjectedFaultKind::EcuCrash,
+            policy: standard,
+            policy_name: "standard",
+            plan: |seed, h| FaultPlan::quiet(seed).crash(EcuId(2), onset(h)),
+            breaker_threshold: None,
+        },
+        DetectionScenario {
+            name: "hang-server",
+            kind: InjectedFaultKind::EcuHang,
+            policy: standard,
+            policy_name: "standard",
+            plan: |seed, h| FaultPlan::quiet(seed).hang(EcuId(2), onset(h), offset(h)),
+            breaker_threshold: None,
+        },
+        DetectionScenario {
+            name: "drift-runaway",
+            kind: InjectedFaultKind::ClockDrift,
+            policy: standard,
+            policy_name: "standard",
+            // A runaway server clock (crystal failure): responses slip a
+            // full deadline behind within the first round.
+            plan: |seed, _| FaultPlan::quiet(seed).drift(EcuId(2), 1_000_000),
+            // Failover at the default threshold heals within 4 rounds —
+            // before the EWMA can trend into its warn line. Hold the
+            // breaker back so E13 measures the detector, not the breaker.
+            breaker_threshold: Some(64),
+        },
+        DetectionScenario {
+            name: "babble-eth",
+            kind: InjectedFaultKind::BabbleStart,
+            policy: standard,
+            policy_name: "standard",
+            // 1500 B every 100 us oversubscribes the 100 Mbit leg.
+            plan: |seed, h| {
+                FaultPlan::quiet(seed).babble(BabblingIdiot {
+                    src: EcuId(2),
+                    dst: EcuId(1),
+                    from: onset(h),
+                    until: offset(h),
+                    period: SimDuration::from_micros(100),
+                    payload: 1500,
+                })
+            },
+            breaker_threshold: None,
+        },
+    ]
+}
+
+/// What one scenario run measured.
+#[derive(Clone, Debug)]
+pub struct DetectionOutcome {
+    /// Scenario label.
+    pub name: &'static str,
+    /// The injected kind under measurement.
+    pub kind: InjectedFaultKind,
+    /// First injection of the kind (`None` if the plan never fired — a
+    /// scenario bug).
+    pub t_inject: Option<SimTime>,
+    /// Injection to first non-`Normal` drift verdict.
+    pub drift_latency: Option<SimDuration>,
+    /// Injection to first frozen flight dump.
+    pub capture_latency: Option<SimDuration>,
+    /// Deterministic-round miss rate of the run.
+    pub da_miss_rate: f64,
+    /// Total injections of the measured kind.
+    pub injections: u64,
+    /// The frozen dumps, for export.
+    pub dumps: Vec<FlightDump>,
+}
+
+impl DetectionOutcome {
+    /// Table columns matching [`DetectionOutcome::row`].
+    pub fn columns() -> [&'static str; 7] {
+        [
+            "scenario",
+            "kind",
+            "t_inject_ms",
+            "drift_latency_ms",
+            "capture_latency_ms",
+            "da_miss_rate",
+            "injections",
+        ]
+    }
+
+    /// One stable TSV-friendly row.
+    pub fn row(&self) -> Vec<String> {
+        fn ms(d: Option<SimDuration>) -> String {
+            match d {
+                Some(d) => format!("{:.3}", d.as_nanos() as f64 / 1e6),
+                None => "-".to_owned(),
+            }
+        }
+        vec![
+            self.name.to_owned(),
+            self.kind.to_string(),
+            match self.t_inject {
+                Some(t) => format!("{:.3}", t.as_nanos() as f64 / 1e6),
+                None => "-".to_owned(),
+            },
+            ms(self.drift_latency),
+            ms(self.capture_latency),
+            format!("{:.4}", self.da_miss_rate),
+            self.injections.to_string(),
+        ]
+    }
+}
+
+/// Runs one scenario over `horizon` and measures its detection latencies.
+///
+/// # Panics
+///
+/// Panics if the scenario's plan fails validation.
+pub fn run_scenario(
+    scenario: &DetectionScenario,
+    seed: u64,
+    horizon: SimDuration,
+) -> DetectionOutcome {
+    let plan = (scenario.plan)(seed, horizon);
+    let mut cfg = CampaignConfig::new(seed, plan, (scenario.policy)(), scenario.policy_name);
+    cfg.horizon = horizon;
+    if let Some(threshold) = scenario.breaker_threshold {
+        cfg.breaker_threshold = threshold;
+    }
+    // A fresh, armed recorder per scenario: the first incidents of *this*
+    // fault are the ones the black box must keep.
+    let flight = Arc::new(FlightRecorder::new(4096));
+    flight.arm();
+    let outcome = run_campaign_traced(&cfg, Some(flight.clone()));
+
+    let mine: Vec<SimTime> = outcome
+        .injections
+        .iter()
+        .filter(|i| i.kind == scenario.kind)
+        .map(|i| i.time)
+        .collect();
+    let t_inject = mine.iter().copied().min();
+    let dumps = flight.dumps();
+    let (drift_latency, capture_latency) = match t_inject {
+        Some(t0) => {
+            let drift = outcome
+                .drift_verdicts
+                .iter()
+                .map(|(t, _)| *t)
+                .find(|t| *t >= t0)
+                .map(|t| t.saturating_since(t0));
+            let capture = dumps
+                .iter()
+                .map(|d| SimTime::from_nanos(d.time_ns))
+                .find(|t| *t >= t0)
+                .map(|t| t.saturating_since(t0));
+            (drift, capture)
+        }
+        None => (None, None),
+    };
+    DetectionOutcome {
+        name: scenario.name,
+        kind: scenario.kind,
+        t_inject,
+        drift_latency,
+        capture_latency,
+        da_miss_rate: outcome.summary.da_miss_rate(),
+        injections: mine.len() as u64,
+        dumps,
+    }
+}
+
+/// Runs the whole scenario set; seeds are split per scenario index so the
+/// stochastic streams stay independent.
+pub fn run_all(seed: u64, horizon: SimDuration) -> Vec<DetectionOutcome> {
+    scenarios()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| run_scenario(s, dynplat_common::rng::split_seed(seed, i as u64), horizon))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_has_a_distinct_kind_and_name() {
+        let all = scenarios();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.kind, b.kind);
+                assert_ne!(a.name, b.name);
+            }
+        }
+        assert!(
+            !all.iter()
+                .any(|s| s.kind == InjectedFaultKind::MessageDuplicate),
+            "duplicates have no detectable signal and must stay excluded"
+        );
+    }
+
+    #[test]
+    fn drop_scenario_detects_quickly() {
+        let s = scenarios()
+            .into_iter()
+            .find(|s| s.kind == InjectedFaultKind::MessageDrop)
+            .unwrap();
+        let out = run_scenario(&s, 0xE13, SimDuration::from_secs(2));
+        assert!(out.t_inject.is_some());
+        assert!(out.capture_latency.is_some(), "a dump must freeze");
+        assert!(out.drift_latency.is_some(), "the RTT drift must register");
+        assert!(!out.dumps.is_empty());
+    }
+}

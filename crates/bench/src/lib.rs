@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod detect;
 
 use dynplat_common::time::SimDuration;
 use dynplat_common::{AppId, AppKind, Asil};

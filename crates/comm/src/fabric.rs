@@ -31,6 +31,7 @@ use dynplat_net::{
     Arbiter, CanArbiter, FifoPort, FlexRayBus, Frame, GateControlList, Grant, SlotAssignment,
     StrictPriorityPort, TrafficClass, TsnGatedPort,
 };
+use dynplat_obs::{FlightRecorder, TraceCtx};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -121,6 +122,9 @@ pub struct MessageSend {
     pub class: TrafficClass,
     /// Priority (lower = more urgent) for CAN / 802.1p arbitration.
     pub priority: u32,
+    /// Causal trace context; [`TraceCtx::NONE`] costs nothing on the hot
+    /// path (one branch per lifecycle event when a recorder is attached).
+    pub trace: TraceCtx,
 }
 
 /// A completed end-to-end delivery.
@@ -134,6 +138,9 @@ pub struct MessageDelivery {
     pub delivered: SimTime,
     /// Number of bus hops traversed (0 = same ECU).
     pub hops: usize,
+    /// Trace context inherited from the send, so reactions injected by
+    /// the delivery callback can stay on the same causal chain.
+    pub trace: TraceCtx,
 }
 
 impl MessageDelivery {
@@ -217,7 +224,30 @@ struct MsgSlab {
     free: Vec<u32>,
 }
 
+/// Occupancy of the in-flight message slab after a [`Fabric::run`].
+///
+/// `capacity` is also the run's high-water mark: the slab grows only when
+/// the free list is empty, so `slots.len()` equals the peak number of
+/// concurrently in-flight messages.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SlabStats {
+    /// Messages still occupying a slot (0 once a run fully drains).
+    pub live: usize,
+    /// Recycled slots available for reuse.
+    pub free: usize,
+    /// Total slots ever allocated (peak concurrent in-flight messages).
+    pub capacity: usize,
+}
+
 impl MsgSlab {
+    fn stats(&self) -> SlabStats {
+        SlabStats {
+            live: self.slots.len() - self.free.len(),
+            free: self.free.len(),
+            capacity: self.slots.len(),
+        }
+    }
+
     fn insert(&mut self, state: MsgState) -> u32 {
         match self.free.pop() {
             Some(s) => {
@@ -252,6 +282,8 @@ pub struct Fabric {
     bus_lookup: Vec<u32>,
     gateway_delay: SimDuration,
     local_delay: SimDuration,
+    flight: Option<Arc<FlightRecorder>>,
+    last_slab: SlabStats,
 }
 
 impl std::fmt::Debug for Fabric {
@@ -285,7 +317,21 @@ impl Fabric {
             bus_lookup,
             gateway_delay: SimDuration::from_micros(50),
             local_delay: SimDuration::from_micros(5),
+            flight: None,
+            last_slab: SlabStats::default(),
         }
+    }
+
+    /// Attaches a flight recorder: traced messages (active [`TraceCtx`])
+    /// get their send/deliver/drop lifecycle recorded as trace events.
+    pub fn attach_flight_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        self.flight = Some(recorder);
+    }
+
+    /// Slab occupancy of the most recent [`Fabric::run`] (also exported
+    /// as the `bench.comm.slab_live` / `bench.comm.slab_free` gauges).
+    pub fn slab_stats(&self) -> SlabStats {
+        self.last_slab
     }
 
     fn bus_index(&self, bus: BusId) -> Option<usize> {
@@ -332,6 +378,21 @@ impl Fabric {
         let obs_deliveries = dynplat_obs::counter!("comm.fabric.deliveries");
         let obs_latency = dynplat_obs::histogram!("comm.fabric.latency_ns");
         obs_sends.add(sends.len() as u64);
+        let flight = self.flight.clone();
+        // One closure for all lifecycle sites; untraced messages (the
+        // bench fast path) cost exactly the `is_active` branch.
+        let observe = |now: SimTime, send: &MessageSend, stage: &'static str| {
+            if let Some(fr) = &flight {
+                if send.trace.is_active() {
+                    fr.record(
+                        now.as_nanos(),
+                        send.trace,
+                        stage,
+                        format!("id={} src={} dst={}", send.id, send.src, send.dst),
+                    );
+                }
+            }
+        };
 
         let n_buses = self.ports.len();
         let mut queue = EventQueue::with_capacity(sends.len() + n_buses + 1);
@@ -349,8 +410,10 @@ impl Fabric {
         while let Some((now, ev)) = queue.pop() {
             match ev {
                 Event::Inject(send) => {
+                    observe(now, &send, "comm.fabric.send");
                     let Ok(route) = self.routes.route_buses(send.src, send.dst) else {
                         obs_drops.inc();
+                        observe(now, &send, "comm.fabric.drop_unreachable");
                         continue; // unreachable: drop
                     };
                     if route.is_empty() {
@@ -359,7 +422,9 @@ impl Fabric {
                             sent: send.time,
                             delivered: now + self.local_delay,
                             hops: 0,
+                            trace: send.trace,
                         };
+                        observe(delivery.delivered, &send, "comm.fabric.deliver");
                         obs_deliveries.inc();
                         obs_latency.record(delivery.latency().as_nanos());
                         for extra in on_delivery(&delivery) {
@@ -422,7 +487,9 @@ impl Fabric {
                             sent: state.send.time,
                             delivered: now,
                             hops: state.route.len(),
+                            trace: state.send.trace,
                         };
+                        observe(now, &state.send, "comm.fabric.deliver");
                         obs_deliveries.inc();
                         obs_latency.record(delivery.latency().as_nanos());
                         for extra in on_delivery(&delivery) {
@@ -445,6 +512,12 @@ impl Fabric {
                 }
             }
         }
+        // Satellite observability for the PR 3 slab engine: a fully
+        // drained run leaves `live == 0` with the whole high-water mark on
+        // the free list.
+        self.last_slab = msgs.stats();
+        dynplat_obs::gauge!("bench.comm.slab_live").set(self.last_slab.live as i64);
+        dynplat_obs::gauge!("bench.comm.slab_free").set(self.last_slab.free as i64);
         deliveries
     }
 
@@ -545,6 +618,7 @@ mod tests {
             payload,
             class: TrafficClass::BestEffort,
             priority: id as u32,
+            trace: TraceCtx::NONE,
         }
     }
 
@@ -610,6 +684,7 @@ mod tests {
                     payload: 64,
                     class: TrafficClass::BestEffort,
                     priority: 0,
+                    trace: d.trace,
                 }]
             } else {
                 vec![]
@@ -669,6 +744,73 @@ mod tests {
         for pair in done.windows(2) {
             assert!(pair[0].delivered <= pair[1].delivered);
         }
+    }
+
+    #[test]
+    fn trace_context_rides_delivery_and_flight_recorder_sees_lifecycle() {
+        let mut fabric = Fabric::new(topo());
+        let fr = Arc::new(FlightRecorder::new(64));
+        fr.arm();
+        fabric.attach_flight_recorder(fr.clone());
+        let mut traced = send(10, 0, 0, 2, 8);
+        traced.trace = TraceCtx::new(0xCAFE, 1);
+        let untraced = send(11, 0, 1, 2, 8);
+        // The callback continues the trace: the reaction inherits the
+        // delivery's context under a child span.
+        let done = fabric.run(vec![traced, untraced], |d| {
+            if d.id == 10 {
+                let mut resp = send(20, d.delivered.as_nanos() / 1000, 2, 0, 8);
+                resp.trace = d.trace.child(2);
+                vec![resp]
+            } else {
+                vec![]
+            }
+        });
+        assert_eq!(done.len(), 3);
+        let by_id = |id: u64| done.iter().find(|d| d.id == id).unwrap();
+        assert_eq!(by_id(10).trace, TraceCtx::new(0xCAFE, 1));
+        assert_eq!(by_id(20).trace, TraceCtx::new(0xCAFE, 2));
+        assert_eq!(by_id(11).trace, TraceCtx::NONE);
+        // Only the traced chain is recorded: send+deliver for the request
+        // and for the response, nothing for the untraced message.
+        let events = fr.events();
+        assert_eq!(events.len(), 4);
+        assert!(events.iter().all(|e| e.trace.trace_id == 0xCAFE));
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.stage == "comm.fabric.send")
+                .count(),
+            2
+        );
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.stage == "comm.fabric.deliver")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn slab_returns_to_steady_state_after_burst() {
+        let mut fabric = Fabric::new(topo());
+        // A burst of overlapping sends drives the slab high-water mark up…
+        let sends: Vec<MessageSend> = (0..100).map(|i| send(i, 0, 1, 2, 1000)).collect();
+        fabric.run(sends, |_| vec![]);
+        let burst = fabric.slab_stats();
+        assert_eq!(burst.live, 0, "run must drain the slab");
+        assert!(burst.capacity >= 50, "burst should overlap heavily");
+        assert_eq!(burst.free, burst.capacity);
+        // …and a later spaced-out trickle drains with a tiny footprint.
+        let sends: Vec<MessageSend> = (0..10).map(|i| send(i, i * 1000, 1, 2, 100)).collect();
+        fabric.run(sends, |_| vec![]);
+        let after = fabric.slab_stats();
+        assert_eq!(after.live, 0);
+        assert!(
+            after.capacity < burst.capacity,
+            "spaced sends must not need the burst high-water mark"
+        );
     }
 
     #[test]

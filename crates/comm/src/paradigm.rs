@@ -20,6 +20,7 @@ use dynplat_common::ids::ServiceInstance;
 use dynplat_common::time::{SimDuration, SimTime};
 use dynplat_common::{EcuId, EventGroupId};
 use dynplat_net::TrafficClass;
+use dynplat_obs::TraceCtx;
 
 /// A single publication request.
 #[derive(Clone, Debug)]
@@ -38,6 +39,8 @@ pub struct Publication {
     pub class: TrafficClass,
     /// Frame priority.
     pub priority: u32,
+    /// Causal trace context; every fanout leg carries it.
+    pub trace: TraceCtx,
 }
 
 /// Event-paradigm driver: fans publications out to the directory's live
@@ -77,6 +80,7 @@ impl<'a> EventBus<'a> {
                     payload: p.payload,
                     class: p.class,
                     priority: p.priority,
+                    trace: p.trace,
                 });
             }
         }
@@ -114,6 +118,8 @@ pub struct RpcCall {
     pub class: TrafficClass,
     /// Frame priority.
     pub priority: u32,
+    /// Causal trace context; the response inherits it from the request.
+    pub trace: TraceCtx,
 }
 
 /// Result of one RPC: request latency, processing, response latency.
@@ -145,6 +151,7 @@ pub fn run_rpc(fabric: &mut Fabric, calls: &[RpcCall]) -> Vec<RpcStats> {
             payload: c.request_payload,
             class: c.class,
             priority: c.priority,
+            trace: c.trace,
         })
         .collect();
     let calls_owned: Vec<RpcCall> = calls.to_vec();
@@ -160,6 +167,8 @@ pub fn run_rpc(fabric: &mut Fabric, calls: &[RpcCall]) -> Vec<RpcStats> {
                 payload: c.response_payload,
                 class: c.class,
                 priority: c.priority,
+                // The response rides the request's causal chain.
+                trace: d.trace,
             }]
         } else {
             vec![]
@@ -213,6 +222,8 @@ pub struct StreamSpec {
     pub class: TrafficClass,
     /// Frame priority.
     pub priority: u32,
+    /// Causal trace context; chunk *n* inherits it with span id *n*.
+    pub trace: TraceCtx,
 }
 
 /// Aggregated stream results, honoring inter-frame dependencies.
@@ -243,6 +254,11 @@ pub fn run_stream(fabric: &mut Fabric, spec: &StreamSpec) -> StreamStats {
             payload: spec.frame_payload,
             class: spec.class,
             priority: spec.priority,
+            trace: if spec.trace.is_active() {
+                spec.trace.child(n as u64)
+            } else {
+                TraceCtx::NONE
+            },
         })
         .collect();
     dynplat_obs::counter!("comm.stream.frames_sent").add(spec.frames as u64);
@@ -348,6 +364,7 @@ mod tests {
             payload: 100,
             class: TrafficClass::BestEffort,
             priority: 3,
+            trace: TraceCtx::NONE,
         }];
         let results = bus.publish_all(&pubs);
         assert_eq!(results.len(), 2);
@@ -368,6 +385,7 @@ mod tests {
             payload: 100,
             class: TrafficClass::BestEffort,
             priority: 3,
+            trace: TraceCtx::NONE,
         }];
         assert!(bus.publish_all(&pubs).is_empty());
     }
@@ -384,6 +402,7 @@ mod tests {
             processing: us(500),
             class: TrafficClass::BestEffort,
             priority: 1,
+            trace: TraceCtx::NONE,
         }];
         let stats = run_rpc(&mut fabric, &calls);
         assert_eq!(stats.len(), 1);
@@ -405,6 +424,7 @@ mod tests {
                 processing: us(100),
                 class: TrafficClass::BestEffort,
                 priority: 1,
+                trace: TraceCtx::NONE,
             })
             .collect();
         let stats = run_rpc(&mut fabric, &calls);
@@ -412,6 +432,59 @@ mod tests {
         for (k, s) in stats.iter().enumerate() {
             assert_eq!(s.call, k);
         }
+    }
+
+    #[test]
+    fn rpc_response_and_stream_chunks_inherit_trace() {
+        use dynplat_obs::FlightRecorder;
+        use std::sync::Arc;
+
+        let mut fabric = Fabric::new(topo());
+        let fr = Arc::new(FlightRecorder::new(256));
+        fr.arm();
+        fabric.attach_flight_recorder(fr.clone());
+
+        let calls = vec![RpcCall {
+            time: SimTime::ZERO,
+            client: EcuId(0),
+            server: EcuId(2),
+            request_payload: 64,
+            response_payload: 64,
+            processing: us(100),
+            class: TrafficClass::BestEffort,
+            priority: 1,
+            trace: TraceCtx::new(0xA1, 5),
+        }];
+        assert_eq!(run_rpc(&mut fabric, &calls).len(), 1);
+        // Request and response both recorded under the caller's trace id:
+        // two sends and two deliveries on chain 0xA1.
+        let events = fr.events();
+        assert_eq!(events.len(), 4);
+        assert!(events.iter().all(|e| e.trace == TraceCtx::new(0xA1, 5)));
+
+        fr.clear();
+        let spec = StreamSpec {
+            start: SimTime::ZERO,
+            frames: 3,
+            interval: us(200),
+            frame_payload: 100,
+            src: EcuId(0),
+            dst: EcuId(2),
+            class: TrafficClass::Stream,
+            priority: 4,
+            trace: TraceCtx::root(0xB2),
+        };
+        let stats = run_stream(&mut fabric, &spec);
+        assert_eq!(stats.delivered, 3);
+        let events = fr.events();
+        assert!(events.iter().all(|e| e.trace.trace_id == 0xB2));
+        // Chunk n is span n of the stream's trace.
+        let spans: Vec<u64> = events
+            .iter()
+            .filter(|e| e.stage == "comm.fabric.send")
+            .map(|e| e.trace.span)
+            .collect();
+        assert_eq!(spans, vec![0, 1, 2]);
     }
 
     #[test]
@@ -426,6 +499,7 @@ mod tests {
             dst: EcuId(2),
             class: TrafficClass::Stream,
             priority: 4,
+            trace: TraceCtx::NONE,
         };
         let stats = run_stream(&mut fabric, &spec);
         assert_eq!(stats.delivered, 50);
@@ -444,6 +518,7 @@ mod tests {
             dst: EcuId(2),
             class: TrafficClass::Stream,
             priority: 4,
+            trace: TraceCtx::NONE,
         };
         let mut idle_fabric = Fabric::new(topo());
         let idle = run_stream(&mut idle_fabric, &spec);
@@ -459,6 +534,7 @@ mod tests {
                 payload: 1500,
                 class: TrafficClass::BestEffort,
                 priority: 0,
+                trace: TraceCtx::NONE,
             })
             .collect();
         // Run cross traffic and stream together: merge by injecting cross
@@ -473,6 +549,7 @@ mod tests {
                 payload: spec.frame_payload,
                 class: spec.class,
                 priority: spec.priority,
+                trace: TraceCtx::NONE,
             })
             .collect();
         sends.extend(cross);

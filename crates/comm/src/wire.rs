@@ -8,15 +8,28 @@
 //! ```
 //!
 //! `length` counts the bytes after the length field (8 header bytes plus
-//! payload), exactly as in SOME/IP.
+//! any trace extension plus payload), exactly as in SOME/IP.
+//!
+//! Traced messages (SOME/IP-TP-style extension): setting the
+//! [`TRACE_FLAG`] bit on the message-type byte inserts a 16-byte trace
+//! block — `[trace id: u64][span id: u64]` — between the header and the
+//! payload, so a causal [`TraceCtx`] survives serialization across ECUs.
+//! Untraced frames are byte-identical to plain SOME/IP.
 
 use dynplat_common::codec::{ByteReader, ByteWriter, CodecError};
 use dynplat_common::{MethodId, ServiceId};
+use dynplat_obs::TraceCtx;
 
 /// Protocol version this implementation speaks.
 pub const PROTOCOL_VERSION: u8 = 1;
 /// Header length on the wire.
 pub const HEADER_LEN: usize = 16;
+/// Message-type flag marking a trace extension block after the header.
+/// Disjoint from every [`MessageType`] wire value (the SOME/IP pattern of
+/// flagging extensions on the type byte, as TP does with 0x20).
+pub const TRACE_FLAG: u8 = 0x10;
+/// On-wire size of the trace extension block.
+pub const TRACE_EXT_LEN: usize = 16;
 
 /// SOME/IP message types (subset plus a stream-data extension).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -118,6 +131,10 @@ pub struct SomeIpHeader {
     pub message_type: MessageType,
     /// Return code (requests carry [`ReturnCode::Ok`]).
     pub return_code: ReturnCode,
+    /// Causal trace context; [`TraceCtx::NONE`] encodes with no extension
+    /// block, anything active sets [`TRACE_FLAG`] and ships 16 extra
+    /// bytes.
+    pub trace: TraceCtx,
 }
 
 impl SomeIpHeader {
@@ -132,6 +149,7 @@ impl SomeIpHeader {
             interface_version: 1,
             message_type: MessageType::Request,
             return_code: ReturnCode::Ok,
+            trace: TraceCtx::NONE,
         }
     }
 
@@ -146,10 +164,18 @@ impl SomeIpHeader {
             interface_version: 1,
             message_type: MessageType::Notification,
             return_code: ReturnCode::Ok,
+            trace: TraceCtx::NONE,
         }
     }
 
-    /// Derives the matching response header.
+    /// Stamps a causal trace context onto the header.
+    pub fn with_trace(mut self, trace: TraceCtx) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Derives the matching response header. The request's trace context
+    /// is preserved, so the response stays on the caller's causal chain.
     pub fn to_response(mut self, code: ReturnCode) -> Self {
         self.message_type = if code == ReturnCode::Ok {
             MessageType::Response
@@ -160,18 +186,25 @@ impl SomeIpHeader {
         self
     }
 
-    /// Encodes header plus payload into one datagram.
+    /// Encodes header (plus trace extension when active) plus payload
+    /// into one datagram.
     pub fn encode(&self, payload: &[u8]) -> Vec<u8> {
-        let mut w = ByteWriter::with_capacity(HEADER_LEN + payload.len());
+        let traced = self.trace.is_active();
+        let ext = if traced { TRACE_EXT_LEN } else { 0 };
+        let mut w = ByteWriter::with_capacity(HEADER_LEN + ext + payload.len());
         w.put_u16(self.service.raw());
         w.put_u16(self.method.raw());
-        w.put_u32(8 + payload.len() as u32);
+        w.put_u32(8 + ext as u32 + payload.len() as u32);
         w.put_u16(self.client);
         w.put_u16(self.session);
         w.put_u8(PROTOCOL_VERSION);
         w.put_u8(self.interface_version);
-        w.put_u8(self.message_type.to_wire());
+        w.put_u8(self.message_type.to_wire() | if traced { TRACE_FLAG } else { 0 });
         w.put_u8(self.return_code.to_wire());
+        if traced {
+            w.put_u64(self.trace.trace_id);
+            w.put_u64(self.trace.span);
+        }
         w.put_bytes(payload);
         w.into_vec()
     }
@@ -199,20 +232,28 @@ impl SomeIpHeader {
         }
         let interface_version = r.take_u8()?;
         let raw_type = r.take_u8()?;
-        let message_type = MessageType::from_wire(raw_type).ok_or(CodecError::InvalidValue {
-            field: "message type",
-            value: u64::from(raw_type),
-        })?;
+        let traced = raw_type & TRACE_FLAG != 0;
+        let message_type =
+            MessageType::from_wire(raw_type & !TRACE_FLAG).ok_or(CodecError::InvalidValue {
+                field: "message type",
+                value: u64::from(raw_type),
+            })?;
         let raw_code = r.take_u8()?;
         let return_code = ReturnCode::from_wire(raw_code).ok_or(CodecError::InvalidValue {
             field: "return code",
             value: u64::from(raw_code),
         })?;
+        let trace = if traced {
+            TraceCtx::new(r.take_u64()?, r.take_u64()?)
+        } else {
+            TraceCtx::NONE
+        };
+        let ext = if traced { TRACE_EXT_LEN } else { 0 };
         let payload = r.peek_rest();
-        if length as usize != 8 + payload.len() {
+        if length as usize != 8 + ext + payload.len() {
             return Err(CodecError::LengthOutOfRange {
                 len: length as usize,
-                max: 8 + payload.len(),
+                max: 8 + ext + payload.len(),
             });
         }
         let header = SomeIpHeader {
@@ -224,6 +265,7 @@ impl SomeIpHeader {
             interface_version,
             message_type,
             return_code,
+            trace,
         };
         Ok((header, payload))
     }
@@ -310,6 +352,46 @@ mod tests {
         let mut wire2 = h.encode(&[]);
         wire2[15] = 0x99;
         assert!(SomeIpHeader::decode(&wire2).is_err());
+    }
+
+    #[test]
+    fn traced_frame_round_trips_and_untraced_is_unchanged() {
+        let plain = SomeIpHeader::request(ServiceId(1), MethodId(2), 3, 4);
+        let traced = plain.with_trace(TraceCtx::new(0xDEAD_BEEF, 42));
+        let payload = b"ctx";
+        let wire = traced.encode(payload);
+        assert_eq!(wire.len(), HEADER_LEN + TRACE_EXT_LEN + payload.len());
+        assert_eq!(wire[14] & TRACE_FLAG, TRACE_FLAG);
+        let (decoded, p) = SomeIpHeader::decode(&wire).unwrap();
+        assert_eq!(p, payload);
+        assert_eq!(decoded.trace, TraceCtx::new(0xDEAD_BEEF, 42));
+        assert_eq!(decoded.message_type, MessageType::Request);
+        // An untraced header encodes byte-identically to the pre-extension
+        // format: no flag, no extra bytes.
+        let wire = plain.encode(payload);
+        assert_eq!(wire.len(), HEADER_LEN + payload.len());
+        assert_eq!(wire[14] & TRACE_FLAG, 0);
+        let (decoded, _) = SomeIpHeader::decode(&wire).unwrap();
+        assert_eq!(decoded.trace, TraceCtx::NONE);
+    }
+
+    #[test]
+    fn response_inherits_request_trace() {
+        let req =
+            SomeIpHeader::request(ServiceId(1), MethodId(2), 3, 4).with_trace(TraceCtx::root(77));
+        let resp = req.to_response(ReturnCode::Ok);
+        assert_eq!(resp.trace, req.trace);
+        let (decoded, _) = SomeIpHeader::decode(&resp.encode(&[])).unwrap();
+        assert_eq!(decoded.trace, req.trace);
+    }
+
+    #[test]
+    fn rejects_truncated_trace_extension() {
+        let h =
+            SomeIpHeader::request(ServiceId(1), MethodId(2), 3, 4).with_trace(TraceCtx::new(9, 9));
+        let mut wire = h.encode(&[]);
+        wire.truncate(HEADER_LEN + TRACE_EXT_LEN - 1);
+        assert!(SomeIpHeader::decode(&wire).is_err());
     }
 
     #[test]

@@ -11,6 +11,8 @@
 use crate::platform::DynamicPlatform;
 use dynplat_common::time::{SimDuration, SimTime};
 use dynplat_common::{AppId, AppKind, Asil, DegradationLevel};
+use dynplat_obs::{FlightRecorder, TraceCtx};
+use std::sync::Arc;
 
 /// Thresholds and hysteresis of the ladder.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -50,6 +52,7 @@ pub struct DegradationManager {
     level: DegradationLevel,
     below_floor_since: Option<SimTime>,
     transitions: Vec<(SimTime, DegradationLevel)>,
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl DegradationManager {
@@ -73,7 +76,16 @@ impl DegradationManager {
             level: DegradationLevel::Full,
             below_floor_since: None,
             transitions: Vec::new(),
+            flight: None,
         }
+    }
+
+    /// Attaches a flight recorder: every ladder transition lands in its
+    /// event ring (stage `core.degradation`) and, when the recorder is
+    /// armed, freezes an incident dump — a level change is exactly the
+    /// moment the preceding event window matters.
+    pub fn attach_flight_recorder(&mut self, flight: Arc<FlightRecorder>) {
+        self.flight = Some(flight);
     }
 
     /// The current level.
@@ -121,6 +133,7 @@ impl DegradationManager {
             self.below_floor_since = None;
             self.transitions.push((now, target));
             observe_transition(target);
+            self.flight_transition(now, target, pressure);
             return Some(target);
         }
         if self.level == DegradationLevel::Full {
@@ -137,6 +150,7 @@ impl DegradationManager {
                 self.below_floor_since = Some(now);
                 self.transitions.push((now, next));
                 observe_transition(next);
+                self.flight_transition(now, next, pressure);
                 return Some(next);
             }
         } else {
@@ -144,6 +158,19 @@ impl DegradationManager {
             self.below_floor_since = None;
         }
         None
+    }
+
+    fn flight_transition(&self, now: SimTime, level: DegradationLevel, pressure: f64) {
+        if let Some(fr) = &self.flight {
+            let t = now.as_nanos();
+            fr.record(
+                t,
+                TraceCtx::NONE,
+                "core.degradation",
+                format!("-> {level:?} (pressure {pressure:.3})"),
+            );
+            fr.trigger_if_armed(t, &format!("ladder transition -> {level:?}"));
+        }
     }
 
     /// Which of `apps` must be shed at the current level, NDA-first by
@@ -280,6 +307,25 @@ mod tests {
                 DegradationLevel::Degraded
             ]
         );
+    }
+
+    #[test]
+    fn ladder_transitions_freeze_flight_dumps() {
+        let flight = Arc::new(FlightRecorder::new(32));
+        flight.arm();
+        let mut m = manager();
+        m.attach_flight_recorder(flight.clone());
+        m.observe(ms(0), 0.2); // -> Degraded
+        m.observe(ms(5), 0.9); // -> LimpHome
+        let dumps = flight.dumps();
+        assert_eq!(dumps.len(), 2);
+        assert_eq!(dumps[0].reason, "ladder transition -> Degraded");
+        assert_eq!(dumps[1].reason, "ladder transition -> LimpHome");
+        // The second dump's window contains the first transition's event.
+        assert!(dumps[1]
+            .events
+            .iter()
+            .any(|e| e.stage == "core.degradation" && e.detail.contains("Degraded")));
     }
 
     #[test]

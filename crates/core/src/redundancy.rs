@@ -14,8 +14,10 @@
 
 use dynplat_common::time::{SimDuration, SimTime};
 use dynplat_common::{AppId, EcuId, InstanceId};
+use dynplat_obs::{FlightRecorder, TraceCtx};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Role of one replica in the group.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -82,6 +84,7 @@ pub struct RedundancyGroup {
     output_gap: SimDuration,
     /// Number of failovers performed.
     failovers: u32,
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl RedundancyGroup {
@@ -104,6 +107,27 @@ impl RedundancyGroup {
             master_since: SimTime::ZERO,
             output_gap: SimDuration::ZERO,
             failovers: 0,
+            flight: None,
+        }
+    }
+
+    /// Attaches a flight recorder: every promotion lands in its event ring
+    /// (stage `core.redundancy`) and, when armed, freezes an incident dump.
+    pub fn attach_flight_recorder(&mut self, flight: Arc<FlightRecorder>) {
+        self.flight = Some(flight);
+    }
+
+    fn flight_promotion(&self, now: SimTime, promoted: InstanceId) {
+        dynplat_obs::counter!("core.redundancy.failovers").inc();
+        if let Some(fr) = &self.flight {
+            let t = now.as_nanos();
+            fr.record(
+                t,
+                TraceCtx::NONE,
+                "core.redundancy",
+                format!("app {} promoted {promoted}", self.app),
+            );
+            fr.trigger_if_armed(t, &format!("failover: app {} -> {promoted}", self.app));
         }
     }
 
@@ -245,6 +269,7 @@ impl RedundancyGroup {
                 self.replicas.get_mut(&next).expect("candidate exists").role = Role::Master;
                 self.master_since = now;
                 self.failovers += 1;
+                self.flight_promotion(now, next);
                 Ok(Some(next))
             }
             None => Err(RedundancyError::AllReplicasFailed),
@@ -281,6 +306,7 @@ impl RedundancyGroup {
                 self.replicas.get_mut(&next).expect("candidate exists").role = Role::Master;
                 self.master_since = now;
                 self.failovers += 1;
+                self.flight_promotion(now, next);
                 Ok(Some(next))
             }
             None => Err(RedundancyError::AllReplicasFailed),
@@ -396,6 +422,19 @@ mod tests {
             g.heartbeat(t(0), InstanceId(9)),
             Err(RedundancyError::UnknownReplica(InstanceId(9)))
         );
+    }
+
+    #[test]
+    fn promotions_freeze_flight_dumps() {
+        let flight = Arc::new(FlightRecorder::new(16));
+        flight.arm();
+        let mut g = group_with_replicas(3);
+        g.attach_flight_recorder(flight.clone());
+        g.fail_ecu(t(5), EcuId(0)).unwrap();
+        let dumps = flight.dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].reason, "failover: app app1 -> inst1");
+        assert_eq!(dumps[0].events[0].stage, "core.redundancy");
     }
 
     #[test]

@@ -15,8 +15,10 @@ use dynplat_common::rng::{seeded_rng, split_seed, Rng, SplitMix64};
 use dynplat_common::time::{SimDuration, SimTime};
 use dynplat_common::{EcuId, TaskId};
 use dynplat_monitor::fault::{Fault, FaultKind, FaultRecorder};
+use dynplat_obs::{FlightRecorder, TraceCtx};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// Correlation ids at or above this value are fabric-internal babble load;
 /// they never appear in the deliveries returned to the caller.
@@ -149,6 +151,7 @@ pub struct FaultInjector {
     log: Vec<InjectedFault>,
     recorder: FaultRecorder,
     stats: InjectionStats,
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 /// What the injector decided for one send.
@@ -181,6 +184,7 @@ impl FaultInjector {
             log: Vec::new(),
             recorder: FaultRecorder::new(4096),
             stats: InjectionStats::default(),
+            flight: None,
             plan,
         };
         let scheduled: Vec<(SimTime, InjectedFaultKind, String)> = injector
@@ -237,6 +241,14 @@ impl FaultInjector {
         self.stats
     }
 
+    /// Attaches a flight recorder: every injection lands in its event
+    /// ring (stage `faults.inject`). Injections deliberately do *not*
+    /// trigger dumps — dumps freeze on the detection side, so the window
+    /// between cause and detection stays measurable (E13).
+    pub fn attach_flight_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        self.flight = Some(recorder);
+    }
+
     fn log_injection(&mut self, time: SimTime, kind: InjectedFaultKind, detail: String) {
         dynplat_obs::counter!("faults.injected_total").inc();
         match kind {
@@ -277,6 +289,14 @@ impl FaultInjector {
                 kind: monitor_kind,
                 detail: detail.clone(),
             });
+        }
+        if let Some(fr) = &self.flight {
+            fr.record(
+                time.as_nanos(),
+                TraceCtx::NONE,
+                "faults.inject",
+                format!("{kind}: {detail}"),
+            );
         }
         self.log.push(InjectedFault { time, kind, detail });
     }
@@ -396,6 +416,7 @@ impl FaultInjector {
                     payload: b.payload,
                     class: dynplat_net::TrafficClass::Critical,
                     priority: 0, // out-shouts everything, the point of babbling
+                    trace: TraceCtx::NONE,
                 });
                 id += 1;
                 t += b.period;
@@ -442,6 +463,13 @@ impl ChaosFabric {
     /// The injector (log, recorder, stats).
     pub fn injector(&self) -> &FaultInjector {
         &self.injector
+    }
+
+    /// Attaches a flight recorder to both the inner fabric (lifecycle
+    /// events for traced messages) and the injector (injection events).
+    pub fn attach_flight_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        self.fabric.attach_flight_recorder(recorder.clone());
+        self.injector.attach_flight_recorder(recorder);
     }
 
     fn route_of(&self, send: &MessageSend) -> Vec<dynplat_common::BusId> {
@@ -553,6 +581,7 @@ mod tests {
             payload: 200,
             class: TrafficClass::BestEffort,
             priority: 3,
+            trace: TraceCtx::NONE,
         }
     }
 

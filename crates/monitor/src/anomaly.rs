@@ -103,16 +103,22 @@ impl DriftDetector {
         }
         let deviation = sample - self.mean;
         let sigma = self.sigma();
-        // Warm-up: need a few samples before the band is meaningful.
-        let is_outlier = self.samples > 8 && sigma > 0.0 && deviation.abs() > self.sigma_k * sigma;
+        // Warm-up: need a few samples before the band is meaningful. With
+        // zero observed variance (a perfectly regular metric) any deviation
+        // beyond float noise is anomalous — the band degenerates to a
+        // relative epsilon instead of switching the check off.
+        let band = (self.sigma_k * sigma).max(self.mean.abs() * 1e-9);
+        let is_outlier = self.samples > 8 && deviation.abs() > band;
         // Update estimates (outliers included, with the same weight — a
         // persistent shift must eventually move the mean).
         self.mean += self.alpha * deviation;
         self.variance = (1.0 - self.alpha) * (self.variance + self.alpha * deviation * deviation);
         if self.mean > self.warn_fraction * self.hard_bound {
+            dynplat_obs::counter!("monitor.drift.drifting").inc();
             DriftVerdict::Drifting
         } else if is_outlier {
             self.outliers += 1;
+            dynplat_obs::counter!("monitor.drift.outliers").inc();
             DriftVerdict::Outlier
         } else {
             DriftVerdict::Normal
@@ -175,6 +181,17 @@ mod tests {
             "warning must precede the hard violation (sample {sample_at_warning})"
         );
         assert!(k > 100, "no premature warning while healthy");
+    }
+
+    #[test]
+    fn zero_variance_series_flags_any_deviation() {
+        // A deterministic platform produces byte-identical rounds; the
+        // first divergence must register even though sigma is exactly 0.
+        let mut d = DriftDetector::for_bound(100_000.0);
+        for _ in 0..20 {
+            assert_eq!(d.ingest(5_000.0), DriftVerdict::Normal);
+        }
+        assert_eq!(d.ingest(5_400.0), DriftVerdict::Outlier);
     }
 
     #[test]

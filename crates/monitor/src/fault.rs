@@ -9,7 +9,7 @@
 
 use dynplat_common::time::SimTime;
 use dynplat_common::TaskId;
-use dynplat_obs::{Counter, MetricsRegistry};
+use dynplat_obs::{Counter, FlightRecorder, MetricsRegistry, TraceCtx};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -107,6 +107,7 @@ pub struct FaultRecorder {
     faults: Vec<Fault>,
     registry: Arc<MetricsRegistry>,
     counters: [Arc<Counter>; FaultKind::ALL.len()],
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl FaultRecorder {
@@ -136,7 +137,18 @@ impl FaultRecorder {
             faults: Vec::new(),
             registry,
             counters,
+            flight: None,
         }
+    }
+
+    /// Attaches a flight recorder. Every recorded fault lands in its
+    /// event ring (stage `monitor.fault`), and — because detection is the
+    /// moment a black box should freeze — fires
+    /// [`FlightRecorder::trigger_if_armed`] with the fault as the reason.
+    #[must_use]
+    pub fn with_flight(mut self, flight: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(flight);
+        self
     }
 
     /// The registry this recorder counts into.
@@ -147,6 +159,16 @@ impl FaultRecorder {
     /// Records a fault.
     pub fn record(&mut self, fault: Fault) {
         self.counters[fault.kind as usize].inc();
+        if let Some(fr) = &self.flight {
+            let t = fault.time.as_nanos();
+            fr.record(
+                t,
+                TraceCtx::NONE,
+                "monitor.fault",
+                format!("{}: {}", fault.kind, fault.detail),
+            );
+            fr.trigger_if_armed(t, &format!("fault detected: {}", fault.kind));
+        }
         self.faults.push(fault);
         if self.faults.len() > self.capacity {
             let excess = self.faults.len() - self.capacity;
@@ -245,5 +267,25 @@ mod tests {
     #[should_panic(expected = "capacity must be non-zero")]
     fn zero_capacity_panics() {
         FaultRecorder::new(0);
+    }
+
+    #[test]
+    fn flight_recorder_sees_faults_and_armed_trigger_freezes_a_dump() {
+        let flight = Arc::new(FlightRecorder::new(64));
+        flight.arm();
+        let mut r = FaultRecorder::new(10).with_flight(flight.clone());
+        r.record(fault(5, FaultKind::MessageLoss));
+        let dumps = flight.dumps();
+        assert_eq!(dumps.len(), 1, "armed trigger freezes exactly one dump");
+        assert_eq!(dumps[0].reason, "fault detected: message loss");
+        assert_eq!(dumps[0].time_ns, SimTime::from_millis(5).as_nanos());
+        assert_eq!(dumps[0].events.len(), 1);
+        assert_eq!(dumps[0].events[0].stage, "monitor.fault");
+        // Disarmed means disabled: further faults leave no flight trace.
+        flight.disarm();
+        r.record(fault(6, FaultKind::DeadlineMiss));
+        assert_eq!(flight.dumps().len(), 1);
+        assert_eq!(flight.total_events(), 1);
+        assert_eq!(r.total(), 2, "the fault counters still see everything");
     }
 }

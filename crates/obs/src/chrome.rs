@@ -1,0 +1,112 @@
+//! Chrome-trace-format export for span trees.
+//!
+//! Emits the `chrome://tracing` / Perfetto "JSON array" flavor: one
+//! complete event (`"ph": "X"`) per finished span, with the span tree
+//! recoverable from the `args.id` / `args.parent` pair. Timestamps are
+//! the tracer's logical ticks (the format calls the field microseconds;
+//! for a deterministic logical clock the unit is ticks — relative
+//! ordering and nesting render identically).
+
+use std::fmt::Write as _;
+
+use crate::json;
+use crate::span::{SpanRecord, Tracer};
+
+/// Encodes finished spans as a Chrome-trace JSON array.
+///
+/// # Examples
+///
+/// ```
+/// use dynplat_obs::Tracer;
+///
+/// let t = Tracer::new(8);
+/// t.in_span("campaign", || t.in_span("wave", || {}));
+/// let trace = dynplat_obs::chrome::to_chrome_trace(&t.finished());
+/// assert!(trace.starts_with('['));
+/// assert!(trace.contains("\"ph\": \"X\""));
+/// ```
+pub fn to_chrome_trace(records: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    out.push('[');
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  {{\"name\": \"{}\", \"cat\": \"span\", \"ph\": \"X\", \
+             \"ts\": {}, \"dur\": {}, \"pid\": 0, \"tid\": 0, \
+             \"args\": {{\"id\": {}, \"parent\": {}}}}}",
+            json::escape(r.name),
+            r.start,
+            r.ticks(),
+            r.id,
+            r.parent
+                .map_or_else(|| "null".to_owned(), |p| p.to_string()),
+        );
+    }
+    out.push_str(if records.is_empty() { "]\n" } else { "\n]\n" });
+    out
+}
+
+impl Tracer {
+    /// The retained spans as a Chrome-trace JSON array (see
+    /// [`to_chrome_trace`]).
+    pub fn to_chrome_trace(&self) -> String {
+        to_chrome_trace(&self.finished())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    #[test]
+    fn empty_trace_is_an_empty_array() {
+        let doc = json::parse(&to_chrome_trace(&[])).expect("valid json");
+        assert_eq!(doc.as_array().map(<[JsonValue]>::len), Some(0));
+    }
+
+    #[test]
+    fn events_carry_span_tree_and_escape_names() {
+        let records = vec![
+            SpanRecord {
+                id: 0,
+                parent: None,
+                name: "outer \"quoted\"",
+                start: 0,
+                end: 3,
+            },
+            SpanRecord {
+                id: 1,
+                parent: Some(0),
+                name: "inner",
+                start: 1,
+                end: 2,
+            },
+        ];
+        let doc = json::parse(&to_chrome_trace(&records)).expect("valid json");
+        let events = doc.as_array().expect("array");
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0].get("name").and_then(|v| v.as_str()),
+            Some("outer \"quoted\"")
+        );
+        assert_eq!(events[0].get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert_eq!(events[0].get("dur").and_then(|v| v.as_u64()), Some(3));
+        let args = events[1].get("args").expect("args");
+        assert_eq!(args.get("parent").and_then(|v| v.as_u64()), Some(0));
+        assert!(matches!(
+            events[0].get("args").and_then(|a| a.get("parent")),
+            Some(JsonValue::Null)
+        ));
+    }
+
+    #[test]
+    fn tracer_method_matches_free_function() {
+        let t = Tracer::new(8);
+        t.in_span("a", || {});
+        assert_eq!(t.to_chrome_trace(), to_chrome_trace(&t.finished()));
+    }
+}

@@ -32,19 +32,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod json;
 pub mod metrics;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 pub use metrics::{bucket_bounds, Counter, Gauge, Histogram, MetricsRegistry, BUCKET_COUNT};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot, SNAPSHOT_SCHEMA};
-pub use span::{SpanGuard, SpanRecord, Tracer};
+pub use span::{parse_dump, ParsedSpan, SpanGuard, SpanRecord, Tracer};
+pub use trace::{FlightDump, FlightRecorder, TraceCtx, TraceEvent, FLIGHT_SCHEMA};
 
 use std::sync::{Arc, OnceLock};
 
 static GLOBAL: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
 static GLOBAL_TRACER: OnceLock<Tracer> = OnceLock::new();
+static GLOBAL_FLIGHT: OnceLock<Arc<FlightRecorder>> = OnceLock::new();
 
 /// The process-wide registry every instrumented crate emits into.
 pub fn global() -> &'static MetricsRegistry {
@@ -60,6 +64,14 @@ pub fn global_arc() -> &'static Arc<MetricsRegistry> {
 /// The process-wide tracer (ring capacity 4096).
 pub fn tracer() -> &'static Tracer {
     GLOBAL_TRACER.get_or_init(|| Tracer::new(4096))
+}
+
+/// The process-wide flight recorder (ring capacity 4096, snapshots the
+/// [`global`] registry). Disabled until [`FlightRecorder::arm`] is
+/// called, so instrumented hot paths pay one atomic load by default.
+pub fn flight_recorder() -> &'static Arc<FlightRecorder> {
+    GLOBAL_FLIGHT
+        .get_or_init(|| Arc::new(FlightRecorder::with_registry(4096, global_arc().clone())))
 }
 
 /// Resolves a counter in the [`global`] registry, caching the handle in a

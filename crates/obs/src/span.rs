@@ -14,6 +14,8 @@ use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::json::{self, JsonValue};
+
 /// One finished span.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SpanRecord {
@@ -165,14 +167,22 @@ impl Tracer {
     }
 
     /// A plain-text dump of the retained spans, one per line:
-    /// `name id parent start end`.
+    /// `"name" id parent start end`, where `name` is JSON-escaped (so
+    /// names containing spaces, quotes or newlines stay one unambiguous
+    /// line) and `parent` is a span id or `-` for roots.
+    ///
+    /// [`parse_dump`] inverts this exactly.
     pub fn dump(&self) -> String {
         let mut out = String::new();
         for r in self.finished() {
             let parent = r.parent.map_or_else(|| "-".to_owned(), |p| p.to_string());
             out.push_str(&format!(
-                "{} {} {} {} {}\n",
-                r.name, r.id, parent, r.start, r.end
+                "\"{}\" {} {} {} {}\n",
+                json::escape(r.name),
+                r.id,
+                parent,
+                r.start,
+                r.end
             ));
         }
         out
@@ -199,6 +209,85 @@ impl Tracer {
             end,
         });
     }
+}
+
+/// One span parsed back from a [`Tracer::dump`] line. Mirrors
+/// [`SpanRecord`] with an owned name (the original `&'static str` cannot
+/// be reconstructed from text).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedSpan {
+    /// Unique id within the tracer.
+    pub id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Span name, unescaped.
+    pub name: String,
+    /// Logical tick at entry.
+    pub start: u64,
+    /// Logical tick at exit.
+    pub end: u64,
+}
+
+/// Parses a [`Tracer::dump`] back into spans.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+///
+/// # Examples
+///
+/// ```
+/// use dynplat_obs::{span::parse_dump, Tracer};
+///
+/// let t = Tracer::new(8);
+/// t.in_span("a name with spaces", || {});
+/// let spans = parse_dump(&t.dump()).unwrap();
+/// assert_eq!(spans[0].name, "a name with spaces");
+/// ```
+pub fn parse_dump(dump: &str) -> Result<Vec<ParsedSpan>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in dump.lines().enumerate() {
+        let bad = |what: &str| format!("line {}: {what}: {line:?}", lineno + 1);
+        if !line.starts_with('"') {
+            return Err(bad("expected quoted span name"));
+        }
+        // Find the closing quote, honoring backslash escapes.
+        let mut close = None;
+        let mut escaped = false;
+        for (i, c) in line.char_indices().skip(1) {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                close = Some(i);
+                break;
+            }
+        }
+        let close = close.ok_or_else(|| bad("unterminated span name"))?;
+        let name = match json::parse(&line[..=close]) {
+            Ok(JsonValue::Str(s)) => s,
+            _ => return Err(bad("invalid name escape")),
+        };
+        let fields: Vec<&str> = line[close + 1..].split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(bad("expected `id parent start end` after name"));
+        }
+        let num = |s: &str, what: &str| -> Result<u64, String> { s.parse().map_err(|_| bad(what)) };
+        let parent = if fields[1] == "-" {
+            None
+        } else {
+            Some(num(fields[1], "invalid parent id")?)
+        };
+        out.push(ParsedSpan {
+            id: num(fields[0], "invalid span id")?,
+            parent,
+            name,
+            start: num(fields[2], "invalid start tick")?,
+            end: num(fields[3], "invalid end tick")?,
+        });
+    }
+    Ok(out)
 }
 
 /// RAII guard of an open span.
@@ -300,7 +389,44 @@ mod tests {
         let v = t.in_span("compute", || 41 + 1);
         assert_eq!(v, 42);
         let dump = t.dump();
-        assert!(dump.starts_with("compute 0 - 0 1"), "got {dump:?}");
+        assert!(dump.starts_with("\"compute\" 0 - 0 1"), "got {dump:?}");
+    }
+
+    #[test]
+    fn dump_round_trips_hostile_names_and_parents() {
+        let t = Tracer::new(8);
+        t.in_span("name with spaces", || {
+            t.in_span("quoted \"inner\" name", || {});
+            t.in_span("multi\nline\tname", || {});
+        });
+        let parsed = parse_dump(&t.dump()).expect("parse");
+        let finished = t.finished();
+        assert_eq!(parsed.len(), finished.len());
+        for (p, r) in parsed.iter().zip(&finished) {
+            assert_eq!(p.name, r.name);
+            assert_eq!(p.id, r.id);
+            assert_eq!(p.parent, r.parent);
+            assert_eq!(p.start, r.start);
+            assert_eq!(p.end, r.end);
+        }
+        // Nesting is unambiguous: both children name the outer span.
+        let outer = parsed
+            .iter()
+            .find(|p| p.name == "name with spaces")
+            .unwrap();
+        assert_eq!(
+            parsed.iter().filter(|p| p.parent == Some(outer.id)).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn parse_dump_rejects_malformed_lines() {
+        assert!(parse_dump("compute 0 - 0 1\n").is_err()); // pre-escape format
+        assert!(parse_dump("\"unterminated 0 - 0 1\n").is_err());
+        assert!(parse_dump("\"a\" 0 - 0\n").is_err()); // missing field
+        assert!(parse_dump("\"a\" 0 x 0 1\n").is_err()); // bad parent
+        assert!(parse_dump("").unwrap().is_empty());
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Property test: the Prometheus and JSON snapshot codecs agree.
+//!
+//! For randomized registries, every value that both encodings carry —
+//! counter totals, gauge levels, histogram bucket counts, sums and counts
+//! — must parse back identical from the Prometheus text and the JSON
+//! document. The JSON side is held to the stronger bar (lossless
+//! round-trip); the Prometheus side is decoded by reversing its
+//! cumulative-bucket encoding.
+
+use std::collections::BTreeMap;
+
+use dynplat_common::rng::{seeded_rng, split_seed, Rng};
+use dynplat_obs::{MetricsRegistry, MetricsSnapshot};
+
+/// Registry names are `&'static str`, so randomized registries draw from
+/// static pools. Prefixes keep the sanitized Prometheus names (and the
+/// counter `_total` suffix) collision-free across metric types.
+const COUNTER_NAMES: [&str; 6] = [
+    "ctr.alpha",
+    "ctr.beta",
+    "ctr.gamma:sub",
+    "ctr.delta-dash",
+    "ctr.epsilon",
+    "ctr.zeta.deep.path",
+];
+const GAUGE_NAMES: [&str; 5] = [
+    "gga.alpha",
+    "gga.beta",
+    "gga.gamma",
+    "gga.delta space",
+    "gga.epsilon",
+];
+const HISTOGRAM_NAMES: [&str; 4] = ["hst.alpha", "hst.beta", "hst.gamma", "hst.delta"];
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn random_registry(seed: u64) -> MetricsRegistry {
+    let registry = MetricsRegistry::new();
+    let mut rng = seeded_rng(seed);
+    for name in COUNTER_NAMES {
+        if rng.gen_bool(0.7) {
+            registry.counter(name).add(rng.gen_range(0..1_000_000u64));
+        }
+    }
+    for name in GAUGE_NAMES {
+        if rng.gen_bool(0.7) {
+            registry
+                .gauge(name)
+                .set(rng.gen_range(-1_000_000..1_000_000i64));
+        }
+    }
+    for name in HISTOGRAM_NAMES {
+        if !rng.gen_bool(0.8) {
+            continue;
+        }
+        let h = registry.histogram(name);
+        for _ in 0..rng.gen_range(0..200u32) {
+            // Spread over every magnitude, including the overflow bucket.
+            let magnitude = rng.gen_range(0..20u32);
+            let value = if magnitude == 19 {
+                u64::MAX - rng.gen_range(0..1_000u64)
+            } else {
+                rng.gen_range(0..10u64.pow(magnitude.min(18)).max(1))
+            };
+            h.record(value);
+        }
+    }
+    registry
+}
+
+/// Parses Prometheus text exposition into `metric line key -> value`,
+/// e.g. `ctr_alpha_total -> 42`, `hst_beta_bucket{le="10"} -> 3`.
+fn parse_prometheus(text: &str) -> BTreeMap<String, i128> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let (key, value) = line.rsplit_once(' ').expect("metric line has a value");
+        let parsed: i128 = value.parse().expect("numeric sample value");
+        assert!(
+            out.insert(key.to_owned(), parsed).is_none(),
+            "duplicate exposition key {key}"
+        );
+    }
+    out
+}
+
+/// Asserts every shared value matches between `snap` and its Prometheus
+/// exposition.
+fn assert_prometheus_agrees(snap: &MetricsSnapshot, prom: &BTreeMap<String, i128>) {
+    for (name, value) in &snap.counters {
+        let key = format!("{}_total", sanitize(name));
+        assert_eq!(prom.get(&key), Some(&i128::from(*value)), "counter {name}");
+    }
+    for (name, value) in &snap.gauges {
+        let key = sanitize(name);
+        assert_eq!(prom.get(&key), Some(&i128::from(*value)), "gauge {name}");
+    }
+    for (name, h) in &snap.histograms {
+        let n = sanitize(name);
+        assert_eq!(
+            prom.get(&format!("{n}_sum")),
+            Some(&i128::from(h.sum)),
+            "histogram {name} sum"
+        );
+        assert_eq!(
+            prom.get(&format!("{n}_count")),
+            Some(&i128::from(h.count)),
+            "histogram {name} count"
+        );
+        assert_eq!(
+            prom.get(&format!("{n}_bucket{{le=\"+Inf\"}}")),
+            Some(&i128::from(h.count)),
+            "histogram {name} +Inf"
+        );
+        // Reverse the cumulative encoding bucket by bucket. The overflow
+        // bucket (bound u64::MAX) is folded into +Inf by the encoder, so
+        // its count must equal what +Inf adds beyond the last finite row.
+        let mut acc: u64 = 0;
+        let mut finite_total: u64 = 0;
+        for (bound, count) in &h.buckets {
+            if *bound == u64::MAX {
+                assert_eq!(
+                    h.count - finite_total,
+                    *count,
+                    "histogram {name} overflow bucket"
+                );
+                continue;
+            }
+            acc += count;
+            finite_total += count;
+            assert_eq!(
+                prom.get(&format!("{n}_bucket{{le=\"{bound}\"}}")),
+                Some(&i128::from(acc)),
+                "histogram {name} bucket le={bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn prometheus_and_json_codecs_agree_on_random_registries() {
+    let root = 0xC0DEC_A62EEu64;
+    for case in 0..64u64 {
+        let registry = random_registry(split_seed(root, case));
+        let snap = registry.snapshot();
+
+        // JSON must round-trip losslessly…
+        let decoded = MetricsSnapshot::from_json(&snap.to_json())
+            .unwrap_or_else(|e| panic!("case {case}: json round-trip failed: {e}"));
+        assert_eq!(decoded, snap, "case {case}: json decode diverged");
+
+        // …and the Prometheus exposition must agree with it value for
+        // value, on both the original and the round-tripped snapshot.
+        let prom = parse_prometheus(&snap.to_prometheus());
+        assert_prometheus_agrees(&snap, &prom);
+        assert_prometheus_agrees(&decoded, &prom);
+        assert_eq!(decoded.to_prometheus(), snap.to_prometheus());
+    }
+}
+
+#[test]
+fn codecs_agree_on_the_empty_registry() {
+    let snap = MetricsRegistry::new().snapshot();
+    assert!(snap.to_prometheus().is_empty());
+    let decoded = MetricsSnapshot::from_json(&snap.to_json()).expect("round-trip");
+    assert_eq!(decoded, snap);
+}

@@ -24,6 +24,7 @@ use crate::tt::TtSchedule;
 use dynplat_common::rng::seeded_rng;
 use dynplat_common::time::{SimDuration, SimTime};
 use dynplat_common::{AppKind, TaskId};
+use dynplat_obs::TraceCtx;
 use dynplat_sim::jitter::ExecutionModel;
 
 /// Scheduling policy under simulation.
@@ -52,6 +53,11 @@ pub struct SchedSimConfig {
     pub exec_sigma: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Causal context of the run. When active (and the global flight
+    /// recorder is enabled), dispatch-level incidents — deadline misses —
+    /// are recorded as children of this context, tying scheduler behavior
+    /// into the same trace as the messages that drove it.
+    pub trace: TraceCtx,
 }
 
 impl Default for SchedSimConfig {
@@ -61,6 +67,7 @@ impl Default for SchedSimConfig {
             bcet_frac: 0.7,
             exec_sigma: 0.1,
             seed: 1,
+            trace: TraceCtx::NONE,
         }
     }
 }
@@ -197,7 +204,8 @@ fn generate_jobs(set: &TaskSet, cfg: &SchedSimConfig) -> Vec<Job> {
     jobs
 }
 
-fn collect_stats(set: &TaskSet, jobs: &[Job], horizon: SimTime) -> SchedStats {
+fn collect_stats(set: &TaskSet, jobs: &[Job], horizon: SimTime, trace: TraceCtx) -> SchedStats {
+    let flight = dynplat_obs::flight_recorder();
     let obs_activations = dynplat_obs::counter!("sched.dispatch.activations");
     let obs_completions = dynplat_obs::counter!("sched.dispatch.completions");
     let obs_misses = dynplat_obs::counter!("sched.dispatch.deadline_misses");
@@ -215,7 +223,7 @@ fn collect_stats(set: &TaskSet, jobs: &[Job], horizon: SimTime) -> SchedStats {
             let mut rmax = SimDuration::ZERO;
             let mut rsum = SimDuration::ZERO;
             for job in &mine {
-                match job.completed {
+                let missed_at = match job.completed {
                     Some(t) => {
                         completions += 1;
                         let resp = t.saturating_since(job.release);
@@ -224,14 +232,26 @@ fn collect_stats(set: &TaskSet, jobs: &[Job], horizon: SimTime) -> SchedStats {
                         rmin = rmin.min(resp);
                         rmax = rmax.max(resp);
                         rsum += resp;
-                        if t > job.deadline {
-                            misses += 1;
-                        }
+                        (t > job.deadline).then_some(t)
                     }
-                    None => {
-                        if job.deadline <= horizon {
-                            misses += 1;
-                        }
+                    None => (job.deadline <= horizon).then_some(job.deadline),
+                };
+                if let Some(at) = missed_at {
+                    misses += 1;
+                    if flight.is_enabled() {
+                        let ctx = if trace.is_active() {
+                            trace.child(job.index_in_task)
+                        } else {
+                            TraceCtx::NONE
+                        };
+                        let t = at.as_nanos();
+                        flight.record(
+                            t,
+                            ctx,
+                            "sched.deadline_miss",
+                            format!("task {} job {}", task.id, job.index_in_task),
+                        );
+                        flight.trigger_if_armed(t, &format!("deadline miss: task {}", task.id));
                     }
                 }
             }
@@ -538,7 +558,7 @@ pub fn simulate_schedule(set: &TaskSet, policy: &Policy, cfg: &SchedSimConfig) -
             }
         }
     }
-    collect_stats(set, &jobs, horizon)
+    collect_stats(set, &jobs, horizon, cfg.trace)
 }
 
 #[cfg(test)]
@@ -662,6 +682,7 @@ mod tests {
                 bcet_frac: 1.0,
                 exec_sigma: 0.0,
                 seed: 7,
+                trace: TraceCtx::NONE,
             },
         );
         for (r, s) in rts.iter().zip(&stats.tasks) {

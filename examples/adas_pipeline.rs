@@ -15,6 +15,7 @@ use dynplat::common::{BusId, EcuId};
 use dynplat::hw::ecu::{EcuClass, EcuSpec};
 use dynplat::hw::topology::{BusKind, BusSpec, HwTopology};
 use dynplat::net::{GateControlList, TrafficClass};
+use dynplat::obs::TraceCtx;
 
 fn topology() -> HwTopology {
     HwTopology::from_parts(
@@ -46,6 +47,7 @@ fn bulk_traffic(n: u64) -> Vec<MessageSend> {
             payload: 1500,
             class: TrafficClass::BestEffort,
             priority: 6,
+            trace: TraceCtx::NONE,
         })
         .collect()
 }
@@ -60,6 +62,7 @@ fn brake_commands(n: u64) -> Vec<MessageSend> {
             payload: 32,
             class: TrafficClass::Critical,
             priority: 0,
+            trace: TraceCtx::NONE,
         })
         .collect()
 }
@@ -75,6 +78,7 @@ fn run_scenario(label: &str, fabric: &mut Fabric) {
         dst: EcuId(1),
         class: TrafficClass::Stream,
         priority: 3,
+        trace: TraceCtx::NONE,
     };
     let stream_stats = run_stream(fabric, &stream);
 
@@ -89,6 +93,7 @@ fn run_scenario(label: &str, fabric: &mut Fabric) {
             processing: SimDuration::from_micros(400),
             class: TrafficClass::Stream,
             priority: 2,
+            trace: TraceCtx::NONE,
         })
         .collect();
     let rpc_stats = run_rpc(fabric, &calls);

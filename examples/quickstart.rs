@@ -13,6 +13,7 @@ use dynplat::core::DynamicPlatform;
 use dynplat::hw::ecu::{EcuClass, EcuSpec};
 use dynplat::model::ir::{AppModel, ConsumedPort, PortKind};
 use dynplat::net::TrafficClass;
+use dynplat::obs::TraceCtx;
 use dynplat::security::authz::{AccessControlMatrix, Permission};
 use dynplat::security::package::{KeyRegistry, SignedPackage, UpdatePackage, Version};
 use dynplat::security::sign::KeyPair;
@@ -108,6 +109,7 @@ fn main() {
             payload: 16,
             class: TrafficClass::Critical,
             priority: 1,
+            trace: TraceCtx::NONE,
         })
         .collect();
     let deliveries = bus.publish_all(&publications);

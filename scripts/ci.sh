@@ -25,4 +25,8 @@ echo "==> perf smoke gate (bench vs BENCH_baseline.json)"
 cargo run --release -p dynplat-bench --bin bench -- \
   --quick --out BENCH_snapshot.json --check BENCH_baseline.json >/dev/null
 
+echo "==> e13 detection-latency smoke (tiny horizon)"
+cargo run --release -p dynplat-bench --bin e13_detection_latency -- \
+  --horizon-ms 3000 --dump FLIGHT_e13.json >/dev/null
+
 echo "==> ci.sh: all green"

@@ -1,0 +1,83 @@
+//! E13 integration: detection latency is finite and seed-deterministic.
+//!
+//! The experiment's acceptance bar: under a fixed seed, every injected
+//! fault kind in the scenario set yields a finite latency from injection
+//! to detection — both for the RTT drift detector and for the flight
+//! recorder's frozen incident dump — and the whole table is bit-identical
+//! across runs.
+
+use dynplat::common::time::{SimDuration, SimTime};
+use dynplat_bench::detect::{run_all, scenarios};
+
+const SEED: u64 = 0xE13_5EED;
+const HORIZON_MS: u64 = 2_000;
+
+fn horizon() -> SimDuration {
+    SimDuration::from_millis(HORIZON_MS)
+}
+
+#[test]
+fn every_fault_kind_has_finite_detection_latency() {
+    let outcomes = run_all(SEED, horizon());
+    assert_eq!(outcomes.len(), scenarios().len());
+    for out in &outcomes {
+        assert!(
+            out.t_inject.is_some(),
+            "{}: the plan never injected its own kind",
+            out.name
+        );
+        assert!(
+            out.capture_latency.is_some(),
+            "{}: no flight dump froze after injection",
+            out.name
+        );
+        assert!(
+            out.drift_latency.is_some(),
+            "{}: the RTT drift detector never raised a verdict",
+            out.name
+        );
+        assert!(out.injections >= 1, "{}: zero injections", out.name);
+        assert!(!out.dumps.is_empty(), "{}: dump list empty", out.name);
+    }
+}
+
+#[test]
+fn the_table_is_deterministic_under_a_fixed_seed() {
+    let a: Vec<Vec<String>> = run_all(SEED, horizon()).iter().map(|o| o.row()).collect();
+    let b: Vec<Vec<String>> = run_all(SEED, horizon()).iter().map(|o| o.row()).collect();
+    assert_eq!(
+        a, b,
+        "two runs under the same seed must agree cell for cell"
+    );
+}
+
+#[test]
+fn frozen_dumps_carry_the_incident_context() {
+    let outcomes = run_all(SEED, horizon());
+    for out in &outcomes {
+        let dump = &out.dumps[0];
+        assert!(
+            !dump.reason.is_empty(),
+            "{}: dump without a reason",
+            out.name
+        );
+        assert!(
+            !dump.events.is_empty(),
+            "{}: dump without ring events",
+            out.name
+        );
+        // The dump freezes at (or after) the first injection of the kind.
+        let t0 = out.t_inject.unwrap();
+        assert!(
+            SimTime::from_nanos(dump.time_ns) >= t0,
+            "{}: dump predates the injection",
+            out.name
+        );
+        let json = dump.to_json();
+        assert!(
+            json.contains("dynplat.flight.v1"),
+            "{}: schema tag",
+            out.name
+        );
+    }
+}

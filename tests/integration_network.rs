@@ -9,6 +9,7 @@ use dynplat::hw::ecu::{EcuClass, EcuSpec};
 use dynplat::hw::topology::{BusKind, BusSpec, HwTopology};
 use dynplat::net::can::{can_frame_time, CanAnalysis, CanMessageSpec};
 use dynplat::net::{GateControlList, TrafficClass};
+use dynplat::obs::TraceCtx;
 
 fn mixed_topology() -> HwTopology {
     HwTopology::from_parts(
@@ -45,6 +46,7 @@ fn fabric_can_latency_matches_frame_arithmetic() {
             payload: 8,
             class: TrafficClass::Critical,
             priority: 1,
+            trace: TraceCtx::NONE,
         }],
         |_| vec![],
     );
@@ -79,6 +81,7 @@ fn fabric_respects_can_wcrt_analysis_under_periodic_load() {
                 payload: spec.payload,
                 class: TrafficClass::Critical,
                 priority: spec.id.raw(),
+                trace: TraceCtx::NONE,
             });
             id_of_flow.push((uid, spec.id));
             uid += 1;
@@ -117,6 +120,7 @@ fn gateway_path_adds_store_and_forward() {
         payload: 8,
         class: TrafficClass::BestEffort,
         priority: 1,
+        trace: TraceCtx::NONE,
     };
     let one_hop = direct.run(vec![send(1)], |_| vec![])[0].latency();
     let two_hop = routed.run(vec![send(2)], |_| vec![])[0].latency();
@@ -135,6 +139,7 @@ fn rpc_across_the_gateway_round_trips() {
         processing: SimDuration::from_micros(200),
         class: TrafficClass::BestEffort,
         priority: 1,
+        trace: TraceCtx::NONE,
     }];
     let stats = run_rpc(&mut fabric, &calls);
     assert_eq!(stats.len(), 1);
@@ -169,6 +174,7 @@ fn tsn_swap_changes_best_effort_but_not_critical_behavior() {
         dst: EcuId(1),
         class: TrafficClass::BestEffort,
         priority: 6,
+        trace: TraceCtx::NONE,
     };
     let mut plain = Fabric::new(topo.clone());
     let plain_stats = run_stream(&mut plain, &stream);
@@ -202,6 +208,7 @@ fn deliveries_are_deterministic() {
                 payload: 64 + (i as usize % 512),
                 class: TrafficClass::BestEffort,
                 priority: (i % 5) as u32,
+                trace: TraceCtx::NONE,
             })
             .collect();
         fabric.run(sends, |_| vec![])

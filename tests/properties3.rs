@@ -20,6 +20,7 @@ use dynplat::hw::ecu::{EcuClass, EcuSpec};
 use dynplat::hw::routes::RouteCache;
 use dynplat::hw::topology::{BusKind, BusSpec, HwTopology, TopologyError};
 use dynplat::net::TrafficClass;
+use dynplat::obs::TraceCtx;
 
 const SUITE_SEED: u64 = 0x5EED_0003;
 const CASES: u64 = 48;
@@ -127,6 +128,7 @@ fn fabric_routing_matches_bfs_reachability_after_port_swaps() {
                     payload: rng.gen_range(1..257) as usize,
                     class: TrafficClass::BestEffort,
                     priority: rng.gen_range(0..8) as u32,
+                    trace: TraceCtx::NONE,
                 })
                 .collect();
             let endpoints: std::collections::BTreeMap<u64, (EcuId, EcuId)> =
@@ -178,6 +180,7 @@ fn fabric_conserves_messages_under_randomized_load() {
                 payload: rng.gen_range(1..129) as usize,
                 class: TrafficClass::BestEffort,
                 priority: rng.gen_range(0..8) as u32,
+                trace: TraceCtx::NONE,
             })
             .collect();
 
@@ -202,6 +205,7 @@ fn fabric_conserves_messages_under_randomized_load() {
                     payload: 64,
                     class: TrafficClass::BestEffort,
                     priority: 3,
+                    trace: TraceCtx::NONE,
                 };
                 injected.push(follow.clone());
                 vec![follow]
