@@ -70,6 +70,12 @@ pub struct CampaignConfig {
     pub breaker_threshold: u32,
     /// Breaker open-state cooldown.
     pub breaker_cooldown: SimDuration,
+    /// When a breaker trip finds no alternate provider, keep the breaker
+    /// *open* instead of resetting it: DA rounds stop transmitting until
+    /// the cool-down admits a half-open probe, exercising the full
+    /// Open → HalfOpen → Closed recovery cycle. Off by default (legacy
+    /// behavior: reset and keep hammering).
+    pub hold_breaker_when_isolated: bool,
 }
 
 impl CampaignConfig {
@@ -89,6 +95,7 @@ impl CampaignConfig {
             degradation: DegradationConfig::default(),
             breaker_threshold: 3,
             breaker_cooldown: SimDuration::from_millis(100),
+            hold_breaker_when_isolated: false,
         }
     }
 }
@@ -262,6 +269,12 @@ pub struct CampaignOutcome {
     /// control-loop RTT (missed rounds count as the deadline), in time
     /// order.
     pub drift_verdicts: Vec<(SimTime, DriftVerdict)>,
+    /// Per-window fault pressure `(window end, attempt-loss ratio)` — the
+    /// exact series the ladder observed, and the raw material the E14
+    /// threshold-vs-uncertainty comparison replays.
+    pub pressures: Vec<(SimTime, f64)>,
+    /// Half-open probes the DA breaker admitted over the campaign.
+    pub breaker_probes: u64,
 }
 
 /// Runs one campaign to completion.
@@ -373,6 +386,10 @@ pub fn run_campaign_traced(
         report: DiagnosticReport::capture(VehicleId(1), SimTime::ZERO, &[], Vec::new()),
     };
     let mut streak_start: Option<SimTime> = None;
+    let mut pressures: Vec<(SimTime, f64)> = Vec::new();
+    // The breaker object is replaced on rebind/reset; accumulate its
+    // half-open probe count across generations.
+    let mut breaker_probes = 0u64;
 
     let rounds_total = cfg.horizon / cfg.period;
     let windows = cfg.horizon.as_nanos().div_ceil(cfg.window.as_nanos());
@@ -395,6 +412,14 @@ pub fn run_campaign_traced(
                 if !ladder.admits(app.kind, app.asil) {
                     summary.nda_shed += 1;
                     summary.nda_rounds += 1;
+                    continue;
+                }
+                if is_da && cfg.hold_breaker_when_isolated && !breaker.allows(t0) {
+                    // Circuit open with nowhere to fail over: the round is
+                    // still planned (and will be charged as a miss) but
+                    // nothing is transmitted until the cool-down admits a
+                    // half-open probe.
+                    rounds.insert((r, app.idx), (t0 + cfg.deadline, is_da));
                     continue;
                 }
                 let round_seed = split_seed(split_seed(cfg.seed, 0x100 + app.idx), r);
@@ -514,6 +539,9 @@ pub fn run_campaign_traced(
                         bound = instance;
                         bound_host = host;
                         summary.failovers += 1;
+                        // Fresh provider, fresh breaker.
+                        breaker_probes += breaker.probes();
+                        breaker = CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown);
                     } else {
                         // Nowhere to go: restore the offer and keep trying.
                         directory.apply(
@@ -525,8 +553,12 @@ pub fn run_campaign_traced(
                                 ttl: offer_ttl,
                             },
                         );
+                        if !cfg.hold_breaker_when_isolated {
+                            breaker_probes += breaker.probes();
+                            breaker =
+                                CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown);
+                        }
                     }
-                    breaker = CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown);
                     streak_start = None;
                 }
             } else {
@@ -539,9 +571,11 @@ pub fn run_campaign_traced(
 
         // Attempt-level loss fraction is the ladder's fault pressure.
         let pressure = ratio(window_lost, window_attempts);
+        pressures.push((w_end, pressure));
         ladder.observe(w_end, pressure);
         directory.expire(w_end);
     }
+    breaker_probes += breaker.probes();
 
     summary.transitions = ladder.transitions().to_vec();
     summary.worst_level = summary
@@ -564,6 +598,8 @@ pub fn run_campaign_traced(
         summary,
         injections: chaos.injector().log().to_vec(),
         drift_verdicts,
+        pressures,
+        breaker_probes,
     }
 }
 

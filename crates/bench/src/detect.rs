@@ -51,13 +51,15 @@ pub struct DetectionScenario {
     breaker_threshold: Option<u32>,
 }
 
-/// Scheduled faults switch on at one third of the horizon…
-fn onset(horizon: SimDuration) -> SimTime {
+/// Scheduled faults switch on at one third of the horizon… (shared with
+/// the E14 adaptation experiment, which reuses this harness's fault
+/// placement so latencies are comparable across experiments).
+pub fn onset(horizon: SimDuration) -> SimTime {
     SimTime::ZERO + horizon / 3
 }
 
 /// …and off at two thirds, leaving room for recovery.
-fn offset(horizon: SimDuration) -> SimTime {
+pub fn offset(horizon: SimDuration) -> SimTime {
     SimTime::ZERO + (horizon / 3) * 2
 }
 

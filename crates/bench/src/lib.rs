@@ -7,8 +7,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod chaos;
 pub mod detect;
+pub mod platoon;
 
 use dynplat_common::time::SimDuration;
 use dynplat_common::{AppId, AppKind, Asil};

@@ -14,7 +14,10 @@
 //!   paper's §2.2 interface model: a self-describing [`DataType`] schema and
 //!   matching [`Value`] runtime representation with binary codecs;
 //! * [`rng`] — deterministic random-number helpers so every experiment is
-//!   reproducible from a seed.
+//!   reproducible from a seed;
+//! * [`uncertainty`] — the distribution-valued observation type
+//!   ([`UncertaintyEstimate`]) the uncertainty-aware adaptation layer
+//!   exchanges between monitor, core and comm.
 //!
 //! # Examples
 //!
@@ -33,6 +36,7 @@ pub mod criticality;
 pub mod ids;
 pub mod rng;
 pub mod time;
+pub mod uncertainty;
 pub mod value;
 
 pub use codec::{ByteReader, ByteWriter, CodecError};
@@ -42,4 +46,5 @@ pub use ids::{
     TaskId, VehicleId,
 };
 pub use time::{SimDuration, SimTime};
+pub use uncertainty::UncertaintyEstimate;
 pub use value::{DataType, Value};

@@ -10,7 +10,7 @@
 
 use crate::platform::DynamicPlatform;
 use dynplat_common::time::{SimDuration, SimTime};
-use dynplat_common::{AppId, AppKind, Asil, DegradationLevel};
+use dynplat_common::{AppId, AppKind, Asil, DegradationLevel, UncertaintyEstimate};
 use dynplat_obs::{FlightRecorder, TraceCtx};
 use std::sync::Arc;
 
@@ -40,6 +40,52 @@ impl Default for DegradationConfig {
             recovery_margin: 0.5,
             recovery_hold: SimDuration::from_millis(500),
         }
+    }
+}
+
+/// Gates of the uncertainty-driven ladder mode
+/// ([`DegradationManager::observe_estimate`]): instead of comparing a point
+/// pressure against a threshold, the ladder descends when the *probability*
+/// of a boundary exceedance clears a confidence gate, and ascends only when
+/// that probability has collapsed **and** the confidence band has tightened
+/// — hysteresis in probability space rather than value space.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UncertaintyGates {
+    /// Exceedance probability at or above which the ladder descends.
+    pub trip_confidence: f64,
+    /// Exceedance probability at or below which recovery may begin.
+    pub clear_confidence: f64,
+    /// Recovery also requires the confidence band half-width to have
+    /// tightened to at most this fraction of the degraded threshold — a
+    /// low exceedance estimate with a wide band is ignorance, not health.
+    pub tighten_fraction: f64,
+}
+
+impl Default for UncertaintyGates {
+    fn default() -> Self {
+        UncertaintyGates {
+            trip_confidence: 0.95,
+            clear_confidence: 0.10,
+            tighten_fraction: 0.5,
+        }
+    }
+}
+
+impl UncertaintyGates {
+    /// # Panics
+    ///
+    /// Panics unless `0 <= clear < trip <= 1` and `tighten_fraction > 0`.
+    fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.trip_confidence)
+                && (0.0..=1.0).contains(&self.clear_confidence)
+                && self.clear_confidence < self.trip_confidence,
+            "gates must satisfy 0 <= clear < trip <= 1"
+        );
+        assert!(
+            self.tighten_fraction > 0.0,
+            "tighten fraction must be positive"
+        );
     }
 }
 
@@ -155,6 +201,70 @@ impl DegradationManager {
             }
         } else {
             // Pressure bounced back above the floor: restart the hold.
+            self.below_floor_since = None;
+        }
+        None
+    }
+
+    /// Feeds one distribution-valued observation at `now` — the
+    /// uncertainty-driven mode. Returns the new level if this observation
+    /// caused a transition.
+    ///
+    /// Descent fires when the estimate's boundary-exceedance probability
+    /// clears `gates.trip_confidence` (targeting limp-home when even the
+    /// estimated *level* is past the limp threshold); an unconverged
+    /// estimate never descends. Ascent requires the exceedance probability
+    /// at or below `gates.clear_confidence` **and** the band tightened to
+    /// `gates.tighten_fraction` of the degraded threshold, sustained for
+    /// the configured recovery hold — the probability-space analogue of
+    /// [`DegradationManager::observe`]'s hysteresis.
+    ///
+    /// # Panics
+    ///
+    /// Panics on gates outside their documented ranges.
+    pub fn observe_estimate(
+        &mut self,
+        now: SimTime,
+        est: &UncertaintyEstimate,
+        gates: &UncertaintyGates,
+    ) -> Option<DegradationLevel> {
+        gates.validate();
+        if est.exceeds_with_confidence(gates.trip_confidence) {
+            let target = if est.mean >= self.config.limp_threshold {
+                DegradationLevel::LimpHome
+            } else {
+                DegradationLevel::Degraded
+            };
+            if target > self.level {
+                self.level = target;
+                self.below_floor_since = None;
+                self.transitions.push((now, target));
+                observe_transition(target);
+                self.flight_transition(now, target, est.exceed);
+                return Some(target);
+            }
+        }
+        if self.level == DegradationLevel::Full {
+            return None;
+        }
+        let band_tight = est.band <= gates.tighten_fraction * self.config.degraded_threshold;
+        let cleared = est.converged && est.exceed <= gates.clear_confidence && band_tight;
+        if cleared {
+            let since = *self.below_floor_since.get_or_insert(now);
+            if now.saturating_since(since) >= self.config.recovery_hold {
+                let next = match self.level {
+                    DegradationLevel::LimpHome => DegradationLevel::Degraded,
+                    _ => DegradationLevel::Full,
+                };
+                self.level = next;
+                self.below_floor_since = Some(now);
+                self.transitions.push((now, next));
+                observe_transition(next);
+                self.flight_transition(now, next, est.exceed);
+                return Some(next);
+            }
+        } else {
+            // Belief bounced back up (or the band re-widened): restart.
             self.below_floor_since = None;
         }
         None
@@ -326,6 +436,116 @@ mod tests {
             .events
             .iter()
             .any(|e| e.stage == "core.degradation" && e.detail.contains("Degraded")));
+    }
+
+    fn est(at: SimTime, mean: f64, band: f64, exceed: f64, converged: bool) -> UncertaintyEstimate {
+        UncertaintyEstimate {
+            at,
+            mean,
+            sigma: band / 2.0,
+            band,
+            exceed,
+            samples: if converged { 40 } else { 2 },
+            converged,
+        }
+    }
+
+    #[test]
+    fn estimate_mode_descends_only_with_confidence() {
+        let mut m = manager();
+        let gates = UncertaintyGates::default();
+        // High mean but modest exceedance probability: no descent — the
+        // point-threshold mode would already have tripped here.
+        assert_eq!(
+            m.observe_estimate(ms(0), &est(ms(0), 0.15, 0.1, 0.6, true), &gates),
+            None
+        );
+        // Confident exceedance of the degraded boundary descends...
+        assert_eq!(
+            m.observe_estimate(ms(1), &est(ms(1), 0.15, 0.05, 0.97, true), &gates),
+            Some(DegradationLevel::Degraded)
+        );
+        // ...and a confidently limp-scale mean jumps to limp-home.
+        assert_eq!(
+            m.observe_estimate(ms(2), &est(ms(2), 0.8, 0.05, 0.99, true), &gates),
+            Some(DegradationLevel::LimpHome)
+        );
+    }
+
+    #[test]
+    fn estimate_mode_never_descends_unconverged() {
+        let mut m = manager();
+        let gates = UncertaintyGates::default();
+        // Even certain-looking exceedance is ignored during warm-up.
+        assert_eq!(
+            m.observe_estimate(ms(0), &est(ms(0), 0.9, 1.0, 1.0, false), &gates),
+            None
+        );
+        assert_eq!(m.level(), DegradationLevel::Full);
+    }
+
+    #[test]
+    fn estimate_mode_ascends_only_when_band_has_tightened() {
+        let mut m = manager();
+        let gates = UncertaintyGates::default();
+        m.observe_estimate(ms(0), &est(ms(0), 0.2, 0.05, 0.99, true), &gates);
+        assert_eq!(m.level(), DegradationLevel::Degraded);
+        // Low exceedance but a wide band (> 0.5 * 0.1): ignorance, no hold.
+        assert_eq!(
+            m.observe_estimate(ms(10), &est(ms(10), 0.02, 0.2, 0.05, true), &gates),
+            None
+        );
+        assert_eq!(
+            m.observe_estimate(ms(200), &est(ms(200), 0.02, 0.2, 0.05, true), &gates),
+            None
+        );
+        // Band tight: hold starts now, not at ms(10).
+        assert_eq!(
+            m.observe_estimate(ms(210), &est(ms(210), 0.02, 0.03, 0.05, true), &gates),
+            None
+        );
+        assert_eq!(
+            m.observe_estimate(ms(310), &est(ms(310), 0.02, 0.03, 0.05, true), &gates),
+            Some(DegradationLevel::Full)
+        );
+    }
+
+    #[test]
+    fn estimate_mode_hold_restarts_on_belief_bounce() {
+        let mut m = manager();
+        let gates = UncertaintyGates::default();
+        m.observe_estimate(ms(0), &est(ms(0), 0.5, 0.05, 0.99, true), &gates);
+        assert_eq!(m.level(), DegradationLevel::LimpHome);
+        assert_eq!(
+            m.observe_estimate(ms(10), &est(ms(10), 0.02, 0.03, 0.05, true), &gates),
+            None
+        );
+        // Belief bounces to ambiguous mid-hold: restart.
+        assert_eq!(
+            m.observe_estimate(ms(60), &est(ms(60), 0.06, 0.03, 0.5, true), &gates),
+            None
+        );
+        assert_eq!(
+            m.observe_estimate(ms(110), &est(ms(110), 0.02, 0.03, 0.05, true), &gates),
+            None
+        );
+        // One step at a time, 100 ms after the restart.
+        assert_eq!(
+            m.observe_estimate(ms(210), &est(ms(210), 0.02, 0.03, 0.05, true), &gates),
+            Some(DegradationLevel::Degraded)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gates must satisfy")]
+    fn inverted_gates_panic() {
+        let mut m = manager();
+        let gates = UncertaintyGates {
+            trip_confidence: 0.1,
+            clear_confidence: 0.9,
+            tighten_fraction: 0.5,
+        };
+        m.observe_estimate(ms(0), &est(ms(0), 0.0, 0.0, 0.0, true), &gates);
     }
 
     #[test]

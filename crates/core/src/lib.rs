@@ -45,7 +45,7 @@ pub mod update;
 
 pub use app::{AppManifest, LifecycleState};
 pub use campaign::{CampaignPolicy, CampaignReport, UpdateCampaign, VehicleConfig, VehicleOutcome};
-pub use degradation::{DegradationConfig, DegradationManager};
+pub use degradation::{DegradationConfig, DegradationManager, UncertaintyGates};
 pub use node::{NodeError, PlatformNode};
 pub use platform::{DynamicPlatform, PlatformError};
 pub use process::{ProcessGroupId, ProcessManager};

@@ -569,7 +569,7 @@ mod tests {
                 ),
             ],
         )
-        .unwrap()
+        .expect("static test topology is valid")
     }
 
     fn send(id: u64, t_us: u64, src: u16, dst: u16) -> MessageSend {

@@ -21,6 +21,12 @@ pub enum DriftVerdict {
     Drifting,
 }
 
+/// Samples before the EWMA is considered converged: until then the
+/// detector emits neither `Outlier` nor `Drifting` — an unconverged mean
+/// crossing the warning line is an artifact of initialization, not a
+/// trend, and a hard verdict off it would trigger spurious degradation.
+const WARMUP_SAMPLES: u64 = 8;
+
 /// EWMA/EWMV drift detector over a scalar metric (response time in
 /// nanoseconds, memory in bytes, …).
 #[derive(Clone, Debug)]
@@ -108,12 +114,13 @@ impl DriftDetector {
         // beyond float noise is anomalous — the band degenerates to a
         // relative epsilon instead of switching the check off.
         let band = (self.sigma_k * sigma).max(self.mean.abs() * 1e-9);
-        let is_outlier = self.samples > 8 && deviation.abs() > band;
+        let warmed_up = self.samples > WARMUP_SAMPLES;
+        let is_outlier = warmed_up && deviation.abs() > band;
         // Update estimates (outliers included, with the same weight — a
         // persistent shift must eventually move the mean).
         self.mean += self.alpha * deviation;
         self.variance = (1.0 - self.alpha) * (self.variance + self.alpha * deviation * deviation);
-        if self.mean > self.warn_fraction * self.hard_bound {
+        if warmed_up && self.mean > self.warn_fraction * self.hard_bound {
             dynplat_obs::counter!("monitor.drift.drifting").inc();
             DriftVerdict::Drifting
         } else if is_outlier {
@@ -220,6 +227,56 @@ mod tests {
             (d.mean() - 5_000.0).abs() < 200.0,
             "mean tracked the shift: {}",
             d.mean()
+        );
+    }
+
+    #[test]
+    fn warm_up_emits_no_hard_verdicts_off_an_unconverged_ewma() {
+        // The first sample of this ramp already sits above the warning
+        // line (80 % of the bound); before the fix the detector flagged
+        // `Drifting` from sample 2 onward, purely off the unconverged
+        // mean. Warm-up must hold all hard verdicts back.
+        let mut d = DriftDetector::for_bound(1_000.0);
+        for k in 0..WARMUP_SAMPLES {
+            let v = d.ingest(850.0 + k as f64);
+            assert_eq!(v, DriftVerdict::Normal, "sample {k} is inside warm-up");
+        }
+        // Once warmed up, the (still high) mean is a legitimate verdict.
+        assert_eq!(d.ingest(860.0), DriftVerdict::Drifting);
+    }
+
+    #[test]
+    fn ramp_verdict_sequence_is_pinned() {
+        // Regression pin: a seeded ramp from a healthy level into the
+        // bound must produce exactly Normal* (warm-up + healthy), then
+        // Drifting once the EWMA crosses the warning line — never a hard
+        // verdict inside the warm-up window.
+        let mut d = DriftDetector::for_bound(10_000.0);
+        let mut rng = seeded_rng(0xA);
+        let mut verdicts = Vec::new();
+        for k in 0..240u64 {
+            let center = 7_500.0 + k as f64 * 8.0;
+            verdicts.push(d.ingest(noisy(&mut rng, center, 50.0)));
+        }
+        let first_drift = verdicts
+            .iter()
+            .position(|v| *v == DriftVerdict::Drifting)
+            .expect("ramp must eventually drift");
+        assert!(
+            first_drift as u64 >= WARMUP_SAMPLES,
+            "hard verdict at sample {first_drift} is inside warm-up"
+        );
+        assert!(
+            verdicts[..first_drift]
+                .iter()
+                .all(|v| *v == DriftVerdict::Normal),
+            "no outliers expected on the smooth ramp before the warning"
+        );
+        assert!(
+            verdicts[first_drift..]
+                .iter()
+                .all(|v| *v == DriftVerdict::Drifting),
+            "once the mean is past the warning line the ramp keeps drifting"
         );
     }
 

@@ -13,7 +13,11 @@
 //! * [`report`] — diagnostic snapshots for the manufacturer backend and
 //!   certification data sets;
 //! * [`anomaly`] — EWMA drift detection that warns while the "conditions
-//!   leading to such faults" are still building up.
+//!   leading to such faults" are still building up;
+//! * [`uncertainty`] — confidence-interval estimators (regression bands,
+//!   boundary-exceedance probabilities) that turn monitored parameters
+//!   into the distributions the uncertainty-driven adaptation layer
+//!   consumes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,8 +26,10 @@ pub mod anomaly;
 pub mod fault;
 pub mod report;
 pub mod task;
+pub mod uncertainty;
 
 pub use anomaly::{DriftDetector, DriftVerdict};
 pub use fault::{Fault, FaultKind, FaultRecorder};
 pub use report::{CertificationDataSet, DiagnosticReport};
 pub use task::{MonitorSpec, TaskMonitor, TaskObservation};
+pub use uncertainty::{normal_cdf, BoundaryConfig, BoundaryEstimator, RollingRegression};

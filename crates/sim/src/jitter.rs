@@ -9,7 +9,10 @@
 //!   a worst-case bound;
 //! * [`ClockModel`] — per-ECU clock offset and drift, used by the update
 //!   experiments (§3.2) to show why a centrally synchronized version switch
-//!   "requires high accuracy clock synchronization".
+//!   "requires high accuracy clock synchronization";
+//! * [`GaussianNoise`] — additive measurement noise for workloads whose
+//!   *signals* are uncertain, not just their timing (the V2X platoon's
+//!   range and delay sensors).
 
 use dynplat_common::rng::truncated_normal_factor;
 use dynplat_common::rng::Rng;
@@ -161,6 +164,65 @@ impl Default for ClockModel {
     }
 }
 
+/// Additive Gaussian measurement noise `mean + sigma · z`, with `z` drawn
+/// by a Box–Muller transform from the seeded stream — the standard sensor
+/// model for signal-level uncertainty (range radar, V2X age measurements).
+/// Deterministic per seed, like every other model in this module.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GaussianNoise {
+    mean: f64,
+    sigma: f64,
+}
+
+impl GaussianNoise {
+    /// Creates a noise source centered on `mean` with standard deviation
+    /// `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative.
+    pub fn new(mean: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        GaussianNoise { mean, sigma }
+    }
+
+    /// Zero-mean noise — the usual additive-disturbance form.
+    pub fn centered(sigma: f64) -> Self {
+        GaussianNoise::new(0.0, sigma)
+    }
+
+    /// The configured mean.
+    pub fn mean(self) -> f64 {
+        self.mean
+    }
+
+    /// The configured standard deviation.
+    pub fn sigma(self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        if self.sigma == 0.0 {
+            return self.mean;
+        }
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.sigma * z
+    }
+
+    /// Draws one sample clamped to `[min, max]` (physical sensors saturate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn sample_clamped<R: Rng>(self, rng: &mut R, min: f64, max: f64) -> f64 {
+        assert!(min <= max, "min must not exceed max");
+        self.sample(rng).clamp(min, max)
+    }
+}
+
 /// Draws a random clock per ECU: offset uniform in `±max_offset`, drift
 /// uniform in `±max_drift_ppm`.
 pub fn random_clock<R: Rng>(
@@ -251,6 +313,42 @@ mod tests {
         // 100 ppm over 10 s = 1 ms ahead.
         let err = c.error_at(t);
         assert!(err >= SimDuration::from_micros(999) && err <= SimDuration::from_micros(1001));
+    }
+
+    #[test]
+    fn gaussian_noise_recovers_its_moments() {
+        let n = GaussianNoise::new(5.0, 0.5);
+        let mut rng = seeded_rng(21);
+        let samples: Vec<f64> = (0..5000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 5.0).abs() < 0.05, "sample mean {mean}");
+        assert!(
+            (var.sqrt() - 0.5).abs() < 0.05,
+            "sample sigma {}",
+            var.sqrt()
+        );
+    }
+
+    #[test]
+    fn gaussian_noise_is_deterministic_and_clamps() {
+        let n = GaussianNoise::centered(1.0);
+        let a: Vec<f64> = {
+            let mut rng = seeded_rng(7);
+            (0..50).map(|_| n.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = seeded_rng(7);
+            (0..50).map(|_| n.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+        let mut rng = seeded_rng(8);
+        for _ in 0..200 {
+            let s = n.sample_clamped(&mut rng, -0.5, 0.5);
+            assert!((-0.5..=0.5).contains(&s));
+        }
+        assert_eq!(GaussianNoise::new(3.0, 0.0).sample(&mut rng), 3.0);
     }
 
     #[test]

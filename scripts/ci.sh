@@ -29,4 +29,12 @@ echo "==> e13 detection-latency smoke (tiny horizon)"
 cargo run --release -p dynplat-bench --bin e13_detection_latency -- \
   --horizon-ms 3000 --dump FLIGHT_e13.json >/dev/null
 
+echo "==> e14 uncertainty-adaptation smoke (tiny horizon, determinism-checked)"
+cargo run --release -p dynplat-bench --bin e14_uncertainty_adaptation -- \
+  --horizon-ms 3000 --out E14_sweep.json >/dev/null
+cargo run --release -p dynplat-bench --bin e14_uncertainty_adaptation -- \
+  --horizon-ms 3000 --out E14_sweep_rerun.json >/dev/null
+cmp E14_sweep.json E14_sweep_rerun.json
+rm E14_sweep_rerun.json
+
 echo "==> ci.sh: all green"

@@ -1,0 +1,74 @@
+//! E14 integration: uncertainty-driven adaptation beats the threshold.
+//!
+//! The experiment's acceptance bar: under a fixed seed, replaying one
+//! chaos campaign's fault-pressure series through both adaptation modes
+//! gives the distribution-driven ladder strictly fewer false degradations
+//! at equal-or-better detection latency for every noisy sweep point, and
+//! the whole sweep (table and JSON) is bit-identical across runs.
+
+use dynplat::common::time::SimDuration;
+use dynplat_bench::adapt::{noise_points, run_sweep, sweep_to_json};
+
+const SEED: u64 = 0xE14_5EED;
+
+fn horizon() -> SimDuration {
+    SimDuration::from_millis(6_000)
+}
+
+#[test]
+fn the_sweep_is_deterministic_under_a_fixed_seed() {
+    let a = sweep_to_json(SEED, &run_sweep(SEED, horizon()));
+    let b = sweep_to_json(SEED, &run_sweep(SEED, horizon()));
+    assert_eq!(
+        a, b,
+        "two runs under the same seed must agree byte for byte"
+    );
+    assert!(a.starts_with("{\"schema\":\"dynplat.e14.v1\""));
+}
+
+#[test]
+fn every_point_is_calibrated_and_detected() {
+    let results = run_sweep(SEED, horizon());
+    assert_eq!(results.len(), noise_points().len());
+    for r in &results {
+        assert!(
+            r.mean_clean_pressure < 0.10,
+            "{}: clean pressure {} reaches the boundary — noise point \
+             mis-calibrated",
+            r.noise,
+            r.mean_clean_pressure
+        );
+        assert!(
+            r.threshold.detection_latency.is_some() && r.uncertainty.detection_latency.is_some(),
+            "{}: both modes must detect the partition",
+            r.noise
+        );
+    }
+}
+
+#[test]
+fn uncertainty_mode_wins_where_noise_makes_points_lie() {
+    for r in run_sweep(SEED, horizon()) {
+        if r.noise == "low" {
+            continue;
+        }
+        assert!(
+            r.uncertainty.false_descents < r.threshold.false_descents,
+            "{}: uncertainty mode must produce strictly fewer false \
+             degradations ({} vs {})",
+            r.noise,
+            r.uncertainty.false_descents,
+            r.threshold.false_descents
+        );
+        let (t, u) = (
+            r.threshold.detection_latency.unwrap(),
+            r.uncertainty.detection_latency.unwrap(),
+        );
+        assert!(
+            u <= t,
+            "{}: the confidence gate may not cost detection latency \
+             ({u} vs {t})",
+            r.noise
+        );
+    }
+}

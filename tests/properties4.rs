@@ -1,0 +1,124 @@
+//! Property-based tests, part 4: the retry/backoff schedule.
+//!
+//! [`RetryPolicy::backoff_before`] and [`RetryPolicy::schedule`] sit under
+//! every fault-tolerant round trip in the workspace — the E12 campaign
+//! derives its whole attempt plan from them — so their contracts are
+//! pinned as properties over randomized policies:
+//!
+//! * **seed-stable** — pure functions of `(policy, inputs, seed)`;
+//! * **monotone** — attempt numbers, transmission times and deadlines all
+//!   strictly increase within a schedule;
+//! * **bounded** — every backoff stays within
+//!   `max_backoff · (1 + jitter_frac)`, and jitter never undershoots the
+//!   deterministic exponential floor.
+//!
+//! Implemented as seeded-random loop tests on `dynplat::common::rng` (no
+//! external property-testing dependency).
+
+use dynplat::comm::retry::RetryPolicy;
+use dynplat::common::rng::{seeded_rng, split_seed, Rng, SplitMix64};
+use dynplat::common::time::{SimDuration, SimTime};
+
+const SUITE_SEED: u64 = 0x5EED_0004;
+const CASES: u64 = 64;
+
+/// One deterministic RNG per (test, case) pair.
+fn case_rng(test: u64, case: u64) -> SplitMix64 {
+    seeded_rng(split_seed(split_seed(SUITE_SEED, test), case))
+}
+
+/// A randomized but well-formed policy: non-zero timeout, capped backoff,
+/// jitter in `[0, 0.5)`.
+fn random_policy(rng: &mut SplitMix64) -> RetryPolicy {
+    let base_ms = rng.gen_range(0u64..8);
+    RetryPolicy {
+        timeout: SimDuration::from_millis(1 + rng.gen_range(0u64..20)),
+        max_attempts: 1 + rng.gen_range(0u64..6) as u32,
+        base_backoff: SimDuration::from_millis(base_ms),
+        max_backoff: SimDuration::from_millis(base_ms + rng.gen_range(0u64..50)),
+        jitter_frac: rng.gen_range(0u64..5) as f64 * 0.1,
+    }
+}
+
+#[test]
+fn schedules_are_pure_in_policy_origin_and_seed() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let policy = random_policy(&mut rng);
+        let t0 = SimTime::from_millis(rng.gen_range(0..10_000));
+        let seed = rng.gen::<u64>();
+        for retry in 1..=policy.max_attempts {
+            assert_eq!(
+                policy.backoff_before(retry, seed),
+                policy.backoff_before(retry, seed),
+                "case {case}: backoff must be pure"
+            );
+        }
+        assert_eq!(
+            policy.schedule(t0, seed),
+            policy.schedule(t0, seed),
+            "case {case}: schedule must be pure"
+        );
+    }
+}
+
+#[test]
+fn attempt_times_are_strictly_monotone_and_internally_consistent() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let policy = random_policy(&mut rng);
+        let t0 = SimTime::from_millis(rng.gen_range(0..10_000));
+        let schedule = policy.schedule(t0, rng.gen::<u64>());
+        assert_eq!(schedule.len(), policy.max_attempts.max(1) as usize);
+        assert_eq!(schedule[0].send_at, t0, "case {case}: first attempt at t0");
+        for (i, attempt) in schedule.iter().enumerate() {
+            assert_eq!(
+                attempt.number,
+                i as u32 + 1,
+                "case {case}: 1-based numbering"
+            );
+            assert_eq!(
+                attempt.deadline,
+                attempt.send_at + policy.timeout,
+                "case {case}: deadline is send + timeout"
+            );
+        }
+        for pair in schedule.windows(2) {
+            assert!(
+                pair[1].send_at > pair[0].send_at,
+                "case {case}: transmissions must strictly advance"
+            );
+            assert!(
+                pair[1].send_at >= pair[0].deadline,
+                "case {case}: a retry may not overtake its predecessor's timeout"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_backoff_is_bounded_by_the_cap_and_floored_by_the_exponential() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let policy = random_policy(&mut rng);
+        let seed = rng.gen::<u64>();
+        let ceiling = SimDuration::from_secs_f64(
+            policy.max_backoff.as_secs_f64() * (1.0 + policy.jitter_frac),
+        );
+        for retry in 1..=policy.max_attempts {
+            let backoff = policy.backoff_before(retry, seed);
+            let exp = retry.saturating_sub(1).min(20);
+            let floor = (policy.base_backoff * (1u64 << exp)).min(policy.max_backoff);
+            assert!(
+                backoff >= floor,
+                "case {case} retry {retry}: jitter may only add, not subtract \
+                 ({backoff} < {floor})"
+            );
+            assert!(
+                backoff <= ceiling,
+                "case {case} retry {retry}: backoff {backoff} above the jittered \
+                 cap {ceiling}"
+            );
+        }
+    }
+}
