@@ -360,8 +360,12 @@ mod tests {
                 r.threshold.false_descents
             );
             let (t, u) = (
-                r.threshold.detection_latency.unwrap(),
-                r.uncertainty.detection_latency.unwrap(),
+                r.threshold
+                    .detection_latency
+                    .expect("threshold mode detects"),
+                r.uncertainty
+                    .detection_latency
+                    .expect("uncertainty mode detects"),
             );
             assert!(
                 u <= t,

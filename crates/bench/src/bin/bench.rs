@@ -10,12 +10,19 @@
 //! Usage:
 //!
 //! ```text
-//! bench [--out PATH] [--check BASELINE] [--quick]
+//! bench [--out PATH] [--check BASELINE] [--quick] [--threads N]
 //! ```
 //!
 //! With `--check`, throughput gauges are compared against the baseline
 //! snapshot; a drop of more than 30% on any gated gauge prints the delta
 //! and exits non-zero. This is the CI perf smoke gate.
+//!
+//! With `--threads N`, every phase runs on `N` OS threads concurrently
+//! against the shared global registry; the gauges then report *aggregate*
+//! ops over the slowest worker's elapsed time. This is the contended
+//! variant of the gate: a change that serializes the hot paths (a new
+//! lock, a widened critical section) shows up here even when the
+//! single-thread numbers look fine.
 
 use dynplat_bench::Table;
 use dynplat_comm::fabric::Fabric;
@@ -50,6 +57,7 @@ struct Args {
     out: Option<String>,
     check: Option<String>,
     quick: bool,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -57,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         check: None,
         quick: false,
+        threads: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -64,10 +73,68 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
             "--check" => args.check = Some(it.next().ok_or("--check needs a path")?),
             "--quick" => args.quick = true,
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .ok_or("--threads needs a count")?
+                    .parse::<usize>()
+                    .map_err(|_| "--threads needs a positive integer".to_owned())?;
+                if args.threads == 0 {
+                    return Err("--threads needs a positive integer".to_owned());
+                }
+            }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
     Ok(args)
+}
+
+/// Runs a two-counter phase on `threads` workers concurrently, summing ops
+/// and keeping the slowest worker's elapsed time — aggregate throughput
+/// under contention on the shared registry.
+fn contended2(
+    threads: usize,
+    budget: std::time::Duration,
+    f: fn(std::time::Duration) -> (u64, u64, std::time::Duration),
+) -> (u64, u64, std::time::Duration) {
+    if threads <= 1 {
+        return f(budget);
+    }
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads).map(|_| s.spawn(move || f(budget))).collect();
+        let mut ops_a = 0u64;
+        let mut ops_b = 0u64;
+        let mut elapsed = std::time::Duration::ZERO;
+        for w in workers {
+            let (a, b, e) = w.join().expect("bench worker panicked");
+            ops_a += a;
+            ops_b += b;
+            elapsed = elapsed.max(e);
+        }
+        (ops_a, ops_b, elapsed)
+    })
+}
+
+/// One-counter variant of [`contended2`].
+fn contended1(
+    threads: usize,
+    budget: std::time::Duration,
+    f: fn(std::time::Duration) -> (u64, std::time::Duration),
+) -> (u64, std::time::Duration) {
+    if threads <= 1 {
+        return f(budget);
+    }
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads).map(|_| s.spawn(move || f(budget))).collect();
+        let mut ops = 0u64;
+        let mut elapsed = std::time::Duration::ZERO;
+        for w in workers {
+            let (o, e) = w.join().expect("bench worker panicked");
+            ops += o;
+            elapsed = elapsed.max(e);
+        }
+        (ops, elapsed)
+    })
 }
 
 fn four_ecu_ethernet() -> HwTopology {
@@ -318,7 +385,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("bench: {e}");
-            eprintln!("usage: bench [--out PATH] [--check BASELINE] [--quick]");
+            eprintln!("usage: bench [--out PATH] [--check BASELINE] [--quick] [--threads N]");
             return ExitCode::from(2);
         }
     };
@@ -331,11 +398,13 @@ fn main() -> ExitCode {
     let registry = dynplat_obs::global();
     registry.reset();
 
-    let (published, event_delivered, event_elapsed) = run_event_phase(budget);
-    let (rpc_calls, rpc_completed, rpc_elapsed) = run_rpc_phase(budget);
-    let (frames_sent, frames_delivered, stream_elapsed) = run_stream_phase(budget);
-    let (routes_resolved, route_elapsed) = run_route_phase(budget);
-    let (dispatch_completions, sched_elapsed) = run_sched_phase(budget);
+    let threads = args.threads;
+    let (published, event_delivered, event_elapsed) = contended2(threads, budget, run_event_phase);
+    let (rpc_calls, rpc_completed, rpc_elapsed) = contended2(threads, budget, run_rpc_phase);
+    let (frames_sent, frames_delivered, stream_elapsed) =
+        contended2(threads, budget, run_stream_phase);
+    let (routes_resolved, route_elapsed) = contended1(threads, budget, run_route_phase);
+    let (dispatch_completions, sched_elapsed) = contended1(threads, budget, run_sched_phase);
 
     let publish_ops = published + rpc_calls + frames_sent;
     let deliver_ops = event_delivered + rpc_completed + frames_delivered;
@@ -356,7 +425,10 @@ fn main() -> ExitCode {
     let snapshot = registry.snapshot();
 
     let table = Table::new(
-        "BENCH — instrumented hot paths (latencies ns)",
+        &format!(
+            "BENCH — instrumented hot paths (latencies ns, {threads} thread{})",
+            if threads == 1 { "" } else { "s" }
+        ),
         &["histogram", "count", "p50", "p95", "p99", "max"],
     );
     for name in [

@@ -310,7 +310,7 @@ mod tests {
         let s = scenarios()
             .into_iter()
             .find(|s| s.kind == InjectedFaultKind::MessageDrop)
-            .unwrap();
+            .expect("the standard scenario set includes a message-drop fault");
         let out = run_scenario(&s, 0xE13, SimDuration::from_secs(2));
         assert!(out.t_inject.is_some());
         assert!(out.capture_latency.is_some(), "a dump must freeze");

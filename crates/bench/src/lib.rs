@@ -10,6 +10,7 @@
 pub mod adapt;
 pub mod chaos;
 pub mod detect;
+pub mod fleet;
 pub mod platoon;
 
 use dynplat_common::time::SimDuration;

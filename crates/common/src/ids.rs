@@ -85,6 +85,10 @@ id_type!(
     /// Identifier of a vehicle in a fleet (update campaigns, §3.2).
     VehicleId, "veh", u32
 );
+id_type!(
+    /// Identifier of a fleet-simulation shard (one sim kernel per shard).
+    ShardId, "shard", u16
+);
 
 /// A combined service + instance address, as used by service discovery.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]

@@ -43,7 +43,7 @@ pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use criticality::{AppKind, Asil, DegradationLevel};
 pub use ids::{
     AppId, BusId, EcuId, EventGroupId, InstanceId, LinkId, MessageId, MethodId, NodeId, ServiceId,
-    TaskId, VehicleId,
+    ShardId, TaskId, VehicleId,
 };
 pub use time::{SimDuration, SimTime};
 pub use uncertainty::UncertaintyEstimate;

@@ -255,6 +255,31 @@ impl FaultPlan {
         Ok(())
     }
 
+    /// Earliest instant at or after `t` at which `bus` carries traffic
+    /// again — `t` itself when no partition of `bus` is active. Chained or
+    /// overlapping partition windows are skipped in one call, so download
+    /// and retry models can ask "when may I transmit?" without scanning
+    /// windows themselves.
+    pub fn clear_of_partitions(&self, bus: BusId, t: SimTime) -> SimTime {
+        let mut clear = t;
+        // Windows may abut or overlap in any order; iterate to a fixpoint.
+        // Each pass either leaves `clear` alone (done) or moves it strictly
+        // forward past at least one window, so this terminates after at
+        // most `partitions.len()` passes.
+        loop {
+            let mut moved = false;
+            for p in &self.partitions {
+                if p.bus == bus && p.active_at(clear) {
+                    clear = p.until;
+                    moved = true;
+                }
+            }
+            if !moved {
+                return clear;
+            }
+        }
+    }
+
     /// `true` if the plan injects nothing at all.
     pub fn is_quiet(&self) -> bool {
         self.drop_rate == 0.0
@@ -311,6 +336,20 @@ mod tests {
             .scaled(0.5);
         assert!((down.drop_rate - 0.2).abs() < 1e-12);
         assert!((down.corrupt_rate - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_of_partitions_skips_chained_windows() {
+        let plan = FaultPlan::quiet(1)
+            .partition(BusId(0), ms(100), ms(200))
+            .partition(BusId(0), ms(200), ms(300)) // abuts the first
+            .partition(BusId(0), ms(250), ms(400)) // overlaps the second
+            .partition(BusId(1), ms(0), ms(1_000)); // other bus, ignored
+        assert_eq!(plan.clear_of_partitions(BusId(0), ms(50)), ms(50));
+        assert_eq!(plan.clear_of_partitions(BusId(0), ms(100)), ms(400));
+        assert_eq!(plan.clear_of_partitions(BusId(0), ms(399)), ms(400));
+        assert_eq!(plan.clear_of_partitions(BusId(0), ms(400)), ms(400));
+        assert_eq!(plan.clear_of_partitions(BusId(2), ms(150)), ms(150));
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! The sharded fleet engine: one sim kernel per shard, merge at the master.
+//!
+//! A 10⁵–10⁶-vehicle campaign does not fit one sequential kernel, so the
+//! fleet is split across persistent worker threads ("shards"), each running
+//! the closed-form vehicle kernel over its slice of every wave. Shards are
+//! pure workers: a vehicle's entire stochastic behavior comes from its
+//! per-vehicle stream (see [`crate::vehicle`]), so which shard simulates it
+//! is invisible in the results. The pool merges each wave canonically —
+//! replies collected in shard-index order, outcomes sorted by vehicle id —
+//! which makes the merged campaign byte-identical across shard counts and
+//! is what E15 and the root `e15_fleet_campaign` test pin.
+
+use crate::campaign::CampaignSpec;
+use crate::vehicle::{simulate_vehicle, VehicleOutcome, VehicleVerdict};
+use dynplat_common::time::SimTime;
+use dynplat_common::{ShardId, VehicleId};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Per-shard pipeline counters, merged across shards by the master.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Vehicles this shard ran through the pipeline.
+    pub simulated: u64,
+    /// Vehicles that passed admission.
+    pub admitted: u64,
+    /// Vehicles rejected at admission (flash too small).
+    pub rejected_flash: u64,
+    /// Vehicles unreachable at wave open.
+    pub offline: u64,
+    /// Vehicles that verified the new version.
+    pub updated: u64,
+    /// Vehicles whose verification failed.
+    pub verify_failed: u64,
+    /// Chunk retransmissions across the shard's vehicles.
+    pub retries: u64,
+    /// Total time the shard's vehicles spent stalled on partitions, in ns.
+    pub stall_ns: u64,
+}
+
+impl ShardMetrics {
+    /// Folds one vehicle outcome into the counters.
+    pub fn observe(&mut self, outcome: &VehicleOutcome) {
+        self.simulated += 1;
+        match outcome.verdict {
+            VehicleVerdict::RejectedFlash => self.rejected_flash += 1,
+            VehicleVerdict::Offline => self.offline += 1,
+            VehicleVerdict::Updated | VehicleVerdict::WaveRolledBack => {
+                self.admitted += 1;
+                self.updated += 1;
+            }
+            VehicleVerdict::VerifyFailed => {
+                self.admitted += 1;
+                self.verify_failed += 1;
+            }
+        }
+        self.retries += u64::from(outcome.retries);
+        self.stall_ns += outcome.stall.as_nanos();
+    }
+
+    /// Merges another shard's counters into this one.
+    pub fn merge(&mut self, other: &ShardMetrics) {
+        self.simulated += other.simulated;
+        self.admitted += other.admitted;
+        self.rejected_flash += other.rejected_flash;
+        self.offline += other.offline;
+        self.updated += other.updated;
+        self.verify_failed += other.verify_failed;
+        self.retries += other.retries;
+        self.stall_ns += other.stall_ns;
+    }
+
+    /// `true` iff the counters conserve vehicles: every simulated vehicle
+    /// is admitted, rejected or offline, and every admitted vehicle either
+    /// updated or failed verification.
+    pub fn conserves(&self) -> bool {
+        self.admitted + self.rejected_flash + self.offline == self.simulated
+            && self.updated + self.verify_failed == self.admitted
+    }
+}
+
+/// Command from the master to one shard worker.
+enum ShardCmd {
+    /// Simulate this shard's slice of wave `[lo, hi)` starting at `start`.
+    Wave {
+        wave: u32,
+        lo: u32,
+        hi: u32,
+        start: SimTime,
+    },
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// One shard's reply for one wave.
+struct WaveBatch {
+    shard: ShardId,
+    wave: u32,
+    outcomes: Vec<VehicleOutcome>,
+    metrics: ShardMetrics,
+}
+
+struct ShardWorker {
+    cmds: Sender<ShardCmd>,
+    replies: Receiver<WaveBatch>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A pool of persistent shard workers, one sim kernel per thread.
+///
+/// Vehicles tile the shards round-robin (`vehicle % shards`), so every
+/// shard sees a representative slice of each wave. The pool lives for the
+/// whole campaign; waves are dispatched over channels and merged in shard
+/// order.
+pub struct ShardPool {
+    workers: Vec<ShardWorker>,
+}
+
+impl ShardPool {
+    /// Spawns `shards` workers over the campaign spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn spawn(spec: Arc<CampaignSpec>, shards: usize) -> Self {
+        assert!(shards > 0, "a fleet needs at least one shard");
+        let workers = (0..shards)
+            .map(|idx| {
+                let spec = Arc::clone(&spec);
+                let (cmd_tx, cmd_rx) = channel::<ShardCmd>();
+                let (reply_tx, reply_rx) = channel::<WaveBatch>();
+                let shard = ShardId(idx as u16);
+                let handle = std::thread::Builder::new()
+                    .name(format!("fleet-shard-{idx}"))
+                    .spawn(move || shard_main(&spec, shard, shards, &cmd_rx, &reply_tx))
+                    .expect("spawn fleet shard thread");
+                ShardWorker {
+                    cmds: cmd_tx,
+                    replies: reply_rx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        ShardPool { workers }
+    }
+
+    /// Number of shards in the pool.
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs wave `[lo, hi)` across all shards and returns the canonical
+    /// merge: outcomes sorted by vehicle id plus summed counters. The
+    /// result is independent of the shard count.
+    pub fn run_wave(
+        &mut self,
+        wave: u32,
+        lo: u32,
+        hi: u32,
+        start: SimTime,
+    ) -> (Vec<VehicleOutcome>, ShardMetrics) {
+        for worker in &self.workers {
+            worker
+                .cmds
+                .send(ShardCmd::Wave {
+                    wave,
+                    lo,
+                    hi,
+                    start,
+                })
+                .expect("fleet shard hung up before the wave was dispatched");
+        }
+        let mut outcomes = Vec::with_capacity((hi - lo) as usize);
+        let mut metrics = ShardMetrics::default();
+        for (idx, worker) in self.workers.iter().enumerate() {
+            let batch = worker
+                .replies
+                .recv()
+                .expect("fleet shard died mid-wave (panicked worker?)");
+            debug_assert_eq!(batch.shard, ShardId(idx as u16));
+            debug_assert_eq!(batch.wave, wave);
+            metrics.merge(&batch.metrics);
+            outcomes.extend(batch.outcomes);
+        }
+        outcomes.sort_unstable_by_key(|o| o.vehicle);
+        (outcomes, metrics)
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        for worker in &self.workers {
+            // A worker that already exited (send fails) is fine to join.
+            let _ = worker.cmds.send(ShardCmd::Shutdown);
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Worker loop: simulate this shard's round-robin slice of each wave.
+fn shard_main(
+    spec: &CampaignSpec,
+    shard: ShardId,
+    shards: usize,
+    cmds: &Receiver<ShardCmd>,
+    replies: &Sender<WaveBatch>,
+) {
+    while let Ok(cmd) = cmds.recv() {
+        match cmd {
+            ShardCmd::Shutdown => return,
+            ShardCmd::Wave {
+                wave,
+                lo,
+                hi,
+                start,
+            } => {
+                let mut outcomes = Vec::new();
+                let mut metrics = ShardMetrics::default();
+                for v in lo..hi {
+                    if v as usize % shards != usize::from(shard.raw()) {
+                        continue;
+                    }
+                    let outcome = simulate_vehicle(spec, VehicleId(v), start);
+                    metrics.observe(&outcome);
+                    outcomes.push(outcome);
+                }
+                if replies
+                    .send(WaveBatch {
+                        shard,
+                        wave,
+                        outcomes,
+                        metrics,
+                    })
+                    .is_err()
+                {
+                    // Master dropped the pool mid-wave; nothing to report to.
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynplat_faults::FaultPlan;
+
+    fn spec(seed: u64) -> Arc<CampaignSpec> {
+        Arc::new(CampaignSpec::standard(
+            seed,
+            4_000,
+            FaultPlan::quiet(seed).with_message_faults(0.05, 0.1, 0.0),
+        ))
+    }
+
+    #[test]
+    fn merged_wave_is_invariant_to_shard_count() {
+        let spec = spec(0x5AA5);
+        let mut one = ShardPool::spawn(Arc::clone(&spec), 1);
+        let mut four = ShardPool::spawn(Arc::clone(&spec), 4);
+        let (o1, m1) = one.run_wave(0, 0, 4_000, SimTime::ZERO);
+        let (o4, m4) = four.run_wave(0, 0, 4_000, SimTime::ZERO);
+        assert_eq!(o1, o4);
+        assert_eq!(m1, m4);
+    }
+
+    #[test]
+    fn merged_metrics_equal_per_vehicle_fold() {
+        let spec = spec(0xBEEF);
+        let mut pool = ShardPool::spawn(Arc::clone(&spec), 3);
+        let (outcomes, metrics) = pool.run_wave(0, 0, 2_500, SimTime::ZERO);
+        let mut direct = ShardMetrics::default();
+        for o in &outcomes {
+            direct.observe(o);
+        }
+        assert_eq!(metrics, direct);
+        assert!(metrics.conserves());
+        assert_eq!(metrics.simulated, 2_500);
+    }
+
+    #[test]
+    fn outcomes_are_sorted_and_complete() {
+        let spec = spec(0xC0DE);
+        let mut pool = ShardPool::spawn(Arc::clone(&spec), 5);
+        let (outcomes, _) = pool.run_wave(2, 100, 900, SimTime::from_secs(30));
+        assert_eq!(outcomes.len(), 800);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.vehicle, VehicleId(100 + i as u32));
+            assert!(o.started >= SimTime::from_secs(30));
+        }
+    }
+
+    #[test]
+    fn pool_survives_many_waves() {
+        let spec = spec(0xF00D);
+        let mut pool = ShardPool::spawn(Arc::clone(&spec), 2);
+        let mut total = ShardMetrics::default();
+        for wave in 0..4u32 {
+            let lo = wave * 1_000;
+            let (_, m) = pool.run_wave(wave, lo, lo + 1_000, SimTime::ZERO);
+            total.merge(&m);
+        }
+        assert_eq!(total.simulated, 4_000);
+        assert!(total.conserves());
+    }
+}

@@ -1,0 +1,194 @@
+//! Heterogeneous hardware variants and per-variant admission checks.
+//!
+//! A fleet is never uniform: vehicles ship with different ECU generations,
+//! flash sizes and connectivity, and "Automatic Platform Configuration and
+//! Software Integration for Software-Defined Vehicles" (PAPERS.md) names
+//! per-variant configuration as *the* scaling problem of fleet-wide
+//! campaigns. The update master therefore admission-checks every vehicle
+//! against its [`HwVariant`] before the image is offered: a variant whose
+//! flash cannot hold both the running slot and the incoming image (A/B
+//! update) is rejected up front instead of bricking in the field.
+
+use dynplat_common::rng::Rng;
+use dynplat_common::time::SimDuration;
+
+/// The OTA image one campaign distributes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImageSpec {
+    /// Image size in KiB.
+    pub size_kib: u64,
+    /// Chunks the download is split into (each chunk is retried
+    /// independently under message loss).
+    pub chunks: u32,
+}
+
+impl ImageSpec {
+    /// A mid-size full-platform image: 96 MiB in 32 chunks.
+    pub fn standard() -> Self {
+        ImageSpec {
+            size_kib: 96 * 1024,
+            chunks: 32,
+        }
+    }
+
+    /// Size of one download chunk in KiB.
+    pub fn chunk_kib(&self) -> f64 {
+        self.size_kib as f64 / f64::from(self.chunks.max(1))
+    }
+}
+
+/// One hardware variant of the fleet: the resources and failure behavior
+/// shared by every vehicle built with this ECU generation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HwVariant {
+    /// Variant label (stable, appears in reports).
+    pub name: &'static str,
+    /// Update-partition flash in KiB; admission requires room for an A/B
+    /// double image.
+    pub flash_kib: u64,
+    /// OTA downlink bandwidth in KiB/s.
+    pub download_kib_per_s: u64,
+    /// Base install time of one image.
+    pub install: SimDuration,
+    /// Post-install health-check (verification) run time.
+    pub verify: SimDuration,
+    /// Probability that verification fails on a *good* image (flaky
+    /// sensors, marginal flash cells) — the noise floor the wave gate must
+    /// not trip on.
+    pub good_image_verify_failure: f64,
+    /// Relative weight of this variant in the fleet mix.
+    pub share: u32,
+}
+
+impl HwVariant {
+    /// Admission check: the variant can hold the image next to the running
+    /// slot (A/B update — the fleet-scale analogue of the staged update's
+    /// "double resources during the overlap", §3.2).
+    pub fn admits(&self, image: &ImageSpec) -> bool {
+        self.flash_kib >= image.size_kib.saturating_mul(2)
+    }
+}
+
+/// The standard four-variant fleet mix: three admissible ECU generations
+/// with different bandwidth/flash/noise trade-offs, plus a legacy variant
+/// whose flash cannot hold an A/B image of [`ImageSpec::standard`] — every
+/// campaign over this mix exercises per-variant admission rejection.
+pub fn standard_mix() -> Vec<HwVariant> {
+    vec![
+        HwVariant {
+            name: "lowend-cell",
+            flash_kib: 256 * 1024,
+            download_kib_per_s: 2 * 1024,
+            install: SimDuration::from_secs(40),
+            verify: SimDuration::from_secs(10),
+            good_image_verify_failure: 0.004,
+            share: 3,
+        },
+        HwVariant {
+            name: "domain-eth",
+            flash_kib: 1024 * 1024,
+            download_kib_per_s: 8 * 1024,
+            install: SimDuration::from_secs(25),
+            verify: SimDuration::from_secs(8),
+            good_image_verify_failure: 0.002,
+            share: 5,
+        },
+        HwVariant {
+            name: "hpc-5g",
+            flash_kib: 4 * 1024 * 1024,
+            download_kib_per_s: 32 * 1024,
+            install: SimDuration::from_secs(15),
+            verify: SimDuration::from_secs(6),
+            good_image_verify_failure: 0.001,
+            share: 2,
+        },
+        HwVariant {
+            name: "legacy-small-flash",
+            flash_kib: 128 * 1024,
+            download_kib_per_s: 1024,
+            install: SimDuration::from_secs(60),
+            verify: SimDuration::from_secs(12),
+            good_image_verify_failure: 0.006,
+            share: 2,
+        },
+    ]
+}
+
+/// Picks a variant index from `mix` by share weight, consuming exactly one
+/// draw from `rng`. Deterministic given the rng state, so a per-vehicle
+/// stream always maps a vehicle to the same variant regardless of which
+/// shard simulates it.
+///
+/// # Panics
+///
+/// Panics if `mix` is empty or all shares are zero.
+pub fn pick_variant<R: Rng>(mix: &[HwVariant], rng: &mut R) -> usize {
+    let total: u64 = mix.iter().map(|v| u64::from(v.share)).sum();
+    assert!(total > 0, "variant mix must have positive total share");
+    let mut ticket = rng.gen_range(0..total);
+    for (i, v) in mix.iter().enumerate() {
+        let share = u64::from(v.share);
+        if ticket < share {
+            return i;
+        }
+        ticket -= share;
+    }
+    unreachable!("ticket exhausts the total share");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynplat_common::rng::seeded_rng;
+
+    #[test]
+    fn standard_mix_splits_admission() {
+        let image = ImageSpec::standard();
+        let mix = standard_mix();
+        let admitted: Vec<&str> = mix
+            .iter()
+            .filter(|v| v.admits(&image))
+            .map(|v| v.name)
+            .collect();
+        assert_eq!(admitted, ["lowend-cell", "domain-eth", "hpc-5g"]);
+        // The legacy variant is rejected for flash, not for any other field.
+        let legacy = mix.last().expect("mix is non-empty");
+        assert!(legacy.flash_kib < 2 * image.size_kib);
+    }
+
+    #[test]
+    fn pick_variant_tracks_shares() {
+        let mix = standard_mix();
+        let total: u64 = mix.iter().map(|v| u64::from(v.share)).sum();
+        let mut rng = seeded_rng(7);
+        let n = 24_000usize;
+        let mut counts = vec![0u64; mix.len()];
+        for _ in 0..n {
+            counts[pick_variant(&mix, &mut rng)] += 1;
+        }
+        for (i, v) in mix.iter().enumerate() {
+            let expected = n as f64 * f64::from(v.share) / total as f64;
+            let got = counts[i] as f64;
+            assert!(
+                (got - expected).abs() < expected * 0.15,
+                "{}: {got} picks vs expected {expected}",
+                v.name
+            );
+        }
+    }
+
+    #[test]
+    fn pick_variant_is_deterministic_per_stream() {
+        let mix = standard_mix();
+        let a = pick_variant(&mix, &mut seeded_rng(99));
+        let b = pick_variant(&mix, &mut seeded_rng(99));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chunking_covers_the_image() {
+        let image = ImageSpec::standard();
+        let covered = image.chunk_kib() * f64::from(image.chunks);
+        assert!((covered - image.size_kib as f64).abs() < 1e-6);
+    }
+}

@@ -315,6 +315,19 @@ impl BoundaryEstimator {
         &self.config
     }
 
+    /// Discards all accumulated evidence, returning the estimator to its
+    /// just-constructed state (config and attached flight recorder are
+    /// kept). Consumers that gate a *sequence* of independent episodes —
+    /// e.g. an update master judging one rollout wave after another — reset
+    /// between episodes so stale belief from a healthy wave cannot mask a
+    /// broken one.
+    pub fn reset(&mut self) {
+        self.regression = RollingRegression::new(self.config.window);
+        self.log_odds = -self.config.max_log_odds;
+        self.last = UncertaintyEstimate::unknown(SimTime::ZERO);
+        self.was_exceeding = false;
+    }
+
     /// The most recent estimate (neutral before the first sample).
     pub fn estimate(&self) -> UncertaintyEstimate {
         self.last
@@ -508,6 +521,29 @@ mod tests {
         let est = e.ingest(s(400), 0.2);
         assert!(est.converged, "min_samples reached");
         assert!(est.exceed < 0.1, "quiet signal, low exceedance");
+    }
+
+    #[test]
+    fn reset_replays_like_a_fresh_estimator() {
+        let cfg = BoundaryConfig::for_boundary(0.10);
+        let mut fresh = BoundaryEstimator::new(cfg);
+        let mut reused = BoundaryEstimator::new(cfg);
+        // Poison the reused estimator with a saturated fault episode.
+        for k in 0..20u64 {
+            reused.ingest(s(k * 100), 0.9);
+        }
+        assert!(reused.estimate().exceeds_with_confidence(0.9));
+        reused.reset();
+        assert_eq!(
+            reused.estimate(),
+            UncertaintyEstimate::unknown(SimTime::ZERO)
+        );
+        // The next episode must evolve exactly like a fresh estimator's.
+        for k in 0..12u64 {
+            let a = fresh.ingest(s(k * 250), 0.03);
+            let b = reused.ingest(s(k * 250), 0.03);
+            assert_eq!(a, b, "sample {k} diverged after reset");
+        }
     }
 
     #[test]

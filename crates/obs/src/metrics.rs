@@ -129,6 +129,24 @@ impl Histogram {
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Records `n` identical observations in one shot — the merge primitive
+    /// for pre-aggregated data (per-shard fleet results, replayed series),
+    /// where recording each observation individually would put millions of
+    /// redundant atomic operations on the merge path.
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let bounds = bucket_bounds();
+        let idx = bounds.partition_point(|&b| b < value); // first bound >= value
+        self.buckets[idx].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum
+            .fetch_add(value.saturating_mul(n), Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
@@ -348,6 +366,21 @@ mod tests {
         a.add(2);
         assert_eq!(b.get(), 2);
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn record_n_matches_n_individual_records() {
+        let r = MetricsRegistry::new();
+        let bulk = r.histogram("bulk");
+        let one_by_one = r.histogram("single");
+        for (value, n) in [(7u64, 3u64), (1_200, 5), (0, 2), (999_999, 1)] {
+            bulk.record_n(value, n);
+            for _ in 0..n {
+                one_by_one.record(value);
+            }
+        }
+        bulk.record_n(42, 0); // a zero-count merge is a no-op
+        assert_eq!(bulk.snapshot(), one_by_one.snapshot());
     }
 
     #[test]

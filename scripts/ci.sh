@@ -3,6 +3,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Scratch space for rerun/determinism checks: cleaned up even when a cmp
+# fails, so a broken gate never leaves *_rerun.json litter in the tree.
+SMOKE_TMP="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_TMP"' EXIT
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -33,8 +38,16 @@ echo "==> e14 uncertainty-adaptation smoke (tiny horizon, determinism-checked)"
 cargo run --release -p dynplat-bench --bin e14_uncertainty_adaptation -- \
   --horizon-ms 3000 --out E14_sweep.json >/dev/null
 cargo run --release -p dynplat-bench --bin e14_uncertainty_adaptation -- \
-  --horizon-ms 3000 --out E14_sweep_rerun.json >/dev/null
-cmp E14_sweep.json E14_sweep_rerun.json
-rm E14_sweep_rerun.json
+  --horizon-ms 3000 --out "$SMOKE_TMP/E14_sweep_rerun.json" >/dev/null
+cmp E14_sweep.json "$SMOKE_TMP/E14_sweep_rerun.json"
+
+echo "==> e15 fleet-campaign smoke (100k vehicles, shard-invariance-checked)"
+# The rerun flips the shard count: one cmp pins both rerun determinism and
+# the merge's independence from sharding.
+cargo run --release -p dynplat-bench --bin e15_fleet_campaign -- \
+  --vehicles 100000 --shards 4 --out E15_campaign.json >/dev/null
+cargo run --release -p dynplat-bench --bin e15_fleet_campaign -- \
+  --vehicles 100000 --shards 1 --out "$SMOKE_TMP/E15_campaign_rerun.json" >/dev/null
+cmp E15_campaign.json "$SMOKE_TMP/E15_campaign_rerun.json"
 
 echo "==> ci.sh: all green"

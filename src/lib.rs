@@ -23,6 +23,7 @@
 //! | [`sched`] | `dynplat-sched` | RTA, EDF, TT synthesis, servers, admission |
 //! | [`comm`] | `dynplat-comm` | SOME/IP-style middleware & fabric |
 //! | [`faults`] | `dynplat-faults` | seed-driven fault injection & chaos fabric |
+//! | [`fleet`] | `dynplat-fleet` | sharded fleet engine, staged OTA campaigns |
 //! | [`model`] | `dynplat-model` | DSLs, verification engine, generators |
 //! | [`security`] | `dynplat-security` | packages, update master, authn/authz |
 //! | [`obs`] | `dynplat-obs` | metrics registry, tracing spans, snapshots |
@@ -77,6 +78,7 @@ pub use dynplat_common as common;
 pub use dynplat_core as core;
 pub use dynplat_dse as dse;
 pub use dynplat_faults as faults;
+pub use dynplat_fleet as fleet;
 pub use dynplat_hw as hw;
 pub use dynplat_model as model;
 pub use dynplat_monitor as monitor;
