@@ -23,10 +23,20 @@
 //! variant of the gate: a change that serializes the hot paths (a new
 //! lock, a widened critical section) shows up here even when the
 //! single-thread numbers look fine.
+//!
+//! On a single-thread run the binary also counts heap allocations made
+//! inside the comm phases' steady-state loops (after a warmup batch that
+//! fills every scratch buffer to its high-water mark) via a counting
+//! global allocator, and emits `bench.comm.allocs_per_delivery`. With
+//! `--check` the gate fails if that number is non-zero: the fabric's
+//! deliver path is required to be allocation-free once warmed.
 
 use dynplat_bench::Table;
 use dynplat_comm::fabric::Fabric;
-use dynplat_comm::paradigm::{run_rpc, run_stream, EventBus, Publication, RpcCall, StreamSpec};
+use dynplat_comm::paradigm::{
+    run_rpc_into, run_stream_into, EventBus, EventScratch, Publication, RpcCall, RpcScratch,
+    StreamScratch, StreamSpec,
+};
 use dynplat_comm::sd::{SdEntry, ServiceDirectory};
 use dynplat_common::ids::ServiceInstance;
 use dynplat_common::time::{SimDuration, SimTime};
@@ -40,6 +50,70 @@ use dynplat_sched::simulate::{simulate_schedule, Policy, SchedSimConfig};
 use dynplat_sched::task::{TaskSet, TaskSpec};
 use std::process::ExitCode;
 use std::time::Instant;
+
+/// Hermetic allocation counter: wraps the system allocator and counts
+/// allocation events (alloc / realloc / alloc_zeroed) while a phase has
+/// switched counting on. Counting is armed only for single-thread runs —
+/// under `--threads N` the workers' warmup batches would interleave with
+/// other workers' timed windows and the count would be meaningless.
+mod alloc_gate {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    static ARMED: AtomicBool = AtomicBool::new(false);
+    static COUNTING: AtomicBool = AtomicBool::new(false);
+    static COUNT: AtomicU64 = AtomicU64::new(0);
+
+    /// The `#[global_allocator]` shim. Pure pass-through to [`System`]
+    /// plus one relaxed flag load per call when idle.
+    pub struct CountingAlloc;
+
+    // SAFETY: delegates every operation unchanged to `System`; the only
+    // extra work is updating atomics, which cannot allocate or unwind.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            if COUNTING.load(Ordering::Relaxed) {
+                COUNT.fetch_add(1, Ordering::Relaxed);
+            }
+            System.alloc(layout)
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            if COUNTING.load(Ordering::Relaxed) {
+                COUNT.fetch_add(1, Ordering::Relaxed);
+            }
+            System.realloc(ptr, layout, new_size)
+        }
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            if COUNTING.load(Ordering::Relaxed) {
+                COUNT.fetch_add(1, Ordering::Relaxed);
+            }
+            System.alloc_zeroed(layout)
+        }
+    }
+
+    /// Arms the gate; phases' [`set_counting`] calls are no-ops until then.
+    pub fn arm() {
+        ARMED.store(true, Ordering::SeqCst);
+    }
+
+    /// Turns counting on/off around a steady-state loop (if armed).
+    pub fn set_counting(on: bool) {
+        if ARMED.load(Ordering::SeqCst) {
+            COUNTING.store(on, Ordering::SeqCst);
+        }
+    }
+
+    /// Allocation events observed across all counted windows so far.
+    pub fn total() -> u64 {
+        COUNT.load(Ordering::SeqCst)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: alloc_gate::CountingAlloc = alloc_gate::CountingAlloc;
 
 /// Gauges gated by `--check`: current must stay above
 /// `PERF_GATE_RATIO x baseline`.
@@ -157,7 +231,9 @@ fn four_ecu_ethernet() -> HwTopology {
 
 /// Event paradigm: repeated publish batches fanning out to three
 /// subscribers, until `budget` wall-clock elapses. Returns
-/// `(publications, deliveries, elapsed)`.
+/// `(sends, deliveries, elapsed)` counted at the fabric level — one send
+/// per subscriber leg, the same per-message accounting the rpc and
+/// stream phases use (matches `comm.fabric.sends`/`.deliveries`).
 fn run_event_phase(budget: std::time::Duration) -> (u64, u64, std::time::Duration) {
     let topo = four_ecu_ethernet();
     let instance = ServiceInstance::new(ServiceId(1), 1);
@@ -197,20 +273,66 @@ fn run_event_phase(budget: std::time::Duration) -> (u64, u64, std::time::Duratio
             trace: TraceCtx::NONE,
         })
         .collect();
+    let mut fabric = Fabric::new(topo);
+    let mut scratch = EventScratch::new();
+    let mut out = Vec::new();
+    let mut bus = EventBus::new(&mut fabric, &directory);
+    // Warmup: two batches grow every scratch buffer, ring, arena class and
+    // metric handle to its steady-state high-water mark before the counted
+    // window opens.
+    bus.publish_all_into(&publications, &mut scratch, &mut out);
+    bus.publish_all_into(&publications, &mut scratch, &mut out);
     let (mut published, mut delivered) = (0u64, 0u64);
+    alloc_gate::set_counting(true);
     let start = Instant::now();
     while start.elapsed() < budget {
-        let mut fabric = Fabric::new(topo.clone());
-        let mut bus = EventBus::new(&mut fabric, &directory);
-        let deliveries = bus.publish_all(&publications);
-        published += publications.len() as u64;
-        delivered += deliveries.len() as u64;
+        bus.publish_all_into(&publications, &mut scratch, &mut out);
+        published += scratch.fanout_sends() as u64;
+        delivered += out.len() as u64;
     }
-    (published, delivered, start.elapsed())
+    let elapsed = start.elapsed();
+    alloc_gate::set_counting(false);
+    // Republish the event fabric's occupancy so the snapshot's slab/arena
+    // gauges describe the fanout workload, not whichever phase ran last.
+    let slab = fabric.slab_stats();
+    let arena = fabric.arena_stats();
+    EVENT_SLAB.store(
+        pack3(slab.live, slab.free, fabric.peak_slab_capacity()),
+        std::sync::atomic::Ordering::SeqCst,
+    );
+    EVENT_ARENA.store(
+        pack3(arena.live, arena.free, arena.bytes),
+        std::sync::atomic::Ordering::SeqCst,
+    );
+    (published, delivered, elapsed)
+}
+
+/// Slab/arena occupancy of the event phase's fabric, packed with [`pack3`]
+/// (phase functions are plain `fn` pointers, so results that are not part
+/// of the `(ops, ops, elapsed)` tuple travel through statics).
+static EVENT_SLAB: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static EVENT_ARENA: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Packs three small counts into 21-bit lanes of one `u64`.
+fn pack3(a: usize, b: usize, c: usize) -> u64 {
+    const M: u64 = (1 << 21) - 1;
+    (a as u64 & M) | ((b as u64 & M) << 21) | ((c as u64 & M) << 42)
+}
+
+/// Inverse of [`pack3`].
+fn unpack3(v: u64) -> (i64, i64, i64) {
+    const M: u64 = (1 << 21) - 1;
+    (
+        (v & M) as i64,
+        ((v >> 21) & M) as i64,
+        ((v >> 42) & M) as i64,
+    )
 }
 
 /// Message paradigm: RPC round-trip batches. Returns
-/// `(calls, completed, elapsed)`.
+/// `(sends, deliveries, elapsed)` counted at the fabric level: every
+/// completed round trip is two messages (request + response), the same
+/// per-leg accounting the event phase uses for its fanout legs.
 fn run_rpc_phase(budget: std::time::Duration) -> (u64, u64, std::time::Duration) {
     let topo = four_ecu_ethernet();
     let calls: Vec<RpcCall> = (0..50u64)
@@ -226,15 +348,22 @@ fn run_rpc_phase(budget: std::time::Duration) -> (u64, u64, std::time::Duration)
             trace: TraceCtx::NONE,
         })
         .collect();
+    let mut fabric = Fabric::new(topo);
+    let mut scratch = RpcScratch::new();
+    let mut stats = Vec::new();
+    run_rpc_into(&mut fabric, &calls, &mut scratch, &mut stats);
+    run_rpc_into(&mut fabric, &calls, &mut scratch, &mut stats);
     let (mut issued, mut completed) = (0u64, 0u64);
+    alloc_gate::set_counting(true);
     let start = Instant::now();
     while start.elapsed() < budget {
-        let mut fabric = Fabric::new(topo.clone());
-        let stats = run_rpc(&mut fabric, &calls);
-        issued += calls.len() as u64;
-        completed += stats.len() as u64;
+        run_rpc_into(&mut fabric, &calls, &mut scratch, &mut stats);
+        issued += 2 * calls.len() as u64;
+        completed += 2 * stats.len() as u64;
     }
-    (issued, completed, start.elapsed())
+    let elapsed = start.elapsed();
+    alloc_gate::set_counting(false);
+    (issued, completed, elapsed)
 }
 
 /// Stream paradigm: frame batches. Returns `(sent, delivered, elapsed)`.
@@ -251,15 +380,21 @@ fn run_stream_phase(budget: std::time::Duration) -> (u64, u64, std::time::Durati
         priority: 4,
         trace: TraceCtx::NONE,
     };
+    let mut fabric = Fabric::new(topo);
+    let mut scratch = StreamScratch::new();
+    run_stream_into(&mut fabric, &spec, &mut scratch);
+    run_stream_into(&mut fabric, &spec, &mut scratch);
     let (mut sent, mut delivered) = (0u64, 0u64);
+    alloc_gate::set_counting(true);
     let start = Instant::now();
     while start.elapsed() < budget {
-        let mut fabric = Fabric::new(topo.clone());
-        let stats = run_stream(&mut fabric, &spec);
+        let stats = run_stream_into(&mut fabric, &spec, &mut scratch);
         sent += stats.sent as u64;
         delivered += stats.delivered as u64;
     }
-    (sent, delivered, start.elapsed())
+    let elapsed = start.elapsed();
+    alloc_gate::set_counting(false);
+    (sent, delivered, elapsed)
 }
 
 /// A 24-ECU gateway mesh: six CAN/Ethernet leaf segments bridged onto an
@@ -399,6 +534,9 @@ fn main() -> ExitCode {
     registry.reset();
 
     let threads = args.threads;
+    if threads == 1 {
+        alloc_gate::arm();
+    }
     let (published, event_delivered, event_elapsed) = contended2(threads, budget, run_event_phase);
     let (rpc_calls, rpc_completed, rpc_elapsed) = contended2(threads, budget, run_rpc_phase);
     let (frames_sent, frames_delivered, stream_elapsed) =
@@ -421,6 +559,52 @@ fn main() -> ExitCode {
     registry
         .gauge("bench.sched.dispatch_ops_per_sec")
         .set(ops_per_sec(dispatch_completions, sched_elapsed));
+
+    // Republish the event-phase fabric's occupancy (see run_event_phase):
+    // the snapshot's slab/arena gauges should describe the 3-subscriber
+    // fanout workload, not the single-destination stream that ran last.
+    let (slab_live, slab_free, slab_peak) =
+        unpack3(EVENT_SLAB.load(std::sync::atomic::Ordering::SeqCst));
+    let (arena_live, arena_free, arena_bytes) =
+        unpack3(EVENT_ARENA.load(std::sync::atomic::Ordering::SeqCst));
+    registry.gauge("bench.comm.slab_live").set(slab_live);
+    registry.gauge("bench.comm.slab_free").set(slab_free);
+    registry.gauge("bench.comm.slab_peak").set(slab_peak);
+    registry.gauge("bench.comm.arena_live").set(arena_live);
+    registry.gauge("bench.comm.arena_free").set(arena_free);
+    registry.gauge("bench.comm.arena_bytes").set(arena_bytes);
+
+    // Per-phase throughput diagnostics: the gated gauges aggregate the
+    // three comm phases, so a regression in one can hide behind the others
+    // without this breakdown.
+    for (name, ops, elapsed) in [
+        ("event.deliver", event_delivered, event_elapsed),
+        ("rpc.complete", rpc_completed, rpc_elapsed),
+        ("stream.deliver", frames_delivered, stream_elapsed),
+    ] {
+        eprintln!("bench: phase {name}: {} ops/s", ops_per_sec(ops, elapsed));
+    }
+
+    // Steady-state allocation accounting (single-thread runs only). The
+    // per-delivery gauge is ceiling-rounded so even one stray allocation
+    // anywhere in a counted window reads as >= 1 and trips the gate.
+    let steady_allocs = alloc_gate::total();
+    let allocs_per_delivery = if threads == 1 && deliver_ops > 0 {
+        steady_allocs.div_ceil(deliver_ops) as i64
+    } else {
+        -1 // not measured under contention
+    };
+    registry
+        .gauge("bench.comm.steady_allocs")
+        .set(steady_allocs as i64);
+    registry
+        .gauge("bench.comm.allocs_per_delivery")
+        .set(allocs_per_delivery);
+    if threads == 1 {
+        eprintln!(
+            "bench: steady-state heap allocations: {steady_allocs} across {deliver_ops} deliveries"
+        );
+    }
 
     let snapshot = registry.snapshot();
 
@@ -476,6 +660,13 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
+        if threads == 1 && allocs_per_delivery > 0 {
+            eprintln!(
+                "bench: ALLOCATION REGRESSION: {steady_allocs} heap allocations in the \
+                 steady-state deliver loop (expected 0; {deliver_ops} deliveries)"
+            );
+            return ExitCode::FAILURE;
+        }
         let regressions = gate(&snapshot, &baseline);
         if !regressions.is_empty() {
             eprintln!(

@@ -22,23 +22,31 @@
 //!   behavior the paper's §5.2 points to;
 //! * [`retry`] — client-side robustness: per-request timeout, capped
 //!   exponential backoff with deterministic jitter, and a circuit breaker
-//!   per (client, service) edge.
+//!   per (client, service) edge;
+//! * [`ring`] — the lock-free SPSC event ring the fabric hot path rides
+//!   (per-bus `TxDone` queues with a heap spill path);
+//! * [`arena`] — the per-fabric payload arena behind the zero-copy wire
+//!   path: one staged frame shared by every fanout leg.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod endpoint;
 pub mod fabric;
 pub mod paradigm;
 pub mod qos;
 pub mod retry;
+pub mod ring;
 pub mod sd;
 pub mod wire;
 
+pub use arena::{ArenaStats, PayloadArena, PayloadRef};
 pub use endpoint::{ClientProxy, EndpointError, ServiceSkeleton};
-pub use fabric::{BusPort, Fabric, MessageDelivery, MessageSend};
-pub use paradigm::{EventBus, RpcStats, StreamStats};
+pub use fabric::{BusPort, Fabric, MessageDelivery, MessageSend, SlabStats};
+pub use paradigm::{EventBus, EventScratch, RpcScratch, RpcStats, StreamScratch, StreamStats};
 pub use qos::QosSpec;
 pub use retry::{Attempt, BreakerState, CircuitBreaker, RetryPolicy};
+pub use ring::{RingEntry, SpscRing};
 pub use sd::{SdEntry, ServiceDirectory};
 pub use wire::{MessageType, ReturnCode, SomeIpHeader};

@@ -1,0 +1,199 @@
+//! Lock-free single-producer/single-consumer event ring.
+//!
+//! The fabric keeps one [`SpscRing`] per bus for its in-flight `TxDone`
+//! events: a fixed-capacity ring of `(time, seq, slot)` triples with plain
+//! atomic head/tail cursors, no locks and no external dependencies. In the
+//! single-owner fabric loop push/pop are a handful of uncontended atomic
+//! operations (compared to the `O(log n)` binary-heap path it replaces),
+//! and the same structure is safe when producer and consumer live on
+//! different threads — which is what the contended `bench --threads N`
+//! mode and the `tests/properties5.rs` suite exercise.
+//!
+//! # Design
+//!
+//! The crate forbids `unsafe`, so the classic `UnsafeCell` slot array is
+//! out. Instead each entry is split across three parallel *atomic lanes*
+//! (`time: AtomicU64`, `seq: AtomicU64`, `slot: AtomicU32`):
+//!
+//! * the producer writes all three lanes with `Relaxed` stores, then
+//!   publishes the entry with a `Release` store of `tail`;
+//! * the consumer `Acquire`-loads `tail`; observing the new value
+//!   synchronizes with the producer's `Release`, so the `Relaxed` lane
+//!   loads that follow are guaranteed to see the published entry;
+//! * slot reuse is ordered the same way in reverse through `head`
+//!   (consumer `Release`-stores it after reading, producer
+//!   `Acquire`-loads it before overwriting).
+//!
+//! This is the standard Lamport SPSC queue; the lanes are individually
+//! atomic, so there is no data race to make unsafe in the first place —
+//! only the ordering argument above is needed for logical correctness.
+//!
+//! A full ring never blocks and never drops: [`SpscRing::try_push`]
+//! returns `false` and the fabric spills the event to its binary-heap
+//! overflow path, preserving ordering and conservation invariants.
+
+use dynplat_common::time::SimTime;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// A head or tail cursor on its own cache line, so the producer's tail
+/// writes never invalidate the consumer's head line and vice versa.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct Cursor(AtomicUsize);
+
+/// One ring entry: an event timestamp, its global FIFO tie-break sequence
+/// number, and the message-slab slot it refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RingEntry {
+    /// Event time.
+    pub time: SimTime,
+    /// Monotone sequence number (FIFO tie-break at equal times).
+    pub seq: u64,
+    /// Message-slab slot (doubles as the wire frame id).
+    pub slot: u32,
+}
+
+/// Fixed-capacity lock-free SPSC ring of [`RingEntry`] values.
+#[derive(Debug)]
+pub struct SpscRing {
+    mask: usize,
+    head: Cursor,
+    tail: Cursor,
+    time: Box<[AtomicU64]>,
+    seq: Box<[AtomicU64]>,
+    slot: Box<[AtomicU32]>,
+}
+
+impl SpscRing {
+    /// Creates a ring holding at least `capacity` entries (rounded up to
+    /// the next power of two, minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        SpscRing {
+            mask: cap - 1,
+            head: Cursor::default(),
+            tail: Cursor::default(),
+            time: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            seq: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            slot: (0..cap).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    /// Number of entries the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Entries currently queued (approximate under concurrent access,
+    /// exact from either endpoint's own perspective).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.0.load(Ordering::Acquire);
+        let head = self.head.0.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Producer side: appends an entry. Returns `false` (without writing
+    /// anything) when the ring is full — the caller must take its spill
+    /// path.
+    pub fn try_push(&self, entry: RingEntry) -> bool {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > self.mask {
+            return false; // full
+        }
+        let i = tail & self.mask;
+        self.time[i].store(entry.time.as_nanos(), Ordering::Relaxed);
+        self.seq[i].store(entry.seq, Ordering::Relaxed);
+        self.slot[i].store(entry.slot, Ordering::Relaxed);
+        self.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Consumer side: the front entry without removing it.
+    pub fn peek(&self) -> Option<RingEntry> {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        Some(self.read(head))
+    }
+
+    /// Consumer side: removes and returns the front entry.
+    pub fn pop(&self) -> Option<RingEntry> {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let entry = self.read(head);
+        self.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(entry)
+    }
+
+    fn read(&self, head: usize) -> RingEntry {
+        let i = head & self.mask;
+        RingEntry {
+            time: SimTime::from_nanos(self.time[i].load(Ordering::Relaxed)),
+            seq: self.seq[i].load(Ordering::Relaxed),
+            slot: self.slot[i].load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(n: u64) -> RingEntry {
+        RingEntry {
+            time: SimTime::from_nanos(n),
+            seq: n,
+            slot: n as u32,
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(SpscRing::new(0).capacity(), 2);
+        assert_eq!(SpscRing::new(3).capacity(), 4);
+        assert_eq!(SpscRing::new(8).capacity(), 8);
+    }
+
+    #[test]
+    fn fifo_order_and_wraparound() {
+        let ring = SpscRing::new(4);
+        // Several times around the ring to exercise index wrapping.
+        let mut next = 0u64;
+        for _ in 0..10 {
+            for _ in 0..3 {
+                assert!(ring.try_push(entry(next)));
+                next += 1;
+            }
+            for k in (next - 3)..next {
+                assert_eq!(ring.peek(), Some(entry(k)));
+                assert_eq!(ring.pop(), Some(entry(k)));
+            }
+        }
+        assert_eq!(ring.pop(), None);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn full_ring_rejects_without_overwriting() {
+        let ring = SpscRing::new(2);
+        assert!(ring.try_push(entry(1)));
+        assert!(ring.try_push(entry(2)));
+        assert!(!ring.try_push(entry(3)), "full ring must refuse");
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.pop(), Some(entry(1)));
+        assert!(ring.try_push(entry(3)), "pop frees a slot");
+        assert_eq!(ring.pop(), Some(entry(2)));
+        assert_eq!(ring.pop(), Some(entry(3)));
+    }
+}

@@ -191,10 +191,21 @@ impl SomeIpHeader {
     pub fn encode(&self, payload: &[u8]) -> Vec<u8> {
         let traced = self.trace.is_active();
         let ext = if traced { TRACE_EXT_LEN } else { 0 };
-        let mut w = ByteWriter::with_capacity(HEADER_LEN + ext + payload.len());
+        let mut out = Vec::with_capacity(HEADER_LEN + ext + payload.len());
+        self.encode_into(payload, &mut out);
+        out
+    }
+
+    /// Encodes into a caller-owned buffer (cleared first, capacity kept):
+    /// the zero-copy wire path stages one datagram per *publication* into
+    /// a reused scratch buffer instead of allocating one per subscriber
+    /// leg. A warmed buffer makes repeated encodes allocation-free.
+    pub fn encode_into(&self, payload: &[u8], out: &mut Vec<u8>) {
+        let traced = self.trace.is_active();
+        let mut w = ByteWriter::from_vec(std::mem::take(out));
         w.put_u16(self.service.raw());
         w.put_u16(self.method.raw());
-        w.put_u32(8 + ext as u32 + payload.len() as u32);
+        w.put_u32(8 + if traced { TRACE_EXT_LEN as u32 } else { 0 } + payload.len() as u32);
         w.put_u16(self.client);
         w.put_u16(self.session);
         w.put_u8(PROTOCOL_VERSION);
@@ -206,7 +217,7 @@ impl SomeIpHeader {
             w.put_u64(self.trace.span);
         }
         w.put_bytes(payload);
-        w.into_vec()
+        *out = w.into_vec();
     }
 
     /// Decodes a datagram into header and payload.
@@ -281,7 +292,7 @@ mod tests {
         let payload = b"set_speed(80)";
         let wire = h.encode(payload);
         assert_eq!(wire.len(), HEADER_LEN + payload.len());
-        let (decoded, p) = SomeIpHeader::decode(&wire).unwrap();
+        let (decoded, p) = SomeIpHeader::decode(&wire).expect("well-formed datagram must decode");
         assert_eq!(p, payload);
         assert_eq!(decoded.service, ServiceId(0x1234));
         assert_eq!(decoded.method, MethodId(0x0421));
@@ -312,11 +323,28 @@ mod tests {
                 h.message_type = ty;
                 h.return_code = code;
                 let wire = h.encode(&[]);
-                let (d, _) = SomeIpHeader::decode(&wire).unwrap();
+                let (d, _) = SomeIpHeader::decode(&wire).expect("well-formed datagram must decode");
                 assert_eq!(d.message_type, ty);
                 assert_eq!(d.return_code, code);
             }
         }
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer_and_matches_encode() {
+        let h = SomeIpHeader::request(ServiceId(0x10), MethodId(0x20), 1, 2)
+            .with_trace(TraceCtx::new(0xF00D, 3));
+        let mut buf = Vec::new();
+        h.encode_into(b"first", &mut buf);
+        assert_eq!(buf, h.encode(b"first"));
+        let cap = buf.capacity();
+        // Re-encoding a same-size payload reuses the warmed buffer.
+        h.encode_into(b"again", &mut buf);
+        assert_eq!(buf, h.encode(b"again"));
+        assert_eq!(buf.capacity(), cap, "warmed buffer must be reused");
+        let (decoded, p) = SomeIpHeader::decode(&buf).expect("well-formed datagram must decode");
+        assert_eq!(p, b"again");
+        assert_eq!(decoded.trace, TraceCtx::new(0xF00D, 3));
     }
 
     #[test]
@@ -362,7 +390,7 @@ mod tests {
         let wire = traced.encode(payload);
         assert_eq!(wire.len(), HEADER_LEN + TRACE_EXT_LEN + payload.len());
         assert_eq!(wire[14] & TRACE_FLAG, TRACE_FLAG);
-        let (decoded, p) = SomeIpHeader::decode(&wire).unwrap();
+        let (decoded, p) = SomeIpHeader::decode(&wire).expect("well-formed datagram must decode");
         assert_eq!(p, payload);
         assert_eq!(decoded.trace, TraceCtx::new(0xDEAD_BEEF, 42));
         assert_eq!(decoded.message_type, MessageType::Request);
@@ -371,7 +399,7 @@ mod tests {
         let wire = plain.encode(payload);
         assert_eq!(wire.len(), HEADER_LEN + payload.len());
         assert_eq!(wire[14] & TRACE_FLAG, 0);
-        let (decoded, _) = SomeIpHeader::decode(&wire).unwrap();
+        let (decoded, _) = SomeIpHeader::decode(&wire).expect("well-formed datagram must decode");
         assert_eq!(decoded.trace, TraceCtx::NONE);
     }
 
@@ -381,7 +409,8 @@ mod tests {
             SomeIpHeader::request(ServiceId(1), MethodId(2), 3, 4).with_trace(TraceCtx::root(77));
         let resp = req.to_response(ReturnCode::Ok);
         assert_eq!(resp.trace, req.trace);
-        let (decoded, _) = SomeIpHeader::decode(&resp.encode(&[])).unwrap();
+        let (decoded, _) =
+            SomeIpHeader::decode(&resp.encode(&[])).expect("response datagram must decode");
         assert_eq!(decoded.trace, req.trace);
     }
 

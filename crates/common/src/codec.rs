@@ -94,6 +94,14 @@ impl ByteWriter {
         }
     }
 
+    /// Wraps an existing buffer, clearing it first but keeping its
+    /// capacity — the reuse path for encoders called in a hot loop, where
+    /// a warmed buffer makes repeated encodes allocation-free.
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        ByteWriter { buf }
+    }
+
     /// Appends a single byte.
     pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);

@@ -175,6 +175,50 @@ impl RouteCache {
             .ok_or(TopologyError::NoRoute(src, dst))
     }
 
+    /// The bus path from `src` to `dst` as a borrowed slice — the hot-path
+    /// variant of [`RouteCache::route_buses`] for callers that copy or
+    /// inspect the route immediately: no `Arc` refcount traffic.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RouteCache::route_buses`].
+    pub fn route_slice(&mut self, src: EcuId, dst: EcuId) -> Result<&[BusId], TopologyError> {
+        let s = self.index_of(src).ok_or(TopologyError::UnknownEcu(src))?;
+        let d = self.index_of(dst).ok_or(TopologyError::UnknownEcu(dst))?;
+        if s == d {
+            return Ok(&[]);
+        }
+        if !self.row_done[s as usize] {
+            self.fill_row(s);
+        }
+        match &self.paths[s as usize * self.ecu_ids.len() + d as usize] {
+            Some(p) => Ok(p),
+            None => Err(TopologyError::NoRoute(src, dst)),
+        }
+    }
+
+    /// The dense index of an ECU, usable with batch helpers that want to
+    /// avoid repeated id translation. `None` for unknown ECUs.
+    pub fn ecu_index(&self, ecu: EcuId) -> Option<usize> {
+        self.index_of(ecu).map(|i| i as usize)
+    }
+
+    /// Warms the `(src, *)` row: one BFS fills the route to *every*
+    /// destination, so a batch fanout from `src` resolves each leg with a
+    /// plain table lookup. A no-op when the row is already filled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownEcu`] when `src` is not in the
+    /// topology.
+    pub fn prefetch(&mut self, src: EcuId) -> Result<(), TopologyError> {
+        let s = self.index_of(src).ok_or(TopologyError::UnknownEcu(src))?;
+        if !self.row_done[s as usize] {
+            self.fill_row(s);
+        }
+        Ok(())
+    }
+
     /// The route from `src` to `dst` as an owned [`Route`], for drop-in
     /// compatibility with [`HwTopology::route`].
     ///
@@ -263,6 +307,29 @@ mod tests {
         let b = cache.route_buses(EcuId(0), EcuId(2)).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(&*a, &[BusId(0), BusId(1)]);
+    }
+
+    #[test]
+    fn prefetch_fills_the_row_once() {
+        let t = topo();
+        let mut cache = RouteCache::new(&t);
+        cache.prefetch(EcuId(0)).unwrap();
+        // All destinations from ECU 0 now resolve to the same answers as
+        // a fresh BFS, including the unreachable island.
+        assert_eq!(
+            cache.route_buses(EcuId(0), EcuId(2)).unwrap().as_ref(),
+            &[BusId(0), BusId(1)]
+        );
+        assert_eq!(
+            cache.route(EcuId(0), EcuId(9)),
+            Err(TopologyError::NoRoute(EcuId(0), EcuId(9)))
+        );
+        assert_eq!(
+            cache.prefetch(EcuId(7)),
+            Err(TopologyError::UnknownEcu(EcuId(7)))
+        );
+        assert_eq!(cache.ecu_index(EcuId(2)), Some(2));
+        assert_eq!(cache.ecu_index(EcuId(7)), None);
     }
 
     #[test]

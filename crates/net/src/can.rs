@@ -41,6 +41,10 @@ pub fn can_frame_time(payload: usize, bitrate: u64) -> SimDuration {
 #[derive(Debug)]
 pub struct CanArbiter {
     bitrate: u64,
+    /// Cached ns per bit when integral at `bitrate` (all standard CAN
+    /// rates), else 0 — replaces the per-frame division of
+    /// [`can_frame_time`] with one multiplication on the poll path.
+    ns_per_bit: u64,
     // Arbitration picks the minimum (priority, fifo seq) at poll time.
     queue: Vec<(u32, u64, SimTime, Frame)>,
     seq: u64,
@@ -56,6 +60,11 @@ impl CanArbiter {
         assert!(bitrate > 0, "bitrate must be non-zero");
         CanArbiter {
             bitrate,
+            ns_per_bit: if 1_000_000_000 % bitrate == 0 {
+                1_000_000_000 / bitrate
+            } else {
+                0
+            },
             queue: Vec::new(),
             seq: 0,
         }
@@ -70,18 +79,28 @@ impl Arbiter for CanArbiter {
     }
 
     fn poll(&mut self, now: SimTime) -> Grant {
-        // Lowest (priority, seq) wins arbitration.
-        let Some(best) = self
-            .queue
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, (p, s, _, _))| (*p, *s))
-            .map(|(i, _)| i)
-        else {
-            return Grant::Idle;
+        // Lowest (priority, seq) wins arbitration. A one-deep queue (the
+        // uncongested fast path) needs no arbitration scan at all.
+        let best = match self.queue.len() {
+            0 => return Grant::Idle,
+            1 => 0,
+            _ => self
+                .queue
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (p, s, _, _))| (*p, *s))
+                .map(|(i, _)| i)
+                .expect("non-empty queue has a minimum"),
         };
         let (_, _, arrival, frame) = self.queue.swap_remove(best);
-        let end = now + can_frame_time(frame.payload, self.bitrate);
+        let wire = if self.ns_per_bit != 0 {
+            let s = frame.payload as u64;
+            let bits = 8 * s + EXPOSED_CONTROL_BITS + 13 + (EXPOSED_CONTROL_BITS + 8 * s - 1) / 4;
+            SimDuration::from_nanos(bits * self.ns_per_bit)
+        } else {
+            can_frame_time(frame.payload, self.bitrate)
+        };
+        let end = now + wire;
         Grant::Tx(Transmission {
             frame,
             arrival,

@@ -31,6 +31,30 @@ pub fn ethernet_frame_time(payload: usize, bitrate: u64) -> SimDuration {
     SimDuration::from_nanos(on_wire as u64 * 8 * 1_000_000_000 / bitrate)
 }
 
+/// Nanoseconds per on-wire byte when the byte time is integral at
+/// `bitrate` (every standard Ethernet rate), else 0. Lets ports replace
+/// the per-frame `u64` division in [`ethernet_frame_time`] with one
+/// multiplication on the hot path.
+fn ns_per_byte(bitrate: u64) -> u64 {
+    if 8_000_000_000 % bitrate == 0 {
+        8_000_000_000 / bitrate
+    } else {
+        0
+    }
+}
+
+/// [`ethernet_frame_time`] with the division pre-resolved: `npb` is this
+/// port's cached [`ns_per_byte`] (0 = fall back to the dividing path).
+#[inline]
+fn frame_time_cached(payload: usize, bitrate: u64, npb: u64) -> SimDuration {
+    if npb != 0 {
+        let on_wire = (payload + L2_OVERHEAD_BYTES).max(MIN_FRAME_BYTES) + GAP_BYTES;
+        SimDuration::from_nanos(on_wire as u64 * npb)
+    } else {
+        ethernet_frame_time(payload, bitrate)
+    }
+}
+
 /// Maximum payload per Ethernet frame (standard MTU).
 pub const MTU_BYTES: usize = 1500;
 
@@ -38,6 +62,7 @@ pub const MTU_BYTES: usize = 1500;
 #[derive(Debug)]
 pub struct FifoPort {
     bitrate: u64,
+    ns_per_byte: u64,
     queue: VecDeque<(SimTime, Frame)>,
 }
 
@@ -51,6 +76,7 @@ impl FifoPort {
         assert!(bitrate > 0, "bitrate must be non-zero");
         FifoPort {
             bitrate,
+            ns_per_byte: ns_per_byte(bitrate),
             queue: VecDeque::new(),
         }
     }
@@ -64,7 +90,7 @@ impl Arbiter for FifoPort {
     fn poll(&mut self, now: SimTime) -> Grant {
         match self.queue.pop_front() {
             Some((arrival, frame)) => {
-                let end = now + ethernet_frame_time(frame.payload, self.bitrate);
+                let end = now + frame_time_cached(frame.payload, self.bitrate, self.ns_per_byte);
                 Grant::Tx(Transmission {
                     frame,
                     arrival,
@@ -88,6 +114,7 @@ impl Arbiter for FifoPort {
 #[derive(Debug)]
 pub struct StrictPriorityPort {
     bitrate: u64,
+    ns_per_byte: u64,
     queue: Vec<(u32, u64, SimTime, Frame)>,
     seq: u64,
 }
@@ -102,6 +129,7 @@ impl StrictPriorityPort {
         assert!(bitrate > 0, "bitrate must be non-zero");
         StrictPriorityPort {
             bitrate,
+            ns_per_byte: ns_per_byte(bitrate),
             queue: Vec::new(),
             seq: 0,
         }
@@ -116,17 +144,21 @@ impl Arbiter for StrictPriorityPort {
     }
 
     fn poll(&mut self, now: SimTime) -> Grant {
-        let Some(best) = self
-            .queue
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, (p, s, _, _))| (*p, *s))
-            .map(|(i, _)| i)
-        else {
-            return Grant::Idle;
+        // A one-deep queue (the uncongested fast path) needs no
+        // transmission-selection scan at all.
+        let best = match self.queue.len() {
+            0 => return Grant::Idle,
+            1 => 0,
+            _ => self
+                .queue
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (p, s, _, _))| (*p, *s))
+                .map(|(i, _)| i)
+                .expect("non-empty queue has a minimum"),
         };
         let (_, _, arrival, frame) = self.queue.swap_remove(best);
-        let end = now + ethernet_frame_time(frame.payload, self.bitrate);
+        let end = now + frame_time_cached(frame.payload, self.bitrate, self.ns_per_byte);
         Grant::Tx(Transmission {
             frame,
             arrival,

@@ -39,7 +39,10 @@ pub mod snapshot;
 pub mod span;
 pub mod trace;
 
-pub use metrics::{bucket_bounds, Counter, Gauge, Histogram, MetricsRegistry, BUCKET_COUNT};
+pub use metrics::{
+    bucket_bounds, Counter, Gauge, Histogram, LocalHistogram, MetricsRegistry, BUCKET_COUNT,
+    COUNTER_STRIPES,
+};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot, SNAPSHOT_SCHEMA};
 pub use span::{parse_dump, ParsedSpan, SpanGuard, SpanRecord, Tracer};
 pub use trace::{FlightDump, FlightRecorder, TraceCtx, TraceEvent, FLIGHT_SCHEMA};

@@ -26,7 +26,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 echo "==> cargo test --doc"
 cargo test -q --doc --workspace
 
-echo "==> perf smoke gate (bench vs BENCH_baseline.json)"
+echo "==> SPSC ring property suite (wrap-around, spill, cross-thread)"
+cargo test -q --test properties5
+
+echo "==> perf smoke gate (bench vs BENCH_baseline.json, alloc gate armed)"
+# Single-threaded, so the counting allocator is armed: any heap allocation
+# in a steady-state deliver loop fails this step, not just a perf drop.
 cargo run --release -p dynplat-bench --bin bench -- \
   --quick --out BENCH_snapshot.json --check BENCH_baseline.json >/dev/null
 
