@@ -1,0 +1,372 @@
+//! A lightweight Rust lexer for lint-grade scanning.
+//!
+//! This is deliberately **not** a full Rust parser: the lint rules in
+//! [`crate::lints`] only need a faithful token stream — identifiers,
+//! punctuation, literals and comments, each tagged with its source line —
+//! with strings and comments correctly skipped so that a `panic!` inside a
+//! doc comment or an `"unwrap()"` inside a string literal never trips a
+//! rule. The tricky lexical forms are handled for real: nested block
+//! comments, raw strings with arbitrary `#` fences, byte/raw-byte strings,
+//! char literals vs. lifetimes, and `r#ident` raw identifiers.
+//!
+//! The output is a flat `Vec<Token>`; downstream passes run simple
+//! token-sequence automata over it (see [`crate::lints`]), which keeps the
+//! whole analysis crate zero-dependency and fast enough to scan the entire
+//! workspace in well under a second.
+
+/// What a token is, with enough payload for the lint rules.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe`, `unwrap`, `Ordering`, ...).
+    /// Raw identifiers are stored without the `r#` prefix.
+    Ident(String),
+    /// A single punctuation character (`.`, `!`, `#`, `[`, ...). Multi-char
+    /// operators arrive as consecutive tokens, which is fine for matching.
+    Punct(char),
+    /// A string, byte-string, char or numeric literal (payload dropped).
+    Literal,
+    /// A lifetime such as `'a` (payload dropped).
+    Lifetime,
+    /// A `//` line comment or `/* */` block comment, full text retained —
+    /// the `relaxed-justify` rule reads justification text out of these.
+    Comment(String),
+}
+
+/// One lexed token with the 1-indexed line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// True when this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Lexes Rust source into a token stream. Unterminated strings or comments
+/// lex to the end of input rather than erroring: for a linter, a best-effort
+/// stream over a syntactically broken file is more useful than a failure.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump(); // `b`
+                    self.string(line);
+                }
+                'r' | 'b' if self.raw_string_ahead() => self.raw_string(line),
+                'r' if self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) => {
+                    self.bump(); // `r`
+                    self.bump(); // `#`
+                    self.ident(line);
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if is_ident_start(c) => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, line: u32) {
+        self.out.push(Token { kind, line });
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Comment(text), line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::Comment(text), line);
+    }
+
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // escaped char, including `\"`
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, line);
+    }
+
+    /// Detects `r"`, `r#...#"`, `br"`, `br#...#"` at the cursor.
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = 1; // past the leading `r` or `b`
+        if self.peek(0) == Some('b') {
+            if self.peek(1) != Some('r') {
+                return false;
+            }
+            i = 2;
+        }
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn raw_string(&mut self, line: u32) {
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        self.bump(); // `r`
+        let mut fence = 0usize;
+        while self.peek(0) == Some('#') {
+            fence += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..fence {
+                    if self.peek(k) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..fence {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::Literal, line);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // `'a` followed by a non-quote is a lifetime; `'a'`, `'\n'` are
+        // char literals. `'_` and keywords like `'static` are lifetimes.
+        let second = self.peek(1);
+        let third = self.peek(2);
+        let is_lifetime = match second {
+            Some(c) if is_ident_start(c) => third != Some('\''),
+            _ => false,
+        };
+        self.bump(); // `'`
+        if is_lifetime {
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            self.push(TokenKind::Lifetime, line);
+            return;
+        }
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            name.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Ident(name), line);
+    }
+
+    fn number(&mut self, line: u32) {
+        // Numbers can embed `_`, type suffixes, hex/bin digits and a
+        // single `.`; precise shape does not matter to any rule.
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                // `1..=3` range punctuation must not be swallowed.
+                if c == '.' && self.peek(1) == Some('.') {
+                    break;
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Literal, line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // panic! in a comment
+            /* unwrap() in /* a nested */ block */
+            let s = "panic!(\"no\")";
+            let r = r#"unwrap() "quoted" "#;
+            let b = b"unwrap";
+            call();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "panic" || i == "unwrap"));
+        assert!(ids.iter().any(|i| i == "call"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let literals = toks.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(literals, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_lose_their_prefix() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\nb /* c\nd */ e";
+        let toks = lex(src);
+        let find = |name: &str| {
+            toks.iter()
+                .find(|t| t.is_ident(name))
+                .map(|t| t.line)
+                .expect("token present")
+        };
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("e"), 5);
+    }
+
+    #[test]
+    fn range_punctuation_survives_numbers() {
+        let toks = lex("for i in 0..n {}");
+        assert_eq!(
+            toks.iter().filter(|t| t.is_punct('.')).count(),
+            2,
+            "both dots of `..` must lex as punctuation"
+        );
+    }
+
+    #[test]
+    fn comments_keep_their_text() {
+        let toks = lex("x.load(o); // relaxed: tearing is fine here");
+        let comment = toks
+            .iter()
+            .find_map(|t| match &t.kind {
+                TokenKind::Comment(c) => Some(c.clone()),
+                _ => None,
+            })
+            .expect("comment token");
+        assert!(comment.contains("relaxed: tearing"));
+    }
+}

@@ -1,0 +1,80 @@
+#![forbid(unsafe_code)]
+//! `dynplat-analysis` — the workspace invariant linter.
+//!
+//! ```text
+//! dynplat-analysis --workspace [--root DIR] [--report FILE.json]
+//! ```
+//!
+//! Scans every Rust target in the workspace, applies the checked-in
+//! `analysis-allow.list`, prints findings, optionally writes the
+//! `dynplat.analysis.v1` JSON report, and exits nonzero when any active
+//! finding remains. `scripts/ci.sh` runs this as a gating step.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dynplat_analysis::workspace;
+
+struct Args {
+    root: PathBuf,
+    report: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = PathBuf::from(".");
+    let mut report = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // --workspace is the only scan mode; accepted for CI-line
+            // readability.
+            "--workspace" => {}
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--report" => {
+                report = Some(PathBuf::from(args.next().ok_or("--report needs a path")?));
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: dynplat-analysis --workspace [--root DIR] [--report FILE.json]"
+                        .to_owned(),
+                );
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(Args { root, report })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match workspace::run_root(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dynplat-analysis: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render_text());
+    if let Some(path) = &args.report {
+        if let Err(e) = std::fs::write(path, report.render_json()) {
+            eprintln!(
+                "dynplat-analysis: cannot write report {}: {e}",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,540 @@
+//! A miniature schedule-exploration model checker (a "mini-loom").
+//!
+//! The lock-free fabric's correctness rests on an ordering argument prose
+//! alone carries (`crates/comm/src/ring.rs` top docs): the producer's
+//! `Release` store of `tail` is what makes the consumer's `Relaxed` lane
+//! loads safe. This module turns that argument into an exhaustive check:
+//! modeled threads run against **virtual atomics** with a weak-memory
+//! semantics, and a DFS scheduler explores every interleaving *and* every
+//! stale read the memory model permits, within a preemption bound.
+//!
+//! # Memory model
+//!
+//! The semantics is the standard operational *view* model for C11
+//! release/acquire/relaxed atomics (the same family loom implements):
+//!
+//! * each location keeps its full **modification order** — a list of
+//!   timestamped stores, each carrying a *message view*;
+//! * each thread holds a **view**: per location, the oldest timestamp it
+//!   is allowed to read;
+//! * a store appends to the modification order; a `Release` store attaches
+//!   the thread's entire current view to the message, a `Relaxed` store
+//!   attaches only its own new timestamp;
+//! * a load may read **any** store no older than the thread's view — this
+//!   choice is a scheduler branch point, which is exactly how stale reads
+//!   are explored. An `Acquire` load joins the message view into the
+//!   thread's view; a `Relaxed` load only advances the view of the loaded
+//!   location (read-read coherence);
+//! * an RMW reads the newest store (atomicity) and appends.
+//!
+//! Reading *from the future* is impossible by construction (a store that
+//! has not executed yet is not in the modification order), so the model
+//! soundly rejects only behaviors real hardware forbids, while permitting
+//! every stale read `Relaxed` allows. Publishing `tail` with `Relaxed`
+//! therefore lets the modeled consumer observe the new `tail` but stale
+//! lanes — the seeded-bug regression in `tests/model_check.rs`.
+//!
+//! # Scheduler
+//!
+//! Depth-first search over `(thread to run, store to read)` choices with
+//! three bounds: a **preemption bound** (switching away from a thread
+//! that could still run costs one preemption; running a thread to its
+//! next blocking point is free — the classic context-bounding result that
+//! most concurrency bugs need very few preemptions), a **visited-state
+//! set** (spin loops — a consumer polling an empty ring — revisit states
+//! and are pruned instead of diverging), and a **state-count cap** that
+//! marks the exploration incomplete rather than running away.
+
+pub mod spsc;
+
+use std::collections::HashSet;
+
+/// Memory orderings the virtual atomics understand. `SeqCst` is
+/// deliberately absent: the fabric's protocols use only these three, and
+/// the linter keeps it that way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemOrd {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+}
+
+impl MemOrd {
+    fn acquires(self) -> bool {
+        matches!(self, MemOrd::Acquire | MemOrd::AcqRel)
+    }
+    fn releases(self) -> bool {
+        matches!(self, MemOrd::Release | MemOrd::AcqRel)
+    }
+}
+
+/// One virtual atomic operation on location `loc` (a model-defined index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Load the location; the read value is passed to [`Model::apply`].
+    Load(usize, MemOrd),
+    /// Store the value; `apply` receives the stored value.
+    Store(usize, u64, MemOrd),
+    /// Atomic fetch-add; `apply` receives the value *read* (pre-add).
+    FetchAdd(usize, u64, MemOrd),
+}
+
+/// A system under check: a fixed set of threads, each an explicit state
+/// machine that alternates `next_op` (what would I do next?) with `apply`
+/// (here is what the memory returned; advance and assert).
+///
+/// Models are plain data (`Clone + Hash + Eq`) so the explorer can fork
+/// and deduplicate world states freely.
+pub trait Model: Clone + std::hash::Hash + Eq {
+    /// Number of modeled threads.
+    fn threads(&self) -> usize;
+    /// Number of atomic locations; all start holding 0.
+    fn locations(&self) -> usize;
+    /// The next operation thread `tid` wants to run, or `None` when it
+    /// has finished.
+    fn next_op(&self, tid: usize) -> Option<Op>;
+    /// Advances thread `tid` past its pending op. `value` is the loaded
+    /// (or stored, for stores) value. `Err` reports a safety violation.
+    fn apply(&mut self, tid: usize, value: u64) -> Result<(), String>;
+    /// Checked once per terminal state (every thread finished).
+    fn check_final(&self) -> Result<(), String>;
+}
+
+/// One store in a location's modification order.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct StoreMsg {
+    val: u64,
+    ts: u32,
+    /// The message view: what a reader acquires by reading this store.
+    view: Vec<u32>,
+}
+
+/// All locations' modification orders. Location `l` starts with an
+/// initial store of 0 at timestamp 0 whose message view is all-zero.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Memory {
+    locs: Vec<Vec<StoreMsg>>,
+}
+
+impl Memory {
+    fn new(nlocs: usize) -> Memory {
+        Memory {
+            locs: (0..nlocs)
+                .map(|_| {
+                    vec![StoreMsg {
+                        val: 0,
+                        ts: 0,
+                        view: vec![0; nlocs],
+                    }]
+                })
+                .collect(),
+        }
+    }
+
+    fn latest_ts(&self, loc: usize) -> u32 {
+        self.locs[loc].last().map(|s| s.ts).unwrap_or(0)
+    }
+}
+
+fn join_views(into: &mut [u32], from: &[u32]) {
+    for (a, b) in into.iter_mut().zip(from) {
+        *a = (*a).max(*b);
+    }
+}
+
+/// One complete world state: model + memory + per-thread views, plus the
+/// scheduling bookkeeping the preemption bound needs.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct State<M: Model> {
+    model: M,
+    mem: Memory,
+    views: Vec<Vec<u32>>,
+    last: Option<usize>,
+    preemptions: u32,
+}
+
+/// Exploration bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Maximum context switches away from a still-runnable thread.
+    pub max_preemptions: u32,
+    /// Hard cap on distinct states; exceeding it clears
+    /// [`Exploration::complete`] instead of looping forever.
+    pub max_states: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_preemptions: 3,
+            max_states: 2_000_000,
+        }
+    }
+}
+
+/// A safety violation plus the schedule that produced it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub message: String,
+    /// Human-readable `t<tid>: <op> -> <value>` lines, in schedule order.
+    pub trace: Vec<String>,
+}
+
+/// The result of exhausting (or capping) the state space.
+#[derive(Clone, Debug, Default)]
+pub struct Exploration {
+    /// Distinct world states visited.
+    pub states: u64,
+    /// Terminal states reached (all threads finished).
+    pub terminal: u64,
+    /// First violation found, if any (exploration stops at the first).
+    pub violation: Option<Violation>,
+    /// True when the state space was exhausted within `max_states`.
+    pub complete: bool,
+}
+
+/// Exhaustively explores `model` under `cfg` bounds.
+pub fn explore<M: Model>(model: M, cfg: &Config) -> Exploration {
+    let nlocs = model.locations();
+    let nthreads = model.threads();
+    let state = State {
+        model,
+        mem: Memory::new(nlocs),
+        views: vec![vec![0; nlocs]; nthreads],
+        last: None,
+        preemptions: 0,
+    };
+    let mut ex = Exploration {
+        complete: true,
+        ..Exploration::default()
+    };
+    let mut visited = HashSet::new();
+    let mut trace = Vec::new();
+    dfs(&state, cfg, &mut visited, &mut trace, &mut ex);
+    ex
+}
+
+fn dfs<M: Model>(
+    state: &State<M>,
+    cfg: &Config,
+    visited: &mut HashSet<State<M>>,
+    trace: &mut Vec<String>,
+    ex: &mut Exploration,
+) {
+    if ex.violation.is_some() {
+        return;
+    }
+    if ex.states >= cfg.max_states {
+        ex.complete = false;
+        return;
+    }
+    if !visited.insert(state.clone()) {
+        return;
+    }
+    ex.states += 1;
+
+    let enabled: Vec<usize> = (0..state.model.threads())
+        .filter(|&t| state.model.next_op(t).is_some())
+        .collect();
+    if enabled.is_empty() {
+        ex.terminal += 1;
+        if let Err(message) = state.model.check_final() {
+            ex.violation = Some(Violation {
+                message,
+                trace: trace.clone(),
+            });
+        }
+        return;
+    }
+
+    for &tid in &enabled {
+        // Preemption accounting: continuing the last thread is free, as is
+        // taking over from a thread that finished or blocked; switching
+        // away from a thread that could still run costs one preemption.
+        let preempts = match state.last {
+            Some(prev) if prev != tid && enabled.contains(&prev) => state.preemptions + 1,
+            _ => state.preemptions,
+        };
+        if preempts > cfg.max_preemptions {
+            continue;
+        }
+        let op = state
+            .model
+            .next_op(tid)
+            .expect("enabled thread must offer an op");
+        match op {
+            Op::Store(loc, val, ord) => {
+                let mut next = state.clone();
+                let ts = next.mem.latest_ts(loc) + 1;
+                next.views[tid][loc] = ts;
+                let view = if ord.releases() {
+                    next.views[tid].clone()
+                } else {
+                    // relaxed-store message: carries only its own
+                    // timestamp, so acquiring readers learn nothing else.
+                    let mut v = vec![0; next.views[tid].len()];
+                    v[loc] = ts;
+                    v
+                };
+                next.mem.locs[loc].push(StoreMsg { val, ts, view });
+                step(
+                    next,
+                    tid,
+                    format!("t{tid}: store l{loc} = {val} ({ord:?})"),
+                    val,
+                    cfg,
+                    visited,
+                    trace,
+                    ex,
+                );
+            }
+            Op::FetchAdd(loc, add, ord) => {
+                let mut next = state.clone();
+                // Atomicity: an RMW always reads the newest store.
+                let read = next.mem.locs[loc].last().expect("init store").clone();
+                if ord.acquires() {
+                    join_views(&mut next.views[tid], &read.view);
+                }
+                let ts = read.ts + 1;
+                next.views[tid][loc] = ts;
+                let view = if ord.releases() {
+                    next.views[tid].clone()
+                } else {
+                    let mut v = vec![0; next.views[tid].len()];
+                    v[loc] = ts;
+                    v
+                };
+                next.mem.locs[loc].push(StoreMsg {
+                    val: read.val.wrapping_add(add),
+                    ts,
+                    view,
+                });
+                step(
+                    next,
+                    tid,
+                    format!(
+                        "t{tid}: fetch_add l{loc} += {add} -> read {} ({ord:?})",
+                        read.val
+                    ),
+                    read.val,
+                    cfg,
+                    visited,
+                    trace,
+                    ex,
+                );
+            }
+            Op::Load(loc, ord) => {
+                // Every store at or after the thread's view is readable;
+                // each choice is its own branch.
+                let floor = state.views[tid][loc];
+                let readable: Vec<usize> = state.mem.locs[loc]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.ts >= floor)
+                    .map(|(i, _)| i)
+                    .collect();
+                for idx in readable {
+                    let mut next = state.clone();
+                    let msg = next.mem.locs[loc][idx].clone();
+                    next.views[tid][loc] = next.views[tid][loc].max(msg.ts);
+                    if ord.acquires() {
+                        join_views(&mut next.views[tid], &msg.view);
+                    }
+                    step(
+                        next,
+                        tid,
+                        format!("t{tid}: load l{loc} -> {} @ts{} ({ord:?})", msg.val, msg.ts),
+                        msg.val,
+                        cfg,
+                        visited,
+                        trace,
+                        ex,
+                    );
+                }
+            }
+        }
+        if ex.violation.is_some() {
+            return;
+        }
+    }
+}
+
+/// Applies the op result to the model, records the trace line, and
+/// recurses.
+#[allow(clippy::too_many_arguments)]
+fn step<M: Model>(
+    mut next: State<M>,
+    tid: usize,
+    desc: String,
+    value: u64,
+    cfg: &Config,
+    visited: &mut HashSet<State<M>>,
+    trace: &mut Vec<String>,
+    ex: &mut Exploration,
+) {
+    let preempted_from = next.last;
+    next.preemptions = match preempted_from {
+        Some(prev) if prev != tid && next.model.next_op(prev).is_some() => next.preemptions + 1,
+        _ => next.preemptions,
+    };
+    next.last = Some(tid);
+    trace.push(desc);
+    match next.model.apply(tid, value) {
+        Err(message) => {
+            ex.violation = Some(Violation {
+                message,
+                trace: trace.clone(),
+            });
+        }
+        Ok(()) => dfs(&next, cfg, visited, trace, ex),
+    }
+    trace.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic message-passing litmus: t0 stores data then flag; t1 spins
+    /// on flag then loads data. Release/Acquire forbids the stale data
+    /// read; Relaxed permits it.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct MsgPass {
+        flag_store: MemOrd,
+        flag_load: MemOrd,
+        pc: [u8; 2],
+        seen: Option<u64>,
+    }
+
+    impl MsgPass {
+        fn new(flag_store: MemOrd, flag_load: MemOrd) -> Self {
+            MsgPass {
+                flag_store,
+                flag_load,
+                pc: [0, 0],
+                seen: None,
+            }
+        }
+    }
+
+    const DATA: usize = 0;
+    const FLAG: usize = 1;
+
+    impl Model for MsgPass {
+        fn threads(&self) -> usize {
+            2
+        }
+        fn locations(&self) -> usize {
+            2
+        }
+        fn next_op(&self, tid: usize) -> Option<Op> {
+            match (tid, self.pc[tid]) {
+                (0, 0) => Some(Op::Store(DATA, 42, MemOrd::Relaxed)),
+                (0, 1) => Some(Op::Store(FLAG, 1, self.flag_store)),
+                (1, 0) => Some(Op::Load(FLAG, self.flag_load)),
+                (1, 1) => Some(Op::Load(DATA, MemOrd::Relaxed)),
+                _ => None,
+            }
+        }
+        fn apply(&mut self, tid: usize, value: u64) -> Result<(), String> {
+            match (tid, self.pc[tid]) {
+                (1, 0) => {
+                    if value == 1 {
+                        self.pc[1] = 1; // flag seen: go read data
+                    } // else spin on the flag
+                }
+                (1, 1) => {
+                    self.seen = Some(value);
+                    self.pc[1] = 2;
+                    if value != 42 {
+                        return Err(format!("stale data read: {value}"));
+                    }
+                }
+                _ => self.pc[tid] += 1,
+            }
+            Ok(())
+        }
+        fn check_final(&self) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn release_acquire_message_passing_is_safe() {
+        let ex = explore(
+            MsgPass::new(MemOrd::Release, MemOrd::Acquire),
+            &Config::default(),
+        );
+        assert!(ex.complete, "state space must be exhausted");
+        assert!(ex.violation.is_none(), "{:?}", ex.violation);
+        assert!(ex.terminal > 0);
+    }
+
+    #[test]
+    fn relaxed_flag_store_permits_stale_read() {
+        let ex = explore(
+            MsgPass::new(MemOrd::Relaxed, MemOrd::Acquire),
+            &Config::default(),
+        );
+        let v = ex.violation.expect("relaxed publish must be caught");
+        assert!(v.message.contains("stale data read"));
+        assert!(!v.trace.is_empty());
+    }
+
+    #[test]
+    fn relaxed_flag_load_also_permits_stale_read() {
+        let ex = explore(
+            MsgPass::new(MemOrd::Release, MemOrd::Relaxed),
+            &Config::default(),
+        );
+        assert!(ex.violation.is_some(), "acquire side matters too");
+    }
+
+    #[test]
+    fn rmw_reads_newest_store() {
+        /// Two threads fetch_add the same counter; final value must be 2
+        /// in every interleaving (RMW atomicity; plain load-store would
+        /// lose an update).
+        #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+        struct TwoAdds {
+            pc: [u8; 2],
+        }
+        impl Model for TwoAdds {
+            fn threads(&self) -> usize {
+                2
+            }
+            fn locations(&self) -> usize {
+                1
+            }
+            fn next_op(&self, tid: usize) -> Option<Op> {
+                (self.pc[tid] == 0).then_some(Op::FetchAdd(0, 1, MemOrd::Relaxed))
+            }
+            fn apply(&mut self, tid: usize, _value: u64) -> Result<(), String> {
+                self.pc[tid] = 1;
+                Ok(())
+            }
+            fn check_final(&self) -> Result<(), String> {
+                Ok(())
+            }
+        }
+        let ex = explore(TwoAdds { pc: [0, 0] }, &Config::default());
+        assert!(ex.complete && ex.violation.is_none());
+        // The invariant is structural: every modification order ends at 2.
+        // (Verified indirectly: a lost update would need a load to read a
+        // non-newest store inside the RMW, which the explorer never does.)
+        assert!(ex.terminal > 0);
+    }
+
+    #[test]
+    fn state_cap_marks_incomplete_instead_of_diverging() {
+        let ex = explore(
+            MsgPass::new(MemOrd::Release, MemOrd::Acquire),
+            &Config {
+                max_preemptions: 3,
+                max_states: 2,
+            },
+        );
+        assert!(!ex.complete);
+    }
+}

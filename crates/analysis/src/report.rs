@@ -1,0 +1,126 @@
+//! The findings report: human-readable text and a stable JSON artifact.
+//!
+//! The JSON shape (`dynplat.analysis.v1`) is what CI uploads when the
+//! gate fails, so it is versioned and hand-encoded here (this crate is
+//! zero-dependency by design; the encoder is ~40 lines).
+
+use crate::lints::Finding;
+
+/// Outcome of one analysis run over a file set.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Findings that fail the run.
+    pub active: Vec<Finding>,
+    /// Findings matched by a justified allowlist entry.
+    pub suppressed: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the run passes the gate.
+    pub fn clean(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// The human-readable summary printed to stdout.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.active {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "dynplat-analysis: {} file(s) scanned, {} finding(s), {} suppressed by allowlist\n",
+            self.files_scanned,
+            self.active.len(),
+            self.suppressed.len()
+        ));
+        out
+    }
+
+    /// The `dynplat.analysis.v1` JSON document.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"dynplat.analysis.v1\",\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"clean\": {},\n", self.clean()));
+        for (key, findings) in [("findings", &self.active), ("suppressed", &self.suppressed)] {
+            out.push_str(&format!("  \"{key}\": [\n"));
+            for (i, f) in findings.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}{}\n",
+                    json_str(f.rule),
+                    json_str(&f.path),
+                    f.line,
+                    json_str(&f.message),
+                    if i + 1 < findings.len() { "," } else { "" }
+                ));
+            }
+            out.push_str(if key == "findings" { "  ],\n" } else { "  ]\n" });
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Minimal JSON string encoder (ASCII control chars, quotes, backslashes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_is_well_formed_and_escaped() {
+        let report = Report {
+            active: vec![Finding {
+                rule: "no-unwrap",
+                path: "crates/x/src/a.rs".into(),
+                line: 3,
+                message: "`.unwrap()` with \"quotes\"\nand newline".into(),
+            }],
+            suppressed: vec![],
+            files_scanned: 7,
+        };
+        let json = report.render_json();
+        assert!(json.contains("\"schema\": \"dynplat.analysis.v1\""));
+        assert!(json.contains("\\\"quotes\\\"\\nand newline"));
+        assert!(json.contains("\"clean\": false"));
+        // Braces and brackets balance.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn text_report_counts_files_and_findings() {
+        let report = Report {
+            files_scanned: 3,
+            ..Report::default()
+        };
+        assert!(report.clean());
+        assert!(report
+            .render_text()
+            .contains("3 file(s) scanned, 0 finding(s)"));
+    }
+}

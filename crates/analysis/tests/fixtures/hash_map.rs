@@ -1,0 +1,13 @@
+//! Fixture: trips `no-hash-collections` in a canonical-merge crate —
+//! import plus two uses on the declaration line.
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut seen: HashMap<u32, u32> = HashMap::new();
+    for k in keys {
+        *seen.entry(*k).or_insert(0) += 1;
+    }
+    seen.len()
+}

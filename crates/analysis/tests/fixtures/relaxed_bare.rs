@@ -1,0 +1,15 @@
+//! Fixture: trips `relaxed-justify` once — the annotated site below it
+//! must stay clean, and a mention of relaxed: in this doc comment must
+//! not justify anything further down.
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn read(c: &AtomicU64) -> u64 {
+    // relaxed: single-owner counter, read back on the owning thread.
+    c.load(Ordering::Relaxed)
+}

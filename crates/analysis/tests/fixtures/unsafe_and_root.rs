@@ -1,0 +1,6 @@
+//! Fixture: trips `forbid-unsafe` twice — an `unsafe` token in the body
+//! and a crate root missing `#![forbid(unsafe_code)]`.
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,21 @@
+//! Fixture: trips `no-unwrap` twice in library code (an `.unwrap()` call
+//! and a bare `panic!`); the copies inside `#[cfg(test)]` must stay
+//! invisible to the lint.
+#![forbid(unsafe_code)]
+
+pub fn first(v: &[u8]) -> u8 {
+    let head = v.first().unwrap();
+    if *head == 0 {
+        panic!("zero");
+    }
+    *head
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_and_panic_are_fine_in_tests() {
+        Some(1u8).unwrap();
+        panic!("tests may panic");
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: trips `no-wall-clock` in a determinism-critical crate — one
+//! finding for the import, one for the call site.
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+pub fn stamp() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}

@@ -6,6 +6,8 @@
 //! to escape infeasible plateaus and still lands above the seeded cost on
 //! tight budgets; with both disabled it is essentially a random walk.
 
+#![forbid(unsafe_code)]
+
 use dynplat_bench::{vehicle_functions, Table};
 use dynplat_common::{BusId, EcuId};
 use dynplat_dse::search::{simulated_annealing, DseConfig};

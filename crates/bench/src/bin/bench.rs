@@ -72,8 +72,10 @@ mod alloc_gate {
     // extra work is updating atomics, which cannot allocate or unwind.
     unsafe impl GlobalAlloc for CountingAlloc {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            // relaxed: the count is only read in single-thread mode, so
+            // flag and tally are same-thread; nothing is published.
             if COUNTING.load(Ordering::Relaxed) {
-                COUNT.fetch_add(1, Ordering::Relaxed);
+                COUNT.fetch_add(1, Ordering::Relaxed); // relaxed: see above
             }
             System.alloc(layout)
         }
@@ -81,14 +83,18 @@ mod alloc_gate {
             System.dealloc(ptr, layout);
         }
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            // relaxed: the count is only read in single-thread mode, so
+            // flag and tally are same-thread; nothing is published.
             if COUNTING.load(Ordering::Relaxed) {
-                COUNT.fetch_add(1, Ordering::Relaxed);
+                COUNT.fetch_add(1, Ordering::Relaxed); // relaxed: see above
             }
             System.realloc(ptr, layout, new_size)
         }
         unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            // relaxed: the count is only read in single-thread mode, so
+            // flag and tally are same-thread; nothing is published.
             if COUNTING.load(Ordering::Relaxed) {
-                COUNT.fetch_add(1, Ordering::Relaxed);
+                COUNT.fetch_add(1, Ordering::Relaxed); // relaxed: see above
             }
             System.alloc_zeroed(layout)
         }

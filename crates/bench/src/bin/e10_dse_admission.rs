@@ -9,6 +9,8 @@
 //! fragmented schedules where cloud resynthesis succeeds at the price of
 //! slot migrations and a network round trip.
 
+#![forbid(unsafe_code)]
+
 use dynplat_bench::{ms, vehicle_functions, Table};
 use dynplat_common::time::SimDuration;
 use dynplat_common::{EcuId, TaskId};

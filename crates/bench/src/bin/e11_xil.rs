@@ -7,6 +7,8 @@
 //! real time) — the paper's argument for shifting testing to earlier
 //! stages; certification effort multiplies with ASIL.
 
+#![forbid(unsafe_code)]
+
 use dynplat_bench::Table;
 use dynplat_common::Asil;
 use dynplat_xil::control::VirtualControlUnit;

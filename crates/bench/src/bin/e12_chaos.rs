@@ -13,6 +13,8 @@
 //! load first (§3.3). Everything is seed-deterministic: running this
 //! binary twice prints byte-identical tables.
 
+#![forbid(unsafe_code)]
+
 use dynplat_bench::chaos::{burst_plan, run_campaign, sweep_plan, CampaignConfig, CampaignSummary};
 use dynplat_bench::Table;
 use dynplat_comm::retry::RetryPolicy;

@@ -14,6 +14,8 @@
 //! Everything is seed-deterministic: running this binary twice prints
 //! byte-identical tables.
 
+#![forbid(unsafe_code)]
+
 use dynplat_bench::detect::{run_all, DetectionOutcome};
 use dynplat_bench::Table;
 use dynplat_common::time::SimDuration;

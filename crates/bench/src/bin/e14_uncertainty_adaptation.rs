@@ -18,6 +18,8 @@
 //!
 //! [`BoundaryEstimator`]: dynplat_monitor::uncertainty::BoundaryEstimator
 
+#![forbid(unsafe_code)]
+
 use dynplat_bench::adapt::{run_sweep, sweep_to_json, AdaptationResult};
 use dynplat_bench::Table;
 use dynplat_common::time::SimDuration;

@@ -18,6 +18,8 @@
 //! printed separately as a `#` comment (it may vary run to run and is
 //! deliberately kept out of the JSON).
 
+#![forbid(unsafe_code)]
+
 use dynplat_bench::fleet::{arms_to_json, run_arms, FleetResult};
 use dynplat_bench::Table;
 

@@ -5,6 +5,8 @@
 //! backlog (latency grows with load); 802.1p bounds it to one frame of
 //! blocking; TSN bounds it to the critical window regardless of load.
 
+#![forbid(unsafe_code)]
+
 use dynplat_bench::{us, Table};
 use dynplat_common::time::{SimDuration, SimTime};
 use dynplat_common::MessageId;

@@ -7,6 +7,8 @@
 //! mixed-version window grows linearly with clock error and collapses
 //! entirely when the coordinator fails.
 
+#![forbid(unsafe_code)]
+
 use dynplat_bench::{ms, Table};
 use dynplat_common::time::{SimDuration, SimTime};
 use dynplat_common::VehicleId;

@@ -6,6 +6,8 @@
 //! the group alive through more failures; a single replica means losing
 //! the function entirely.
 
+#![forbid(unsafe_code)]
+
 use dynplat_bench::{ms, Table};
 use dynplat_common::time::{SimDuration, SimTime};
 use dynplat_common::{AppId, EcuId, InstanceId};

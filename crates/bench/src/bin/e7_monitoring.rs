@@ -7,6 +7,8 @@
 //! observation; fleet aggregation yields response-time quantile bounds
 //! usable for certification arguments.
 
+#![forbid(unsafe_code)]
+
 use dynplat_bench::Table;
 use dynplat_common::rng::seeded_rng;
 use dynplat_common::rng::Rng;

@@ -8,6 +8,8 @@
 //! package class is rejected; the redundant master keeps serving after a
 //! primary failure.
 
+#![forbid(unsafe_code)]
+
 use dynplat_bench::{us, Table};
 use dynplat_common::time::SimDuration;
 use dynplat_common::{AppId, EcuId};

@@ -8,6 +8,8 @@
 //! else; wildcard diagnosis grants are visible for audit; permission packs
 //! merged at runtime take effect immediately and bump the matrix version.
 
+#![forbid(unsafe_code)]
+
 use dynplat_bench::Table;
 use dynplat_common::{AppId, MethodId, ServiceId};
 use dynplat_model::dsl::parse_model;

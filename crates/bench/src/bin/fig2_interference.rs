@@ -7,6 +7,8 @@
 //! miss rate at zero at any NDA load, with TT additionally minimizing DA
 //! jitter; the platform still gives NDA work bounded throughput.
 
+#![forbid(unsafe_code)]
+
 use dynplat_bench::{ms, Table};
 use dynplat_common::time::SimDuration;
 use dynplat_common::TaskId;

@@ -9,6 +9,8 @@
 //! critical windows; RPC round trips are two one-way latencies plus
 //! processing; stream decodable latency ≥ raw latency.
 
+#![forbid(unsafe_code)]
+
 use dynplat_bench::{us, Table};
 use dynplat_comm::fabric::{BusPort, Fabric, MessageSend};
 use dynplat_comm::paradigm::{run_rpc, run_stream, RpcCall, StreamSpec};

@@ -749,8 +749,9 @@ impl Fabric {
     ///
     /// Panics if the bus is unknown.
     pub fn set_port(&mut self, bus: BusId, port: BusPort) {
-        let idx = self.bus_index(bus);
-        let idx = idx.unwrap_or_else(|| panic!("unknown bus {bus}"));
+        let idx = self
+            .bus_index(bus)
+            .expect("set_port requires a bus that exists in the fabric topology");
         self.ports[idx] = port;
     }
 

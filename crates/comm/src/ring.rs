@@ -101,21 +101,28 @@ impl SpscRing {
     /// anything) when the ring is full — the caller must take its spill
     /// path.
     pub fn try_push(&self, entry: RingEntry) -> bool {
+        // relaxed: the producer is the only thread that stores `tail`, so
+        // its own last store is always visible to it.
         let tail = self.tail.0.load(Ordering::Relaxed);
         let head = self.head.0.load(Ordering::Acquire);
         if tail.wrapping_sub(head) > self.mask {
             return false; // full
         }
         let i = tail & self.mask;
+        // relaxed: the three lane stores are published as a unit by the
+        // `Release` store of `tail` below; the consumer's `Acquire` load
+        // of `tail` is what orders them (model-checked in
+        // `dynplat-analysis`, tests/model_check.rs).
         self.time[i].store(entry.time.as_nanos(), Ordering::Relaxed);
-        self.seq[i].store(entry.seq, Ordering::Relaxed);
-        self.slot[i].store(entry.slot, Ordering::Relaxed);
+        self.seq[i].store(entry.seq, Ordering::Relaxed); // relaxed: see above
+        self.slot[i].store(entry.slot, Ordering::Relaxed); // relaxed: see above
         self.tail.0.store(tail.wrapping_add(1), Ordering::Release);
         true
     }
 
     /// Consumer side: the front entry without removing it.
     pub fn peek(&self) -> Option<RingEntry> {
+        // relaxed: the consumer is the sole writer of `head`.
         let head = self.head.0.load(Ordering::Relaxed);
         let tail = self.tail.0.load(Ordering::Acquire);
         if head == tail {
@@ -126,6 +133,7 @@ impl SpscRing {
 
     /// Consumer side: removes and returns the front entry.
     pub fn pop(&self) -> Option<RingEntry> {
+        // relaxed: the consumer is the sole writer of `head`.
         let head = self.head.0.load(Ordering::Relaxed);
         let tail = self.tail.0.load(Ordering::Acquire);
         if head == tail {
@@ -138,10 +146,13 @@ impl SpscRing {
 
     fn read(&self, head: usize) -> RingEntry {
         let i = head & self.mask;
+        // relaxed: only reached after the caller's `Acquire` load of
+        // `tail` observed the producer's `Release` publish, which makes
+        // these lane values visible (model-checked in `dynplat-analysis`).
         RingEntry {
             time: SimTime::from_nanos(self.time[i].load(Ordering::Relaxed)),
-            seq: self.seq[i].load(Ordering::Relaxed),
-            slot: self.slot[i].load(Ordering::Relaxed),
+            seq: self.seq[i].load(Ordering::Relaxed), // relaxed: see above
+            slot: self.slot[i].load(Ordering::Relaxed), // relaxed: see above
         }
     }
 }

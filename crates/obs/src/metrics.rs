@@ -40,6 +40,8 @@ fn thread_stripe() -> usize {
             return cached;
         }
         static NEXT: AtomicUsize = AtomicUsize::new(0);
+        // relaxed: a round-robin ticket; only uniqueness matters, no
+        // memory is published through it.
         let mine = NEXT.fetch_add(1, Ordering::Relaxed) % COUNTER_STRIPES;
         s.set(mine);
         mine
@@ -74,6 +76,10 @@ impl Counter {
 
     /// Increments by `n`.
     pub fn add(&self, n: u64) {
+        // relaxed: counters are monotone event tallies, not publication
+        // flags; cross-thread visibility is provided by whoever
+        // synchronizes the snapshot (thread join / scope end), which the
+        // `StripeModel` in `dynplat-analysis` model-checks.
         self.cells[thread_stripe()]
             .value
             .fetch_add(n, Ordering::Relaxed);
@@ -81,6 +87,8 @@ impl Counter {
 
     /// Current value: the sum over all per-thread cells.
     pub fn get(&self) -> u64 {
+        // relaxed: a statistical snapshot read; exactness is only
+        // guaranteed after the writers are joined (see `Counter::add`).
         self.cells
             .iter()
             .map(|c| c.value.load(Ordering::Relaxed))
@@ -88,6 +96,8 @@ impl Counter {
     }
 
     fn reset(&self) {
+        // relaxed: reset is documented as quiescent-only (between bench
+        // phases); there are no concurrent writers to order against.
         for c in &self.cells {
             c.value.store(0, Ordering::Relaxed);
         }
@@ -103,20 +113,26 @@ pub struct Gauge {
 impl Gauge {
     /// Sets the gauge.
     pub fn set(&self, v: i64) {
+        // relaxed: a gauge is a single self-contained word; readers take
+        // whichever value is newest, nothing else is published with it.
         self.value.store(v, Ordering::Relaxed);
     }
 
     /// Adds (or, with a negative delta, subtracts).
     pub fn add(&self, delta: i64) {
+        // relaxed: atomic RMW keeps the tally exact; no other memory
+        // rides on a gauge update.
         self.value.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> i64 {
+        // relaxed: snapshot read of a self-contained word.
         self.value.load(Ordering::Relaxed)
     }
 
     fn reset(&self) {
+        // relaxed: quiescent-only, as for `Counter::reset`.
         self.value.store(0, Ordering::Relaxed);
     }
 }
@@ -174,11 +190,15 @@ impl Histogram {
     /// Records one observation.
     pub fn record(&self, value: u64) {
         let idx = bucket_index(value); // first bound >= value
+                                       // relaxed: each field is an independent exact tally (atomic RMW
+                                       // loses nothing); a concurrent snapshot may see the fields
+                                       // mid-update, which histogram consumers tolerate by contract —
+                                       // exact reads happen after writers are synchronized externally.
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
-        self.min.fetch_min(value, Ordering::Relaxed);
-        self.max.fetch_max(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed); // relaxed: see above
+        self.sum.fetch_add(value, Ordering::Relaxed); // relaxed: see above
+        self.min.fetch_min(value, Ordering::Relaxed); // relaxed: see above
+        self.max.fetch_max(value, Ordering::Relaxed); // relaxed: see above
     }
 
     /// Records `n` identical observations in one shot — the merge primitive
@@ -190,26 +210,31 @@ impl Histogram {
             return;
         }
         let idx = bucket_index(value); // first bound >= value
+                                       // relaxed: same per-field tally argument as `record`.
         self.buckets[idx].fetch_add(n, Ordering::Relaxed);
-        self.count.fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed); // relaxed: see above
         self.sum
+            // relaxed: see above
             .fetch_add(value.saturating_mul(n), Ordering::Relaxed);
-        self.min.fetch_min(value, Ordering::Relaxed);
-        self.max.fetch_max(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed); // relaxed: see above
+        self.max.fetch_max(value, Ordering::Relaxed); // relaxed: see above
     }
 
     /// Number of observations.
     pub fn count(&self) -> u64 {
+        // relaxed: snapshot read; see `record` for the tally argument.
         self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all observations.
     pub fn sum(&self) -> u64 {
+        // relaxed: snapshot read; see `record`.
         self.sum.load(Ordering::Relaxed)
     }
 
     /// Smallest observation (0 when empty).
     pub fn min(&self) -> u64 {
+        // relaxed: snapshot read; see `record`.
         let v = self.min.load(Ordering::Relaxed);
         if v == u64::MAX {
             0
@@ -220,6 +245,7 @@ impl Histogram {
 
     /// Largest observation.
     pub fn max(&self) -> u64 {
+        // relaxed: snapshot read; see `record`.
         self.max.load(Ordering::Relaxed)
     }
 
@@ -235,6 +261,7 @@ impl Histogram {
         let bounds = bucket_bounds();
         let mut acc = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
+            // relaxed: snapshot read; see `record`.
             acc += b.load(Ordering::Relaxed);
             if acc >= target {
                 return if i < bounds.len() {
@@ -255,6 +282,7 @@ impl Histogram {
             .iter()
             .enumerate()
             .filter_map(|(i, b)| {
+                // relaxed: snapshot read; see `record`.
                 let n = b.load(Ordering::Relaxed);
                 (n > 0).then(|| (bounds.get(i).copied().unwrap_or(u64::MAX), n))
             })
@@ -284,26 +312,31 @@ impl Histogram {
         if local.count == 0 {
             return;
         }
+        // relaxed: the flush is a batch of the same per-field tallies as
+        // `record`; the reader that needs exactness (snapshot after join)
+        // is synchronized externally, which `dynplat-analysis`'s
+        // `StripeModel` model-checks.
         for (shared, &n) in self.buckets.iter().zip(local.buckets.iter()) {
             if n > 0 {
-                shared.fetch_add(n, Ordering::Relaxed);
+                shared.fetch_add(n, Ordering::Relaxed); // relaxed: see above
             }
         }
-        self.count.fetch_add(local.count, Ordering::Relaxed);
-        self.sum.fetch_add(local.sum, Ordering::Relaxed);
-        self.min.fetch_min(local.min, Ordering::Relaxed);
-        self.max.fetch_max(local.max, Ordering::Relaxed);
+        self.count.fetch_add(local.count, Ordering::Relaxed); // relaxed: see above
+        self.sum.fetch_add(local.sum, Ordering::Relaxed); // relaxed: see above
+        self.min.fetch_min(local.min, Ordering::Relaxed); // relaxed: see above
+        self.max.fetch_max(local.max, Ordering::Relaxed); // relaxed: see above
         local.clear();
     }
 
     fn reset(&self) {
+        // relaxed: quiescent-only, as for `Counter::reset`.
         for b in &self.buckets {
-            b.store(0, Ordering::Relaxed);
+            b.store(0, Ordering::Relaxed); // relaxed: see above
         }
-        self.count.store(0, Ordering::Relaxed);
-        self.sum.store(0, Ordering::Relaxed);
-        self.min.store(u64::MAX, Ordering::Relaxed);
-        self.max.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed); // relaxed: see above
+        self.sum.store(0, Ordering::Relaxed); // relaxed: see above
+        self.min.store(u64::MAX, Ordering::Relaxed); // relaxed: see above
+        self.max.store(0, Ordering::Relaxed); // relaxed: see above
     }
 }
 

@@ -110,6 +110,7 @@ impl Tracer {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ring capacity must be non-zero");
         Tracer {
+            // relaxed: a unique-id ticket; nothing is published with it.
             id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
             clock: AtomicU64::new(0),
             next_span: AtomicU64::new(0),
@@ -124,13 +125,17 @@ impl Tracer {
 
     /// Current logical tick.
     pub fn tick(&self) -> u64 {
+        // relaxed: a monotone logical clock read; ticks order spans, they
+        // do not publish memory.
         self.clock.load(Ordering::Relaxed)
     }
 
     /// Opens a span; it closes (and is exported) when the guard drops.
     pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        // relaxed: unique-id ticket + logical-clock tick; atomic RMWs keep
+        // both exact, and neither publishes other memory.
         let id = self.next_span.fetch_add(1, Ordering::Relaxed);
-        let start = self.clock.fetch_add(1, Ordering::Relaxed);
+        let start = self.clock.fetch_add(1, Ordering::Relaxed); // relaxed: see above
         let parent = ACTIVE.with(|stack| {
             let mut stack = stack.borrow_mut();
             let parent = stack
@@ -189,6 +194,7 @@ impl Tracer {
     }
 
     fn close(&self, guard: &SpanGuard<'_>) {
+        // relaxed: logical-clock tick, as in `span`.
         let end = self.clock.fetch_add(1, Ordering::Relaxed);
         ACTIVE.with(|stack| {
             let mut stack = stack.borrow_mut();

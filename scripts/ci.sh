@@ -14,6 +14,17 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> dynplat-analysis --workspace (invariant lint, allowlist-gated)"
+# The zero-dep workspace linter: forbid(unsafe_code) everywhere, no
+# unwrap/panic in lib code, no wall clocks or hash collections in
+# determinism-critical crates, every Ordering::Relaxed justified. Writes
+# the machine-readable findings report that CI uploads on failure.
+cargo run --release -q -p dynplat-analysis -- \
+  --workspace --report ANALYSIS_findings.json
+
+echo "==> schedule-exploration model checker (SPSC ring + stripe flush)"
+cargo test -q -p dynplat-analysis --test model_check
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
