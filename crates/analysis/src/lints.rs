@@ -1,6 +1,6 @@
 //! The workspace invariant lint pass.
 //!
-//! Five rules, each encoding an argument the rest of the tree already
+//! Six rules, each encoding an argument the rest of the tree already
 //! relies on but no compiler checks (DESIGN.md §9):
 //!
 //! | rule | invariant |
@@ -10,6 +10,7 @@
 //! | `no-wall-clock` | determinism-critical crates never read `std::time::Instant` / `SystemTime`; simulated time only (the E14/E15 byte-identity gates depend on it) |
 //! | `no-hash-collections` | canonical-merge crates use `BTreeMap`/sorted structures, never `HashMap`/`HashSet`, so merged output is byte-identical across shard counts |
 //! | `relaxed-justify` | every `Ordering::Relaxed` atomic op carries a `// relaxed:` comment justifying why the weakest ordering is sound there |
+//! | `no-snapshot-in-hot-path` | hot-path crates never call `.snapshot()` in library code — a registry snapshot clones every metric map under the lock; flush sketches/counters and snapshot once per run at the reporting edge |
 //!
 //! Rules run over the token stream of [`crate::lexer`], so comments,
 //! strings and doc text can never trip them. Code inside `#[cfg(test)]`
@@ -26,14 +27,16 @@ pub const RULE_NO_UNWRAP: &str = "no-unwrap";
 pub const RULE_NO_WALL_CLOCK: &str = "no-wall-clock";
 pub const RULE_NO_HASH_COLLECTIONS: &str = "no-hash-collections";
 pub const RULE_RELAXED_JUSTIFY: &str = "relaxed-justify";
+pub const RULE_NO_SNAPSHOT_HOT_PATH: &str = "no-snapshot-in-hot-path";
 
 /// All rule ids, for allowlist validation.
-pub const ALL_RULES: [&str; 5] = [
+pub const ALL_RULES: [&str; 6] = [
     RULE_FORBID_UNSAFE,
     RULE_NO_UNWRAP,
     RULE_NO_WALL_CLOCK,
     RULE_NO_HASH_COLLECTIONS,
     RULE_RELAXED_JUSTIFY,
+    RULE_NO_SNAPSHOT_HOT_PATH,
 ];
 
 /// Crates whose outputs are hashed, diffed or `cmp`-gated in CI: byte
@@ -41,6 +44,12 @@ pub const ALL_RULES: [&str; 5] = [
 /// iteration-order-dependent collections are banned outright.
 pub const DETERMINISM_CRITICAL_CRATES: [&str; 7] =
     ["common", "sim", "fleet", "dse", "model", "sched", "faults"];
+
+/// Crates whose steady-state loops are nanosecond-budgeted (the fabric
+/// delivery loop, the dispatch loop, the shard kernel): aggregate through
+/// striped histograms, sketches and local accumulators there, and take
+/// registry snapshots only at the reporting edge — never per event.
+pub const HOT_PATH_CRATES: [&str; 3] = ["comm", "sched", "fleet"];
 
 /// How a file participates in the build, which decides rule applicability.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,6 +113,7 @@ pub fn lint_source(file: &SourceFile, source: &str) -> Vec<Finding> {
             check_unwrap(file, &tokens, idx, tok, &mut findings);
             check_wall_clock(file, tok, &mut findings);
             check_hash_collections(file, tok, &mut findings);
+            check_snapshot_hot_path(file, &tokens, idx, tok, &mut findings);
         }
         check_relaxed(file, &tokens, idx, tok, &mut findings);
     }
@@ -236,6 +246,38 @@ fn check_hash_collections(file: &SourceFile, tok: &Token, findings: &mut Vec<Fin
                 ),
             });
         }
+    }
+}
+
+/// `no-snapshot-in-hot-path`: `.snapshot()` receiver calls in hot-path
+/// crate library code. A `MetricsRegistry::snapshot` clones every
+/// counter, gauge, histogram and sketch map under the registry lock —
+/// fine once per run at the reporting edge, ruinous per delivery or per
+/// dispatch (and the same argument covers per-metric snapshots in a
+/// loop). Cold reporting paths that genuinely need one go through the
+/// allowlist with their justification on record.
+fn check_snapshot_hot_path(
+    file: &SourceFile,
+    tokens: &[Token],
+    idx: usize,
+    tok: &Token,
+    findings: &mut Vec<Finding>,
+) {
+    if !HOT_PATH_CRATES.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    let next_is = |c: char| tokens.get(idx + 1).is_some_and(|t| t.is_punct(c));
+    let prev_is = |c: char| idx > 0 && tokens[idx - 1].is_punct(c);
+    if tok.is_ident("snapshot") && prev_is('.') && next_is('(') {
+        findings.push(Finding {
+            rule: RULE_NO_SNAPSHOT_HOT_PATH,
+            path: file.path.clone(),
+            line: tok.line,
+            message: format!(
+                "`.snapshot()` in hot-path crate `{}` — snapshots clone whole metric maps; aggregate via sketches/striped histograms and snapshot once per run at the reporting edge (allowlist a cold path deliberately)",
+                file.crate_name
+            ),
+        });
     }
 }
 
@@ -496,6 +538,43 @@ mod tests {
             "}\n",
         );
         assert_eq!(rules(&lint_source(&f, gapped)), [RULE_RELAXED_JUSTIFY]);
+    }
+
+    #[test]
+    fn snapshot_flagged_only_in_hot_path_lib_code() {
+        let src = "fn publish(r: &MetricsRegistry) { let _ = r.snapshot(); }";
+        for crate_name in ["comm", "sched", "fleet"] {
+            let f = SourceFile {
+                path: format!("crates/{crate_name}/src/x.rs"),
+                crate_name: crate_name.into(),
+                class: FileClass::Lib,
+                is_root: false,
+            };
+            assert_eq!(
+                rules(&lint_source(&f, src)),
+                [RULE_NO_SNAPSHOT_HOT_PATH],
+                "{crate_name} library code must not snapshot"
+            );
+        }
+        // Cold crates may snapshot freely.
+        let in_bench = SourceFile {
+            path: "crates/bench/src/x.rs".into(),
+            crate_name: "bench".into(),
+            class: FileClass::Lib,
+            is_root: false,
+        };
+        assert!(lint_source(&in_bench, src).is_empty());
+        // Tests inside hot-path crates may too.
+        let in_test = "#[cfg(test)]\nmod tests { fn t(r: &R) { r.snapshot(); } }";
+        let f = SourceFile {
+            is_root: false,
+            crate_name: "comm".into(),
+            ..lib_file()
+        };
+        assert!(lint_source(&f, in_test).is_empty());
+        // Non-call mentions (field access, a fn named snapshot) are clean.
+        let not_calls = "fn snapshot() {}\nfn g(x: &S) -> u64 { x.snapshot }\n";
+        assert!(lint_source(&f, not_calls).is_empty());
     }
 
     #[test]

@@ -1,0 +1,19 @@
+//! Fixture: trips `no-snapshot-in-hot-path` in a hot-path crate — one
+//! registry snapshot and one per-metric snapshot in library code; the
+//! `#[cfg(test)]` copy must not fire.
+#![forbid(unsafe_code)]
+
+pub fn per_delivery(registry: &MetricsRegistry) -> usize {
+    registry.snapshot().counters.len()
+}
+
+pub fn per_dispatch(hist: &Histogram) -> u64 {
+    hist.snapshot().count
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn reporting_edge(registry: &MetricsRegistry) -> usize {
+        registry.snapshot().counters.len()
+    }
+}

@@ -10,7 +10,7 @@ use std::path::{Path, PathBuf};
 
 use dynplat_analysis::lints::{
     lint_source, FileClass, SourceFile, RULE_FORBID_UNSAFE, RULE_NO_HASH_COLLECTIONS,
-    RULE_NO_UNWRAP, RULE_NO_WALL_CLOCK, RULE_RELAXED_JUSTIFY,
+    RULE_NO_SNAPSHOT_HOT_PATH, RULE_NO_UNWRAP, RULE_NO_WALL_CLOCK, RULE_RELAXED_JUSTIFY,
 };
 use dynplat_analysis::workspace::{run, DiscoveredFile};
 
@@ -88,6 +88,41 @@ fn relaxed_fixture_trips_only_the_unjustified_site() {
         "the annotated load on line 14 is clean; the doc-comment mention \
          of the keyword is out of reach of line 9"
     );
+}
+
+#[test]
+fn snapshot_fixture_trips_in_hot_path_crates_only() {
+    for crate_name in ["comm", "sched", "fleet"] {
+        assert_eq!(
+            lint_fixture("snapshot_hot_path.rs", crate_name, false),
+            [
+                (RULE_NO_SNAPSHOT_HOT_PATH, 7),
+                (RULE_NO_SNAPSHOT_HOT_PATH, 11)
+            ],
+            "{crate_name}: both library-code snapshots fire, the cfg(test) copy on line 17 does not"
+        );
+    }
+    // Cold crates (bench reduces, obs implements the snapshot) are exempt.
+    assert_eq!(lint_fixture("snapshot_hot_path.rs", "bench", false), []);
+    assert_eq!(lint_fixture("snapshot_hot_path.rs", "obs", false), []);
+}
+
+/// The new rule id participates in allowlist validation like the rest.
+#[test]
+fn snapshot_rule_is_allowlistable() {
+    let files = [DiscoveredFile {
+        meta: SourceFile {
+            path: "crates/comm/src/snapshot_hot_path.rs".into(),
+            crate_name: "comm".into(),
+            class: FileClass::Lib,
+            is_root: false,
+        },
+        abs_path: fixture_path("snapshot_hot_path.rs"),
+    }];
+    let allow = "no-snapshot-in-hot-path crates/comm/src/snapshot_hot_path.rs fixture: cold reporting edge\n";
+    let report = run(&files, Some(allow)).unwrap();
+    assert!(report.clean(), "active findings: {:?}", report.active);
+    assert_eq!(report.suppressed.len(), 2, "both sites share the entry");
 }
 
 /// One fixture run through the full `workspace::run` pipeline with an

@@ -12,6 +12,7 @@ pub mod chaos;
 pub mod detect;
 pub mod fleet;
 pub mod platoon;
+pub mod telemetry;
 
 use dynplat_common::time::SimDuration;
 use dynplat_common::{AppId, AppKind, Asil};

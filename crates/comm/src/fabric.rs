@@ -45,7 +45,7 @@ use dynplat_net::{
     Arbiter, CanArbiter, FifoPort, FlexRayBus, Frame, GateControlList, Grant, SlotAssignment,
     StrictPriorityPort, TrafficClass, TsnGatedPort,
 };
-use dynplat_obs::{FlightRecorder, LocalHistogram, TraceCtx};
+use dynplat_obs::{FlightRecorder, LocalExemplars, LocalHistogram, TraceCtx};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -346,6 +346,9 @@ struct RunScratch {
     injected: Vec<MessageSend>,
     /// Local latency accumulator, flushed to the registry once per run.
     lat: LocalHistogram,
+    /// Worst-latency exemplars of the run (lock-free, alloc-free),
+    /// flushed to the registry with the histogram.
+    exemplars: LocalExemplars,
 }
 
 impl RunScratch {
@@ -408,6 +411,7 @@ struct Engine<'a, F> {
     poll_seq: &'a mut [u64],
     injected: &'a mut Vec<MessageSend>,
     lat: &'a mut LocalHistogram,
+    exemplars: &'a mut LocalExemplars,
     deliveries: &'a mut Vec<MessageDelivery>,
     on_delivery: F,
     next_seq: u64,
@@ -455,6 +459,8 @@ where
         self.observe(delivered, &send, "comm.fabric.deliver");
         self.delivered_n += 1;
         self.lat.record(delivery.latency().as_nanos());
+        self.exemplars
+            .offer(delivery.latency().as_nanos(), send.trace);
         self.injected.clear();
         (self.on_delivery)(&delivery, self.injected);
         for extra in self.injected.drain(..) {
@@ -850,6 +856,7 @@ impl Fabric {
             poll_seq: &mut scratch.poll_seq,
             injected: &mut scratch.injected,
             lat: &mut scratch.lat,
+            exemplars: &mut scratch.exemplars,
             deliveries,
             on_delivery,
             next_seq: n as u64,
@@ -940,6 +947,9 @@ impl Fabric {
         obs_deliveries.add(eng.delivered_n);
         obs_spills.add(eng.spills_n);
         eng.lat.flush_into(obs_latency);
+        dynplat_obs::global()
+            .exemplars("comm.fabric.delivery_ns")
+            .merge_local(eng.exemplars);
         drop(eng);
 
         // Real occupancy reporting (the old gauges only ever showed the

@@ -9,12 +9,15 @@
 //!    hardware variant, offered the image spread over a window, and
 //!    simulated to their terminal state on the shard pool;
 //! 2. **Verification gating** — per-vehicle verification verdicts are
-//!    folded into a failure-rate series (fixed-size batches in completion
-//!    order) and fed to a [`BoundaryEstimator`] from
-//!    `monitor::uncertainty`. The wave is promoted only while the
-//!    estimator is *not* confident the failure rate exceeds the campaign
-//!    boundary — adaptation on a distribution, not on a point, exactly as
-//!    in E14;
+//!    folded into `(good, bad)` batches in completion order and fed to a
+//!    [`SloBurnGate`] from `monitor::slo`: the failure boundary becomes
+//!    an error budget, each batch's burn rate is judged by a
+//!    `BoundaryEstimator` against burn 1.0, and the flight recorder is
+//!    armed the moment the fast-window burn crosses the budget — so a
+//!    trip ships with the causal window that led to it. Because every
+//!    estimator parameter scales with its boundary, the trip timing is
+//!    identical to the previous raw failure-rate gate — adaptation on a
+//!    distribution, not on a point, exactly as in E14;
 //! 3. **Rollback policy** — a tripped gate rolls back every updated
 //!    vehicle of the wave (the rollback storm) and halts the campaign;
 //!    individually failed vehicles roll back on their own either way.
@@ -28,8 +31,10 @@ use crate::variant::{standard_mix, HwVariant, ImageSpec};
 use crate::vehicle::{VehicleOutcome, VehicleVerdict};
 use dynplat_common::time::{SimDuration, SimTime};
 use dynplat_faults::FaultPlan;
-use dynplat_monitor::uncertainty::{BoundaryConfig, BoundaryEstimator};
-use dynplat_obs::MetricsRegistry;
+use dynplat_monitor::slo::SloBurnGate;
+use dynplat_obs::slo::SloSpec;
+use dynplat_obs::{FlightRecorder, MetricsRegistry};
+use std::fmt::Write as _;
 use std::sync::Arc;
 
 /// How a wave's verification verdicts gate its promotion.
@@ -51,6 +56,17 @@ impl Default for WaveGate {
             batch: 32,
             trip_confidence: 0.95,
         }
+    }
+}
+
+impl WaveGate {
+    /// The gate as a declarative SLO: the failure boundary is the error
+    /// budget of the `fleet.wave.verify` objective, tripping at the
+    /// gate's confidence.
+    pub fn slo_spec(&self) -> SloSpec {
+        let mut spec = SloSpec::error_fraction("fleet.wave.verify", self.failure_boundary);
+        spec.trip_confidence = self.trip_confidence;
+        spec
     }
 }
 
@@ -157,6 +173,11 @@ pub struct WaveReport {
     /// while the wave's verification stream came in (0 if it never
     /// converged — e.g. a canary too small for the gate's batch size).
     pub exceed: f64,
+    /// Peak fast-window burn rate (bad fraction over budget) the SLO gate
+    /// saw during the wave.
+    pub fast_burn_peak: f64,
+    /// Peak slow-window burn rate during the wave.
+    pub slow_burn_peak: f64,
     /// `true` if the gate promoted the wave; `false` fails the campaign.
     pub promoted: bool,
     /// Updated vehicles rolled back because the wave gate tripped.
@@ -244,10 +265,37 @@ impl CampaignReport {
         }
     }
 
+    /// One line per wave: failure rate, burn peaks, exceedance belief and
+    /// the gate decision — the operator-facing SLO picture of the
+    /// campaign.
+    pub fn slo_summary(&self) -> String {
+        let mut out = String::new();
+        for w in &self.waves {
+            let _ = writeln!(
+                out,
+                "wave {}: vehicles {:>6} fail {:.4} fast-burn {:>6.2}x slow-burn {:>6.2}x \
+                 exceed {:.3} -> {}",
+                w.index,
+                w.hi - w.lo,
+                w.failure_rate,
+                w.fast_burn_peak,
+                w.slow_burn_peak,
+                w.exceed,
+                if w.promoted {
+                    "promoted"
+                } else {
+                    "ROLLED BACK"
+                }
+            );
+        }
+        out
+    }
+
     /// Publishes the merged campaign into a metrics registry under
     /// `fleet.*` — counters for every pipeline verdict, the wave ledger,
-    /// and the completion-time distribution as a histogram (bulk-merged
-    /// with `record_n`, one call per distinct millisecond value).
+    /// the completion-time distribution as a histogram (bulk-merged with
+    /// `record_n`, one call per distinct millisecond value), and the
+    /// per-stage latency sketches.
     pub fn publish(&self, registry: &MetricsRegistry) {
         let t = &self.totals;
         registry
@@ -288,6 +336,18 @@ impl CampaignReport {
             hist.record_n(sorted[i], (j - i) as u64);
             i = j;
         }
+        registry
+            .sketch("fleet.stage.download_ms")
+            .merge(&self.totals.download_ms);
+        registry
+            .sketch("fleet.stage.finalize_ms")
+            .merge(&self.totals.finalize_ms);
+        registry
+            .sketch("fleet.stage.stall_ms")
+            .merge(&self.totals.stall_ms);
+        registry
+            .sketch("fleet.stage.e2e_ms")
+            .merge(&self.totals.e2e_ms);
     }
 }
 
@@ -295,7 +355,7 @@ impl CampaignReport {
 pub struct UpdateMaster {
     spec: Arc<CampaignSpec>,
     pool: ShardPool,
-    estimator: BoundaryEstimator,
+    gate: SloBurnGate,
 }
 
 impl UpdateMaster {
@@ -308,13 +368,19 @@ impl UpdateMaster {
         spec.plan
             .validate()
             .expect("campaign fault plan is invalid");
-        let gate = spec.gate;
+        let gate = SloBurnGate::new(spec.gate.slo_spec());
         let spec = Arc::new(spec);
         UpdateMaster {
             pool: ShardPool::spawn(Arc::clone(&spec), shards),
-            estimator: BoundaryEstimator::new(BoundaryConfig::for_boundary(gate.failure_boundary)),
+            gate,
             spec,
         }
+    }
+
+    /// Attaches a flight recorder to the wave gate: the fast-window burn
+    /// arms it, and every gate trip freezes a `dynplat.flight.v1` dump.
+    pub fn attach_flight_recorder(&mut self, flight: Arc<FlightRecorder>) {
+        self.gate.attach_flight_recorder(flight);
     }
 
     /// Runs the campaign to completion (or to its halting wave) and
@@ -345,7 +411,7 @@ impl UpdateMaster {
                 .map(|o| (o.completed, o.verdict == VehicleVerdict::VerifyFailed))
                 .collect();
             finished.sort_unstable_by_key(|&(at, failed)| (at, failed));
-            self.estimator.reset();
+            self.gate.reset();
             // The gate is edge-triggered: a live master watches the
             // failure stream and halts the moment the estimator is
             // confident, so the wave fails if ANY point of the stream
@@ -355,15 +421,20 @@ impl UpdateMaster {
             // on the trailing successes and wave a broken image through.)
             let mut tripped = false;
             let mut exceed_peak = 0.0f64;
+            let mut fast_burn_peak = 0.0f64;
+            let mut slow_burn_peak = 0.0f64;
             for batch in finished.chunks(spec.gate.batch.max(1)) {
-                let failures = batch.iter().filter(|&&(_, failed)| failed).count();
-                let fraction = failures as f64 / batch.len() as f64;
+                let failures = batch.iter().filter(|&&(_, failed)| failed).count() as u64;
                 let at = batch.last().expect("chunks are non-empty").0;
-                let estimate = self.estimator.ingest(at, fraction);
-                if estimate.converged {
-                    exceed_peak = exceed_peak.max(estimate.exceed);
+                let verdict = self
+                    .gate
+                    .observe(at, batch.len() as u64 - failures, failures);
+                if verdict.estimate.converged {
+                    exceed_peak = exceed_peak.max(verdict.estimate.exceed);
                 }
-                tripped |= estimate.exceeds_with_confidence(spec.gate.trip_confidence);
+                fast_burn_peak = fast_burn_peak.max(verdict.burn.fast_burn);
+                slow_burn_peak = slow_burn_peak.max(verdict.burn.slow_burn);
+                tripped |= verdict.tripped;
             }
 
             let wave_end = wave_outcomes
@@ -397,6 +468,8 @@ impl UpdateMaster {
                 verify_failed: metrics.verify_failed,
                 failure_rate,
                 exceed: exceed_peak,
+                fast_burn_peak,
+                slow_burn_peak,
                 promoted: !tripped,
                 rolled_back,
                 started: now,
@@ -482,6 +555,10 @@ mod tests {
             .find(|w| !w.promoted)
             .expect("a wave must trip");
         assert!(failed_wave.exceed >= 0.95);
+        assert!(
+            failed_wave.fast_burn_peak > 1.0,
+            "a tripping wave must burn past its budget: {failed_wave:?}"
+        );
         assert!(failed_wave.rolled_back > 0);
         assert_eq!(report.storm_peak(), failed_wave.rolled_back);
         assert!(
@@ -549,5 +626,45 @@ mod tests {
             snap.counters["fleet.vehicles.updated"]
         );
         assert_eq!(snap.counters["fleet.waves.promoted"], 4);
+        for stage in [
+            "fleet.stage.download_ms",
+            "fleet.stage.finalize_ms",
+            "fleet.stage.stall_ms",
+            "fleet.stage.e2e_ms",
+        ] {
+            assert_eq!(
+                snap.sketches[stage].count, snap.counters["fleet.vehicles.admitted"],
+                "{stage} must hold one sample per admitted vehicle"
+            );
+        }
+        assert!(!report.slo_summary().is_empty());
+    }
+
+    #[test]
+    fn gate_trip_pairs_with_a_flight_dump() {
+        let mut master = UpdateMaster::new(
+            CampaignSpec::standard(
+                SEED,
+                6_000,
+                FaultPlan::quiet(SEED).with_message_faults(0.0, 0.35, 0.0),
+            ),
+            2,
+        );
+        let flight = Arc::new(dynplat_obs::FlightRecorder::new(256));
+        master.attach_flight_recorder(Arc::clone(&flight));
+        let report = master.run();
+        assert!(report.halted);
+        let dumps = flight.dumps();
+        assert!(!dumps.is_empty(), "a halting campaign must capture");
+        for d in &dumps {
+            assert!(d.reason.contains("fleet.wave.verify"));
+        }
+        assert!(
+            dumps[0]
+                .events
+                .iter()
+                .any(|e| e.stage == "obs.slo.burn" && e.detail.contains("fleet.wave.verify")),
+            "the arming crossing must be on tape before the trip"
+        );
     }
 }

@@ -14,12 +14,16 @@ use crate::campaign::CampaignSpec;
 use crate::vehicle::{simulate_vehicle, VehicleOutcome, VehicleVerdict};
 use dynplat_common::time::SimTime;
 use dynplat_common::{ShardId, VehicleId};
+use dynplat_obs::Sketch;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Per-shard pipeline counters, merged across shards by the master.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Per-shard pipeline counters and stage-latency sketches, merged across
+/// shards by the master. [`Sketch::merge`] is associative and commutative,
+/// so the merged distributions — like the counters — are byte-identical
+/// whatever the shard count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ShardMetrics {
     /// Vehicles this shard ran through the pipeline.
     pub simulated: u64,
@@ -37,10 +41,20 @@ pub struct ShardMetrics {
     pub retries: u64,
     /// Total time the shard's vehicles spent stalled on partitions, in ns.
     pub stall_ns: u64,
+    /// Download-stage durations (ms) of admitted vehicles.
+    pub download_ms: Sketch,
+    /// Finalize-stage (integrity/install/verify) durations (ms) of
+    /// admitted vehicles.
+    pub finalize_ms: Sketch,
+    /// Partition-stall durations (ms) of admitted vehicles.
+    pub stall_ms: Sketch,
+    /// Offer-to-terminal durations (ms) of admitted vehicles.
+    pub e2e_ms: Sketch,
 }
 
 impl ShardMetrics {
-    /// Folds one vehicle outcome into the counters.
+    /// Folds one vehicle outcome into the counters and, for admitted
+    /// vehicles (the ones that ran the pipeline), the stage sketches.
     pub fn observe(&mut self, outcome: &VehicleOutcome) {
         self.simulated += 1;
         match outcome.verdict {
@@ -57,9 +71,15 @@ impl ShardMetrics {
         }
         self.retries += u64::from(outcome.retries);
         self.stall_ns += outcome.stall.as_nanos();
+        if outcome.admitted() {
+            self.download_ms.record(outcome.download_time().as_millis());
+            self.finalize_ms.record(outcome.finalize_time().as_millis());
+            self.stall_ms.record(outcome.stall.as_millis());
+            self.e2e_ms.record(outcome.duration().as_millis());
+        }
     }
 
-    /// Merges another shard's counters into this one.
+    /// Merges another shard's counters and sketches into this one.
     pub fn merge(&mut self, other: &ShardMetrics) {
         self.simulated += other.simulated;
         self.admitted += other.admitted;
@@ -69,14 +89,23 @@ impl ShardMetrics {
         self.verify_failed += other.verify_failed;
         self.retries += other.retries;
         self.stall_ns += other.stall_ns;
+        self.download_ms.merge(&other.download_ms);
+        self.finalize_ms.merge(&other.finalize_ms);
+        self.stall_ms.merge(&other.stall_ms);
+        self.e2e_ms.merge(&other.e2e_ms);
     }
 
     /// `true` iff the counters conserve vehicles: every simulated vehicle
-    /// is admitted, rejected or offline, and every admitted vehicle either
-    /// updated or failed verification.
+    /// is admitted, rejected or offline, every admitted vehicle either
+    /// updated or failed verification, and every stage sketch holds
+    /// exactly one observation per admitted vehicle.
     pub fn conserves(&self) -> bool {
         self.admitted + self.rejected_flash + self.offline == self.simulated
             && self.updated + self.verify_failed == self.admitted
+            && self.download_ms.count() == self.admitted
+            && self.finalize_ms.count() == self.admitted
+            && self.stall_ms.count() == self.admitted
+            && self.e2e_ms.count() == self.admitted
     }
 }
 

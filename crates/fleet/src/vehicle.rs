@@ -63,6 +63,11 @@ pub struct VehicleOutcome {
     pub verdict: VehicleVerdict,
     /// When the update master offered the image (wave start + stagger).
     pub started: SimTime,
+    /// When the chunked download finished (equals `started` for vehicles
+    /// that never downloaded) — splits the pipeline into a download stage
+    /// and a finalize (integrity/install/verify) stage for the per-stage
+    /// telemetry sketches.
+    pub downloaded: SimTime,
     /// When the vehicle reached its terminal state.
     pub completed: SimTime,
     /// Time lost waiting out region partitions — the straggler cause.
@@ -75,6 +80,18 @@ impl VehicleOutcome {
     /// Offer-to-terminal duration.
     pub fn duration(&self) -> SimDuration {
         self.completed.saturating_since(self.started)
+    }
+
+    /// Offer-to-downloaded duration (zero for vehicles that never
+    /// downloaded).
+    pub fn download_time(&self) -> SimDuration {
+        self.downloaded.saturating_since(self.started)
+    }
+
+    /// Downloaded-to-terminal duration: integrity re-fetch, install and
+    /// verification.
+    pub fn finalize_time(&self) -> SimDuration {
+        self.completed.saturating_since(self.downloaded)
     }
 
     /// `true` for the verdicts that passed admission and ran the full
@@ -115,12 +132,13 @@ pub fn simulate_vehicle(
     let stagger = SimDuration::from_nanos(rng.gen_range(0..spec.wave_spread.as_nanos().max(1)));
     let started = wave_start + stagger;
 
-    let done = |verdict, completed, stall, retries| VehicleOutcome {
+    let done = |verdict, downloaded, completed, stall, retries| VehicleOutcome {
         vehicle,
         variant: variant_idx,
         region,
         verdict,
         started,
+        downloaded,
         completed,
         stall,
         retries,
@@ -128,10 +146,22 @@ pub fn simulate_vehicle(
 
     // Admission: per-variant resource check, then reachability.
     if !variant.admits(&spec.image) {
-        return done(VehicleVerdict::RejectedFlash, started, SimDuration::ZERO, 0);
+        return done(
+            VehicleVerdict::RejectedFlash,
+            started,
+            started,
+            SimDuration::ZERO,
+            0,
+        );
     }
     if spec.offline_rate > 0.0 && rng.gen_bool(spec.offline_rate) {
-        return done(VehicleVerdict::Offline, started, SimDuration::ZERO, 0);
+        return done(
+            VehicleVerdict::Offline,
+            started,
+            started,
+            SimDuration::ZERO,
+            0,
+        );
     }
 
     // Chunked download under the fault plan: partitions stall progress,
@@ -167,7 +197,7 @@ pub fn simulate_vehicle(
     if plan.corrupt_rate > 0.0 && rng.gen_bool(plan.corrupt_rate) {
         t += downloaded.saturating_since(started).mul_f64(0.25);
         if rng.gen_bool(plan.corrupt_rate) {
-            return done(VehicleVerdict::VerifyFailed, t, stall, retries);
+            return done(VehicleVerdict::VerifyFailed, downloaded, t, stall, retries);
         }
     }
 
@@ -181,7 +211,7 @@ pub fn simulate_vehicle(
     } else {
         VehicleVerdict::Updated
     };
-    done(verdict, t, stall, retries)
+    done(verdict, downloaded, t, stall, retries)
 }
 
 #[cfg(test)]

@@ -17,7 +17,10 @@
 //! * [`uncertainty`] — confidence-interval estimators (regression bands,
 //!   boundary-exceedance probabilities) that turn monitored parameters
 //!   into the distributions the uncertainty-driven adaptation layer
-//!   consumes.
+//!   consumes;
+//! * [`slo`] — burn-rate SLO gating: `obs::slo` burn tracking fused with
+//!   a [`BoundaryEstimator`], tripping on confident budget violation and
+//!   pairing every trip with a flight-recorder dump.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,11 +28,13 @@
 pub mod anomaly;
 pub mod fault;
 pub mod report;
+pub mod slo;
 pub mod task;
 pub mod uncertainty;
 
 pub use anomaly::{DriftDetector, DriftVerdict};
 pub use fault::{Fault, FaultKind, FaultRecorder};
 pub use report::{CertificationDataSet, DiagnosticReport};
+pub use slo::{SloBurnGate, SloVerdict};
 pub use task::{MonitorSpec, TaskMonitor, TaskObservation};
 pub use uncertainty::{normal_cdf, BoundaryConfig, BoundaryEstimator, RollingRegression};

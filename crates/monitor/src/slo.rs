@@ -1,0 +1,277 @@
+//! SLO burn-rate gating under uncertainty.
+//!
+//! `obs::slo::BurnTracker` turns batched `(good, bad)` counts into burn
+//! rates and arms the flight recorder, but deliberately does not decide
+//! trips: a burn rate is a noisy point sample, and tripping on a point is
+//! exactly the hair-trigger behaviour the paper's uncertainty management
+//! replaces. [`SloBurnGate`] closes the loop — each batch's burn rate is
+//! ingested by a [`BoundaryEstimator`] against the natural boundary
+//! **burn = 1.0** (budget being spent exactly as fast as allowed), and
+//! the gate trips only when the estimator is *confident* the burn rate
+//! exceeds it.
+//!
+//! Because every [`BoundaryConfig`] parameter scales linearly with its
+//! boundary, estimating `fraction / budget` against boundary 1.0 is
+//! mathematically identical to estimating `fraction` against boundary
+//! `budget` — so a consumer that migrates from a bare failure-rate gate
+//! (e.g. `fleet::UpdateMaster`) keeps its trip timing bit-for-bit while
+//! gaining burn-rate arming, flight capture and SLO vocabulary.
+//!
+//! On the rising trip edge the gate fires the attached flight recorder:
+//! the tracker armed it when the fast-window burn first crossed the
+//! arming level, so the dump carries the causal window *before* the trip,
+//! and every trip is paired with a `dynplat.flight.v1` dump (the recorder
+//! is armed unconditionally on the edge, so a trip that outran the fast
+//! window still captures).
+
+use dynplat_common::time::SimTime;
+use dynplat_common::uncertainty::UncertaintyEstimate;
+use dynplat_obs::slo::{BurnObservation, BurnTracker, SloSpec};
+use dynplat_obs::{FlightDump, FlightRecorder};
+use std::sync::Arc;
+
+use crate::uncertainty::{BoundaryConfig, BoundaryEstimator};
+
+/// One gated observation batch: the burn rates, the estimator's belief,
+/// and the trip decision.
+#[derive(Clone, Debug)]
+pub struct SloVerdict {
+    /// Burn rates from the tracker (batch, fast window, slow window).
+    pub burn: BurnObservation,
+    /// The estimator's belief that the burn rate exceeds 1.0.
+    pub estimate: UncertaintyEstimate,
+    /// `true` while the estimator is confident the objective is violated.
+    pub tripped: bool,
+    /// `true` on the rising edge only — the batch that flipped the gate.
+    pub trip_edge: bool,
+    /// The flight dump frozen on this trip edge, if a recorder is
+    /// attached and its dump quota is not exhausted.
+    pub dump: Option<FlightDump>,
+}
+
+/// An SLO gate: multi-window burn tracking fused with boundary-exceedance
+/// estimation.
+///
+/// # Examples
+///
+/// ```
+/// use dynplat_common::time::SimTime;
+/// use dynplat_monitor::slo::SloBurnGate;
+/// use dynplat_obs::slo::SloSpec;
+///
+/// let mut gate = SloBurnGate::new(SloSpec::error_fraction("doc.gate", 0.05));
+/// // A noisy-but-healthy stream: one bad in 32 is 0.625x budget.
+/// let mut t = SimTime::from_millis(1);
+/// for _ in 0..8 {
+///     let v = gate.observe(t, 31, 1);
+///     assert!(!v.tripped);
+///     t = t + dynplat_common::time::SimDuration::from_millis(10);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SloBurnGate {
+    tracker: BurnTracker,
+    estimator: BoundaryEstimator,
+    flight: Option<Arc<FlightRecorder>>,
+    was_tripped: bool,
+    trips: u64,
+    dumps: u64,
+}
+
+impl SloBurnGate {
+    /// A gate for `spec`, estimating burn against boundary 1.0 at the
+    /// spec's trip confidence.
+    pub fn new(spec: SloSpec) -> Self {
+        SloBurnGate {
+            tracker: BurnTracker::new(spec),
+            estimator: BoundaryEstimator::new(BoundaryConfig::for_boundary(1.0)),
+            flight: None,
+            was_tripped: false,
+            trips: 0,
+            dumps: 0,
+        }
+    }
+
+    /// The objective in force.
+    pub fn spec(&self) -> &SloSpec {
+        self.tracker.spec()
+    }
+
+    /// The underlying estimator (diagnostics: log-odds, config).
+    pub fn estimator(&self) -> &BoundaryEstimator {
+        &self.estimator
+    }
+
+    /// Whether the fast-window burn currently has the recorder armed.
+    pub fn is_armed(&self) -> bool {
+        self.tracker.is_armed()
+    }
+
+    /// Rising trip edges seen since construction (reset does not clear).
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Flight dumps captured on trip edges since construction.
+    pub fn dumps(&self) -> u64 {
+        self.dumps
+    }
+
+    /// Attaches a flight recorder to both halves: the tracker arms it on
+    /// fast-burn crossings, the gate triggers a dump on every trip edge.
+    pub fn attach_flight_recorder(&mut self, flight: Arc<FlightRecorder>) {
+        self.tracker.attach_flight_recorder(Arc::clone(&flight));
+        self.estimator.attach_flight_recorder(Arc::clone(&flight));
+        self.flight = Some(flight);
+    }
+
+    /// Ingests one `(good, bad)` observation batch at `at` and returns
+    /// the verdict. Once tripped, the gate stays tripped until the
+    /// estimator's belief decays below the confidence gate (recovery) or
+    /// [`SloBurnGate::reset`] starts a fresh episode.
+    pub fn observe(&mut self, at: SimTime, good: u64, bad: u64) -> SloVerdict {
+        let burn = self.tracker.observe_at(at.as_nanos(), good, bad);
+        let estimate = self.estimator.ingest(at, burn.batch_burn);
+        let tripped = estimate.exceeds_with_confidence(self.spec().trip_confidence);
+        let trip_edge = tripped && !self.was_tripped;
+        self.was_tripped = tripped;
+        let mut dump = None;
+        if trip_edge {
+            self.trips += 1;
+            if let Some(fr) = &self.flight {
+                // Arm unconditionally so the trip always captures, even if
+                // the fast window never crossed the arming level (e.g. a
+                // slow sustained burn).
+                fr.arm();
+                dump = fr.trigger_if_armed(
+                    at.as_nanos(),
+                    &format!(
+                        "slo {} burn-rate trip: burn {:.3} exceed {:.3}",
+                        self.spec().name,
+                        burn.batch_burn,
+                        estimate.exceed
+                    ),
+                );
+                if dump.is_some() {
+                    self.dumps += 1;
+                }
+            }
+        }
+        SloVerdict {
+            burn,
+            estimate,
+            tripped,
+            trip_edge,
+            dump,
+        }
+    }
+
+    /// Starts a fresh gating episode: tracker windows, estimator belief
+    /// and the trip latch are cleared (trip/dump totals are kept).
+    pub fn reset(&mut self) {
+        self.tracker.reset();
+        self.estimator.reset();
+        self.was_tripped = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynplat_common::time::SimDuration;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn spec() -> SloSpec {
+        SloSpec::error_fraction("slo.test", 0.05)
+    }
+
+    #[test]
+    fn healthy_noise_never_trips() {
+        let mut gate = SloBurnGate::new(spec());
+        let mut t = at(1);
+        for i in 0..64u64 {
+            // One bad vehicle in some batches: 1/32 = 0.625x budget.
+            let bad = u64::from(i % 3 == 0);
+            let v = gate.observe(t, 32 - bad, bad);
+            assert!(!v.tripped, "healthy stream tripped at batch {i}: {v:?}");
+            t += SimDuration::from_millis(10);
+        }
+        assert_eq!(gate.trips(), 0);
+    }
+
+    #[test]
+    fn catastrophic_burn_trips_once_with_a_dump() {
+        let flight = Arc::new(FlightRecorder::new(64));
+        let mut gate = SloBurnGate::new(spec());
+        gate.attach_flight_recorder(Arc::clone(&flight));
+        let mut t = at(1);
+        for _ in 0..8 {
+            assert!(!gate.observe(t, 32, 0).tripped);
+            t += SimDuration::from_millis(10);
+        }
+        let mut edges = 0u64;
+        let mut dumps = 0u64;
+        for _ in 0..4 {
+            let v = gate.observe(t, 8, 24); // 75% bad = 15x budget
+            assert!(v.burn.batch_burn > 10.0);
+            if v.trip_edge {
+                edges += 1;
+                assert!(v.tripped);
+                assert!(v.dump.is_some(), "trip edge must pair with a dump");
+                dumps += 1;
+            }
+            t += SimDuration::from_millis(10);
+        }
+        assert_eq!(edges, 1, "edge fires exactly once per episode");
+        assert_eq!(gate.trips(), 1);
+        assert_eq!(gate.dumps(), dumps);
+        assert_eq!(flight.dumps().len(), 1);
+        assert!(flight.dumps()[0].reason.contains("slo.test"));
+    }
+
+    #[test]
+    fn equivalent_to_raw_fraction_gate_at_budget_boundary() {
+        // The linearity argument in the module docs, checked numerically:
+        // burn/1.0 and fraction/budget gates trip on the same batch.
+        let budget = 0.05;
+        let mut burn_gate = SloBurnGate::new(SloSpec::error_fraction("eq", budget));
+        let mut raw = BoundaryEstimator::new(BoundaryConfig::for_boundary(budget));
+        let series: Vec<(u64, u64)> = (0..24)
+            .map(|i| if i < 12 { (32, 0) } else { (26, 6) })
+            .collect();
+        let mut t = at(1);
+        let (mut burn_trip, mut raw_trip) = (None, None);
+        for (i, &(good, bad)) in series.iter().enumerate() {
+            let v = burn_gate.observe(t, good, bad);
+            if v.tripped && burn_trip.is_none() {
+                burn_trip = Some(i);
+            }
+            let fraction = bad as f64 / (good + bad) as f64;
+            let e = raw.ingest(t, fraction);
+            if e.exceeds_with_confidence(0.95) && raw_trip.is_none() {
+                raw_trip = Some(i);
+            }
+            t += SimDuration::from_millis(10);
+        }
+        assert!(burn_trip.is_some(), "degraded stream must trip");
+        assert_eq!(burn_trip, raw_trip, "gates must trip on the same batch");
+    }
+
+    #[test]
+    fn reset_starts_a_new_episode() {
+        let mut gate = SloBurnGate::new(spec());
+        let mut t = at(1);
+        for _ in 0..8 {
+            gate.observe(t, 0, 32);
+            t += SimDuration::from_millis(10);
+        }
+        assert!(gate.observe(t, 0, 32).tripped);
+        gate.reset();
+        let v = gate.observe(t + SimDuration::from_millis(10), 32, 0);
+        assert!(!v.tripped, "fresh episode must not inherit belief");
+        assert_eq!(gate.trips(), 1, "trip total survives the reset");
+    }
+}

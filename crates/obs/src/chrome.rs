@@ -7,8 +7,10 @@
 //! for a deterministic logical clock the unit is ticks — relative
 //! ordering and nesting render identically).
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::exemplar::Exemplar;
 use crate::json;
 use crate::span::{SpanRecord, Tracer};
 
@@ -46,6 +48,50 @@ pub fn to_chrome_trace(records: &[SpanRecord]) -> String {
         );
     }
     out.push_str(if records.is_empty() { "]\n" } else { "\n]\n" });
+    out
+}
+
+/// Encodes finished spans plus top-K exemplars (the shape of
+/// [`crate::MetricsRegistry::exemplar_snapshot`]) as one Chrome-trace
+/// JSON array. Each exemplar becomes an instant event (`"ph": "i"`) on
+/// its own `tid` row per metric, stamped at the exemplar value with the
+/// originating trace id and span in `args` — so the worst tail latencies
+/// line up visually against the span tree that produced them.
+pub fn to_chrome_trace_with_exemplars(
+    records: &[SpanRecord],
+    exemplars: &BTreeMap<String, Vec<Exemplar>>,
+) -> String {
+    let mut out = to_chrome_trace(records);
+    let n_exemplars: usize = exemplars.values().map(Vec::len).sum();
+    if n_exemplars == 0 {
+        return out;
+    }
+    // Splice the exemplar events into the existing array: drop the
+    // closing "]\n" (and, when spans exist, re-separate with a comma).
+    out.truncate(out.rfind(']').expect("array close"));
+    out.truncate(out.trim_end().len());
+    let mut first = records.is_empty();
+    for (tid, (metric, top)) in exemplars.iter().enumerate() {
+        for e in top {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n  {{\"name\": \"{}\", \"cat\": \"exemplar\", \"ph\": \"i\", \
+                 \"s\": \"g\", \"ts\": {}, \"pid\": 1, \"tid\": {}, \
+                 \"args\": {{\"value\": {}, \"trace_id\": {}, \"span\": {}}}}}",
+                json::escape(metric),
+                e.value,
+                tid + 1,
+                e.value,
+                e.trace.trace_id,
+                e.trace.span,
+            );
+        }
+    }
+    out.push_str("\n]\n");
     out
 }
 
@@ -108,5 +154,59 @@ mod tests {
         let t = Tracer::new(8);
         t.in_span("a", || {});
         assert_eq!(t.to_chrome_trace(), to_chrome_trace(&t.finished()));
+    }
+
+    #[test]
+    fn exemplars_become_instant_events() {
+        use crate::trace::TraceCtx;
+
+        let records = vec![SpanRecord {
+            id: 0,
+            parent: None,
+            name: "wave",
+            start: 0,
+            end: 5,
+        }];
+        let mut exemplars = BTreeMap::new();
+        exemplars.insert(
+            "fleet.stage.e2e_ms".to_owned(),
+            vec![Exemplar {
+                value: 900,
+                trace: TraceCtx::new(42, 7),
+            }],
+        );
+        let trace = to_chrome_trace_with_exemplars(&records, &exemplars);
+        let doc = json::parse(&trace).expect("valid json");
+        let events = doc.as_array().expect("array");
+        assert_eq!(events.len(), 2);
+        let ex = &events[1];
+        assert_eq!(ex.get("ph").and_then(|v| v.as_str()), Some("i"));
+        assert_eq!(ex.get("cat").and_then(|v| v.as_str()), Some("exemplar"));
+        let args = ex.get("args").expect("args");
+        assert_eq!(args.get("trace_id").and_then(|v| v.as_u64()), Some(42));
+        assert_eq!(args.get("span").and_then(|v| v.as_u64()), Some(7));
+        assert_eq!(args.get("value").and_then(|v| v.as_u64()), Some(900));
+    }
+
+    #[test]
+    fn exemplars_without_spans_still_form_a_valid_array() {
+        use crate::trace::TraceCtx;
+
+        let mut exemplars = BTreeMap::new();
+        exemplars.insert(
+            "m".to_owned(),
+            vec![Exemplar {
+                value: 1,
+                trace: TraceCtx::new(1, 1),
+            }],
+        );
+        let doc =
+            json::parse(&to_chrome_trace_with_exemplars(&[], &exemplars)).expect("valid json");
+        assert_eq!(doc.as_array().map(<[JsonValue]>::len), Some(1));
+        // And no exemplars at all degrades to the plain span trace.
+        assert_eq!(
+            to_chrome_trace_with_exemplars(&[], &BTreeMap::new()),
+            to_chrome_trace(&[])
+        );
     }
 }

@@ -16,12 +16,21 @@
 //! * [`snapshot`] — point-in-time copies of a registry with two encoders:
 //!   Prometheus text exposition and the machine-readable `BENCH_*.json`
 //!   shape the CI perf gate diffs against a checked-in baseline;
-//! * [`json`] — the minimal JSON reader backing snapshot round-trips.
+//! * [`json`] — the minimal JSON reader backing snapshot round-trips;
+//! * [`mod@sketch`] — mergeable log-linear quantile sketches whose merge is
+//!   associative and commutative, so fleet-wide aggregates are
+//!   byte-identical no matter how vehicles were sharded;
+//! * [`timeseries`] — fixed-capacity delta-encoded rings of periodic
+//!   registry snapshots (`dynplat.telemetry.v1`);
+//! * [`slo`] — declarative objectives with multi-window burn-rate
+//!   tracking that arms the flight recorder before a trip decision;
+//! * [`exemplar`] — top-K worst-value [`TraceCtx`] exemplars linking
+//!   tail latencies back to concrete traces.
 //!
 //! Instrumented crates (`comm`, `sched`, `core`, `faults`, `monitor`,
 //! `bench`) emit into the process-wide [`global`] registry through the
-//! [`counter!`], [`gauge!`] and [`histogram!`] macros, which cache the
-//! resolved handle in a per-call-site `OnceLock`:
+//! [`counter!`], [`gauge!`], [`histogram!`] and [`sketch!`] macros,
+//! which cache the resolved handle in a per-call-site `OnceLock`:
 //!
 //! ```
 //! dynplat_obs::counter!("doc.example.events").inc();
@@ -33,18 +42,29 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod exemplar;
 pub mod json;
 pub mod metrics;
+pub mod sketch;
+pub mod slo;
 pub mod snapshot;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 
+pub use exemplar::{Exemplar, ExemplarSet, LocalExemplars, DEFAULT_EXEMPLARS};
 pub use metrics::{
     bucket_bounds, Counter, Gauge, Histogram, LocalHistogram, MetricsRegistry, BUCKET_COUNT,
     COUNTER_STRIPES,
 };
+pub use sketch::{
+    sketch_bucket_index, sketch_bucket_lower, sketch_bucket_upper, Sketch, SketchCell,
+    SketchSnapshot, SKETCH_MAX_INDEX, SKETCH_SUB, SKETCH_SUBBITS,
+};
+pub use slo::{BurnObservation, BurnTracker, SloKind, SloSpec};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot, SNAPSHOT_SCHEMA};
 pub use span::{parse_dump, ParsedSpan, SpanGuard, SpanRecord, Tracer};
+pub use timeseries::{SeriesPoint, TelemetryRing, TELEMETRY_SCHEMA};
 pub use trace::{FlightDump, FlightRecorder, TraceCtx, TraceEvent, FLIGHT_SCHEMA};
 
 use std::sync::{Arc, OnceLock};
@@ -107,6 +127,17 @@ macro_rules! histogram {
         static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
             ::std::sync::OnceLock::new();
         HANDLE.get_or_init(|| $crate::global().histogram($name))
+    }};
+}
+
+/// Resolves a quantile sketch in the [`global`] registry, caching the
+/// handle in a per-call-site static.
+#[macro_export]
+macro_rules! sketch {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::SketchCell>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::global().sketch($name))
     }};
 }
 

@@ -12,6 +12,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
+use crate::exemplar::{Exemplar, ExemplarSet};
+use crate::sketch::SketchCell;
 use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
 
 /// Number of per-thread cells a [`Counter`] is striped over. Each thread
@@ -252,26 +254,24 @@ impl Histogram {
     /// Upper bound of the bucket holding the `q`-quantile observation
     /// (`q` in `[0, 1]`), or 0 when empty. The bound is exact for the
     /// overflow bucket only in the sense of returning [`Histogram::max`].
+    ///
+    /// The bucket array is read in one pass and the rank is taken against
+    /// that same read — not against the separately-updated `count` field —
+    /// so the answer is self-consistent even while striped
+    /// [`Histogram::merge_local`] flushes land concurrently.
     pub fn quantile(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
-        let bounds = bucket_bounds();
-        let mut acc = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
+        let buckets = self.load_buckets();
+        quantile_of(&buckets, q, self.max())
+    }
+
+    /// One coherent pass over the bucket array.
+    fn load_buckets(&self) -> [u64; BUCKET_COUNT] {
+        let mut out = [0u64; BUCKET_COUNT];
+        for (slot, b) in out.iter_mut().zip(self.buckets.iter()) {
             // relaxed: snapshot read; see `record`.
-            acc += b.load(Ordering::Relaxed);
-            if acc >= target {
-                return if i < bounds.len() {
-                    bounds[i].min(self.max())
-                } else {
-                    self.max()
-                };
-            }
+            *slot = b.load(Ordering::Relaxed);
         }
-        self.max()
+        out
     }
 
     /// Non-empty buckets as `(upper_bound, count)` pairs; the overflow
@@ -290,16 +290,34 @@ impl Histogram {
     }
 
     /// Snapshot of this histogram's aggregate state.
+    ///
+    /// The whole snapshot derives from **one** read of the bucket array:
+    /// `count` is that read's total and `p50`/`p95`/`p99` are ranked
+    /// against it, so recomputing a quantile from the snapshot's own
+    /// `buckets` ([`HistogramSnapshot::quantile`]) reproduces the stored
+    /// percentiles exactly — there is no drift between `quantile()` and
+    /// `snapshot()` under concurrent striped flushes. (`sum` is a
+    /// separate atomic and may trail the buckets mid-flush; it is exact
+    /// once writers are synchronized, like every other tally here.)
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self.load_buckets();
+        let count: u64 = buckets.iter().sum();
+        let max = self.max();
+        let bounds = bucket_bounds();
         HistogramSnapshot {
-            count: self.count(),
+            count,
             sum: self.sum(),
             min: self.min(),
-            max: self.max(),
-            p50: self.quantile(0.50),
-            p95: self.quantile(0.95),
-            p99: self.quantile(0.99),
-            buckets: self.nonzero_buckets(),
+            max,
+            p50: quantile_of(&buckets, 0.50, max),
+            p95: quantile_of(&buckets, 0.95, max),
+            p99: quantile_of(&buckets, 0.99, max),
+            buckets: buckets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| n > 0)
+                .map(|(i, &n)| (bounds.get(i).copied().unwrap_or(u64::MAX), n))
+                .collect(),
         }
     }
 
@@ -345,6 +363,28 @@ impl Histogram {
 #[inline]
 fn bucket_index(value: u64) -> usize {
     bucket_bounds().partition_point(|&b| b < value)
+}
+
+/// Nearest-rank quantile over one coherent bucket read, clamped to `max`.
+fn quantile_of(buckets: &[u64; BUCKET_COUNT], q: f64, max: u64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+    let bounds = bucket_bounds();
+    let mut acc = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        acc += n;
+        if acc >= target {
+            return if i < bounds.len() {
+                bounds[i].min(max)
+            } else {
+                max
+            };
+        }
+    }
+    max
 }
 
 /// A single-owner histogram accumulator: the same 1–2–5 bucket layout as
@@ -415,6 +455,8 @@ struct Inner {
     counters: BTreeMap<&'static str, Arc<Counter>>,
     gauges: BTreeMap<&'static str, Arc<Gauge>>,
     histograms: BTreeMap<&'static str, Arc<Histogram>>,
+    sketches: BTreeMap<&'static str, Arc<SketchCell>>,
+    exemplars: BTreeMap<&'static str, Arc<ExemplarSet>>,
 }
 
 /// The registry: name → metric handle. Handles are `Arc`s, so the lock is
@@ -479,6 +521,32 @@ impl MetricsRegistry {
         Arc::clone(inner.histograms.entry(name).or_default())
     }
 
+    /// Resolves (creating on first use) the quantile sketch `name`
+    /// (capacityless: sketches grow sparsely with observed buckets).
+    pub fn sketch(&self, name: &'static str) -> Arc<SketchCell> {
+        if let Some(s) = self.inner.read().expect("registry lock").sketches.get(name) {
+            return Arc::clone(s);
+        }
+        let mut inner = self.inner.write().expect("registry lock");
+        Arc::clone(inner.sketches.entry(name).or_default())
+    }
+
+    /// Resolves (creating on first use) the exemplar set `name`
+    /// (default top-K capacity, [`crate::exemplar::DEFAULT_EXEMPLARS`]).
+    pub fn exemplars(&self, name: &'static str) -> Arc<ExemplarSet> {
+        if let Some(e) = self
+            .inner
+            .read()
+            .expect("registry lock")
+            .exemplars
+            .get(name)
+        {
+            return Arc::clone(e);
+        }
+        let mut inner = self.inner.write().expect("registry lock");
+        Arc::clone(inner.exemplars.entry(name).or_default())
+    }
+
     /// A point-in-time copy of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.read().expect("registry lock");
@@ -498,7 +566,24 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(k, v)| ((*k).to_owned(), v.snapshot()))
                 .collect(),
+            sketches: inner
+                .sketches
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.snapshot()))
+                .collect(),
         }
+    }
+
+    /// The retained exemplars of every registered set, by name (kept out
+    /// of [`MetricsSnapshot`]: exemplars link to traces, not to the perf
+    /// baseline the CI gate diffs).
+    pub fn exemplar_snapshot(&self) -> BTreeMap<String, Vec<Exemplar>> {
+        let inner = self.inner.read().expect("registry lock");
+        inner
+            .exemplars
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.snapshot()))
+            .collect()
     }
 
     /// Zeroes every metric *in place*: handles already resolved by call
@@ -514,6 +599,12 @@ impl MetricsRegistry {
         }
         for h in inner.histograms.values() {
             h.reset();
+        }
+        for s in inner.sketches.values() {
+            s.reset();
+        }
+        for e in inner.exemplars.values() {
+            e.reset();
         }
     }
 }
@@ -647,6 +738,61 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn sketches_and_exemplars_live_in_the_registry() {
+        let r = MetricsRegistry::new();
+        let s = r.sketch("reg.sketch");
+        s.record_n(100, 4);
+        let e = r.exemplars("reg.exemplars");
+        e.offer(9_000, crate::TraceCtx::new(0xAB, 2));
+        let snap = r.snapshot();
+        assert_eq!(snap.sketches["reg.sketch"].count, 4);
+        let ex = r.exemplar_snapshot();
+        assert_eq!(ex["reg.exemplars"][0].value, 9_000);
+        assert!(Arc::ptr_eq(&s, &r.sketch("reg.sketch")));
+        r.reset();
+        assert_eq!(r.sketch("reg.sketch").count(), 0);
+        assert!(r.exemplar_snapshot()["reg.exemplars"].is_empty());
+    }
+
+    #[test]
+    fn snapshot_quantiles_recompute_from_their_own_buckets() {
+        // The drift fix: a snapshot's p50/p95/p99 must be derivable from
+        // the snapshot's own buckets, even while striped flushes land.
+        let h = Arc::new(Histogram::default());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for worker in 0..3u64 {
+                let h = Arc::clone(&h);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut local = LocalHistogram::new();
+                    let mut v = worker + 1;
+                    // relaxed: test-only stop flag, no data published.
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..64 {
+                            v = v.wrapping_mul(6364136223846793005).wrapping_add(worker);
+                            local.record(v % 1_000_000);
+                        }
+                        local.flush_into(&h);
+                    }
+                });
+            }
+            for _ in 0..200 {
+                let snap = h.snapshot();
+                for (q, expect) in [(0.50, snap.p50), (0.95, snap.p95), (0.99, snap.p99)] {
+                    assert_eq!(
+                        snap.quantile(q),
+                        expect,
+                        "snapshot internally inconsistent at q{q}: {snap:?}"
+                    );
+                }
+            }
+            // relaxed: see above.
+            stop.store(true, Ordering::Relaxed);
+        });
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! Declarative service-level objectives and multi-window burn-rate
+//! tracking.
+//!
+//! A bare threshold ("this batch's failure fraction crossed 5 %") pages
+//! on sampling noise and says nothing about budget consumption. An SLO
+//! reframes the same signal as an **error budget**: the objective allows
+//! a `budget` fraction of bad events, and the *burn rate* is how fast
+//! that budget is being spent (`burn = bad_fraction / budget`; 1.0 =
+//! exactly on budget). Following the multi-window pattern of SRE
+//! practice, a [`BurnTracker`] evaluates the burn over a **fast** window
+//! (arms quickly, recovers quickly) and a **slow** window (the sustained
+//! picture), and arms an attached [`FlightRecorder`] the moment the fast
+//! burn crosses the arming level — so by the time a trip fires, the
+//! causal window leading up to it is already on tape.
+//!
+//! The tracker deliberately stops short of *deciding* trips: deciding
+//! needs the distribution-aware machinery of
+//! `monitor::uncertainty::BoundaryEstimator` (which sits above this
+//! crate). `monitor::slo::SloBurnGate` couples the two; consumers such
+//! as `fleet::UpdateMaster` gate on that.
+
+use std::sync::Arc;
+
+use crate::sketch::Sketch;
+use crate::trace::FlightRecorder;
+
+/// What a latency objective counts as "bad": observations at or above
+/// the target are budget spend.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SloKind {
+    /// Bad events / total events must stay under the budget.
+    ErrorFraction,
+    /// Observations at or above `target` (e.g. latency in nanoseconds)
+    /// must stay under the budget fraction.
+    LatencyOver {
+        /// The latency target; values at or above it spend budget.
+        target: u64,
+    },
+}
+
+/// One declarative objective: at most `budget` of events may be bad.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloSpec {
+    /// Objective name, used in flight-recorder events and summaries.
+    pub name: &'static str,
+    /// What counts as a bad event.
+    pub kind: SloKind,
+    /// Error budget as a fraction of events in `(0, 1)`.
+    pub budget: f64,
+    /// Fast-window length in observation batches.
+    pub fast_window: usize,
+    /// Slow-window length in observation batches.
+    pub slow_window: usize,
+    /// Fast burn at or above which the flight recorder arms.
+    pub arm_burn: f64,
+    /// Confidence at which the uncertainty gate trips (consumed by
+    /// `monitor::slo::SloBurnGate`).
+    pub trip_confidence: f64,
+}
+
+impl SloSpec {
+    /// An error-fraction objective with the standard windows (fast 4,
+    /// slow 16 batches), arming at burn 1.0 and tripping at 95 %
+    /// confidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < budget < 1`.
+    pub fn error_fraction(name: &'static str, budget: f64) -> Self {
+        assert!(
+            budget > 0.0 && budget < 1.0,
+            "error budget must be a fraction in (0, 1)"
+        );
+        SloSpec {
+            name,
+            kind: SloKind::ErrorFraction,
+            budget,
+            fast_window: 4,
+            slow_window: 16,
+            arm_burn: 1.0,
+            trip_confidence: 0.95,
+        }
+    }
+
+    /// A latency objective: at most `budget` of observations may sit at
+    /// or above `target` (same windows and gates as
+    /// [`SloSpec::error_fraction`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < budget < 1`.
+    pub fn latency(name: &'static str, target: u64, budget: f64) -> Self {
+        SloSpec {
+            kind: SloKind::LatencyOver { target },
+            ..SloSpec::error_fraction(name, budget)
+        }
+    }
+
+    /// Derives `(good, bad)` counts for one observation batch captured
+    /// as a latency sketch (only meaningful for latency objectives; an
+    /// error-fraction objective counts its own events).
+    pub fn classify_sketch(&self, sketch: &Sketch) -> (u64, u64) {
+        match self.kind {
+            SloKind::ErrorFraction => (sketch.count(), 0),
+            SloKind::LatencyOver { target } => {
+                let bad = sketch.count_over(target);
+                (sketch.count() - bad, bad)
+            }
+        }
+    }
+}
+
+/// One evaluated observation batch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurnObservation {
+    /// Burn rate of this batch alone (`fraction / budget`).
+    pub batch_burn: f64,
+    /// Burn rate over the fast window.
+    pub fast_burn: f64,
+    /// Burn rate over the slow window.
+    pub slow_burn: f64,
+    /// Whether the attached flight recorder is armed after this batch.
+    pub armed: bool,
+}
+
+/// Multi-window burn-rate tracker over batched `(good, bad)` counts.
+///
+/// # Examples
+///
+/// ```
+/// use dynplat_obs::slo::{BurnTracker, SloSpec};
+///
+/// let mut t = BurnTracker::new(SloSpec::error_fraction("doc.slo", 0.05));
+/// let quiet = t.observe(31, 1); // 1/32 bad = 0.625x budget
+/// assert!(quiet.batch_burn < 1.0);
+/// let burning = t.observe(16, 16); // 50% bad = 10x budget
+/// assert!(burning.batch_burn > 5.0);
+/// assert!(burning.fast_burn > 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BurnTracker {
+    spec: SloSpec,
+    /// `(good, bad)` per batch, newest last; bounded by `slow_window`
+    /// (which must not be shorter than `fast_window`).
+    ring: Vec<(u64, u64)>,
+    armed: bool,
+    flight: Option<Arc<FlightRecorder>>,
+}
+
+impl BurnTracker {
+    /// A tracker for `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either window is empty or the fast window is longer
+    /// than the slow one.
+    pub fn new(spec: SloSpec) -> Self {
+        assert!(spec.fast_window > 0, "fast window must be non-empty");
+        assert!(
+            spec.fast_window <= spec.slow_window,
+            "fast window must not exceed the slow window"
+        );
+        BurnTracker {
+            ring: Vec::with_capacity(spec.slow_window),
+            armed: false,
+            flight: None,
+            spec,
+        }
+    }
+
+    /// The objective in force.
+    pub fn spec(&self) -> &SloSpec {
+        &self.spec
+    }
+
+    /// Attaches a flight recorder: the tracker arms it when the fast
+    /// burn crosses [`SloSpec::arm_burn`] and records the crossing.
+    pub fn attach_flight_recorder(&mut self, flight: Arc<FlightRecorder>) {
+        self.flight = Some(flight);
+    }
+
+    /// Whether the fast burn has the recorder armed.
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Ingests one observation batch and returns the burn rates.
+    /// `at_ns` stamps flight-recorder arming events.
+    pub fn observe_at(&mut self, at_ns: u64, good: u64, bad: u64) -> BurnObservation {
+        if self.ring.len() == self.spec.slow_window {
+            self.ring.remove(0);
+        }
+        self.ring.push((good, bad));
+        let batch_burn = self.burn_over(1);
+        let fast_burn = self.burn_over(self.spec.fast_window);
+        let slow_burn = self.burn_over(self.spec.slow_window);
+        // Arm on the fast window (react fast), clear on it too (recover
+        // fast): hysteresis at half the arming level prevents flapping.
+        if !self.armed && fast_burn >= self.spec.arm_burn {
+            self.armed = true;
+            if let Some(fr) = &self.flight {
+                fr.arm();
+                fr.record(
+                    at_ns,
+                    crate::trace::TraceCtx::NONE,
+                    "obs.slo.burn",
+                    format!(
+                        "slo {} armed: fast burn {:.3} >= {:.3}",
+                        self.spec.name, fast_burn, self.spec.arm_burn
+                    ),
+                );
+            }
+        } else if self.armed && fast_burn < self.spec.arm_burn * 0.5 {
+            self.armed = false;
+        }
+        BurnObservation {
+            batch_burn,
+            fast_burn,
+            slow_burn,
+            armed: self.armed,
+        }
+    }
+
+    /// [`BurnTracker::observe_at`] without a flight timestamp.
+    pub fn observe(&mut self, good: u64, bad: u64) -> BurnObservation {
+        self.observe_at(0, good, bad)
+    }
+
+    /// Discards ring state and disarms, for gating a fresh episode.
+    pub fn reset(&mut self) {
+        self.ring.clear();
+        self.armed = false;
+    }
+
+    /// Burn rate over the newest `window` batches (all batches when
+    /// fewer have been observed); 0.0 before any events.
+    fn burn_over(&self, window: usize) -> f64 {
+        let start = self.ring.len().saturating_sub(window);
+        let (mut good, mut bad) = (0u64, 0u64);
+        for &(g, b) in &self.ring[start..] {
+            good += g;
+            bad += b;
+        }
+        let total = good + bad;
+        if total == 0 {
+            return 0.0;
+        }
+        (bad as f64 / total as f64) / self.spec.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burn_is_fraction_over_budget() {
+        let mut t = BurnTracker::new(SloSpec::error_fraction("t", 0.10));
+        let o = t.observe(90, 10); // fraction 0.10 == budget
+        assert!((o.batch_burn - 1.0).abs() < 1e-12);
+        assert!((o.fast_burn - 1.0).abs() < 1e-12);
+        let o = t.observe(50, 50);
+        assert!((o.batch_burn - 5.0).abs() < 1e-12);
+        // Fast window (4) now spans both batches: 60/200 bad over 0.10.
+        assert!((o.fast_burn - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_and_slow_windows_diverge() {
+        let mut t = BurnTracker::new(SloSpec::error_fraction("t", 0.10));
+        for _ in 0..16 {
+            t.observe(100, 0);
+        }
+        let mut last = t.observe(0, 100);
+        for _ in 0..3 {
+            last = t.observe(0, 100);
+        }
+        assert!(
+            (last.fast_burn - 10.0).abs() < 1e-12,
+            "fast window is all-bad: {last:?}"
+        );
+        assert!(
+            last.slow_burn < 3.0,
+            "slow window still mostly clean: {last:?}"
+        );
+    }
+
+    #[test]
+    fn arming_follows_fast_burn_with_hysteresis() {
+        let flight = Arc::new(FlightRecorder::new(16));
+        let mut t = BurnTracker::new(SloSpec::error_fraction("arm.test", 0.10));
+        t.attach_flight_recorder(flight.clone());
+        t.observe_at(10, 100, 0);
+        assert!(!t.is_armed());
+        let o = t.observe_at(20, 50, 50);
+        assert!(o.armed, "fast burn {} should arm", o.fast_burn);
+        assert!(flight.is_armed(), "recorder armed with the tracker");
+        assert!(flight
+            .events()
+            .iter()
+            .any(|e| e.stage == "obs.slo.burn" && e.detail.contains("arm.test")));
+        // A long quiet run clears the fast window below half the level.
+        let mut o = t.observe_at(30, 1_000, 0);
+        for k in 0..4 {
+            o = t.observe_at(40 + k, 1_000, 0);
+        }
+        assert!(!o.armed, "quiet fast window must disarm: {o:?}");
+    }
+
+    #[test]
+    fn latency_spec_classifies_sketches() {
+        let spec = SloSpec::latency("lat", 1_000, 0.05);
+        let mut sk = Sketch::new();
+        for v in [10u64, 20, 512, 2_000, 4_000] {
+            sk.record(v);
+        }
+        let (good, bad) = spec.classify_sketch(&sk);
+        assert_eq!(good + bad, 5);
+        assert_eq!(bad, 2, "two observations in buckets above the target");
+        let ef = SloSpec::error_fraction("ef", 0.05);
+        assert_eq!(ef.classify_sketch(&sk), (5, 0));
+    }
+
+    #[test]
+    fn reset_clears_windows_and_arming() {
+        let mut t = BurnTracker::new(SloSpec::error_fraction("t", 0.05));
+        t.observe(0, 100);
+        assert!(t.is_armed());
+        t.reset();
+        assert!(!t.is_armed());
+        let o = t.observe(100, 0);
+        assert_eq!(o.slow_burn, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "error budget must be a fraction")]
+    fn whole_budget_panics() {
+        SloSpec::error_fraction("bad", 1.0);
+    }
+}

@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::json::{self, JsonValue};
+use crate::sketch::SketchSnapshot;
 
 /// Schema tag stamped into every JSON snapshot.
 pub const SNAPSHOT_SCHEMA: &str = "dynplat.bench.v1";
@@ -49,6 +50,51 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Nearest-rank quantile recomputed from the stored buckets, clamped
+    /// to `max`; 0 when empty. On a snapshot taken by
+    /// [`crate::Histogram::snapshot`] this reproduces the stored
+    /// `p50`/`p95`/`p99` exactly (both derive from the same bucket read).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for &(bound, n) in &self.buckets {
+            acc += n;
+            if acc >= target {
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds `other` into `self`, summing counts bucket-wise and
+    /// recomputing the derived quantiles. Associative and commutative
+    /// (order-invariant), so per-shard histogram snapshots can be merged
+    /// in any tree without changing the aggregate.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let mut merged: BTreeMap<u64, u64> = self.buckets.iter().copied().collect();
+        for &(bound, n) in &other.buckets {
+            *merged.entry(bound).or_insert(0) += n;
+        }
+        self.buckets = merged.into_iter().collect();
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.p50 = self.quantile(0.50);
+        self.p95 = self.quantile(0.95);
+        self.p99 = self.quantile(0.99);
+    }
 }
 
 /// A point-in-time copy of a whole registry.
@@ -60,6 +106,8 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, i64>,
     /// Histogram aggregates by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Quantile-sketch aggregates by name.
+    pub sketches: BTreeMap<String, SketchSnapshot>,
 }
 
 /// Replaces every character outside `[a-zA-Z0-9_:]` with `_` (Prometheus
@@ -104,6 +152,19 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
             let _ = writeln!(out, "{n}_sum {}", h.sum);
             let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        // Sketches expose as Prometheus summaries: pre-computed quantiles
+        // plus sum/count (the sparse log-linear buckets have no faithful
+        // `le=`-histogram shape, and a summary is what a scraper expects
+        // of a quantile sketch).
+        for (name, s) in &self.sketches {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} summary");
+            for (q, v) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
+                let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{n}_sum {}", s.sum);
+            let _ = writeln!(out, "{n}_count {}", s.count);
         }
         out
     }
@@ -159,6 +220,35 @@ impl MetricsSnapshot {
                     out.push_str(", ");
                 }
                 let _ = write!(out, "[{bound}, {count}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"sketches\": {");
+        let mut first = true;
+        for (name, s) in &self.sketches {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
+                json::escape(name),
+                s.count,
+                s.sum,
+                s.min,
+                s.max,
+                s.p50,
+                s.p95,
+                s.p99
+            );
+            for (i, (idx, count)) in s.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{idx}, {count}]");
             }
             out.push_str("]}");
         }
@@ -239,6 +329,48 @@ impl MetricsSnapshot {
                 snap.histograms.insert(k.clone(), h);
             }
         }
+        if let Some(sketches) = obj.get("sketches") {
+            let m = sketches.as_object().ok_or("sketches must be an object")?;
+            for (k, v) in m {
+                let field = |name: &str| -> Result<u64, String> {
+                    v.get(name)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| format!("sketch {k} missing {name}"))
+                };
+                let mut s = SketchSnapshot {
+                    count: field("count")?,
+                    sum: field("sum")?,
+                    min: field("min")?,
+                    max: field("max")?,
+                    p50: field("p50")?,
+                    p95: field("p95")?,
+                    p99: field("p99")?,
+                    buckets: Vec::new(),
+                };
+                if let Some(buckets) = v.get("buckets") {
+                    for pair in buckets
+                        .as_array()
+                        .ok_or_else(|| format!("sketch {k} buckets must be an array"))?
+                    {
+                        let pair = pair
+                            .as_array()
+                            .ok_or_else(|| format!("sketch {k} bucket must be a pair"))?;
+                        if pair.len() != 2 {
+                            return Err(format!("sketch {k} bucket must be a pair"));
+                        }
+                        let idx = pair[0]
+                            .as_u64()
+                            .and_then(|i| u16::try_from(i).ok())
+                            .ok_or_else(|| format!("sketch {k} bucket index not u16"))?;
+                        let count = pair[1]
+                            .as_u64()
+                            .ok_or_else(|| format!("sketch {k} bucket count not u64"))?;
+                        s.buckets.push((idx, count));
+                    }
+                }
+                snap.sketches.insert(k.clone(), s);
+            }
+        }
         Ok(snap)
     }
 }
@@ -265,6 +397,12 @@ mod tests {
                 buckets: vec![(10, 1), (20, 1), (50, 1)],
             },
         );
+        let mut sk = crate::Sketch::new();
+        for v in [100u64, 200, 900] {
+            sk.record(v);
+        }
+        snap.sketches
+            .insert("fleet.stage.download_ms".into(), sk.to_snapshot());
         snap
     }
 
@@ -298,6 +436,40 @@ mod tests {
         assert!(text.contains("comm_fabric_latency_ns_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("comm_fabric_latency_ns_sum 60"));
         assert!(text.contains("comm_fabric_latency_ns_count 3"));
+        // Sketches come out as summaries.
+        assert!(text.contains("# TYPE fleet_stage_download_ms summary"));
+        assert!(text.contains("fleet_stage_download_ms{quantile=\"0.5\"}"));
+        assert!(text.contains("fleet_stage_download_ms_count 3"));
+    }
+
+    #[test]
+    fn histogram_snapshot_merge_is_order_invariant_and_conserving() {
+        let h = |values: &[u64]| {
+            let hist = crate::Histogram::default();
+            for &v in values {
+                hist.record(v);
+            }
+            hist.snapshot()
+        };
+        let parts = [
+            h(&[1, 2, 3]),
+            h(&[500, 900]),
+            h(&[]),
+            h(&[7, 7, 7, 1_000_000]),
+        ];
+        let mut fwd = HistogramSnapshot::default();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = HistogramSnapshot::default();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd, rev);
+        let direct = h(&[1, 2, 3, 500, 900, 7, 7, 7, 1_000_000]);
+        assert_eq!(fwd, direct, "merged snapshot equals direct recording");
+        assert_eq!(fwd.count, 9);
+        assert_eq!(fwd.quantile(0.95), fwd.p95);
     }
 
     #[test]

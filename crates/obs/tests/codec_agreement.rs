@@ -1,16 +1,19 @@
 //! Property test: the Prometheus and JSON snapshot codecs agree.
 //!
 //! For randomized registries, every value that both encodings carry —
-//! counter totals, gauge levels, histogram bucket counts, sums and counts
-//! — must parse back identical from the Prometheus text and the JSON
-//! document. The JSON side is held to the stronger bar (lossless
-//! round-trip); the Prometheus side is decoded by reversing its
-//! cumulative-bucket encoding.
+//! counter totals, gauge levels, histogram bucket counts, quantile-sketch
+//! summaries, sums and counts — must parse back identical from the
+//! Prometheus text and the JSON document. The JSON side is held to the
+//! stronger bar (lossless round-trip); the Prometheus side is decoded by
+//! reversing its cumulative-bucket encoding (histograms) and reading the
+//! summary rows (sketches). Time-series rings sampled from the same
+//! registries must round-trip their `dynplat.telemetry.v1` encoding
+//! losslessly too, point for point.
 
 use std::collections::BTreeMap;
 
 use dynplat_common::rng::{seeded_rng, split_seed, Rng};
-use dynplat_obs::{MetricsRegistry, MetricsSnapshot};
+use dynplat_obs::{MetricsRegistry, MetricsSnapshot, TelemetryRing};
 
 /// Registry names are `&'static str`, so randomized registries draw from
 /// static pools. Prefixes keep the sanitized Prometheus names (and the
@@ -31,6 +34,7 @@ const GAUGE_NAMES: [&str; 5] = [
     "gga.epsilon",
 ];
 const HISTOGRAM_NAMES: [&str; 4] = ["hst.alpha", "hst.beta", "hst.gamma", "hst.delta"];
+const SKETCH_NAMES: [&str; 4] = ["skt.alpha", "skt.beta", "skt.gamma:sub", "skt.delta-dash"];
 
 fn sanitize(name: &str) -> String {
     name.chars()
@@ -73,6 +77,21 @@ fn random_registry(seed: u64) -> MetricsRegistry {
                 rng.gen_range(0..10u64.pow(magnitude.min(18)).max(1))
             };
             h.record(value);
+        }
+    }
+    for name in SKETCH_NAMES {
+        if !rng.gen_bool(0.8) {
+            continue;
+        }
+        let s = registry.sketch(name);
+        for _ in 0..rng.gen_range(0..200u32) {
+            let magnitude = rng.gen_range(0..20u32);
+            let value = if magnitude == 19 {
+                u64::MAX - rng.gen_range(0..1_000u64)
+            } else {
+                rng.gen_range(0..10u64.pow(magnitude.min(18)).max(1))
+            };
+            s.record(value);
         }
     }
     registry
@@ -147,6 +166,28 @@ fn assert_prometheus_agrees(snap: &MetricsSnapshot, prom: &BTreeMap<String, i128
             );
         }
     }
+    // Sketches expose as summaries: the three pre-computed quantiles plus
+    // sum and count must match the snapshot field for field.
+    for (name, s) in &snap.sketches {
+        let n = sanitize(name);
+        for (q, v) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
+            assert_eq!(
+                prom.get(&format!("{n}{{quantile=\"{q}\"}}")),
+                Some(&i128::from(v)),
+                "sketch {name} quantile {q}"
+            );
+        }
+        assert_eq!(
+            prom.get(&format!("{n}_sum")),
+            Some(&i128::from(s.sum)),
+            "sketch {name} sum"
+        );
+        assert_eq!(
+            prom.get(&format!("{n}_count")),
+            Some(&i128::from(s.count)),
+            "sketch {name} count"
+        );
+    }
 }
 
 #[test]
@@ -176,4 +217,73 @@ fn codecs_agree_on_the_empty_registry() {
     assert!(snap.to_prometheus().is_empty());
     let decoded = MetricsSnapshot::from_json(&snap.to_json()).expect("round-trip");
     assert_eq!(decoded, snap);
+}
+
+#[test]
+fn telemetry_ring_json_round_trips_random_sample_series() {
+    // Rings sampled from one randomly-evolving registry — more samples
+    // than ring capacity, so eviction is exercised too — must round-trip
+    // their `dynplat.telemetry.v1` delta encoding losslessly: same
+    // points, same re-encoded bytes, and every retained point still
+    // carries the exact counter/gauge values of the snapshot it was
+    // sampled from. (The delta encoding carries omitted names forward,
+    // so its contract is repeated samples of one registry — the only way
+    // the library produces rings — not unrelated snapshots per point.)
+    let root = 0x71ED_C0DECu64;
+    for case in 0..32u64 {
+        let mut rng = seeded_rng(split_seed(root, case));
+        let capacity = rng.gen_range(1..12) as usize;
+        let samples = rng.gen_range(1..20) as usize;
+        let registry = random_registry(split_seed(root, case));
+        let mut ring = TelemetryRing::new(capacity);
+        let mut taken: Vec<(u64, MetricsSnapshot)> = Vec::new();
+        let mut t_ns = 0u64;
+        for _ in 0..samples {
+            t_ns += rng.gen_range(1..1_000_000u64);
+            // Advance a random subset of metrics between samples, so some
+            // points delta on every name and some on none.
+            for name in COUNTER_NAMES {
+                if rng.gen_bool(0.4) {
+                    registry.counter(name).add(rng.gen_range(0..10_000u64));
+                }
+            }
+            for name in GAUGE_NAMES {
+                if rng.gen_bool(0.4) {
+                    registry.gauge(name).set(rng.gen_range(-10_000..10_000i64));
+                }
+            }
+            let snap = registry.snapshot();
+            ring.sample(t_ns, &snap);
+            taken.push((t_ns, snap));
+        }
+        assert_eq!(ring.len(), samples.min(capacity), "case {case}: ring fill");
+
+        let encoded = ring.to_json();
+        let decoded = TelemetryRing::from_json(&encoded)
+            .unwrap_or_else(|e| panic!("case {case}: telemetry round-trip failed: {e}"));
+        assert_eq!(
+            decoded.points(),
+            ring.points(),
+            "case {case}: points diverged"
+        );
+        assert_eq!(
+            decoded.to_json(),
+            encoded,
+            "case {case}: re-encode diverged"
+        );
+
+        // The ring keeps the newest `capacity` samples in order, verbatim.
+        let kept = &taken[samples - ring.len()..];
+        for (point, (at, snap)) in decoded.points().iter().zip(kept) {
+            assert_eq!(point.t_ns, *at, "case {case}: sample time");
+            assert_eq!(point.counters, snap.counters, "case {case}: counters");
+            assert_eq!(point.gauges, snap.gauges, "case {case}: gauges");
+        }
+    }
+}
+
+#[test]
+fn telemetry_ring_rejects_malformed_documents() {
+    assert!(TelemetryRing::from_json("[]").is_err());
+    assert!(TelemetryRing::from_json(r#"{"schema": "other.v9", "points": []}"#).is_err());
 }

@@ -211,6 +211,10 @@ fn collect_stats(set: &TaskSet, jobs: &[Job], horizon: SimTime, trace: TraceCtx)
     let obs_misses = dynplat_obs::counter!("sched.dispatch.deadline_misses");
     let obs_response = dynplat_obs::histogram!("sched.dispatch.response_ns");
     let obs_slack = dynplat_obs::histogram!("sched.dispatch.slack_ns");
+    // Worst response times keep their causal context: the top-K offers
+    // land as exemplars next to the histogram, linkable via the run's
+    // trace id in flight dumps and Chrome traces.
+    let obs_exemplars = dynplat_obs::global().exemplars("sched.dispatch.response_ns");
     let tasks = set
         .tasks()
         .iter()
@@ -228,6 +232,7 @@ fn collect_stats(set: &TaskSet, jobs: &[Job], horizon: SimTime, trace: TraceCtx)
                         completions += 1;
                         let resp = t.saturating_since(job.release);
                         obs_response.record(resp.as_nanos());
+                        obs_exemplars.offer(resp.as_nanos(), trace);
                         obs_slack.record(job.deadline.saturating_since(t).as_nanos());
                         rmin = rmin.min(resp);
                         rmax = rmax.max(resp);

@@ -7,7 +7,10 @@
 //! 2. watch a vehicle's monitoring telemetry drift toward its deadline and
 //!    catch it *before* the first hard violation;
 //! 3. react with a fleet update campaign: per-vehicle backend validation,
-//!    canary wave, automatic halt if the fix misbehaves in the field.
+//!    canary wave, automatic halt if the fix misbehaves in the field;
+//! 4. roll the fix out at fleet scale through the staged update master,
+//!    read the waves as an SLO burn-rate summary, and chase the worst
+//!    completion latencies by exemplar trace id.
 //!
 //! Run with: `cargo run --example fleet_operations`
 
@@ -15,8 +18,11 @@ use dynplat::common::rng::seeded_rng;
 use dynplat::common::time::SimDuration;
 use dynplat::common::{AppId, TaskId, VehicleId};
 use dynplat::core::campaign::{CampaignPolicy, UpdateCampaign, UpdateRequirements, VehicleConfig};
+use dynplat::faults::FaultPlan;
+use dynplat::fleet::{CampaignSpec, UpdateMaster};
 use dynplat::hw::reference::{ecus, reference_vehicle};
 use dynplat::monitor::anomaly::{DriftDetector, DriftVerdict};
+use dynplat::obs::TraceCtx;
 use dynplat::sched::sensitivity::critical_scaling_factor;
 use dynplat::sched::task::{TaskSet, TaskSpec};
 use dynplat::security::package::Version;
@@ -148,5 +154,38 @@ fn main() {
     println!("rejection reasons:");
     for (reason, n) in reasons {
         println!("  {n:4} × {reason}");
+    }
+
+    // -- 4. staged rollout, SLO summary, exemplar trace ids --------------------
+    // The same fix at fleet scale: the sharded update master stages the
+    // rollout in waves, and each wave promotes only while the burn-rate
+    // gate stays under the verification error budget.
+    let plan = FaultPlan::quiet(23).with_message_faults(0.02, 0.05, 0.0);
+    let spec = CampaignSpec::standard(23, 20_000, plan);
+    let report = UpdateMaster::new(spec, 4).run();
+    println!(
+        "\nstaged rollout over {} vehicles ({} updated, halted: {}):",
+        report.vehicles, report.totals.updated, report.halted
+    );
+    print!("{}", report.slo_summary());
+
+    // The slowest end-to-end completions, each tagged with a trace id
+    // derived from the vehicle id — the handle an operator would feed to
+    // the flight recorder / Chrome-trace lookup to see *why* that vehicle
+    // sat in the tail.
+    let exemplars = dynplat::obs::global().exemplars("fleet.campaign.e2e_ns");
+    for o in &report.outcomes {
+        let e2e = o.completed.as_nanos().saturating_sub(o.started.as_nanos());
+        exemplars.offer(e2e, TraceCtx::root(u64::from(o.vehicle.raw()) + 1));
+    }
+    println!("worst completion latencies (exemplar -> trace id):");
+    for (metric, top) in dynplat::obs::global().exemplar_snapshot() {
+        for e in top.iter().take(3) {
+            println!(
+                "  {metric}: {:6.1} s  trace {:#x}",
+                e.value as f64 / 1e9,
+                e.trace.trace_id
+            );
+        }
     }
 }

@@ -66,4 +66,23 @@ cargo run --release -p dynplat-bench --bin e15_fleet_campaign -- \
   --vehicles 100000 --shards 1 --out "$SMOKE_TMP/E15_campaign_rerun.json" >/dev/null
 cmp E15_campaign.json "$SMOKE_TMP/E15_campaign_rerun.json"
 
+echo "==> e16 slo-telemetry smoke (8k vehicles, shard-flipped telemetry cmp)"
+# The rerun flips the shard count; cmp-ing both the e16 report and every
+# merged TELEMETRY_<arm>.json pins determinism *and* the sketch/ring
+# merge's shard-invariance in one check.
+mkdir -p "$SMOKE_TMP/tel_a" "$SMOKE_TMP/tel_b"
+cargo run --release -p dynplat-bench --bin e16_slo_telemetry -- \
+  --vehicles 8000 --shards 4 --out E16_slo.json \
+  --telemetry "$SMOKE_TMP/tel_a" >/dev/null
+cargo run --release -p dynplat-bench --bin e16_slo_telemetry -- \
+  --vehicles 8000 --shards 1 --out "$SMOKE_TMP/E16_slo_rerun.json" \
+  --telemetry "$SMOKE_TMP/tel_b" >/dev/null
+cmp E16_slo.json "$SMOKE_TMP/E16_slo_rerun.json"
+for f in "$SMOKE_TMP"/tel_a/TELEMETRY_*.json; do
+  cmp "$f" "$SMOKE_TMP/tel_b/$(basename "$f")"
+done
+# Keep the merged per-arm telemetry next to the report for the failure
+# artifact upload.
+cp "$SMOKE_TMP"/tel_a/TELEMETRY_*.json .
+
 echo "==> ci.sh: all green"

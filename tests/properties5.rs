@@ -12,7 +12,15 @@
 //! * slab-slot frame ids recycle across hundreds of thousands of
 //!   messages without truncation collisions: every batch conserves its
 //!   sends exactly and the peak slot count stays bounded by in-flight
-//!   messages, not by message count.
+//!   messages, not by message count;
+//! * the telemetry merge algebra holds: [`Sketch::merge`] and
+//!   [`HistogramSnapshot::merge`] conserve count/sum/min/max and are
+//!   order-invariant over arbitrary shardings and merge trees — the
+//!   property that makes fleet aggregates byte-identical across shard
+//!   counts;
+//! * histogram snapshots stay self-consistent under concurrent striped
+//!   flushes: every mid-flight snapshot's quantiles derive from the same
+//!   bucket read as its count (the quantile/snapshot drift regression).
 //!
 //! Implemented as seeded-random loop tests on `dynplat::common::rng` (no
 //! external property-testing dependency).
@@ -28,7 +36,7 @@ use dynplat::common::{BusId, EcuId};
 use dynplat::hw::ecu::{EcuClass, EcuSpec};
 use dynplat::hw::topology::{BusKind, BusSpec, HwTopology};
 use dynplat::net::TrafficClass;
-use dynplat::obs::TraceCtx;
+use dynplat::obs::{Histogram, HistogramSnapshot, LocalHistogram, Sketch, TraceCtx};
 
 const SUITE_SEED: u64 = 0x5EED_0005;
 
@@ -297,5 +305,174 @@ fn frame_ids_recycle_without_truncation_over_many_batches() {
         fabric.peak_slab_capacity() < 256,
         "slot ids must be bounded by peak in-flight, got {}",
         fabric.peak_slab_capacity()
+    );
+}
+
+// ----------------------------------------------------- telemetry merge algebra --
+
+/// A random value with a heavy tail, so sketches and histograms populate
+/// buckets across many exponent ranges.
+fn tailed_value(rng: &mut SplitMix64) -> u64 {
+    let shift: u64 = rng.gen_range(0..40);
+    rng.gen_range(0..1u64 << shift.max(1))
+}
+
+#[test]
+fn sketch_merge_conserves_and_is_order_invariant() {
+    for case in 0..24u64 {
+        let mut rng = case_rng(5, case);
+        let n = rng.gen_range(1..2_000) as usize;
+        let values: Vec<u64> = (0..n).map(|_| tailed_value(&mut rng)).collect();
+
+        // Direct fold: one sketch over all values.
+        let mut direct = Sketch::new();
+        for &v in &values {
+            direct.record(v);
+        }
+
+        // Random sharding of the same values.
+        let shards_n = rng.gen_range(1..9) as usize;
+        let mut shards = vec![Sketch::new(); shards_n];
+        for &v in &values {
+            shards[rng.gen_range(0..shards_n as u64) as usize].record(v);
+        }
+
+        // Merge forward, merge reversed, and merge as a pairwise tree:
+        // all three must equal the direct fold exactly.
+        let fold = |order: &[&Sketch]| {
+            let mut acc = Sketch::new();
+            for s in order {
+                acc.merge(s);
+            }
+            acc
+        };
+        let fwd: Vec<&Sketch> = shards.iter().collect();
+        let rev: Vec<&Sketch> = shards.iter().rev().collect();
+        let mut tree: Vec<Sketch> = shards.clone();
+        while tree.len() > 1 {
+            let b = tree.pop().expect("len > 1");
+            let idx = rng.gen_range(0..tree.len() as u64) as usize;
+            tree[idx].merge(&b);
+        }
+        for merged in [fold(&fwd), fold(&rev), tree.pop().expect("one left")] {
+            assert_eq!(merged, direct, "case {case}: merge must equal direct fold");
+            assert_eq!(merged.count(), n as u64);
+            assert_eq!(merged.sum(), values.iter().copied().sum::<u64>());
+            assert_eq!(merged.min(), values.iter().copied().min().unwrap_or(0));
+            assert_eq!(merged.max(), values.iter().copied().max().unwrap_or(0));
+        }
+
+        // Snapshot merge commutes with sketch merge.
+        let mut snap = shards[0].to_snapshot();
+        for s in &shards[1..] {
+            snap.merge(&s.to_snapshot());
+        }
+        assert_eq!(snap, direct.to_snapshot());
+    }
+}
+
+#[test]
+fn histogram_snapshot_merge_conserves_and_is_order_invariant() {
+    for case in 0..24u64 {
+        let mut rng = case_rng(6, case);
+        let n = rng.gen_range(1..1_500) as usize;
+        let values: Vec<u64> = (0..n).map(|_| tailed_value(&mut rng)).collect();
+
+        let direct = Histogram::default();
+        let shards_n = rng.gen_range(1..7) as usize;
+        let shards: Vec<Histogram> = (0..shards_n).map(|_| Histogram::default()).collect();
+        for &v in &values {
+            direct.record(v);
+            shards[rng.gen_range(0..shards_n as u64) as usize].record(v);
+        }
+
+        let fold = |order: Vec<&Histogram>| {
+            let mut acc = HistogramSnapshot::default();
+            for h in order {
+                acc.merge(&h.snapshot());
+            }
+            acc
+        };
+        let fwd = fold(shards.iter().collect());
+        let rev = fold(shards.iter().rev().collect());
+        assert_eq!(fwd, rev, "case {case}: merge order must be invisible");
+        assert_eq!(
+            fwd,
+            direct.snapshot(),
+            "case {case}: merge equals direct fold"
+        );
+        assert_eq!(fwd.count, n as u64);
+        assert_eq!(fwd.sum, values.iter().copied().sum::<u64>());
+        // Merged quantiles rederive from merged buckets, exactly like a
+        // direct snapshot's do.
+        assert_eq!(fwd.p50, fwd.quantile(0.50));
+        assert_eq!(fwd.p95, fwd.quantile(0.95));
+        assert_eq!(fwd.p99, fwd.quantile(0.99));
+    }
+}
+
+#[test]
+fn snapshots_stay_self_consistent_under_concurrent_striped_flushes() {
+    // The drift regression this guards: a snapshot that reads the bucket
+    // array and the quantile summary in two passes can pair a newer count
+    // with older buckets while writers flush concurrently. Snapshots must
+    // instead derive count and quantiles from one bucket read: at every
+    // instant `count == Σ buckets` and the stored p50/p95/p99 equal the
+    // quantiles recomputed from the very same buckets.
+    const WRITERS: u64 = 4;
+    const PER_WRITER: u64 = 12_000;
+    let hist = Histogram::default();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let hist = &hist;
+            s.spawn(move || {
+                let mut rng = case_rng(7, w);
+                let mut local = LocalHistogram::new();
+                for i in 0..PER_WRITER {
+                    local.record(tailed_value(&mut rng));
+                    // Flush in ragged bursts so snapshots race mid-merge.
+                    if i % rng.gen_range(3u64..40) == 0 {
+                        local.flush_into(hist);
+                    }
+                }
+                local.flush_into(hist);
+            });
+        }
+        let reader = s.spawn(|| {
+            let mut observed = 0u64;
+            let mut last_count = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let snap = hist.snapshot();
+                let bucket_total: u64 = snap.buckets.iter().map(|&(_, c)| c).sum();
+                assert_eq!(
+                    snap.count, bucket_total,
+                    "count must equal the bucket sum it was read with"
+                );
+                assert_eq!(snap.p50, snap.quantile(0.50), "p50 drifted from buckets");
+                assert_eq!(snap.p95, snap.quantile(0.95), "p95 drifted from buckets");
+                assert_eq!(snap.p99, snap.quantile(0.99), "p99 drifted from buckets");
+                assert!(snap.count >= last_count, "flushed counts never regress");
+                last_count = snap.count;
+                observed += 1;
+            }
+            observed
+        });
+        // Scope joins the writers; signal the reader afterwards would be
+        // too late, so join writers explicitly here.
+        while hist.count() < WRITERS * PER_WRITER {
+            std::thread::yield_now();
+        }
+        done.store(true, Ordering::Release);
+        let observed = reader.join().expect("reader must not panic");
+        assert!(observed > 0, "the reader must race at least one snapshot");
+    });
+    assert_eq!(hist.count(), WRITERS * PER_WRITER);
+    let final_snap = hist.snapshot();
+    assert_eq!(final_snap.count, WRITERS * PER_WRITER);
+    assert_eq!(
+        final_snap.sum,
+        hist.sum(),
+        "quiescent snapshot reads the exact totals"
     );
 }
